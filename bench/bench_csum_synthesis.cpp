@@ -1,0 +1,53 @@
+// E4 -- CSUM synthesis (the anticipated challenge of paper SS II-A/B) and
+// the [20] claim context: single-qudit control of up to eight levels and
+// two-qudit operations with "gate fidelities exceeding 99% in noiseless
+// setting".
+//
+// Reported per dimension: synthesized Fourier fidelity, end-to-end CSUM
+// unitary fidelity (co-located and adjacent variants), native op counts,
+// durations, and decoherence-limited hardware fidelity on the forecast
+// device.
+#include <cstdio>
+#include <iostream>
+
+#include "core/quditsim.h"
+
+int main() {
+  using namespace qs;
+  std::printf("[bench_csum_synthesis] E4: CSUM compilation\n\n");
+
+  const GateDurations durations;
+  const Processor proc = Processor::forecast_device();
+
+  ConsoleTable table({"d", "variant", "F(fourier)", "F(CSUM)", "native ops",
+                      "duration (us)", "hw fidelity"});
+  for (int d : {2, 3, 4, 5}) {
+    SnapSynthOptions opt;
+    opt.layers = 2 * d;  // ansatz depth scales with dimension
+    opt.max_layers = 2 * d + 4;
+    opt.iters = 600;
+    opt.restarts = 3;
+    opt.target_fidelity = 0.995;
+    const CsumPlan local = plan_csum(d, false, opt, durations);
+    table.add_row({fmt_int(d), "co-located", fmt(local.fourier_fidelity, 4),
+                   fmt(local.unitary_fidelity, 4),
+                   fmt_int(local.native_ops), fmt(local.duration * 1e6, 2),
+                   fmt(estimate_hardware_fidelity(local.circuit, proc,
+                                                  {0, 1}),
+                       3)});
+    const CsumPlan bridged = plan_csum(d, true, opt, durations);
+    table.add_row({fmt_int(d), "adjacent", fmt(bridged.fourier_fidelity, 4),
+                   fmt(bridged.unitary_fidelity, 4),
+                   fmt_int(bridged.native_ops),
+                   fmt(bridged.duration * 1e6, 2),
+                   fmt(estimate_hardware_fidelity(bridged.circuit, proc,
+                                                  {3, 4, 2}),
+                       3)});
+  }
+  table.print(std::cout);
+  std::printf("\npaper context: [20] reports >99%% noiseless synthesis "
+              "fidelities for <=8-level single-qudit and two-qutrit ops;\n"
+              "the co-located CSUM rows reproduce that regime, and the "
+              "adjacent rows quantify the inter-cavity overhead.\n");
+  return 0;
+}

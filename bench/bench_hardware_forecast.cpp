@@ -1,0 +1,78 @@
+// E10 -- The paper's SS I hardware forecast: "a multi-cell array composed
+// by ~10 linearly connected cavities, each contributing ~4 modes that can
+// be occupied by d ~ 10 photons with millisecond T1 lifetime ... Such a
+// system would exceed 100 qubits in Hilbert space dimension."
+//
+// Reported: device accounting (modes, equivalent qubits), the native
+// error model, coherence-limited circuit depths, and the noise-aware
+// mapper's benefit on a coherence-disordered device.
+#include <cstdio>
+#include <iostream>
+
+#include "core/quditsim.h"
+
+int main() {
+  using namespace qs;
+  std::printf("[bench_hardware_forecast] E10: forecast device\n\n");
+  Rng rng(23);
+  const Processor proc = Processor::forecast_device(&rng);
+  std::printf("%s\n\n", proc.to_string().c_str());
+
+  ConsoleTable acct({"metric", "value"});
+  acct.add_row({"cavities", fmt_int(proc.num_cavities())});
+  acct.add_row({"modes", fmt_int(proc.num_modes())});
+  acct.add_row({"levels per mode", fmt_int(proc.mode(0).dim)});
+  acct.add_row({"equivalent qubits (log2 dim)",
+                fmt(proc.equivalent_qubits(), 1)});
+  acct.add_row({"exceeds 100 qubits?",
+                proc.equivalent_qubits() > 100.0 ? "yes" : "no"});
+  acct.print(std::cout);
+
+  std::printf("\nnative op error model (best mode):\n");
+  ConsoleTable errs({"op", "duration (us)", "error"});
+  const GateDurations& dur = proc.durations();
+  errs.add_row({"displacement", fmt(dur.displacement * 1e6, 3),
+                fmt_sci(proc.native_op_error(NativeOp::kDisplacement, 0))});
+  errs.add_row({"SNAP", fmt(dur.snap * 1e6, 3),
+                fmt_sci(proc.native_op_error(NativeOp::kSnap, 0))});
+  errs.add_row({"cross-Kerr CZ (d=10)",
+                fmt(dur.cross_kerr_full * 0.9 * 1e6, 3),
+                fmt_sci(proc.two_mode_error(0, 1))});
+  errs.add_row({"beamsplitter bridge", fmt(dur.beamsplitter * 2e6, 3),
+                fmt_sci(proc.two_mode_error(3, 4))});
+  errs.print(std::cout);
+
+  // Coherence-limited depth: how many two-mode gates fit in a T1.
+  const double cz_time = dur.cross_kerr_full * 0.9;
+  const double cz_err = proc.two_mode_error(0, 1);
+  std::printf("\ncoherence-limited budget per mode pair:\n");
+  std::printf("  CZ gates within one cavity T1: %.0f\n",
+              proc.mode(0).t1 / cz_time);
+  std::printf("  CZ gates before 50%% fidelity:  %.0f\n",
+              std::log(0.5) / std::log(1.0 - cz_err));
+
+  // Mapper benefit on the disordered device with a routed workload
+  // (device derated to the application's d = 4 occupation).
+  const Hamiltonian h = gauge_ladder_2d(9, 2, {4, 1.0, 1.0});
+  const Circuit step = native_trotter_circuit(h, {2, 0.1, 1});
+  const Processor device = derate_for_levels(proc, 4);
+  CompileOptions aware;
+  CompileOptions naive;
+  naive.use_noise_aware_mapping = false;
+  Rng r1(5), r2(5);
+  const CompileReport a = compile_circuit(step, device, r1, aware);
+  const CompileReport b = compile_circuit(step, device, r2, naive);
+  std::printf("\n9x2 rotor Trotter step, noise-aware vs identity mapping:\n");
+  ConsoleTable cmp({"mapping", "predicted cost", "swaps", "makespan (us)",
+                    "fidelity"});
+  cmp.add_row({"noise-aware", fmt(a.mapping.cost, 4),
+               fmt_int(a.routing.swaps_inserted),
+               fmt(a.schedule.makespan * 1e6, 1),
+               fmt_sci(a.schedule.total_fidelity)});
+  cmp.add_row({"identity", fmt(b.mapping.cost, 4),
+               fmt_int(b.routing.swaps_inserted),
+               fmt(b.schedule.makespan * 1e6, 1),
+               fmt_sci(b.schedule.total_fidelity)});
+  cmp.print(std::cout);
+  return 0;
+}

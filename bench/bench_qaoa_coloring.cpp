@@ -1,0 +1,78 @@
+// E5 -- NDAR-QAOA graph coloring (paper SS II-B, Table I row 2, citing
+// [21]): noise-directed adaptive remapping "dramatically increasing the
+// probability of optimal solutions" by exploiting photon loss.
+//
+// Instance: N = 9 nodes, 3 colors (Table I). One qudit per node; phase
+// separators are two-qudit cross-Kerr-class diagonal gates. Noisy
+// execution uses per-gate photon loss; NDAR is compared round-by-round
+// against vanilla noisy QAOA.
+#include <cstdio>
+#include <iostream>
+
+#include "core/quditsim.h"
+
+int main() {
+  using namespace qs;
+  std::printf("[bench_qaoa_coloring] E5: NDAR vs vanilla QAOA, N=9, "
+              "3 colors\n\n");
+  Rng rng(9);
+  const Graph g = random_regular_graph(9, 4, rng);
+  const int optimum = optimal_colored_edges(g, 3);
+  std::printf("instance: %d nodes, %zu edges, optimum %d\n", g.n,
+              g.num_edges(), optimum);
+
+  const ColoringQaoa qaoa(g, 3);
+  const auto [gamma, beta] = qaoa.optimize_p1(8);
+  std::printf("p=1 params: gamma %.3f, beta %.3f; noiseless <C> = %.3f\n\n",
+              gamma, beta, qaoa.expected_cost({gamma}, {beta}));
+
+  NoiseParams p;
+  p.loss_per_gate = 0.12;
+  p.dephase_2q = 0.02;
+  const NoiseModel noise(p);
+
+  NdarOptions base;
+  base.rounds = 5;
+  base.shots = 48;
+  NdarOptions vanilla = base;
+  vanilla.remap = false;
+
+  // Average over seeds for stable curves.
+  const int seeds = 2;
+  std::vector<double> nd_mean(static_cast<std::size_t>(base.rounds), 0.0);
+  std::vector<double> va_mean(static_cast<std::size_t>(base.rounds), 0.0);
+  std::vector<double> nd_popt(static_cast<std::size_t>(base.rounds), 0.0);
+  std::vector<double> va_popt(static_cast<std::size_t>(base.rounds), 0.0);
+  int nd_best = 0, va_best = 0;
+  for (int s = 0; s < seeds; ++s) {
+    Rng r1(100 + s), r2(100 + s);
+    const NdarResult nd = run_ndar(qaoa, gamma, beta, noise, base, r1);
+    const NdarResult va = run_ndar(qaoa, gamma, beta, noise, vanilla, r2);
+    for (int r = 0; r < base.rounds; ++r) {
+      nd_mean[static_cast<std::size_t>(r)] +=
+          nd.mean_cost_per_round[static_cast<std::size_t>(r)] / seeds;
+      va_mean[static_cast<std::size_t>(r)] +=
+          va.mean_cost_per_round[static_cast<std::size_t>(r)] / seeds;
+      nd_popt[static_cast<std::size_t>(r)] +=
+          nd.p_best_per_round[static_cast<std::size_t>(r)] / seeds;
+      va_popt[static_cast<std::size_t>(r)] +=
+          va.p_best_per_round[static_cast<std::size_t>(r)] / seeds;
+    }
+    nd_best = std::max(nd_best, nd.best_cost);
+    va_best = std::max(va_best, va.best_cost);
+  }
+
+  ConsoleTable table({"round", "vanilla <C>", "NDAR <C>", "vanilla P(best)",
+                      "NDAR P(best)"});
+  for (int r = 0; r < base.rounds; ++r)
+    table.add_row({fmt_int(r), fmt(va_mean[static_cast<std::size_t>(r)], 2),
+                   fmt(nd_mean[static_cast<std::size_t>(r)], 2),
+                   fmt(va_popt[static_cast<std::size_t>(r)], 3),
+                   fmt(nd_popt[static_cast<std::size_t>(r)], 3)});
+  table.print(std::cout);
+  std::printf("\nbest found: NDAR %d / %d, vanilla %d / %d\n", nd_best,
+              optimum, va_best, optimum);
+  std::printf("paper claim shape: NDAR's sample quality climbs across "
+              "rounds while vanilla decays toward the loss attractor.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// E11 -- Simulator microbenchmarks (google-benchmark): gate application,
+// channel application, and Lindblad stepping across dimensions. Supports
+// the feasibility note that fast C++ qudit simulators cover the paper's
+// whole evaluation envelope on a laptop.
+#include <benchmark/benchmark.h>
+
+#include "core/quditsim.h"
+
+namespace {
+
+using namespace qs;
+
+void BM_StateVectorSingleQuditGate(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  Rng rng(1);
+  StateVector psi(QuditSpace::uniform(static_cast<std::size_t>(n), d));
+  const Matrix u = random_unitary(d, rng);
+  int site = 0;
+  for (auto _ : state) {
+    psi.apply(u, {site});
+    site = (site + 1) % n;
+    benchmark::DoNotOptimize(psi.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StateVectorSingleQuditGate)
+    ->Args({3, 9})
+    ->Args({4, 8})
+    ->Args({10, 4});
+
+void BM_StateVectorTwoQuditGate(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  Rng rng(2);
+  StateVector psi(QuditSpace::uniform(static_cast<std::size_t>(n), d));
+  const Matrix u = random_unitary(d * d, rng);
+  int site = 0;
+  for (auto _ : state) {
+    psi.apply(u, {site, site + 1});
+    site = (site + 1) % (n - 1);
+    benchmark::DoNotOptimize(psi.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StateVectorTwoQuditGate)
+    ->Args({3, 9})
+    ->Args({4, 8})
+    ->Args({10, 4});
+
+void BM_DiagonalPhaseGate(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  StateVector psi(QuditSpace::uniform(static_cast<std::size_t>(n), d));
+  std::vector<cplx> diag(static_cast<std::size_t>(d) *
+                         static_cast<std::size_t>(d));
+  for (std::size_t i = 0; i < diag.size(); ++i)
+    diag[i] = std::exp(cplx{0.0, 0.01 * static_cast<double>(i)});
+  for (auto _ : state) {
+    psi.apply_diagonal(diag, {0, 1});
+    benchmark::DoNotOptimize(psi.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiagonalPhaseGate)->Args({3, 9})->Args({10, 4});
+
+void BM_DensityMatrixChannel(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  DensityMatrix rho(QuditSpace::uniform(static_cast<std::size_t>(n), d));
+  const auto kraus = amplitude_damping_channel(d, 0.01);
+  for (auto _ : state) {
+    rho.apply_channel(kraus, {0});
+    benchmark::DoNotOptimize(rho.matrix().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DensityMatrixChannel)->Args({3, 3})->Args({4, 3})->Args({9, 2});
+
+void BM_TrajectoryChannelSample(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  Rng rng(3);
+  StateVector psi(QuditSpace::uniform(static_cast<std::size_t>(n), d));
+  psi.apply(fourier(d), {0});
+  const auto kraus = amplitude_damping_channel(d, 0.01);
+  for (auto _ : state) {
+    psi.apply_channel_sampled(kraus, {0}, rng);
+    benchmark::DoNotOptimize(psi.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrajectoryChannelSample)->Args({3, 9})->Args({10, 4});
+
+void BM_LindbladStep(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  ReservoirConfig cfg;
+  cfg.modes = 2;
+  cfg.levels = d;
+  cfg.rk4_steps_per_tau = 1;
+  OscillatorReservoir res(cfg);
+  for (auto _ : state) {
+    res.step(0.3);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LindbladStep)->Arg(4)->Arg(6)->Arg(9);
+
+void BM_HermitianEig(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  Matrix h(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    h(r, r) = rng.normal();
+    for (std::size_t c = r + 1; c < n; ++c) {
+      h(r, c) = rng.complex_normal();
+      h(c, r) = std::conj(h(r, c));
+    }
+  }
+  for (auto _ : state) {
+    const EigResult er = eigh(h);
+    benchmark::DoNotOptimize(er.values.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HermitianEig)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// E2 -- The sQED noise-tolerance comparison (paper SS II-A, citing [11]):
+// "simulations showed that using the most native qutrit encodings
+// tolerated gate errors 10-100 times higher than qubit encodings."
+//
+// Protocol: quench the truncated U(1) gauge chain, extract the mass-gap
+// frequency from <E>(t), and scan the depolarizing gate-error scale until
+// the extraction breaks (10% tolerance). Reported: threshold per encoding
+// and the qudit/qubit ratio.
+#include <cstdio>
+#include <iostream>
+
+#include "core/quditsim.h"
+
+int main() {
+  using namespace qs;
+  std::printf("[bench_sqed_noise] E2: gap-extraction noise thresholds\n\n");
+
+  auto noise_for = [](double scale) {
+    NoiseParams p;
+    p.depol_1q = 0.1 * scale;
+    p.depol_2q = scale;
+    return p;
+  };
+  const std::vector<double> scales{1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2};
+  const double dt = 0.25;
+  const int samples = 127;
+
+  ConsoleTable table({"Ns", "d", "encoding", "sites", "gates/step",
+                      "threshold p*", "ratio vs qubit"});
+
+  for (int ns : {2, 3}) {
+    const GaugeModelParams params{3, 1.0, 1.0};
+    const Hamiltonian h = gauge_chain(ns, params);
+    const Circuit native = native_trotter_circuit(h, {2, dt / 2, 2});
+    std::vector<int> init_native(static_cast<std::size_t>(ns), 1);
+    const ThresholdScan scan_native = scan_noise_threshold(
+        native, electric_energy_diagonal(h.space()), init_native, noise_for,
+        scales, samples, dt, 0.1);
+
+    const Hamiltonian enc = encode_binary(h);
+    const Circuit binary = binary_trotter_circuit(enc, {2, dt / 2, 2});
+    std::vector<int> init_binary;
+    for (int s = 0; s < ns; ++s) {
+      init_binary.push_back(1);  // level 1 = m = 0 in binary (1, 0)
+      init_binary.push_back(0);
+    }
+    const ThresholdScan scan_binary = scan_noise_threshold(
+        binary, electric_energy_diagonal_binary(h.space()), init_binary,
+        noise_for, scales, samples, dt, 0.1);
+
+    table.add_row({fmt_int(ns), "3", "native qutrit",
+                   fmt_int(static_cast<long long>(ns)),
+                   fmt_int(static_cast<long long>(native.size() / 2)),
+                   fmt_sci(scan_native.threshold),
+                   fmt(scan_native.threshold / scan_binary.threshold, 1)});
+    table.add_row({fmt_int(ns), "3", "binary qubit",
+                   fmt_int(static_cast<long long>(2 * ns)),
+                   fmt_int(static_cast<long long>(binary.size() / 2)),
+                   fmt_sci(scan_binary.threshold), "1.0"});
+  }
+  table.print(std::cout);
+  std::printf("\npaper claim: native qutrit encodings tolerate 10-100x "
+              "higher gate error than qubit encodings.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E3 -- The 2+1D pure-gauge opportunity (paper SS II-A, citing [12]):
+// dual-variable rotor Hamiltonian on the Table I 9x2 ladder with d >= 4.
+//
+// Two parts: (a) validation on a small instance (2x2, d = 4): Trotterized
+// real-time evolution against exact diagonalization; (b) resource
+// estimate of the full 9x2 footprint on the forecast device, including
+// the swap-network overhead the paper anticipates.
+#include <cstdio>
+#include <iostream>
+
+#include "core/quditsim.h"
+
+int main() {
+  using namespace qs;
+  std::printf("[bench_sqed_rotor2d] E3: 2+1D rotor ladder\n\n");
+
+  // --- (a) small-instance validation -----------------------------------
+  const GaugeModelParams params{4, 1.0, 1.0};
+  const Hamiltonian h22 = gauge_ladder_2d(2, 2, params);
+  const double t = 1.0;
+  const Matrix exact = exact_evolution(h22, t);
+  ConsoleTable acc({"Trotter steps", "gate count", "process infidelity"});
+  for (int steps : {2, 4, 8, 16}) {
+    const Circuit c = native_trotter_circuit(h22, {2, t / steps, steps});
+    const double infid =
+        1.0 - unitary_fidelity(circuit_unitary(c), exact);
+    acc.add_row({fmt_int(steps), fmt_int(static_cast<long long>(c.size())),
+                 fmt_sci(infid)});
+  }
+  std::printf("2x2 ladder, d=4: Trotter vs exact evolution (t = %.1f)\n", t);
+  acc.print(std::cout);
+
+  // --- (b) 9x2 resource estimate ---------------------------------------
+  Rng rng(3);
+  const Processor proc = Processor::forecast_device(&rng);
+  const AppEstimate est = estimate_sqed(9, 2, 4, proc, rng);
+  std::printf("\n9x2 ladder, d=4 on the forecast device:\n");
+  ConsoleTable res({"metric", "value"});
+  res.add_row({"rotor sites (modes)", fmt_int(est.modes_needed)});
+  res.add_row({"equivalent qubits", fmt(est.hilbert_qubits, 1)});
+  res.add_row({"logical gates / Trotter step",
+               fmt_int(static_cast<long long>(est.unit_gates))});
+  res.add_row({"routed physical ops",
+               fmt_int(static_cast<long long>(est.routed_gates))});
+  res.add_row({"routing swaps (swap network)", fmt_int(est.swaps)});
+  res.add_row({"step makespan (us)", fmt(est.unit_duration * 1e6, 1)});
+  res.add_row({"forecast step fidelity", fmt_sci(est.unit_fidelity)});
+  res.print(std::cout);
+
+  const int steps_per_t1 = static_cast<int>(
+      proc.mode(0).t1 / est.unit_duration);
+  std::printf("\nTrotter steps within one cavity T1: ~%d\n", steps_per_t1);
+
+  // --- (c) beyond 2D: the swap-network cost of a 3D lattice -------------
+  // Paper SS II-A: "Going beyond 2D could also be possible for a small
+  // number of sites in the near term ... and use a swap network to allow
+  // 3D interactions." The third dimension creates long-range bonds on the
+  // linear cavity chain; routing makes that cost explicit.
+  std::printf("\n3D lattice (d=4): swap-network overhead vs 2D at 12 "
+              "sites:\n");
+  const Processor device = derate_for_levels(proc, 4);
+  ConsoleTable three_d({"lattice", "sites", "bonds", "routed ops",
+                        "swaps (aware)", "swaps (identity)",
+                        "makespan (us)"});
+  for (const auto& [name, h] : std::vector<std::pair<std::string,
+                                                     Hamiltonian>>{
+           {"6x2 (2D)", gauge_ladder_2d(6, 2, params)},
+           {"3x2x2 (3D)", gauge_lattice_3d(3, 2, 2, params)}}) {
+    const Circuit step = native_trotter_circuit(h, {2, 0.1, 1});
+    Rng r1(17), r2(17);
+    const CompileReport aware = compile_circuit(step, device, r1);
+    CompileOptions naive;
+    naive.use_noise_aware_mapping = false;
+    const CompileReport identity = compile_circuit(step, device, r2, naive);
+    three_d.add_row(
+        {name, fmt_int(static_cast<long long>(h.space().num_sites())),
+         fmt_int(static_cast<long long>(h.num_terms() -
+                                        h.space().num_sites())),
+         fmt_int(static_cast<long long>(aware.routing.physical.size())),
+         fmt_int(aware.routing.swaps_inserted),
+         fmt_int(identity.routing.swaps_inserted),
+         fmt(aware.schedule.makespan * 1e6, 1)});
+  }
+  three_d.print(std::cout);
+  std::printf("noise-aware mapping absorbs the 3D locality at this size; "
+              "identity placement needs the swap network.\n");
+  return 0;
+}

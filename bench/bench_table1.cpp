@@ -1,0 +1,37 @@
+// E1 -- Regenerates Table I ("Summary of proposed application experiments
+// for next-gen superconducting cavity QPU") with quantitative columns
+// computed by the resource estimator on the forecast device.
+#include <cstdio>
+#include <iostream>
+
+#include "core/quditsim.h"
+
+int main() {
+  using namespace qs;
+  Rng rng(1);
+  const Processor proc = Processor::forecast_device(&rng);
+  std::printf("[bench_table1] E1: Table I on %s\n\n",
+              proc.to_string().c_str());
+
+  const auto rows = table1_estimates(proc, rng);
+  ConsoleTable table({"Application", "Implementation estimation",
+                      "Main challenge"});
+  for (const AppEstimate& row : rows)
+    table.add_row({row.application, row.implementation, row.challenge});
+  table.print(std::cout);
+
+  std::printf("\nquantitative columns (one unit = Trotter step / QAOA "
+              "layer / reservoir run):\n");
+  ConsoleTable q({"Application", "modes", "eq. qubits", "logical gates",
+                  "routed ops", "swaps", "unit duration (us)",
+                  "unit fidelity"});
+  for (const AppEstimate& row : rows)
+    q.add_row({row.application, fmt_int(row.modes_needed),
+               fmt(row.hilbert_qubits, 1),
+               fmt_int(static_cast<long long>(row.unit_gates)),
+               fmt_int(static_cast<long long>(row.routed_gates)),
+               fmt_int(row.swaps), fmt(row.unit_duration * 1e6, 1),
+               fmt_sci(row.unit_fidelity)});
+  q.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E9 -- Reservoir-processing tomography (paper SS II-C, citing [28]):
+// "this strategy required smaller training datasets and simpler resources
+// than competing methods" and "the learned reservoir black-box
+// automatically compensates for decoherence [and] control imperfections."
+//
+// Reported: reconstruction fidelity vs training-set size for the trained
+// map and the direct linear-inversion baseline, with photon loss between
+// preparation and measurement and finite readout shots.
+#include <cstdio>
+#include <iostream>
+
+#include "core/quditsim.h"
+
+int main() {
+  using namespace qs;
+  std::printf("[bench_tomography] E9: trained vs direct reconstruction\n\n");
+
+  TomoConfig cfg;
+  cfg.levels = 6;
+  cfg.num_probes = 14;
+  cfg.loss_gamma = 0.25;  // decoherence between preparation and readout
+  cfg.shots = 1024;
+  std::printf("cavity d=%d, %d displacement probes (x%d outcomes), "
+              "loss gamma=%.2f, %zu shots/probe\n\n", cfg.levels,
+              cfg.num_probes, cfg.levels, cfg.loss_gamma, cfg.shots);
+
+  Rng rng(19);
+  // Test set: the cavity state zoo of the paper's experiments.
+  std::vector<std::pair<std::string, Matrix>> test_states;
+  auto pure = [](const std::vector<cplx>& psi) {
+    Matrix rho(psi.size(), psi.size());
+    for (std::size_t i = 0; i < psi.size(); ++i)
+      for (std::size_t j = 0; j < psi.size(); ++j)
+        rho(i, j) = psi[i] * std::conj(psi[j]);
+    return rho;
+  };
+  test_states.emplace_back("coherent(1.4)",
+                           pure(coherent_state(6, cplx{1.4, 0.0})));
+  test_states.emplace_back("fock|2>", pure(fock_state(6, 2)));
+  test_states.emplace_back("even cat(1.2)",
+                           pure(cat_state(6, cplx{1.2, 0.0}, 1)));
+  test_states.emplace_back("thermal(0.8)", thermal_state(6, 0.8));
+  test_states.emplace_back("random rank-2", random_density(6, 2, rng));
+
+  ConsoleTable table({"train size", "trained mean F", "inversion mean F"});
+  for (int train_size : {30, 100, 300, 800}) {
+    ReservoirTomography tomo(cfg);
+    std::vector<Matrix> zoo;
+    for (int i = 0; i < train_size; ++i)
+      zoo.push_back(random_density(6, 1 + static_cast<int>(rng.index(3)),
+                                   rng));
+    tomo.train(zoo, 1e-3, rng);
+    double trained_f = 0.0, inverted_f = 0.0;
+    for (const auto& [name, rho] : test_states) {
+      const auto features = tomo.measure(rho, rng);
+      trained_f += density_fidelity(tomo.reconstruct(features), rho);
+      inverted_f += density_fidelity(tomo.invert_directly(features, 1e-4),
+                                     rho);
+    }
+    table.add_row({fmt_int(train_size),
+                   fmt(trained_f / test_states.size(), 4),
+                   fmt(inverted_f / test_states.size(), 4)});
+  }
+  table.print(std::cout);
+
+  // Per-state breakdown at the largest training size.
+  std::printf("\nper-state fidelity (800 training states):\n");
+  ReservoirTomography tomo(cfg);
+  std::vector<Matrix> zoo;
+  for (int i = 0; i < 800; ++i)
+    zoo.push_back(random_density(6, 1 + static_cast<int>(rng.index(3)), rng));
+  tomo.train(zoo, 1e-3, rng);
+  ConsoleTable detail({"state", "trained F", "inversion F"});
+  for (const auto& [name, rho] : test_states) {
+    const auto features = tomo.measure(rho, rng);
+    detail.add_row({name,
+                    fmt(density_fidelity(tomo.reconstruct(features), rho), 4),
+                    fmt(density_fidelity(tomo.invert_directly(features, 1e-4),
+                                         rho),
+                        4)});
+  }
+  detail.print(std::cout);
+  std::printf("\npaper claim shape: the trained map compensates the loss "
+              "channel that biases direct inversion.\n");
+  return 0;
+}

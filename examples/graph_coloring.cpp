@@ -1,0 +1,57 @@
+// Graph-coloring case study (paper SS II-B): qudit one-hot QAOA with the
+// NDAR loop that exploits photon loss as a computational resource.
+//
+//   ./examples/graph_coloring
+#include <cstdio>
+#include <iostream>
+
+#include "core/quditsim.h"
+
+int main() {
+  using namespace qs;
+  Rng rng(11);
+
+  // A random 3-regular instance with 8 nodes, 3 colors.
+  const Graph g = random_regular_graph(8, 3, rng);
+  const int optimum = optimal_colored_edges(g, 3);
+  std::printf("instance: %d nodes, %zu edges, optimum %d colored edges\n",
+              g.n, g.num_edges(), optimum);
+
+  const ColoringQaoa qaoa(g, 3);
+
+  // Optimize p = 1 parameters on the noiseless simulator.
+  const auto [gamma, beta] = qaoa.optimize_p1(10);
+  std::printf("optimized p=1 parameters: gamma %.3f beta %.3f\n", gamma,
+              beta);
+  std::printf("expected cost at optimum params: %.3f (uniform %.3f)\n",
+              qaoa.expected_cost({gamma}, {beta}),
+              static_cast<double>(g.num_edges()) * (1.0 - 1.0 / 3.0));
+
+  // Noisy execution: photon loss drives the register toward |0...0>.
+  NoiseParams p;
+  p.loss_per_gate = 0.15;
+  const NoiseModel noise(p);
+
+  NdarOptions vanilla;
+  vanilla.rounds = 6;
+  vanilla.shots = 96;
+  vanilla.remap = false;
+  NdarOptions ndar = vanilla;
+  ndar.remap = true;
+
+  Rng r1(21), r2(21);
+  const NdarResult v = run_ndar(qaoa, gamma, beta, noise, vanilla, r1);
+  const NdarResult n = run_ndar(qaoa, gamma, beta, noise, ndar, r2);
+
+  ConsoleTable table({"round", "vanilla mean", "NDAR mean", "vanilla best",
+                      "NDAR best"});
+  for (std::size_t round = 0; round < v.mean_cost_per_round.size(); ++round)
+    table.add_row({fmt_int(static_cast<long long>(round)),
+                   fmt(v.mean_cost_per_round[round], 2),
+                   fmt(n.mean_cost_per_round[round], 2),
+                   fmt(v.best_cost_per_round[round], 0),
+                   fmt(n.best_cost_per_round[round], 0)});
+  table.print(std::cout);
+  std::printf("NDAR best coloring cost: %d / %d\n", n.best_cost, optimum);
+  return 0;
+}

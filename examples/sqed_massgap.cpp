@@ -1,0 +1,58 @@
+// sQED case study (paper SS II-A): extract the mass gap of a truncated
+// U(1) gauge chain from real-time quench dynamics, comparing the native
+// qutrit encoding against the binary qubit encoding under gate noise.
+//
+//   ./examples/sqed_massgap
+#include <cstdio>
+#include <iostream>
+
+#include "core/quditsim.h"
+
+int main() {
+  using namespace qs;
+
+  const GaugeModelParams params{3, 1.0, 1.0};  // d = 3 qutrits
+  const Hamiltonian h = gauge_chain(2, params);
+  const double dt = 0.25;
+  const int samples = 127;
+
+  // Reference gap from exact diagonalization.
+  const EigResult er = eigh(h.dense());
+  std::printf("exact spectrum (lowest 4): %.4f %.4f %.4f %.4f\n",
+              er.values[0], er.values[1], er.values[2], er.values[3]);
+
+  // Native qutrit Trotter evolution.
+  const Circuit step = native_trotter_circuit(h, {2, dt / 2, 2});
+  const auto diag = electric_energy_diagonal(h.space());
+  const auto series = quench_series(step, diag, {1, 1}, NoiseModel(), samples);
+  const double freq = dominant_frequency(series, dt);
+  std::printf("noiseless extracted frequency: %.4f\n", freq);
+
+  // Noise scan: native qutrits vs binary qubits.
+  auto noise_for = [](double scale) {
+    NoiseParams p;
+    p.depol_1q = 0.1 * scale;
+    p.depol_2q = scale;
+    return p;
+  };
+  const std::vector<double> scales{1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2};
+
+  const ThresholdScan native = scan_noise_threshold(
+      step, diag, {1, 1}, noise_for, scales, samples, dt, 0.1);
+  const Circuit bstep =
+      binary_trotter_circuit(encode_binary(h), {2, dt / 2, 2});
+  const ThresholdScan binary = scan_noise_threshold(
+      bstep, electric_energy_diagonal_binary(h.space()), {1, 0, 1, 0},
+      noise_for, scales, samples, dt, 0.1);
+
+  ConsoleTable table({"noise scale", "qutrit rel. err", "qubit rel. err"});
+  for (std::size_t i = 0; i < scales.size(); ++i)
+    table.add_row({fmt_sci(scales[i]),
+                   fmt(native.points[i].relative_error, 4),
+                   fmt(binary.points[i].relative_error, 4)});
+  table.print(std::cout);
+  std::printf("qutrit threshold %.2e, qubit threshold %.2e, ratio %.1fx\n",
+              native.threshold, binary.threshold,
+              native.threshold / binary.threshold);
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/require.h"
+
+namespace qs {
+
+void Circuit::check_sites(const std::vector<int>& sites,
+                          std::size_t block) const {
+  require(!sites.empty(), "Circuit: gate needs at least one site");
+  std::size_t expect = 1;
+  std::vector<bool> used(space_.num_sites(), false);
+  for (int s : sites) {
+    require(s >= 0 && static_cast<std::size_t>(s) < space_.num_sites(),
+            "Circuit: site index out of range");
+    require(!used[static_cast<std::size_t>(s)], "Circuit: duplicate site");
+    used[static_cast<std::size_t>(s)] = true;
+    expect *= static_cast<std::size_t>(space_.dim(static_cast<std::size_t>(s)));
+  }
+  require(expect == block,
+          "Circuit: operator dimension does not match target sites");
+}
+
+void Circuit::add(std::string name, Matrix u, std::vector<int> sites,
+                  double duration) {
+  require(u.is_square(), "Circuit::add: operator must be square");
+  check_sites(sites, u.rows());
+  Operation op;
+  op.name = std::move(name);
+  op.matrix = std::move(u);
+  op.sites = std::move(sites);
+  op.duration = duration;
+  ops_.push_back(std::move(op));
+}
+
+void Circuit::add_diagonal(std::string name, std::vector<cplx> diag,
+                           std::vector<int> sites, double duration) {
+  check_sites(sites, diag.size());
+  Operation op;
+  op.name = std::move(name);
+  op.diag = std::move(diag);
+  op.sites = std::move(sites);
+  op.duration = duration;
+  op.diagonal = true;
+  ops_.push_back(std::move(op));
+}
+
+void Circuit::set_last_noise_multiplicity(int multiplicity) {
+  require(!ops_.empty(), "set_last_noise_multiplicity: empty circuit");
+  require(multiplicity >= 1,
+          "set_last_noise_multiplicity: multiplicity >= 1 required");
+  ops_.back().noise_multiplicity = multiplicity;
+}
+
+void Circuit::append(const Circuit& other) {
+  require(space_ == other.space_, "Circuit::append: space mismatch");
+  ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+}
+
+Circuit Circuit::inverse() const {
+  Circuit inv(space_);
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    if (it->diagonal) {
+      std::vector<cplx> conj_diag(it->diag.size());
+      for (std::size_t i = 0; i < it->diag.size(); ++i)
+        conj_diag[i] = std::conj(it->diag[i]);
+      inv.add_diagonal(it->name + "^dag", std::move(conj_diag), it->sites,
+                       it->duration);
+    } else {
+      inv.add(it->name + "^dag", it->matrix.adjoint(), it->sites,
+              it->duration);
+    }
+    inv.set_last_noise_multiplicity(it->noise_multiplicity);
+  }
+  return inv;
+}
+
+std::size_t Circuit::depth() const {
+  // Greedy ASAP layering: each site tracks the first layer at which it is
+  // free; a gate occupies max over its sites.
+  std::vector<std::size_t> free_at(space_.num_sites(), 0);
+  std::size_t depth = 0;
+  for (const Operation& op : ops_) {
+    std::size_t layer = 0;
+    for (int s : op.sites)
+      layer = std::max(layer, free_at[static_cast<std::size_t>(s)]);
+    for (int s : op.sites) free_at[static_cast<std::size_t>(s)] = layer + 1;
+    depth = std::max(depth, layer + 1);
+  }
+  return depth;
+}
+
+GateStats Circuit::stats() const {
+  GateStats st;
+  st.total = ops_.size();
+  for (const Operation& op : ops_) {
+    if (op.sites.size() == 1)
+      ++st.single_site;
+    else if (op.sites.size() == 2)
+      ++st.two_site;
+    else
+      ++st.multi_site;
+    ++st.by_name[op.name];
+  }
+  return st;
+}
+
+double Circuit::total_duration() const {
+  double t = 0.0;
+  for (const Operation& op : ops_) t += op.duration;
+  return t;
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream os;
+  os << "Circuit over " << space_.to_string() << ", " << ops_.size()
+     << " ops, depth " << depth() << "\n";
+  for (const Operation& op : ops_) {
+    os << "  " << op.name << " @ [";
+    for (std::size_t i = 0; i < op.sites.size(); ++i) {
+      if (i > 0) os << ",";
+      os << op.sites[i];
+    }
+    os << "]";
+    if (op.duration > 0.0) os << "  (" << op.duration * 1e6 << " us)";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace qs

@@ -1,0 +1,99 @@
+// Circuit intermediate representation.
+//
+// A Circuit is an ordered list of named k-local operations over a
+// QuditSpace. Gates carry their dense matrix (or a diagonal fast path) plus
+// an optional duration in seconds, which hardware-aware passes fill in and
+// the scheduler/noise model consume.
+#ifndef QS_CIRCUIT_CIRCUIT_H
+#define QS_CIRCUIT_CIRCUIT_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "qudit/space.h"
+
+namespace qs {
+
+/// One gate application. `diag` is used instead of `matrix` when
+/// `diagonal` is set (phase-type gates).
+struct Operation {
+  std::string name;
+  Matrix matrix;            ///< dense operator (empty when diagonal)
+  std::vector<cplx> diag;   ///< diagonal entries (when diagonal == true)
+  std::vector<int> sites;   ///< target sites; sites[0] least significant
+  double duration = 0.0;    ///< seconds; 0 = not yet scheduled
+  bool diagonal = false;
+  /// Number of elementary (noise-carrying) gates this operation stands
+  /// for. A dense multi-qubit gate that would decompose into n two-qubit
+  /// gates on hardware carries multiplicity n, and the noise model applies
+  /// its per-gate channels n times. Default 1 (native operation).
+  int noise_multiplicity = 1;
+
+  /// Dimension the operator acts on (product of target site dims).
+  std::size_t block_dim() const {
+    return diagonal ? diag.size() : matrix.rows();
+  }
+};
+
+/// Aggregate gate-count statistics.
+struct GateStats {
+  std::size_t total = 0;
+  std::size_t single_site = 0;
+  std::size_t two_site = 0;
+  std::size_t multi_site = 0;
+  std::map<std::string, std::size_t> by_name;
+};
+
+/// Ordered gate list over a fixed register.
+class Circuit {
+ public:
+  explicit Circuit(QuditSpace space) : space_(std::move(space)) {}
+
+  const QuditSpace& space() const { return space_; }
+  const std::vector<Operation>& operations() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  /// Appends a dense gate. Validates that the matrix dimension matches the
+  /// product of the target sites' dimensions.
+  void add(std::string name, Matrix u, std::vector<int> sites,
+           double duration = 0.0);
+
+  /// Appends a diagonal (phase-type) gate given its diagonal entries.
+  void add_diagonal(std::string name, std::vector<cplx> diag,
+                    std::vector<int> sites, double duration = 0.0);
+
+  /// Sets the noise multiplicity of the most recently added operation.
+  void set_last_noise_multiplicity(int multiplicity);
+
+  /// Appends all operations of another circuit over the same space.
+  void append(const Circuit& other);
+
+  /// Reversed circuit with adjoint gates: runs this circuit backwards.
+  Circuit inverse() const;
+
+  /// Circuit depth under greedy ASAP layering (gates on disjoint sites
+  /// share a layer).
+  std::size_t depth() const;
+
+  /// Gate-count statistics.
+  GateStats stats() const;
+
+  /// Sum of per-gate durations (serial execution time).
+  double total_duration() const;
+
+  /// Human-readable listing, one gate per line.
+  std::string to_string() const;
+
+ private:
+  void check_sites(const std::vector<int>& sites, std::size_t block) const;
+
+  QuditSpace space_;
+  std::vector<Operation> ops_;
+};
+
+}  // namespace qs
+
+#endif  // QS_CIRCUIT_CIRCUIT_H

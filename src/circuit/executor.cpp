@@ -1,0 +1,52 @@
+#include "circuit/executor.h"
+
+#include "common/require.h"
+#include "linalg/matrix.h"
+
+namespace qs {
+
+void run(const Circuit& circuit, StateVector& psi) {
+  require(psi.space() == circuit.space(), "run: space mismatch");
+  for (const Operation& op : circuit.operations()) {
+    if (op.diagonal)
+      psi.apply_diagonal(op.diag, op.sites);
+    else
+      psi.apply(op.matrix, op.sites);
+  }
+}
+
+StateVector run_from_vacuum(const Circuit& circuit) {
+  StateVector psi(circuit.space());
+  run(circuit, psi);
+  return psi;
+}
+
+void run(const Circuit& circuit, DensityMatrix& rho) {
+  require(rho.space() == circuit.space(), "run: space mismatch");
+  for (const Operation& op : circuit.operations()) {
+    if (op.diagonal) {
+      Matrix u = Matrix::diagonal(op.diag);
+      rho.apply_unitary(u, op.sites);
+    } else {
+      rho.apply_unitary(op.matrix, op.sites);
+    }
+  }
+}
+
+Matrix circuit_unitary(const Circuit& circuit, std::size_t max_dim) {
+  const std::size_t n = circuit.space().dimension();
+  require(n <= max_dim,
+          "circuit_unitary: space too large for dense construction");
+  // Column j of the unitary is the circuit applied to basis state |j>.
+  Matrix u(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<cplx> col(n, cplx{0.0, 0.0});
+    col[j] = 1.0;
+    StateVector psi(circuit.space(), std::move(col));
+    run(circuit, psi);
+    for (std::size_t i = 0; i < n; ++i) u(i, j) = psi.amplitude(i);
+  }
+  return u;
+}
+
+}  // namespace qs

@@ -1,0 +1,27 @@
+// Noiseless circuit execution on the state-vector and density-matrix
+// backends. Noisy execution lives in the noise module.
+#ifndef QS_CIRCUIT_EXECUTOR_H
+#define QS_CIRCUIT_EXECUTOR_H
+
+#include "circuit/circuit.h"
+#include "qudit/density_matrix.h"
+#include "qudit/state_vector.h"
+
+namespace qs {
+
+/// Applies every gate of `circuit` to `psi` in order.
+void run(const Circuit& circuit, StateVector& psi);
+
+/// Convenience: runs on |0...0> and returns the final state.
+StateVector run_from_vacuum(const Circuit& circuit);
+
+/// Applies every gate of `circuit` to `rho` (unitary conjugation).
+void run(const Circuit& circuit, DensityMatrix& rho);
+
+/// Builds the full-space unitary of a circuit (for small spaces only;
+/// dimension is validated against `max_dim` to catch accidents).
+Matrix circuit_unitary(const Circuit& circuit, std::size_t max_dim = 4096);
+
+}  // namespace qs
+
+#endif  // QS_CIRCUIT_EXECUTOR_H

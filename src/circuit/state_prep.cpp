@@ -1,0 +1,64 @@
+#include "circuit/state_prep.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "gates/qudit_gates.h"
+#include "gates/two_qudit.h"
+#include "linalg/types.h"
+
+namespace qs {
+
+void append_uniform_superposition(Circuit& circuit) {
+  for (std::size_t s = 0; s < circuit.space().num_sites(); ++s)
+    circuit.add("F", fourier(circuit.space().dim(s)),
+                {static_cast<int>(s)});
+}
+
+Circuit ghz_circuit(int sites, int d) {
+  require(sites >= 2 && d >= 2, "ghz_circuit: bad arguments");
+  Circuit circuit(QuditSpace::uniform(static_cast<std::size_t>(sites), d));
+  circuit.add("F", fourier(d), {0});
+  for (int i = 0; i + 1 < sites; ++i)
+    circuit.add("CSUM", csum(d, d), {i, i + 1});
+  return circuit;
+}
+
+namespace {
+
+/// Two-site excitation-transfer gate: rotates within the single-excitation
+/// subspace {|1,0>, |0,1>} by angle theta, identity elsewhere.
+Matrix transfer_gate(int d, double theta) {
+  const auto n = static_cast<std::size_t>(d) * static_cast<std::size_t>(d);
+  Matrix u = Matrix::identity(n);
+  const std::size_t a = 1;                          // |z_i=1, z_{i+1}=0>
+  const std::size_t b = static_cast<std::size_t>(d);  // |z_i=0, z_{i+1}=1>
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  u(a, a) = c;
+  u(b, b) = c;
+  u(b, a) = s;
+  u(a, b) = -s;
+  return u;
+}
+
+}  // namespace
+
+Circuit w_circuit(int sites, int d) {
+  require(sites >= 2 && d >= 2, "w_circuit: bad arguments");
+  Circuit circuit(QuditSpace::uniform(static_cast<std::size_t>(sites), d));
+  // |0...0> -> |1 0 ... 0>: exact 0 <-> 1 transfer (phase-free at
+  // phi = pi/2).
+  circuit.add("X01", givens(d, 0, 1, kPi, kPi / 2.0), {0});
+  // Cascade: leave amplitude 1/sqrt(n) behind at each site.
+  const double n = static_cast<double>(sites);
+  for (int i = 0; i + 1 < sites; ++i) {
+    const double remaining = n - i;
+    const double cos_theta = 1.0 / std::sqrt(remaining);
+    const double theta = std::acos(cos_theta);
+    circuit.add("XFER", transfer_gate(d, theta), {i, i + 1});
+  }
+  return circuit;
+}
+
+}  // namespace qs

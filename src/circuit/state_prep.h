@@ -1,0 +1,30 @@
+// Canonical qudit state-preparation circuits.
+//
+// Building blocks repeatedly needed by the applications and examples:
+// uniform superpositions, generalized GHZ states over qudit registers
+// (Fourier + CSUM chain), and W-type single-excitation states via Givens
+// cascades.
+#ifndef QS_CIRCUIT_STATE_PREP_H
+#define QS_CIRCUIT_STATE_PREP_H
+
+#include "circuit/circuit.h"
+
+namespace qs {
+
+/// Appends per-site Fourier gates: |0...0> -> uniform superposition.
+void append_uniform_superposition(Circuit& circuit);
+
+/// Builds the generalized GHZ circuit over a uniform d-level register:
+/// |0...0> -> (1/sqrt d) sum_k |k k ... k>, via F on site 0 and a CSUM
+/// chain.
+Circuit ghz_circuit(int sites, int d);
+
+/// Builds a W-state circuit on a uniform d-level register: a single
+/// excitation (level 1) coherently shared across all sites,
+/// (1/sqrt n) sum_i |0 .. 1_i .. 0>. Uses a Givens cascade followed by
+/// controlled corrections; sites >= 2.
+Circuit w_circuit(int sites, int d);
+
+}  // namespace qs
+
+#endif  // QS_CIRCUIT_STATE_PREP_H

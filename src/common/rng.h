@@ -1,0 +1,97 @@
+// Seeded random number generation.
+//
+// Every stochastic component in the library receives an explicit `Rng&` so
+// that simulations are reproducible and tests are deterministic (no global
+// generator state, see Core Guidelines I.2).
+#ifndef QS_COMMON_RNG_H
+#define QS_COMMON_RNG_H
+
+#include <algorithm>
+#include <complex>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/require.h"
+
+namespace qs {
+
+/// Thin wrapper over std::mt19937_64 with the distributions the library
+/// needs. Copyable; copies evolve independently.
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal sample.
+  double normal() { return normal_(engine_); }
+
+  /// Normal sample with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Uniform integer in [0, n-1]. Requires n > 0.
+  std::size_t index(std::size_t n) {
+    require(n > 0, "Rng::index: n must be positive");
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int integer(int lo, int hi) {
+    require(lo <= hi, "Rng::integer: empty range");
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Complex sample with independent N(0, 1/sqrt(2)) real/imag parts, so
+  /// that E[|z|^2] = 1. Used for Haar-random unitary construction.
+  std::complex<double> complex_normal() {
+    constexpr double inv_sqrt2 = 0.70710678118654752440;
+    return {normal() * inv_sqrt2, normal() * inv_sqrt2};
+  }
+
+  /// Samples an index from an (unnormalized, nonnegative) weight vector.
+  std::size_t discrete(const std::vector<double>& weights) {
+    require(!weights.empty(), "Rng::discrete: empty weights");
+    double total = 0.0;
+    for (double w : weights) total += w;
+    require(total > 0.0, "Rng::discrete: weights sum to zero");
+    double r = uniform() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.size() - 1;  // numerical edge: return last bin
+  }
+
+  /// Fisher-Yates shuffle of a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::swap(values[i - 1], values[index(i)]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel workloads).
+  Rng split() { return Rng(engine_() ^ 0xd1342543de82ef95ull); }
+
+  /// Access to the raw engine for std:: distribution interop.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace qs
+
+#endif  // QS_COMMON_RNG_H

@@ -1,0 +1,104 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace qs {
+
+double mean(const std::vector<double>& xs) {
+  require(!xs.empty(), "mean: empty input");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double median(std::vector<double> xs) {
+  require(!xs.empty(), "median: empty input");
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  if (n % 2 == 1) return xs[n / 2];
+  return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double min_value(const std::vector<double>& xs) {
+  require(!xs.empty(), "min_value: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(const std::vector<double>& xs) {
+  require(!xs.empty(), "max_value: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+std::size_t argmax(const std::vector<double>& xs) {
+  require(!xs.empty(), "argmax: empty input");
+  return static_cast<std::size_t>(
+      std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+std::size_t argmin(const std::vector<double>& xs) {
+  require(!xs.empty(), "argmin: empty input");
+  return static_cast<std::size_t>(
+      std::min_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  require(xs.size() == ys.size(), "linear_fit: size mismatch");
+  require(xs.size() >= 2, "linear_fit: need at least 2 points");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  require(sxx > 0.0, "linear_fit: degenerate x values");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = (syy > 0.0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+double nmse(const std::vector<double>& target,
+            const std::vector<double>& prediction) {
+  require(target.size() == prediction.size(), "nmse: size mismatch");
+  require(!target.empty(), "nmse: empty input");
+  const double m = mean(target);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    num += (target[i] - prediction[i]) * (target[i] - prediction[i]);
+    den += (target[i] - m) * (target[i] - m);
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : 1e30;
+  return num / den;
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  require(xs.size() == ys.size() && xs.size() >= 2, "pearson: bad input");
+  const double mx = mean(xs), my = mean(ys);
+  double sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace qs

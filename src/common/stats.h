@@ -1,0 +1,53 @@
+// Small statistics toolkit shared by benches and application modules.
+#ifndef QS_COMMON_STATS_H
+#define QS_COMMON_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace qs {
+
+/// Arithmetic mean. Requires a nonempty input.
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+double variance(const std::vector<double>& xs);
+
+/// Sample standard deviation.
+double stddev(const std::vector<double>& xs);
+
+/// Median (average of middle two for even sizes). Copies its input.
+double median(std::vector<double> xs);
+
+/// Minimum / maximum of a nonempty vector.
+double min_value(const std::vector<double>& xs);
+double max_value(const std::vector<double>& xs);
+
+/// Index of the maximum element of a nonempty vector.
+std::size_t argmax(const std::vector<double>& xs);
+
+/// Index of the minimum element of a nonempty vector.
+std::size_t argmin(const std::vector<double>& xs);
+
+/// Result of an ordinary least squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Fits a line through (xs, ys) by least squares. Requires >= 2 points.
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Normalized mean squared error: sum (y-yhat)^2 / sum (y-mean(y))^2.
+/// The standard reservoir-computing regression metric.
+double nmse(const std::vector<double>& target,
+            const std::vector<double>& prediction);
+
+/// Pearson correlation coefficient of two equal-length vectors.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace qs
+
+#endif  // QS_COMMON_STATS_H

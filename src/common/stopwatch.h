@@ -1,0 +1,33 @@
+// Wall-clock stopwatch for coarse timing in benches and examples.
+#ifndef QS_COMMON_STOPWATCH_H
+#define QS_COMMON_STOPWATCH_H
+
+#include <chrono>
+
+namespace qs {
+
+/// Starts timing on construction; `seconds()`/`millis()` report elapsed
+/// wall time; `reset()` restarts.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace qs
+
+#endif  // QS_COMMON_STOPWATCH_H

@@ -1,0 +1,75 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/require.h"
+
+namespace qs {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), "ConsoleTable: need at least one column");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(),
+          "ConsoleTable::add_row: cell count does not match header count");
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::print(std::ostream& os, int indent) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << pad;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = static_cast<std::size_t>(indent);
+  for (std::size_t w : widths) total += w + 2;
+  os << pad << std::string(total - static_cast<std::size_t>(indent), '-')
+     << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string ConsoleTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string fmt(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string fmt_sci(double value, int digits) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string fmt_int(long long value) { return std::to_string(value); }
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace qs

@@ -1,0 +1,54 @@
+// Console table rendering for benchmark harnesses.
+//
+// Benches regenerate the paper's table/figure content as aligned text
+// tables; this helper keeps their output uniform.
+#ifndef QS_COMMON_TABLE_H
+#define QS_COMMON_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qs {
+
+/// A simple column-aligned text table. Cells are strings; numeric helpers
+/// format with a fixed precision.
+class ConsoleTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  /// Appends a row. Must have the same number of cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table with a header rule, padded columns, and `indent`
+  /// leading spaces per line.
+  void print(std::ostream& os, int indent = 2) const;
+
+  /// Renders to a string (used by tests).
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places (fixed).
+std::string fmt(double value, int digits = 4);
+
+/// Formats a double in scientific notation with `digits` decimals.
+std::string fmt_sci(double value, int digits = 2);
+
+/// Formats an integer count.
+std::string fmt_int(long long value);
+
+/// Joins strings with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace qs
+
+#endif  // QS_COMMON_TABLE_H

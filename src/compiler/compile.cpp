@@ -1,0 +1,33 @@
+#include "compiler/compile.h"
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace qs {
+
+std::string CompileReport::summary() const {
+  std::ostringstream os;
+  os << "compiled: " << routing.physical.size() << " physical ops ("
+     << routing.swaps_inserted << " routing swaps), makespan "
+     << fmt(schedule.makespan * 1e6, 1) << " us, forecast fidelity "
+     << fmt(schedule.total_fidelity, 4) << " (gates "
+     << fmt(schedule.gate_fidelity, 4) << ", idle "
+     << fmt(schedule.idle_fidelity, 4) << ")";
+  return os.str();
+}
+
+CompileReport compile_circuit(const Circuit& logical, const Processor& proc,
+                              Rng& rng, const CompileOptions& options) {
+  CompileReport report;
+  report.mapping = options.use_noise_aware_mapping
+                       ? map_qudits(logical, proc, rng, options.mapping)
+                       : trivial_mapping(logical, proc);
+  report.routing =
+      route_circuit(logical, proc, report.mapping.logical_to_mode);
+  report.schedule = schedule_asap(report.routing.physical, proc,
+                                  report.routing.final_logical_to_mode);
+  return report;
+}
+
+}  // namespace qs

@@ -1,0 +1,34 @@
+// End-to-end compilation: noise-aware mapping -> swap routing -> ASAP
+// scheduling -> fidelity forecast.
+#ifndef QS_COMPILER_COMPILE_H
+#define QS_COMPILER_COMPILE_H
+
+#include <string>
+
+#include "compiler/mapping.h"
+#include "compiler/routing.h"
+#include "compiler/scheduler.h"
+
+namespace qs {
+
+/// Pipeline options.
+struct CompileOptions {
+  MappingOptions mapping;
+  bool use_noise_aware_mapping = true;  ///< false = identity placement
+};
+
+/// Full compile artifact.
+struct CompileReport {
+  MappingResult mapping;
+  RoutingResult routing;
+  ScheduleResult schedule;
+  std::string summary() const;
+};
+
+/// Compiles a logical circuit for the processor.
+CompileReport compile_circuit(const Circuit& logical, const Processor& proc,
+                              Rng& rng, const CompileOptions& options = {});
+
+}  // namespace qs
+
+#endif  // QS_COMPILER_COMPILE_H

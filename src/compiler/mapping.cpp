@@ -1,0 +1,171 @@
+#include "compiler/mapping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/require.h"
+
+namespace qs {
+
+std::vector<std::vector<double>> interaction_weights(const Circuit& logical) {
+  const std::size_t n = logical.space().num_sites();
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+  for (const Operation& op : logical.operations()) {
+    if (op.sites.size() != 2) continue;
+    const auto a = static_cast<std::size_t>(op.sites[0]);
+    const auto b = static_cast<std::size_t>(op.sites[1]);
+    w[a][b] += 1.0;
+    w[b][a] += 1.0;
+  }
+  return w;
+}
+
+double mapping_cost(const Circuit& logical, const Processor& proc,
+                    const std::vector<int>& logical_to_mode) {
+  require(logical_to_mode.size() == logical.space().num_sites(),
+          "mapping_cost: assignment size mismatch");
+  double cost = 0.0;
+  for (const Operation& op : logical.operations()) {
+    if (op.sites.size() == 1) {
+      cost += proc.native_op_error(
+          NativeOp::kSnap,
+          logical_to_mode[static_cast<std::size_t>(op.sites[0])]);
+    } else if (op.sites.size() == 2) {
+      cost += proc.two_mode_error(
+          logical_to_mode[static_cast<std::size_t>(op.sites[0])],
+          logical_to_mode[static_cast<std::size_t>(op.sites[1])]);
+    } else {
+      // Multi-site ops are charged pairwise along the site list.
+      for (std::size_t i = 0; i + 1 < op.sites.size(); ++i)
+        cost += proc.two_mode_error(
+            logical_to_mode[static_cast<std::size_t>(op.sites[i])],
+            logical_to_mode[static_cast<std::size_t>(op.sites[i + 1])]);
+    }
+  }
+  return cost;
+}
+
+namespace {
+
+void check_fits(const Circuit& logical, const Processor& proc,
+                const std::vector<int>& l2m) {
+  for (std::size_t i = 0; i < l2m.size(); ++i)
+    require(logical.space().dim(i) <= proc.mode(l2m[i]).dim,
+            "mapping: logical dimension exceeds mode capacity");
+}
+
+}  // namespace
+
+MappingResult trivial_mapping(const Circuit& logical, const Processor& proc) {
+  const std::size_t n = logical.space().num_sites();
+  require(n <= static_cast<std::size_t>(proc.num_modes()),
+          "trivial_mapping: not enough modes");
+  MappingResult result;
+  result.logical_to_mode.resize(n);
+  std::iota(result.logical_to_mode.begin(), result.logical_to_mode.end(), 0);
+  check_fits(logical, proc, result.logical_to_mode);
+  result.cost = mapping_cost(logical, proc, result.logical_to_mode);
+  return result;
+}
+
+MappingResult map_qudits(const Circuit& logical, const Processor& proc,
+                         Rng& rng, const MappingOptions& options) {
+  const std::size_t n = logical.space().num_sites();
+  require(n <= static_cast<std::size_t>(proc.num_modes()),
+          "map_qudits: not enough modes");
+  const auto weights = interaction_weights(logical);
+
+  // --- Greedy seed -------------------------------------------------------
+  // Place logical sites in order of total interaction weight; each site
+  // takes the free mode that minimizes the incremental cost against the
+  // already-placed neighbours (and its own idle quality).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> total_w(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) total_w[i] += weights[i][j];
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return total_w[a] > total_w[b];
+  });
+
+  std::vector<int> l2m(n, -1);
+  std::vector<bool> mode_used(static_cast<std::size_t>(proc.num_modes()),
+                              false);
+  for (std::size_t qi : order) {
+    double best_cost = 0.0;
+    int best_mode = -1;
+    for (int m = 0; m < proc.num_modes(); ++m) {
+      if (mode_used[static_cast<std::size_t>(m)]) continue;
+      if (logical.space().dim(qi) > proc.mode(m).dim) continue;
+      double c = proc.native_op_error(NativeOp::kSnap, m);
+      for (std::size_t qj = 0; qj < n; ++qj) {
+        if (l2m[qj] < 0 || weights[qi][qj] == 0.0) continue;
+        c += weights[qi][qj] * proc.two_mode_error(m, l2m[qj]);
+      }
+      if (best_mode < 0 || c < best_cost) {
+        best_cost = c;
+        best_mode = m;
+      }
+    }
+    require(best_mode >= 0, "map_qudits: no feasible mode for logical site");
+    l2m[qi] = best_mode;
+    mode_used[static_cast<std::size_t>(best_mode)] = true;
+  }
+
+  // --- Simulated annealing refinement -------------------------------------
+  double cost = mapping_cost(logical, proc, l2m);
+  std::vector<int> best = l2m;
+  double best_cost = cost;
+  // The identity placement is always a candidate, so the mapper can never
+  // do worse than no mapping at all.
+  {
+    const MappingResult trivial = trivial_mapping(logical, proc);
+    if (trivial.cost < best_cost) {
+      best = trivial.logical_to_mode;
+      best_cost = trivial.cost;
+    }
+  }
+  const double decay =
+      std::pow(options.temp_end / options.temp_start,
+               1.0 / std::max(1, options.anneal_iters - 1));
+  double temp = options.temp_start;
+  for (int it = 0; it < options.anneal_iters; ++it, temp *= decay) {
+    // Move: either swap two logical assignments, or relocate one logical
+    // site to a free mode.
+    std::vector<int> cand = l2m;
+    if (rng.bernoulli(0.5) || n == static_cast<std::size_t>(proc.num_modes())) {
+      const std::size_t a = rng.index(n);
+      std::size_t b = rng.index(n);
+      if (a == b) continue;
+      std::swap(cand[a], cand[b]);
+      if (logical.space().dim(a) > proc.mode(cand[a]).dim ||
+          logical.space().dim(b) > proc.mode(cand[b]).dim)
+        continue;
+    } else {
+      const std::size_t a = rng.index(n);
+      const int m = static_cast<int>(
+          rng.index(static_cast<std::size_t>(proc.num_modes())));
+      bool used = false;
+      for (int x : cand)
+        if (x == m) used = true;
+      if (used || logical.space().dim(a) > proc.mode(m).dim) continue;
+      cand[a] = m;
+    }
+    const double cand_cost = mapping_cost(logical, proc, cand);
+    const double delta = cand_cost - cost;
+    if (delta < 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+      l2m = std::move(cand);
+      cost = cand_cost;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = l2m;
+      }
+    }
+  }
+
+  check_fits(logical, proc, best);
+  return {best, best_cost};
+}
+
+}  // namespace qs

@@ -1,0 +1,113 @@
+#include "compiler/routing.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "gates/two_qudit.h"
+
+namespace qs {
+
+RoutingResult route_circuit(const Circuit& logical, const Processor& proc,
+                            std::vector<int> logical_to_mode) {
+  const std::size_t n = logical.space().num_sites();
+  require(logical_to_mode.size() == n, "route_circuit: mapping size mismatch");
+  const int d = logical.space().dim(0);
+  for (std::size_t i = 0; i < n; ++i)
+    require(logical.space().dim(i) == d,
+            "route_circuit: uniform logical dimension required");
+
+  const GateDurations& dur = proc.durations();
+  const double default_1q = dur.snap;
+  const double default_2q = dur.cross_kerr_full * (d - 1.0) / d;
+  const double swap_duration = 2.0 * dur.beamsplitter + 2.0 * dur.snap;
+
+  RoutingResult result{
+      Circuit(QuditSpace::uniform(static_cast<std::size_t>(proc.num_modes()),
+                                  d)),
+      logical_to_mode, logical_to_mode, 0};
+  Circuit& phys = result.physical;
+
+  // mode -> logical occupant (-1 when free).
+  std::vector<int> occupant(static_cast<std::size_t>(proc.num_modes()), -1);
+  for (std::size_t q = 0; q < n; ++q) {
+    require(logical_to_mode[q] >= 0 && logical_to_mode[q] < proc.num_modes(),
+            "route_circuit: mode index out of range");
+    require(occupant[static_cast<std::size_t>(logical_to_mode[q])] < 0,
+            "route_circuit: duplicate mode assignment");
+    occupant[static_cast<std::size_t>(logical_to_mode[q])] =
+        static_cast<int>(q);
+  }
+  std::vector<int>& l2m = result.final_logical_to_mode;
+
+  const Matrix swap_matrix = swap_gate(d);
+
+  // Swaps the contents of two (adjacent-cavity or co-located) modes and
+  // updates the permutation bookkeeping.
+  auto emit_swap = [&](int mode_a, int mode_b) {
+    phys.add("SWAP", swap_matrix, {mode_a, mode_b}, swap_duration);
+    ++result.swaps_inserted;
+    const int qa = occupant[static_cast<std::size_t>(mode_a)];
+    const int qb = occupant[static_cast<std::size_t>(mode_b)];
+    occupant[static_cast<std::size_t>(mode_a)] = qb;
+    occupant[static_cast<std::size_t>(mode_b)] = qa;
+    if (qa >= 0) l2m[static_cast<std::size_t>(qa)] = mode_b;
+    if (qb >= 0) l2m[static_cast<std::size_t>(qb)] = mode_a;
+  };
+
+  // Moves the qudit in `from_mode` one cavity toward `target_cavity`;
+  // returns the new mode. Prefers a free landing mode (lowest idle rate).
+  auto hop_toward = [&](int from_mode, int target_cavity) {
+    const int cav = proc.cavity_of(from_mode);
+    const int next_cav = cav + (target_cavity > cav ? 1 : -1);
+    int best = -1;
+    bool best_free = false;
+    double best_rate = 0.0;
+    for (int m = 0; m < proc.num_modes(); ++m) {
+      if (proc.cavity_of(m) != next_cav) continue;
+      const bool free = occupant[static_cast<std::size_t>(m)] < 0;
+      const double rate = proc.idle_rate(m);
+      if (best < 0 || (free && !best_free) ||
+          (free == best_free && rate < best_rate)) {
+        best = m;
+        best_free = free;
+        best_rate = rate;
+      }
+    }
+    require(best >= 0, "route_circuit: no mode in neighbouring cavity");
+    emit_swap(from_mode, best);
+    return best;
+  };
+
+  for (const Operation& op : logical.operations()) {
+    const double duration =
+        op.duration > 0.0
+            ? op.duration
+            : (op.sites.size() >= 2 ? default_2q : default_1q);
+    if (op.sites.size() == 1) {
+      const int m = l2m[static_cast<std::size_t>(op.sites[0])];
+      if (op.diagonal)
+        phys.add_diagonal(op.name, op.diag, {m}, duration);
+      else
+        phys.add(op.name, op.matrix, {m}, duration);
+      phys.set_last_noise_multiplicity(op.noise_multiplicity);
+      continue;
+    }
+    require(op.sites.size() == 2,
+            "route_circuit: >2-site gates must be decomposed first");
+    int ma = l2m[static_cast<std::size_t>(op.sites[0])];
+    int mb = l2m[static_cast<std::size_t>(op.sites[1])];
+    // Walk operand b toward operand a until within native reach.
+    while (proc.cavity_distance(ma, mb) > 1) {
+      mb = hop_toward(mb, proc.cavity_of(ma));
+      ma = l2m[static_cast<std::size_t>(op.sites[0])];  // may have moved
+    }
+    if (op.diagonal)
+      phys.add_diagonal(op.name, op.diag, {ma, mb}, duration);
+    else
+      phys.add(op.name, op.matrix, {ma, mb}, duration);
+    phys.set_last_noise_multiplicity(op.noise_multiplicity);
+  }
+  return result;
+}
+
+}  // namespace qs

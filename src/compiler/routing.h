@@ -1,0 +1,37 @@
+// Swap-network routing on the linear cavity chain.
+//
+// Two-mode gates execute natively between co-located or adjacent-cavity
+// modes. For more distant pairs the router moves one operand along the
+// chain with beamsplitter swaps (the paper's "swap network", SS II-A),
+// updating the logical-to-mode permutation as it goes.
+#ifndef QS_COMPILER_ROUTING_H
+#define QS_COMPILER_ROUTING_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "hardware/processor.h"
+
+namespace qs {
+
+/// Routing outcome. The physical circuit has one site per device mode
+/// (uniform local dimension = the logical dimension); sites holding no
+/// logical qudit are only touched by routing swaps.
+struct RoutingResult {
+  /// Placeholder space until assigned by the router.
+  Circuit physical{QuditSpace({2, 2})};
+  std::vector<int> initial_logical_to_mode;
+  std::vector<int> final_logical_to_mode;
+  int swaps_inserted = 0;
+};
+
+/// Routes `logical` onto `proc` starting from `logical_to_mode`.
+/// Requires a uniform logical register (all sites the same dimension).
+/// Gate durations: pre-set durations are kept; otherwise single-site ops
+/// get the SNAP duration and two-site ops the cross-Kerr CZ duration.
+RoutingResult route_circuit(const Circuit& logical, const Processor& proc,
+                            std::vector<int> logical_to_mode);
+
+}  // namespace qs
+
+#endif  // QS_COMPILER_ROUTING_H

@@ -1,0 +1,65 @@
+#include "compiler/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace qs {
+
+ScheduleResult schedule_asap(const Circuit& physical, const Processor& proc,
+                             const std::vector<int>& occupied_modes) {
+  require(physical.space().num_sites() ==
+              static_cast<std::size_t>(proc.num_modes()),
+          "schedule_asap: physical circuit must have one site per mode");
+  ScheduleResult result;
+  const std::size_t m = physical.space().num_sites();
+  std::vector<double> free_at(m, 0.0);
+  result.busy.assign(m, 0.0);
+  result.start_times.reserve(physical.size());
+
+  auto participation = [](const std::string& name) {
+    if (name.rfind("SNAP", 0) == 0) return 1.0;
+    if (name.rfind("D", 0) == 0) return 0.0;
+    if (name.rfind("BS", 0) == 0) return 0.3;
+    if (name.rfind("SWAP", 0) == 0) return 0.3;
+    if (name.rfind("CK", 0) == 0) return 0.3;
+    if (name.rfind("GIVENS", 0) == 0) return 0.5;
+    return 0.5;
+  };
+
+  for (const Operation& op : physical.operations()) {
+    double start = 0.0;
+    for (int s : op.sites)
+      start = std::max(start, free_at[static_cast<std::size_t>(s)]);
+    const double finish = start + op.duration;
+    for (int s : op.sites) {
+      free_at[static_cast<std::size_t>(s)] = finish;
+      result.busy[static_cast<std::size_t>(s)] += op.duration;
+    }
+    result.start_times.push_back(start);
+    result.makespan = std::max(result.makespan, finish);
+
+    // Gate error: decoherence of the participating modes plus transmon
+    // exposure over the gate duration.
+    double rate = 0.0;
+    for (int s : op.sites) rate += proc.idle_rate(s);
+    rate += participation(op.name) /
+            proc.transmon(proc.cavity_of(op.sites[0])).t1;
+    result.gate_fidelity *= std::exp(-op.duration * rate);
+  }
+
+  result.idle.assign(m, 0.0);
+  for (int mode : occupied_modes) {
+    require(mode >= 0 && static_cast<std::size_t>(mode) < m,
+            "schedule_asap: occupied mode out of range");
+    const double idle_time =
+        result.makespan - result.busy[static_cast<std::size_t>(mode)];
+    result.idle[static_cast<std::size_t>(mode)] = idle_time;
+    result.idle_fidelity *= std::exp(-idle_time * proc.idle_rate(mode));
+  }
+  result.total_fidelity = result.gate_fidelity * result.idle_fidelity;
+  return result;
+}
+
+}  // namespace qs

@@ -1,0 +1,36 @@
+// ASAP scheduling with idle-decoherence accounting.
+//
+// Consumes a physical circuit (sites = device modes) and produces start
+// times, the makespan, per-mode busy/idle breakdown, and an end-to-end
+// fidelity forecast: gate errors from the device error model plus idle
+// photon loss on every mode that holds quantum information.
+#ifndef QS_COMPILER_SCHEDULER_H
+#define QS_COMPILER_SCHEDULER_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "hardware/processor.h"
+
+namespace qs {
+
+/// Schedule outcome.
+struct ScheduleResult {
+  std::vector<double> start_times;   ///< per op, seconds
+  double makespan = 0.0;
+  std::vector<double> busy;          ///< per mode
+  std::vector<double> idle;          ///< per mode (makespan - busy)
+  double gate_fidelity = 1.0;        ///< product over gate error model
+  double idle_fidelity = 1.0;        ///< product of idle-decay survival
+  double total_fidelity = 1.0;       ///< gate_fidelity * idle_fidelity
+};
+
+/// ASAP-schedules `physical` (one site per device mode). `occupied_modes`
+/// lists the modes that hold logical information (idle decay is charged
+/// only to those).
+ScheduleResult schedule_asap(const Circuit& physical, const Processor& proc,
+                             const std::vector<int>& occupied_modes);
+
+}  // namespace qs
+
+#endif  // QS_COMPILER_SCHEDULER_H

@@ -1,0 +1,67 @@
+#include "dynamics/hamiltonian.h"
+
+#include "common/require.h"
+#include "linalg/eigen.h"
+#include "qudit/block_plan.h"
+
+namespace qs {
+
+void Hamiltonian::add(std::string name, Matrix op, std::vector<int> sites) {
+  require(op.is_hermitian(1e-9), "Hamiltonian::add: term must be Hermitian");
+  std::size_t block = 1;
+  for (int s : sites) {
+    require(s >= 0 && static_cast<std::size_t>(s) < space_.num_sites(),
+            "Hamiltonian::add: site out of range");
+    block *= static_cast<std::size_t>(space_.dim(static_cast<std::size_t>(s)));
+  }
+  require(block == op.rows(), "Hamiltonian::add: dimension mismatch");
+  terms_.push_back({std::move(name), std::move(op), std::move(sites)});
+}
+
+Matrix Hamiltonian::dense(std::size_t max_dim) const {
+  require(space_.dimension() <= max_dim,
+          "Hamiltonian::dense: space too large");
+  Matrix h(space_.dimension(), space_.dimension());
+  for (const HamiltonianTerm& t : terms_) h += embed(t.op, t.sites, space_);
+  return h;
+}
+
+std::vector<cplx> Hamiltonian::apply(const std::vector<cplx>& x) const {
+  require(x.size() == space_.dimension(), "Hamiltonian::apply: bad vector");
+  std::vector<cplx> y(x.size(), cplx{0.0, 0.0});
+  for (const HamiltonianTerm& t : terms_) {
+    StateVector tmp(space_, x);
+    tmp.apply(t.op, t.sites);
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] += tmp.amplitude(i);
+  }
+  return y;
+}
+
+double Hamiltonian::expectation(const StateVector& psi) const {
+  require(psi.space() == space_, "Hamiltonian::expectation: space mismatch");
+  const std::vector<cplx> hpsi = apply(psi.amplitudes());
+  return inner(psi.amplitudes(), hpsi).real();
+}
+
+std::vector<double> Hamiltonian::lowest_eigenvalues(std::size_t k,
+                                                    Rng& rng) const {
+  auto op = [this](const std::vector<cplx>& v) { return apply(v); };
+  const LanczosResult lr = lanczos_lowest(op, space_.dimension(), k, rng);
+  return lr.values;
+}
+
+Matrix embed(const Matrix& op, const std::vector<int>& sites,
+             const QuditSpace& space) {
+  const detail::BlockPlan plan = detail::make_block_plan(space, sites);
+  const std::size_t block = plan.offsets.size();
+  require(op.rows() == block && op.cols() == block,
+          "embed: operator dimension mismatch");
+  Matrix full(space.dimension(), space.dimension());
+  for (std::size_t base : plan.bases)
+    for (std::size_t a = 0; a < block; ++a)
+      for (std::size_t b = 0; b < block; ++b)
+        full(base + plan.offsets[a], base + plan.offsets[b]) = op(a, b);
+  return full;
+}
+
+}  // namespace qs

@@ -1,0 +1,62 @@
+// k-local Hamiltonians over qudit registers.
+//
+// A Hamiltonian is a sum of named Hermitian terms on few sites. It
+// supports dense construction (small spaces), matrix-free application
+// (Lanczos-scale spaces), expectation values, and is the input to the
+// Trotter circuit builder.
+#ifndef QS_DYNAMICS_HAMILTONIAN_H
+#define QS_DYNAMICS_HAMILTONIAN_H
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "qudit/space.h"
+#include "qudit/state_vector.h"
+
+namespace qs {
+
+/// One Hermitian term acting on `sites` (site order convention as in
+/// StateVector::apply).
+struct HamiltonianTerm {
+  std::string name;
+  Matrix op;
+  std::vector<int> sites;
+};
+
+/// Sum of k-local Hermitian terms.
+class Hamiltonian {
+ public:
+  explicit Hamiltonian(QuditSpace space) : space_(std::move(space)) {}
+
+  const QuditSpace& space() const { return space_; }
+  const std::vector<HamiltonianTerm>& terms() const { return terms_; }
+  std::size_t num_terms() const { return terms_.size(); }
+
+  /// Adds `op` on `sites`; validates hermiticity and dimensions.
+  void add(std::string name, Matrix op, std::vector<int> sites);
+
+  /// Dense full-space matrix. Guarded by `max_dim`.
+  Matrix dense(std::size_t max_dim = 4096) const;
+
+  /// Matrix-free application y = H x (for iterative eigensolvers).
+  std::vector<cplx> apply(const std::vector<cplx>& x) const;
+
+  /// <psi| H |psi>.
+  double expectation(const StateVector& psi) const;
+
+  /// Ground state energy and gap via Lanczos (k lowest eigenvalues).
+  std::vector<double> lowest_eigenvalues(std::size_t k, Rng& rng) const;
+
+ private:
+  QuditSpace space_;
+  std::vector<HamiltonianTerm> terms_;
+};
+
+/// Embeds a k-local operator into the full space as a dense matrix.
+Matrix embed(const Matrix& op, const std::vector<int>& sites,
+             const QuditSpace& space);
+
+}  // namespace qs
+
+#endif  // QS_DYNAMICS_HAMILTONIAN_H

@@ -1,0 +1,93 @@
+#include "dynamics/lindblad.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "linalg/types.h"
+
+namespace qs {
+
+LindbladSystem::LindbladSystem(QuditSpace space)
+    : space_(std::move(space)),
+      h_(Matrix::zero(space_.dimension(), space_.dimension())) {}
+
+void LindbladSystem::set_hamiltonian(const Hamiltonian& h) {
+  require(h.space() == space_, "LindbladSystem: Hamiltonian space mismatch");
+  h_ = h.dense(space_.dimension());
+}
+
+void LindbladSystem::set_hamiltonian_dense(Matrix h) {
+  require(h.rows() == space_.dimension() && h.is_square(),
+          "LindbladSystem: dense Hamiltonian dimension mismatch");
+  require(h.is_hermitian(1e-8), "LindbladSystem: Hamiltonian not Hermitian");
+  h_ = std::move(h);
+}
+
+void LindbladSystem::add_collapse(const Matrix& op,
+                                  const std::vector<int>& sites,
+                                  double rate) {
+  require(rate >= 0.0, "LindbladSystem: negative rate");
+  Matrix full = embed(op, sites, space_);
+  full *= cplx{std::sqrt(rate), 0.0};
+  collapse_dd_.push_back(full.adjoint() * full);
+  collapse_.push_back(std::move(full));
+}
+
+Matrix LindbladSystem::rhs(const Matrix& rho) const {
+  // -i [H, rho]
+  Matrix out = h_ * rho - rho * h_;
+  out *= cplx{0.0, -1.0};
+  for (std::size_t k = 0; k < collapse_.size(); ++k) {
+    const Matrix& l = collapse_[k];
+    const Matrix& ldl = collapse_dd_[k];
+    out += l * rho * l.adjoint();
+    Matrix anti = ldl * rho + rho * ldl;
+    anti *= cplx{0.5, 0.0};
+    out -= anti;
+  }
+  return out;
+}
+
+void LindbladSystem::evolve(Matrix& rho, double t, int steps) const {
+  require(steps >= 1, "LindbladSystem::evolve: steps >= 1 required");
+  require(rho.rows() == space_.dimension(), "evolve: rho dimension mismatch");
+  const double dt = t / steps;
+  for (int s = 0; s < steps; ++s) {
+    const Matrix k1 = rhs(rho);
+    Matrix tmp = rho;
+    tmp += k1 * cplx{dt / 2.0, 0.0};
+    const Matrix k2 = rhs(tmp);
+    tmp = rho;
+    tmp += k2 * cplx{dt / 2.0, 0.0};
+    const Matrix k3 = rhs(tmp);
+    tmp = rho;
+    tmp += k3 * cplx{dt, 0.0};
+    const Matrix k4 = rhs(tmp);
+    Matrix incr = k1;
+    incr += k2 * cplx{2.0, 0.0};
+    incr += k3 * cplx{2.0, 0.0};
+    incr += k4;
+    incr *= cplx{dt / 6.0, 0.0};
+    rho += incr;
+  }
+}
+
+std::vector<std::vector<double>> LindbladSystem::evolve_recording(
+    Matrix& rho, double t, int steps_per_sample, int samples,
+    const std::vector<Matrix>& observables) const {
+  require(samples >= 1, "evolve_recording: samples >= 1 required");
+  std::vector<std::vector<double>> records;
+  records.reserve(static_cast<std::size_t>(samples));
+  const double t_sample = t / samples;
+  for (int s = 0; s < samples; ++s) {
+    evolve(rho, t_sample, steps_per_sample);
+    std::vector<double> row;
+    row.reserve(observables.size());
+    for (const Matrix& obs : observables)
+      row.push_back((rho * obs).trace().real());
+    records.push_back(std::move(row));
+  }
+  return records;
+}
+
+}  // namespace qs

@@ -1,0 +1,62 @@
+// Lindblad master-equation integration.
+//
+// d rho / dt = -i [H, rho] + sum_k rate_k ( L_k rho L_k^dag
+//                                           - 1/2 {L_k^dag L_k, rho} ).
+//
+// Dense full-space representation integrated with classic RK4; intended
+// for registers up to a few hundred dimensions (the coupled-oscillator
+// reservoir, cavity-transmon tomography setups).
+#ifndef QS_DYNAMICS_LINDBLAD_H
+#define QS_DYNAMICS_LINDBLAD_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dynamics/hamiltonian.h"
+#include "linalg/matrix.h"
+#include "qudit/density_matrix.h"
+#include "qudit/space.h"
+
+namespace qs {
+
+/// Open quantum system: Hamiltonian + collapse operators with rates.
+class LindbladSystem {
+ public:
+  explicit LindbladSystem(QuditSpace space);
+
+  const QuditSpace& space() const { return space_; }
+
+  /// Sets the Hamiltonian from k-local terms (embedded densely).
+  void set_hamiltonian(const Hamiltonian& h);
+
+  /// Sets a dense full-space Hamiltonian directly.
+  void set_hamiltonian_dense(Matrix h);
+
+  /// Adds collapse operator `op` on `sites` with the given rate (1/s).
+  void add_collapse(const Matrix& op, const std::vector<int>& sites,
+                    double rate);
+
+  /// Right-hand side of the master equation for the current system.
+  Matrix rhs(const Matrix& rho) const;
+
+  /// Evolves `rho` in place for duration `t` using `steps` RK4 steps.
+  void evolve(Matrix& rho, double t, int steps) const;
+
+  /// Evolves and records observable expectation values Tr(rho O_i) at the
+  /// end of each of `samples` equal sub-intervals of `t`.
+  /// Returns [samples x observables].
+  std::vector<std::vector<double>> evolve_recording(
+      Matrix& rho, double t, int steps_per_sample, int samples,
+      const std::vector<Matrix>& observables) const;
+
+ private:
+  QuditSpace space_;
+  Matrix h_;  // dense full-space Hamiltonian
+  std::vector<Matrix> collapse_;       // dense full-space, scaled by sqrt(rate)
+  std::vector<Matrix> collapse_dd_;    // precomputed L^dag L (scaled)
+};
+
+}  // namespace qs
+
+#endif  // QS_DYNAMICS_LINDBLAD_H

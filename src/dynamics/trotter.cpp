@@ -1,0 +1,58 @@
+#include "dynamics/trotter.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "linalg/expm.h"
+
+namespace qs {
+
+namespace {
+
+bool is_diagonal(const Matrix& m, double tol = 1e-12) {
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      if (r != c && std::abs(m(r, c)) > tol) return false;
+  return true;
+}
+
+/// Appends exp(-i op * dt) for one term to the circuit.
+void append_term(Circuit& circuit, const HamiltonianTerm& term, double dt) {
+  if (is_diagonal(term.op)) {
+    std::vector<cplx> diag(term.op.rows());
+    for (std::size_t i = 0; i < diag.size(); ++i)
+      diag[i] = std::exp(cplx{0.0, -dt} * term.op(i, i).real());
+    circuit.add_diagonal("exp(" + term.name + ")", std::move(diag),
+                         term.sites);
+  } else {
+    circuit.add("exp(" + term.name + ")", expm_hermitian(term.op, {0.0, -dt}),
+                term.sites);
+  }
+}
+
+}  // namespace
+
+Circuit trotter_circuit(const Hamiltonian& h, const TrotterOptions& opt) {
+  require(opt.order == 1 || opt.order == 2,
+          "trotter_circuit: order must be 1 or 2");
+  require(opt.steps >= 1, "trotter_circuit: steps >= 1 required");
+  Circuit circuit(h.space());
+  const auto& terms = h.terms();
+  for (int s = 0; s < opt.steps; ++s) {
+    if (opt.order == 1) {
+      for (const auto& t : terms) append_term(circuit, t, opt.dt);
+    } else {
+      // Strang: half-step forward sweep, half-step reverse sweep.
+      for (const auto& t : terms) append_term(circuit, t, opt.dt / 2.0);
+      for (auto it = terms.rbegin(); it != terms.rend(); ++it)
+        append_term(circuit, *it, opt.dt / 2.0);
+    }
+  }
+  return circuit;
+}
+
+Matrix exact_evolution(const Hamiltonian& h, double t, std::size_t max_dim) {
+  return expm_hermitian(h.dense(max_dim), cplx{0.0, -t});
+}
+
+}  // namespace qs

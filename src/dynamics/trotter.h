@@ -1,0 +1,28 @@
+// Trotter-Suzuki circuit construction from a k-local Hamiltonian.
+#ifndef QS_DYNAMICS_TROTTER_H
+#define QS_DYNAMICS_TROTTER_H
+
+#include "circuit/circuit.h"
+#include "dynamics/hamiltonian.h"
+
+namespace qs {
+
+/// Trotterization options.
+struct TrotterOptions {
+  int order = 1;        ///< 1 (Lie) or 2 (Strang splitting)
+  double dt = 0.1;      ///< time step
+  int steps = 1;        ///< number of steps (total time = dt * steps)
+};
+
+/// Builds the Trotter circuit exp(-i H t) ~ prod_steps prod_terms
+/// exp(-i H_j dt). Diagonal terms get the fast diagonal gate path.
+Circuit trotter_circuit(const Hamiltonian& h, const TrotterOptions& opt);
+
+/// Exact evolution unitary exp(-i H t) of the dense Hamiltonian (small
+/// spaces; reference for Trotter error tests).
+Matrix exact_evolution(const Hamiltonian& h, double t,
+                       std::size_t max_dim = 4096);
+
+}  // namespace qs
+
+#endif  // QS_DYNAMICS_TROTTER_H

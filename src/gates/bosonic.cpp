@@ -1,0 +1,132 @@
+#include "gates/bosonic.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "linalg/expm.h"
+#include "linalg/types.h"
+
+namespace qs {
+
+Matrix annihilation(int d) {
+  require(d >= 2, "annihilation: d >= 2 required");
+  Matrix a(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+  for (int n = 1; n < d; ++n)
+    a(static_cast<std::size_t>(n - 1), static_cast<std::size_t>(n)) =
+        std::sqrt(static_cast<double>(n));
+  return a;
+}
+
+Matrix creation(int d) { return annihilation(d).adjoint(); }
+
+Matrix number_operator(int d) {
+  require(d >= 2, "number_operator: d >= 2 required");
+  Matrix n(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+  for (int k = 0; k < d; ++k)
+    n(static_cast<std::size_t>(k), static_cast<std::size_t>(k)) =
+        static_cast<double>(k);
+  return n;
+}
+
+Matrix parity_operator(int d) {
+  Matrix p(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+  for (int k = 0; k < d; ++k)
+    p(static_cast<std::size_t>(k), static_cast<std::size_t>(k)) =
+        (k % 2 == 0) ? 1.0 : -1.0;
+  return p;
+}
+
+Matrix quadrature_x(int d) {
+  Matrix a = annihilation(d);
+  Matrix out = a + a.adjoint();
+  out *= cplx{1.0 / std::sqrt(2.0), 0.0};
+  return out;
+}
+
+Matrix quadrature_p(int d) {
+  Matrix a = annihilation(d);
+  Matrix out = a - a.adjoint();
+  out *= cplx{0.0, -1.0 / std::sqrt(2.0)};
+  return out;
+}
+
+Matrix displacement(int d, cplx alpha) {
+  // Generator A = alpha a^dag - alpha* a is anti-Hermitian; i A is
+  // Hermitian, so exp(A) = exp(-i (iA)) follows the spectral route.
+  const Matrix a = annihilation(d);
+  Matrix gen = a.adjoint() * alpha - a * std::conj(alpha);
+  Matrix herm = gen * kI;  // Hermitian
+  return expm_hermitian(herm, cplx{0.0, -1.0});
+}
+
+Matrix displacement_projected(int d, cplx alpha, int buffer) {
+  require(buffer >= 0, "displacement_projected: negative buffer");
+  const int big = d + buffer;
+  const Matrix full = displacement(big, alpha);
+  Matrix out(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+  for (int r = 0; r < d; ++r)
+    for (int c = 0; c < d; ++c)
+      out(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+          full(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+  return out;
+}
+
+Matrix squeeze(int d, cplx z) {
+  const Matrix a = annihilation(d);
+  const Matrix a2 = a * a;
+  Matrix gen = a2 * (std::conj(z) * cplx{0.5, 0.0}) -
+               a2.adjoint() * (z * cplx{0.5, 0.0});
+  Matrix herm = gen * kI;
+  return expm_hermitian(herm, cplx{0.0, -1.0});
+}
+
+std::vector<cplx> coherent_state(int d, cplx alpha) {
+  require(d >= 2, "coherent_state: d >= 2 required");
+  std::vector<cplx> v(static_cast<std::size_t>(d));
+  cplx amp = 1.0;  // alpha^n / sqrt(n!), built iteratively
+  v[0] = amp;
+  for (int n = 1; n < d; ++n) {
+    amp *= alpha / std::sqrt(static_cast<double>(n));
+    v[static_cast<std::size_t>(n)] = amp;
+  }
+  const double nv = norm(v);
+  for (cplx& x : v) x /= nv;
+  return v;
+}
+
+std::vector<cplx> fock_state(int d, int n) {
+  require(n >= 0 && n < d, "fock_state: level out of range");
+  std::vector<cplx> v(static_cast<std::size_t>(d), cplx{0.0, 0.0});
+  v[static_cast<std::size_t>(n)] = 1.0;
+  return v;
+}
+
+std::vector<cplx> cat_state(int d, cplx alpha, int sign) {
+  require(sign == 1 || sign == -1, "cat_state: sign must be +-1");
+  const std::vector<cplx> plus = coherent_state(d, alpha);
+  const std::vector<cplx> minus = coherent_state(d, -alpha);
+  std::vector<cplx> v(static_cast<std::size_t>(d));
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = plus[i] + static_cast<double>(sign) * minus[i];
+  const double nv = norm(v);
+  require(nv > 1e-12, "cat_state: degenerate superposition");
+  for (cplx& x : v) x /= nv;
+  return v;
+}
+
+Matrix thermal_state(int d, double nbar) {
+  require(nbar >= 0.0, "thermal_state: negative mean photon number");
+  Matrix rho(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+  double total = 0.0;
+  const double ratio = nbar / (nbar + 1.0);
+  double p = 1.0 / (nbar + 1.0);
+  for (int n = 0; n < d; ++n) {
+    rho(static_cast<std::size_t>(n), static_cast<std::size_t>(n)) = p;
+    total += p;
+    p *= ratio;
+  }
+  rho *= cplx{1.0 / total, 0.0};
+  return rho;
+}
+
+}  // namespace qs

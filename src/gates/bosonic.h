@@ -1,0 +1,62 @@
+// Bosonic-mode operators and states on a truncated Fock space.
+//
+// A cavity mode used as a qudit is the span of the lowest d Fock states;
+// these builders provide the ladder operators, the SNAP+displacement
+// control primitives, and the standard cavity state zoo.
+#ifndef QS_GATES_BOSONIC_H
+#define QS_GATES_BOSONIC_H
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace qs {
+
+/// Annihilation operator a on a d-level truncation: a|n> = sqrt(n)|n-1>.
+Matrix annihilation(int d);
+
+/// Creation operator a^dag on a d-level truncation.
+Matrix creation(int d);
+
+/// Number operator n = a^dag a (diagonal 0..d-1).
+Matrix number_operator(int d);
+
+/// Photon-number parity operator diag((-1)^n).
+Matrix parity_operator(int d);
+
+/// Position quadrature x = (a + a^dag)/sqrt(2).
+Matrix quadrature_x(int d);
+
+/// Momentum quadrature p = -i (a - a^dag)/sqrt(2).
+Matrix quadrature_p(int d);
+
+/// Displacement D(alpha) = exp(alpha a^dag - alpha* a), exponentiated on
+/// the d-level truncation itself (exactly unitary on the truncated space).
+/// This is the gate-level displacement used in circuits.
+Matrix displacement(int d, cplx alpha);
+
+/// Displacement computed on a padded space of `d + buffer` levels and then
+/// projected to d levels. Not exactly unitary; models physical truncation
+/// error. Used to validate the truncation of gate-level displacement.
+Matrix displacement_projected(int d, cplx alpha, int buffer);
+
+/// Single-mode squeeze S(z) = exp((z* a^2 - z a^dag^2)/2) on the
+/// truncation.
+Matrix squeeze(int d, cplx z);
+
+/// Normalized coherent state |alpha> truncated to d levels.
+std::vector<cplx> coherent_state(int d, cplx alpha);
+
+/// Fock state |n> in a d-level truncation.
+std::vector<cplx> fock_state(int d, int n);
+
+/// Even (sign=+1) or odd (sign=-1) Schroedinger cat state
+/// ~ |alpha> + sign |-alpha>, normalized on the truncation.
+std::vector<cplx> cat_state(int d, cplx alpha, int sign);
+
+/// Thermal state with mean photon number nbar, truncated and renormalized.
+Matrix thermal_state(int d, double nbar);
+
+}  // namespace qs
+
+#endif  // QS_GATES_BOSONIC_H

@@ -1,0 +1,157 @@
+#include "gates/qudit_gates.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "linalg/types.h"
+
+namespace qs {
+
+Matrix weyl_x(int d) {
+  require(d >= 2, "weyl_x: d >= 2 required");
+  Matrix m(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+  for (int k = 0; k < d; ++k)
+    m(static_cast<std::size_t>((k + 1) % d), static_cast<std::size_t>(k)) =
+        1.0;
+  return m;
+}
+
+Matrix weyl_z(int d) {
+  require(d >= 2, "weyl_z: d >= 2 required");
+  Matrix m(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+  for (int k = 0; k < d; ++k)
+    m(static_cast<std::size_t>(k), static_cast<std::size_t>(k)) =
+        std::exp(kI * (kTwoPi * k / d));
+  return m;
+}
+
+Matrix weyl(int d, int a, int b) {
+  require(d >= 2, "weyl: d >= 2 required");
+  Matrix x = Matrix::identity(static_cast<std::size_t>(d));
+  const Matrix xs = weyl_x(d);
+  for (int i = 0; i < ((a % d) + d) % d; ++i) x = xs * x;
+  Matrix z = Matrix::identity(static_cast<std::size_t>(d));
+  const Matrix zs = weyl_z(d);
+  for (int i = 0; i < ((b % d) + d) % d; ++i) z = zs * z;
+  return x * z;
+}
+
+Matrix fourier(int d) {
+  require(d >= 2, "fourier: d >= 2 required");
+  Matrix m(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+  const double inv = 1.0 / std::sqrt(static_cast<double>(d));
+  for (int r = 0; r < d; ++r)
+    for (int c = 0; c < d; ++c)
+      m(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+          inv * std::exp(kI * (kTwoPi * r * c / d));
+  return m;
+}
+
+Matrix snap(const std::vector<double>& phases) {
+  require(phases.size() >= 2, "snap: need at least two levels");
+  Matrix m(phases.size(), phases.size());
+  for (std::size_t k = 0; k < phases.size(); ++k)
+    m(k, k) = std::exp(kI * phases[k]);
+  return m;
+}
+
+Matrix level_phase(int d, int level, double theta) {
+  require(level >= 0 && level < d, "level_phase: level out of range");
+  std::vector<double> phases(static_cast<std::size_t>(d), 0.0);
+  phases[static_cast<std::size_t>(level)] = theta;
+  return snap(phases);
+}
+
+Matrix givens(int d, int j, int k, double theta, double phi) {
+  require(j >= 0 && k >= 0 && j < d && k < d && j != k,
+          "givens: bad level pair");
+  Matrix m = Matrix::identity(static_cast<std::size_t>(d));
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  const auto uj = static_cast<std::size_t>(j);
+  const auto uk = static_cast<std::size_t>(k);
+  // exp(-i theta/2 (cos phi X + sin phi Y)) on the {j,k} subspace.
+  m(uj, uj) = c;
+  m(uk, uk) = c;
+  m(uj, uk) = -kI * s * std::exp(-kI * phi);
+  m(uk, uj) = -kI * s * std::exp(kI * phi);
+  return m;
+}
+
+Matrix shift_mixer_hamiltonian(int d) {
+  const Matrix x = weyl_x(d);
+  return x + x.adjoint();
+}
+
+Matrix full_mixer_hamiltonian(int d) {
+  require(d >= 2, "full_mixer_hamiltonian: d >= 2 required");
+  Matrix m(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+  for (int r = 0; r < d; ++r)
+    for (int c = 0; c < d; ++c)
+      if (r != c)
+        m(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) = 1.0;
+  return m;
+}
+
+Matrix random_unitary(int d, Rng& rng) {
+  require(d >= 1, "random_unitary: d >= 1 required");
+  const auto n = static_cast<std::size_t>(d);
+  // Complex Ginibre ensemble followed by Gram-Schmidt; fixing the phase of
+  // the R diagonal yields Haar measure.
+  std::vector<std::vector<cplx>> cols(n, std::vector<cplx>(n));
+  for (auto& col : cols)
+    for (cplx& v : col) v = rng.complex_normal();
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      const cplx ov = inner(cols[i], cols[j]);
+      for (std::size_t r = 0; r < n; ++r) cols[j][r] -= ov * cols[i][r];
+    }
+    double nj = norm(cols[j]);
+    require(nj > 1e-12, "random_unitary: degenerate sample");
+    for (cplx& v : cols[j]) v /= nj;
+  }
+  Matrix u(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) u(i, j) = cols[j][i];
+  return u;
+}
+
+std::vector<cplx> random_state(int d, Rng& rng) {
+  require(d >= 1, "random_state: d >= 1 required");
+  std::vector<cplx> v(static_cast<std::size_t>(d));
+  for (cplx& x : v) x = rng.complex_normal();
+  const double n = norm(v);
+  for (cplx& x : v) x /= n;
+  return v;
+}
+
+std::vector<Matrix> gell_mann_basis(int d) {
+  require(d >= 2, "gell_mann_basis: d >= 2 required");
+  std::vector<Matrix> basis;
+  const auto n = static_cast<std::size_t>(d);
+  // Symmetric and antisymmetric pairs.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = j + 1; k < n; ++k) {
+      Matrix sym(n, n);
+      sym(j, k) = 1.0;
+      sym(k, j) = 1.0;
+      basis.push_back(sym);
+      Matrix asym(n, n);
+      asym(j, k) = -kI;
+      asym(k, j) = kI;
+      basis.push_back(asym);
+    }
+  }
+  // Diagonal generators.
+  for (std::size_t l = 1; l < n; ++l) {
+    Matrix diag(n, n);
+    const double scale =
+        std::sqrt(2.0 / (static_cast<double>(l) * (static_cast<double>(l) + 1.0)));
+    for (std::size_t i = 0; i < l; ++i) diag(i, i) = scale;
+    diag(l, l) = -scale * static_cast<double>(l);
+    basis.push_back(diag);
+  }
+  return basis;
+}
+
+}  // namespace qs

@@ -1,0 +1,65 @@
+// Single-qudit gate constructors.
+//
+// All builders return dense matrices in the computational (Fock) basis
+// |0>, ..., |d-1>. Two-site builders live in two_qudit.h; bosonic-mode
+// operators in bosonic.h.
+#ifndef QS_GATES_QUDIT_GATES_H
+#define QS_GATES_QUDIT_GATES_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace qs {
+
+/// Generalized Pauli X (cyclic shift): X|k> = |k+1 mod d>.
+Matrix weyl_x(int d);
+
+/// Generalized Pauli Z (clock): Z|k> = w^k |k>, w = exp(2 pi i / d).
+Matrix weyl_z(int d);
+
+/// Weyl operator X^a Z^b (the qudit Pauli group modulo phases).
+Matrix weyl(int d, int a, int b);
+
+/// Discrete Fourier gate: F|b> = (1/sqrt d) sum_k w^{bk} |k>.
+/// The qudit generalization of the Hadamard.
+Matrix fourier(int d);
+
+/// Phase gate diag(exp(i phases[k])). `phases` must have length d.
+/// Physically this is the SNAP gate of cavity control (conditional phase
+/// per Fock level, mediated by the dispersively coupled transmon).
+Matrix snap(const std::vector<double>& phases);
+
+/// Single-level phase: applies phase `theta` to level `level` only.
+Matrix level_phase(int d, int level, double theta);
+
+/// Givens (embedded SU(2)) rotation between levels j and k:
+/// exp(-i theta/2 (cos(phi) X_jk + sin(phi) Y_jk)) acting as identity on
+/// all other levels. The native single-qudit rotation of transmon qudits
+/// (driven j<->k transition) and sideband-driven cavities.
+Matrix givens(int d, int j, int k, double theta, double phi);
+
+/// Full d-level "transverse field" mixer generator: H = X + X^dag
+/// (Hermitian). Used by qudit QAOA mixers.
+Matrix shift_mixer_hamiltonian(int d);
+
+/// Hamiltonian with all-to-all level mixing: H_jk = 1 for j != k.
+/// The "complete graph" mixer of one-hot QAOA encodings.
+Matrix full_mixer_hamiltonian(int d);
+
+/// Haar-random unitary of dimension d (complex Ginibre + Gram-Schmidt with
+/// phase fixing).
+Matrix random_unitary(int d, Rng& rng);
+
+/// Random Haar state vector of dimension d.
+std::vector<cplx> random_state(int d, Rng& rng);
+
+/// Generalized Gell-Mann basis: d^2 - 1 traceless Hermitian matrices
+/// (symmetric pairs, antisymmetric pairs, diagonals), normalized so that
+/// Tr(G_i G_j) = 2 delta_ij. Used by the qudit QRAC encoding.
+std::vector<Matrix> gell_mann_basis(int d);
+
+}  // namespace qs
+
+#endif  // QS_GATES_QUDIT_GATES_H

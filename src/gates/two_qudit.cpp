@@ -1,0 +1,101 @@
+#include "gates/two_qudit.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "gates/bosonic.h"
+#include "linalg/expm.h"
+#include "linalg/types.h"
+
+namespace qs {
+
+Matrix two_site(const Matrix& g0, const Matrix& g1) {
+  // Site 0 is least significant: index = a + d0 * b, so the site-1 factor
+  // is the "outer" Kronecker factor.
+  return kron(g1, g0);
+}
+
+Matrix csum(int d0, int d1) {
+  require(d0 >= 2 && d1 >= 2, "csum: dims >= 2 required");
+  require(d0 <= d1, "csum: control dimension must not exceed target");
+  const auto n = static_cast<std::size_t>(d0 * d1);
+  Matrix m(n, n);
+  for (int c = 0; c < d0; ++c)
+    for (int t = 0; t < d1; ++t) {
+      const auto col = static_cast<std::size_t>(c + d0 * t);
+      const auto row = static_cast<std::size_t>(c + d0 * ((t + c) % d1));
+      m(row, col) = 1.0;
+    }
+  return m;
+}
+
+Matrix csum_dagger(int d0, int d1) { return csum(d0, d1).adjoint(); }
+
+Matrix cz(int d0, int d1) {
+  require(d0 >= 2 && d1 >= 2, "cz: dims >= 2 required");
+  const auto n = static_cast<std::size_t>(d0 * d1);
+  Matrix m(n, n);
+  for (int a = 0; a < d0; ++a)
+    for (int b = 0; b < d1; ++b) {
+      const auto i = static_cast<std::size_t>(a + d0 * b);
+      m(i, i) = std::exp(kI * (kTwoPi * a * b / d1));
+    }
+  return m;
+}
+
+Matrix cphase(int d0, int d1, double phi) {
+  const auto n = static_cast<std::size_t>(d0 * d1);
+  Matrix m(n, n);
+  for (int a = 0; a < d0; ++a)
+    for (int b = 0; b < d1; ++b) {
+      const auto i = static_cast<std::size_t>(a + d0 * b);
+      m(i, i) = std::exp(kI * (phi * a * b));
+    }
+  return m;
+}
+
+Matrix cross_kerr(int d0, int d1, double chi_t) {
+  return cphase(d0, d1, -chi_t);
+}
+
+Matrix controlled_power(int d0, const Matrix& u) {
+  require(u.is_square(), "controlled_power: square U required");
+  const int d1 = static_cast<int>(u.rows());
+  const auto n = static_cast<std::size_t>(d0 * d1);
+  Matrix m(n, n);
+  Matrix power = Matrix::identity(u.rows());
+  for (int c = 0; c < d0; ++c) {
+    for (int t = 0; t < d1; ++t)
+      for (int r = 0; r < d1; ++r)
+        m(static_cast<std::size_t>(c + d0 * r),
+          static_cast<std::size_t>(c + d0 * t)) =
+            power(static_cast<std::size_t>(r), static_cast<std::size_t>(t));
+    power = power * u;
+  }
+  return m;
+}
+
+Matrix swap_gate(int d) {
+  require(d >= 2, "swap_gate: d >= 2 required");
+  const auto n = static_cast<std::size_t>(d * d);
+  Matrix m(n, n);
+  for (int a = 0; a < d; ++a)
+    for (int b = 0; b < d; ++b)
+      m(static_cast<std::size_t>(b + d * a),
+        static_cast<std::size_t>(a + d * b)) = 1.0;
+  return m;
+}
+
+Matrix beamsplitter(int d0, int d1, double theta, double phi) {
+  const Matrix a0 = two_site(annihilation(d0),
+                             Matrix::identity(static_cast<std::size_t>(d1)));
+  const Matrix a1 = two_site(Matrix::identity(static_cast<std::size_t>(d0)),
+                             annihilation(d1));
+  // G = theta (e^{i phi} a0^dag a1 - e^{-i phi} a0 a1^dag), anti-Hermitian.
+  Matrix gen = a0.adjoint() * a1 * (std::exp(kI * phi) * theta) -
+               a0 * a1.adjoint() * (std::exp(-kI * phi) * theta);
+  Matrix herm = gen * kI;
+  return expm_hermitian(herm, cplx{0.0, -1.0});
+}
+
+}  // namespace qs

@@ -1,0 +1,49 @@
+// Two-qudit gate constructors.
+//
+// Basis convention matches StateVector::apply: for a gate applied to
+// sites {s0, s1}, site s0 is the LEAST significant digit of the gate's
+// basis index (index = digit0 + d0 * digit1).
+#ifndef QS_GATES_TWO_QUDIT_H
+#define QS_GATES_TWO_QUDIT_H
+
+#include "linalg/matrix.h"
+
+namespace qs {
+
+/// CSUM gate: |c>_0 |t>_1 -> |c>_0 |t + c mod d1>_1 (control = site 0).
+/// Requires d0 <= d1 so every control value is a valid shift; the paper's
+/// Clifford generalization of CNOT and the key entangling primitive.
+Matrix csum(int d0, int d1);
+
+/// Inverse CSUM: |c>|t> -> |c>|t - c mod d1>.
+Matrix csum_dagger(int d0, int d1);
+
+/// Qudit controlled-Z: diag over |a>_0 |b>_1 of w^{ab}, w = exp(2 pi i/d1).
+Matrix cz(int d0, int d1);
+
+/// Controlled phase with arbitrary strength: diag of exp(i phi a b).
+Matrix cphase(int d0, int d1, double phi);
+
+/// Cross-Kerr evolution exp(-i chi_t n0 n1): the native dispersive
+/// two-mode phase interaction of cavity QED. chi_t = chi * time.
+Matrix cross_kerr(int d0, int d1, double chi_t);
+
+/// Controlled-U with qudit control: |c>|t> -> |c> U^c |t>.
+Matrix controlled_power(int d0, const Matrix& u);
+
+/// Full SWAP between two sites of equal dimension d.
+Matrix swap_gate(int d);
+
+/// Beam-splitter unitary exp(theta (e^{i phi} a0^dag a1 - e^{-i phi} a0 a1^dag))
+/// on two modes with d0/d1 levels. theta = pi/2 realizes a full mode swap
+/// (up to Fock-dependent phases); theta = pi/4 is the 50/50 splitter.
+Matrix beamsplitter(int d0, int d1, double theta, double phi);
+
+/// Tensor product g0 (x) g1 arranged in this library's site order
+/// (site 0 least significant): returns the matrix representing
+/// g0 on site 0 and g1 on site 1.
+Matrix two_site(const Matrix& g0, const Matrix& g1);
+
+}  // namespace qs
+
+#endif  // QS_GATES_TWO_QUDIT_H

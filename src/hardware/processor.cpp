@@ -1,0 +1,177 @@
+#include "hardware/processor.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/require.h"
+
+namespace qs {
+
+double GateDurations::of(NativeOp op) const {
+  switch (op) {
+    case NativeOp::kDisplacement: return displacement;
+    case NativeOp::kSnap: return snap;
+    case NativeOp::kGivens: return givens;
+    case NativeOp::kCrossKerr: return cross_kerr_full;
+    case NativeOp::kBeamsplitter: return beamsplitter;
+    case NativeOp::kMeasurement: return measurement;
+  }
+  return 0.0;
+}
+
+Processor::Processor(const ProcessorConfig& config, Rng* rng)
+    : config_(config) {
+  require(config.num_cavities >= 1, "Processor: need at least one cavity");
+  require(config.modes_per_cavity >= 1, "Processor: need modes per cavity");
+  require(config.levels_per_mode >= 2, "Processor: need d >= 2");
+  require(config.mode_t1 > 0.0 && config.transmon_t1 > 0.0,
+          "Processor: coherence times must be positive");
+  for (int c = 0; c < config.num_cavities; ++c) {
+    TransmonInfo t;
+    t.t1 = config.transmon_t1;
+    t.t2 = 0.8 * config.transmon_t1;
+    transmons_.push_back(t);
+    for (int i = 0; i < config.modes_per_cavity; ++i) {
+      ModeInfo m;
+      m.cavity = c;
+      m.index_in_cavity = i;
+      m.dim = config.levels_per_mode;
+      double t1 = config.mode_t1;
+      if (rng != nullptr && config.t1_disorder > 0.0)
+        t1 *= std::exp(config.t1_disorder * rng->normal());
+      m.t1 = t1;
+      m.t2 = 2.0 * t1;  // T1-limited cavities
+      modes_.push_back(m);
+    }
+  }
+}
+
+Processor Processor::forecast_device(Rng* rng) {
+  ProcessorConfig cfg;  // defaults are exactly the forecast parameters
+  cfg.t1_disorder = (rng != nullptr) ? 0.2 : 0.0;
+  return Processor(cfg, rng);
+}
+
+Processor Processor::testbed_device(Rng* rng) {
+  ProcessorConfig cfg;
+  cfg.num_cavities = 2;
+  cfg.modes_per_cavity = 2;
+  cfg.levels_per_mode = 8;
+  cfg.mode_t1 = 0.5e-3;
+  cfg.transmon_t1 = 50e-6;
+  cfg.t1_disorder = (rng != nullptr) ? 0.2 : 0.0;
+  return Processor(cfg, rng);
+}
+
+const ModeInfo& Processor::mode(int m) const {
+  require(m >= 0 && m < num_modes(), "Processor::mode: index out of range");
+  return modes_[static_cast<std::size_t>(m)];
+}
+
+const TransmonInfo& Processor::transmon(int cavity) const {
+  require(cavity >= 0 && cavity < config_.num_cavities,
+          "Processor::transmon: index out of range");
+  return transmons_[static_cast<std::size_t>(cavity)];
+}
+
+bool Processor::co_located(int a, int b) const {
+  return cavity_of(a) == cavity_of(b);
+}
+
+bool Processor::adjacent_cavities(int a, int b) const {
+  return cavity_distance(a, b) == 1;
+}
+
+int Processor::cavity_distance(int a, int b) const {
+  return std::abs(cavity_of(a) - cavity_of(b));
+}
+
+double Processor::idle_rate(int m) const {
+  const ModeInfo& mi = mode(m);
+  // Photon loss at Fock-averaged enhancement <n> ~ (d-1)/2 over a busy
+  // register, plus pure dephasing 1/T2 contribution.
+  const double nbar = 0.5 * (mi.dim - 1);
+  return nbar / mi.t1 + 1.0 / mi.t2;
+}
+
+namespace {
+
+/// Transmon participation of each native op: fraction of the gate time
+/// the quantum information is exposed to transmon decoherence.
+double transmon_participation(NativeOp op) {
+  switch (op) {
+    case NativeOp::kDisplacement: return 0.0;   // pure cavity drive
+    case NativeOp::kSnap: return 1.0;           // transmon fully engaged
+    case NativeOp::kGivens: return 0.5;         // sideband, half-excited
+    case NativeOp::kCrossKerr: return 0.3;      // virtual (dispersive)
+    case NativeOp::kBeamsplitter: return 0.3;   // virtual Raman process
+    case NativeOp::kMeasurement: return 1.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double Processor::native_op_error(NativeOp op, int m) const {
+  const ModeInfo& mi = mode(m);
+  const TransmonInfo& tr = transmon(mi.cavity);
+  const double t = config_.durations.of(op);
+  const double cavity_rate = idle_rate(m);
+  const double transmon_rate = transmon_participation(op) / tr.t1;
+  const double err = 1.0 - std::exp(-t * (cavity_rate + transmon_rate));
+  return err;
+}
+
+double Processor::two_mode_error(int a, int b) const {
+  require(a != b, "two_mode_error: identical modes");
+  if (co_located(a, b)) {
+    // Cross-Kerr CZ_d: duration (d-1)/d of the full revolution; both modes
+    // decay during the gate; transmon participates dispersively.
+    const int d = std::max(mode(a).dim, mode(b).dim);
+    const double t =
+        config_.durations.cross_kerr_full * (d - 1.0) / static_cast<double>(d);
+    const double rate = idle_rate(a) + idle_rate(b) +
+                        transmon_participation(NativeOp::kCrossKerr) /
+                            transmon(cavity_of(a)).t1;
+    return 1.0 - std::exp(-t * rate);
+  }
+  if (adjacent_cavities(a, b)) {
+    // Bridged: 2 full beamsplitter swaps + intra-cavity CZ.
+    const double t_swap = 2.0 * 2.0 * config_.durations.beamsplitter;
+    const int d = std::max(mode(a).dim, mode(b).dim);
+    const double t_cz =
+        config_.durations.cross_kerr_full * (d - 1.0) / static_cast<double>(d);
+    const double rate = idle_rate(a) + idle_rate(b);
+    return 1.0 - std::exp(-(t_swap + t_cz) * rate);
+  }
+  // Distant modes: pessimistic proxy (swap-chain cost, one full
+  // beamsplitter swap per intermediate hop each way, plus the final CZ);
+  // the router replaces this estimate with explicit swap insertions.
+  const int hops = cavity_distance(a, b);
+  const double t_hop = 2.0 * config_.durations.beamsplitter;
+  const int d = std::max(mode(a).dim, mode(b).dim);
+  const double t_cz =
+      config_.durations.cross_kerr_full * (d - 1.0) / static_cast<double>(d);
+  const double total_t = 2.0 * hops * t_hop + t_cz;
+  const double rate = idle_rate(a) + idle_rate(b);
+  return 1.0 - std::exp(-total_t * rate);
+}
+
+double Processor::equivalent_qubits() const {
+  double log2dim = 0.0;
+  for (const ModeInfo& m : modes_) log2dim += std::log2(m.dim);
+  return log2dim;
+}
+
+std::string Processor::to_string() const {
+  std::ostringstream os;
+  os << "Processor: " << config_.num_cavities << " cavities x "
+     << config_.modes_per_cavity << " modes, d=" << config_.levels_per_mode
+     << ", mode T1=" << config_.mode_t1 * 1e3 << " ms"
+     << ", transmon T1=" << config_.transmon_t1 * 1e6 << " us"
+     << ", Hilbert dim = 2^" << equivalent_qubits();
+  return os.str();
+}
+
+}  // namespace qs

@@ -1,0 +1,132 @@
+// Hardware model of a multi-cavity bosonic qudit processor.
+//
+// Architecture (paper SS I): a linear chain of 3D SRF cavity modules, each
+// supporting several long-lived electromagnetic modes (the qudits) that
+// share one dispersively coupled transmon. Intra-cavity two-mode gates run
+// through the shared transmon (cross-Kerr / Raman processes); inter-cavity
+// operations use beam-splitter couplings between modes of adjacent
+// cavities. The forecast device of the paper is ~10 cavities x 4 modes x
+// d = 10 photons with millisecond T1.
+#ifndef QS_HARDWARE_PROCESSOR_H
+#define QS_HARDWARE_PROCESSOR_H
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace qs {
+
+/// Kinds of native operations the device executes.
+enum class NativeOp {
+  kDisplacement,   ///< cavity drive D(alpha), fast (~tens of ns)
+  kSnap,           ///< transmon-mediated Fock-selective phase (~us)
+  kGivens,         ///< sideband two-level rotation
+  kCrossKerr,      ///< dispersive two-mode phase (intra-cavity)
+  kBeamsplitter,   ///< photon-exchange coupling (inter- or intra-cavity)
+  kMeasurement,    ///< transmon-mediated readout
+};
+
+/// Durations of the native operations in seconds.
+struct GateDurations {
+  double displacement = 50e-9;
+  double snap = 1.0e-6;
+  double givens = 0.5e-6;
+  double cross_kerr_full = 10.0e-6;  ///< time for a full chi*t = 2*pi
+  double beamsplitter = 2.0e-6;      ///< 50/50; full swap costs 2x
+  double measurement = 2.0e-6;
+
+  double of(NativeOp op) const;
+};
+
+/// One cavity mode used as a qudit.
+struct ModeInfo {
+  int cavity = 0;           ///< module index along the chain
+  int index_in_cavity = 0;
+  int dim = 10;             ///< usable Fock levels
+  double t1 = 1e-3;         ///< photon lifetime (s)
+  double t2 = 2e-3;         ///< dephasing time (s); paper-era cavities are
+                            ///< T1-limited so t2 ~ 2 t1 by default
+};
+
+/// Transmon ancilla per cavity module.
+struct TransmonInfo {
+  double t1 = 100e-6;
+  double t2 = 80e-6;
+};
+
+/// Configuration for building a Processor.
+struct ProcessorConfig {
+  int num_cavities = 10;
+  int modes_per_cavity = 4;
+  int levels_per_mode = 10;
+  double mode_t1 = 1e-3;
+  double transmon_t1 = 100e-6;
+  GateDurations durations;
+  /// Log-normal sigma of per-mode T1 disorder (0 = uniform device).
+  double t1_disorder = 0.0;
+};
+
+/// Immutable device description with an analytic gate-error model.
+class Processor {
+ public:
+  /// Builds from a config; `rng` (if provided) samples coherence disorder.
+  explicit Processor(const ProcessorConfig& config, Rng* rng = nullptr);
+
+  /// The paper's 5-year forecast device: 10 linearly connected cavities,
+  /// 4 modes each, d = 10 photons, millisecond T1 (SS I). 20% log-normal
+  /// T1 disorder when `rng` is given.
+  static Processor forecast_device(Rng* rng = nullptr);
+
+  /// A near-term 2-cavity testbed (SQMS-like single/two-module system).
+  static Processor testbed_device(Rng* rng = nullptr);
+
+  int num_modes() const { return static_cast<int>(modes_.size()); }
+  int num_cavities() const { return config_.num_cavities; }
+  const ModeInfo& mode(int m) const;
+  const TransmonInfo& transmon(int cavity) const;
+  const GateDurations& durations() const { return config_.durations; }
+  const ProcessorConfig& config() const { return config_; }
+
+  /// Cavity module index of mode m.
+  int cavity_of(int m) const { return mode(m).cavity; }
+
+  /// Modes in the same cavity (interact through the shared transmon).
+  bool co_located(int a, int b) const;
+
+  /// Modes in cavities that are neighbours on the chain.
+  bool adjacent_cavities(int a, int b) const;
+
+  /// |cavity(a) - cavity(b)|.
+  int cavity_distance(int a, int b) const;
+
+  /// Estimated error of one native op on mode m (decoherence during the
+  /// op: photon loss at the Fock-averaged enhanced rate + transmon
+  /// participation for transmon-mediated ops).
+  double native_op_error(NativeOp op, int m) const;
+
+  /// Estimated error of the native entangling interaction between two
+  /// modes: cross-Kerr when co-located, beamsplitter-bridged when in
+  /// adjacent cavities; +inf-like large cost when farther (the compiler
+  /// must route).
+  double two_mode_error(int a, int b) const;
+
+  /// Idle error rate (1/s) of mode m: average-photon-weighted T1 decay.
+  double idle_rate(int m) const;
+
+  /// Total Hilbert-space dimension (product over modes) as log2, i.e. the
+  /// "equivalent number of qubits" of the paper's forecast.
+  double equivalent_qubits() const;
+
+  /// Human-readable summary.
+  std::string to_string() const;
+
+ private:
+  ProcessorConfig config_;
+  std::vector<ModeInfo> modes_;
+  std::vector<TransmonInfo> transmons_;
+};
+
+}  // namespace qs
+
+#endif  // QS_HARDWARE_PROCESSOR_H

@@ -1,0 +1,215 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <optional>
+
+#include "common/require.h"
+
+namespace qs {
+
+namespace {
+
+/// Frobenius norm of the strict off-diagonal part.
+double off_diag_norm(const Matrix& a) {
+  double s = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      if (r != c) s += std::norm(a(r, c));
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+EigResult eigh(const Matrix& h, double herm_tol) {
+  require(h.is_square(), "eigh: square matrix required");
+  require(h.is_hermitian(herm_tol), "eigh: matrix is not Hermitian");
+  const std::size_t n = h.rows();
+
+  Matrix a = h;
+  Matrix v = Matrix::identity(n);
+  const double scale = std::max(a.frobenius_norm(), 1.0);
+  constexpr int kMaxSweeps = 100;
+
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    if (off_diag_norm(a) < 1e-13 * scale) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const cplx apq = a(p, q);
+        const double r = std::abs(apq);
+        if (r < 1e-300) continue;
+        const cplx phase = apq / r;  // e^{i phi}
+        const double app = a(p, p).real();
+        const double aqq = a(q, q).real();
+        const double tau = (aqq - app) / (2.0 * r);
+        const double t =
+            (tau >= 0.0) ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                         : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // Plane rotation J: J(p,p)=c, J(q,q)=c, J(p,q)=s*phase,
+        // J(q,p)=-s*conj(phase). Update A <- J^dag A J, V <- V J.
+        for (std::size_t k = 0; k < n; ++k) {
+          const cplx akp = a(k, p);
+          const cplx akq = a(k, q);
+          a(k, p) = c * akp - s * std::conj(phase) * akq;
+          a(k, q) = s * phase * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const cplx apk = a(p, k);
+          const cplx aqk = a(q, k);
+          a(p, k) = c * apk - s * phase * aqk;
+          a(q, k) = s * std::conj(phase) * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const cplx vkp = v(k, p);
+          const cplx vkq = v(k, q);
+          v(k, p) = c * vkp - s * std::conj(phase) * vkq;
+          v(k, q) = s * phase * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Collect and sort eigenvalues ascending, permuting eigenvector columns.
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = a(i, i).real();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return values[x] < values[y]; });
+
+  EigResult out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = values[order[j]];
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+LanczosResult lanczos_lowest(
+    const std::function<std::vector<cplx>(const std::vector<cplx>&)>& apply,
+    std::size_t dim, std::size_t k, Rng& rng, std::size_t max_iter,
+    double tol) {
+  require(dim > 0, "lanczos_lowest: dim must be positive");
+  require(k > 0 && k <= dim, "lanczos_lowest: bad k");
+  const std::size_t m = std::min(max_iter, dim);
+
+  std::vector<std::vector<cplx>> basis;
+  basis.reserve(m);
+  std::vector<double> alpha, beta;
+
+  // Random normalized start vector.
+  std::vector<cplx> q(dim);
+  for (cplx& x : q) x = rng.complex_normal();
+  {
+    const double nq = norm(q);
+    for (cplx& x : q) x /= nq;
+  }
+  basis.push_back(q);
+
+  // Builds the Ritz pairs from the current tridiagonal matrix and returns
+  // them if every requested residual beta * |last Ritz-vector row| is
+  // converged (or the caller forces extraction).
+  auto extract = [&](double b, bool force) -> std::optional<LanczosResult> {
+    const std::size_t t = alpha.size();
+    if (t < k) return std::nullopt;
+    Matrix tri(t, t);
+    for (std::size_t i = 0; i < t; ++i) {
+      tri(i, i) = alpha[i];
+      if (i + 1 < t) {
+        tri(i, i + 1) = beta[i];
+        tri(i + 1, i) = beta[i];
+      }
+    }
+    const EigResult er = eigh(tri);
+    if (!force) {
+      for (std::size_t j = 0; j < k; ++j) {
+        const double res = b * std::abs(er.vectors(t - 1, j));
+        if (res > tol * std::max(1.0, std::abs(er.values[j])))
+          return std::nullopt;
+      }
+    }
+    LanczosResult out;
+    out.values.assign(er.values.begin(),
+                      er.values.begin() + static_cast<long>(k));
+    out.vectors.assign(k, std::vector<cplx>(dim, cplx{0.0, 0.0}));
+    for (std::size_t j = 0; j < k; ++j)
+      for (std::size_t i = 0; i < t; ++i) {
+        const cplx coeff = er.vectors(i, j);
+        for (std::size_t x = 0; x < dim; ++x)
+          out.vectors[j][x] += coeff * basis[i][x];
+      }
+    for (auto& vec : out.vectors) {
+      const double nv = norm(vec);
+      if (nv > 0) {
+        for (cplx& x : vec) x /= nv;
+      }
+    }
+    return out;
+  };
+
+  for (std::size_t it = 0; it < m; ++it) {
+    std::vector<cplx> w = apply(basis[it]);
+    const double a = inner(basis[it], w).real();
+    alpha.push_back(a);
+    // w -= alpha * q_it + beta_{it-1} * q_{it-1}; then full reorthogonalize.
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] -= a * basis[it][i];
+    if (it > 0) {
+      const double b = beta[it - 1];
+      for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] -= b * basis[it - 1][i];
+    }
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& qv : basis) {
+        const cplx ov = inner(qv, w);
+        for (std::size_t i = 0; i < w.size(); ++i) w[i] -= ov * qv[i];
+      }
+    }
+    const double b = norm(w);
+    const bool exhausted = basis.size() == dim;
+    constexpr double kBreakdown = 1e-12;
+    if (b < kBreakdown) {
+      if (exhausted) {
+        // Full space spanned; the tridiagonal eigensystem is exact.
+        if (auto done = extract(0.0, /*force=*/true)) return *done;
+        fail("lanczos_lowest: exhausted basis without result");
+      }
+      // Breakdown before exhausting the space: an invariant subspace was
+      // hit. Restarting (below) is mandatory before trusting converged
+      // residuals, because degenerate eigenvalues have exactly one copy
+      // inside any single Krylov space.
+      // Invariant subspace hit; restart with a fresh random direction
+      // orthogonal to the current basis (required to resolve degenerate
+      // eigenspaces).
+      std::vector<cplx> fresh(dim);
+      for (cplx& x : fresh) x = rng.complex_normal();
+      for (int pass = 0; pass < 2; ++pass) {
+        for (const auto& qv : basis) {
+          const cplx ov = inner(qv, fresh);
+          for (std::size_t i = 0; i < fresh.size(); ++i)
+            fresh[i] -= ov * qv[i];
+        }
+      }
+      const double nf = norm(fresh);
+      require(nf > 1e-12, "lanczos_lowest: cannot extend basis");
+      for (cplx& x : fresh) x /= nf;
+      beta.push_back(0.0);
+      basis.push_back(fresh);
+      continue;
+    }
+    if (auto done = extract(b, /*force=*/it + 1 == m)) return *done;
+    beta.push_back(b);
+    std::vector<cplx> next(dim);
+    for (std::size_t i = 0; i < dim; ++i) next[i] = w[i] / b;
+    basis.push_back(std::move(next));
+  }
+  // Iteration budget exhausted; return the best available Ritz pairs.
+  if (auto done = extract(0.0, /*force=*/true)) return *done;
+  fail("lanczos_lowest: failed to converge");
+}
+
+}  // namespace qs

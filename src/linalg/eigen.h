@@ -1,0 +1,45 @@
+// Hermitian eigensolvers: dense cyclic Jacobi and matrix-free Lanczos.
+//
+// The dense solver handles every Hermitian matrix the library meets
+// (gates, small Hamiltonians, density matrices up to a few hundred rows).
+// Lanczos provides low-lying spectra of larger Hamiltonians (e.g. the
+// sQED exact-diagonalization reference) through an operator-apply callback.
+#ifndef QS_LINALG_EIGEN_H
+#define QS_LINALG_EIGEN_H
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace qs {
+
+/// Eigendecomposition of a Hermitian matrix: H = V diag(values) V^dag.
+/// `values` are ascending; column j of `vectors` is the j-th eigenvector.
+struct EigResult {
+  std::vector<double> values;
+  Matrix vectors;
+};
+
+/// Cyclic Jacobi eigensolver for Hermitian matrices.
+/// Throws if `h` is not Hermitian within `herm_tol`.
+EigResult eigh(const Matrix& h, double herm_tol = 1e-8);
+
+/// Result of a Lanczos run: the `k` lowest Ritz values and vectors.
+struct LanczosResult {
+  std::vector<double> values;                 ///< ascending Ritz values
+  std::vector<std::vector<cplx>> vectors;     ///< matching Ritz vectors
+};
+
+/// Computes the `k` lowest eigenpairs of a Hermitian operator given only
+/// its action `apply(v)` on vectors of length `dim`. Uses full
+/// reorthogonalization, so memory is O(iterations * dim).
+LanczosResult lanczos_lowest(
+    const std::function<std::vector<cplx>(const std::vector<cplx>&)>& apply,
+    std::size_t dim, std::size_t k, Rng& rng, std::size_t max_iter = 400,
+    double tol = 1e-11);
+
+}  // namespace qs
+
+#endif  // QS_LINALG_EIGEN_H

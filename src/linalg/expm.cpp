@@ -1,0 +1,55 @@
+#include "linalg/expm.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "linalg/eigen.h"
+
+namespace qs {
+
+Matrix expm_hermitian(const Matrix& h, cplx factor) {
+  const EigResult er = eigh(h);
+  const std::size_t n = h.rows();
+  // V diag(exp(factor * lambda)) V^dag
+  Matrix scaled = er.vectors;  // columns scaled by the exponential
+  for (std::size_t j = 0; j < n; ++j) {
+    const cplx e = std::exp(factor * er.values[j]);
+    for (std::size_t i = 0; i < n; ++i) scaled(i, j) *= e;
+  }
+  return scaled * er.vectors.adjoint();
+}
+
+Matrix evolution_unitary(const Matrix& h, double t) {
+  return expm_hermitian(h, cplx{0.0, -t});
+}
+
+Matrix expm(const Matrix& a) {
+  require(a.is_square(), "expm: square matrix required");
+  const std::size_t n = a.rows();
+  const double nrm = a.frobenius_norm();
+  int s = 0;
+  double scaled_norm = nrm;
+  while (scaled_norm > 0.5) {
+    scaled_norm *= 0.5;
+    ++s;
+  }
+  Matrix x = a;
+  const double inv = std::ldexp(1.0, -s);  // 2^-s
+  x *= cplx{inv, 0.0};
+
+  // Taylor series on the scaled matrix; norm <= 0.5 so ~20 terms reach
+  // machine precision.
+  Matrix result = Matrix::identity(n);
+  Matrix term = Matrix::identity(n);
+  for (int k = 1; k <= 24; ++k) {
+    term = term * x;
+    term *= cplx{1.0 / static_cast<double>(k), 0.0};
+    result += term;
+    if (term.frobenius_norm() < 1e-16 * std::max(1.0, result.frobenius_norm()))
+      break;
+  }
+  for (int i = 0; i < s; ++i) result = result * result;
+  return result;
+}
+
+}  // namespace qs

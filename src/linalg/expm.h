@@ -1,0 +1,27 @@
+// Matrix exponentials.
+//
+// Two routes: a spectral route for Hermitian generators (the common case in
+// quantum dynamics, exp(-i H t)) and a scaling-and-squaring Taylor route for
+// general matrices (used for cross-checks and non-Hermitian generators).
+#ifndef QS_LINALG_EXPM_H
+#define QS_LINALG_EXPM_H
+
+#include "linalg/matrix.h"
+
+namespace qs {
+
+/// Returns exp(factor * H) for Hermitian H via eigendecomposition.
+/// `factor` may be complex; with factor = -i*t this is the time-evolution
+/// unitary of Hamiltonian H.
+Matrix expm_hermitian(const Matrix& h, cplx factor);
+
+/// Convenience: exp(-i * H * t) for Hermitian H.
+Matrix evolution_unitary(const Matrix& h, double t);
+
+/// General matrix exponential by scaling-and-squaring with a Taylor core.
+/// Accurate to ~1e-12 for the moderate norms that occur in this library.
+Matrix expm(const Matrix& a);
+
+}  // namespace qs
+
+#endif  // QS_LINALG_EXPM_H

@@ -1,0 +1,45 @@
+// Distance and fidelity measures between states, unitaries, and channels.
+#ifndef QS_LINALG_METRICS_H
+#define QS_LINALG_METRICS_H
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace qs {
+
+/// |<a|b>|^2 for normalized pure states.
+double state_fidelity(const std::vector<cplx>& a, const std::vector<cplx>& b);
+
+/// Uhlmann fidelity F(rho, sigma) = (Tr sqrt(sqrt(rho) sigma sqrt(rho)))^2.
+/// Both inputs must be Hermitian PSD with unit trace (validated loosely).
+double density_fidelity(const Matrix& rho, const Matrix& sigma);
+
+/// Fidelity between a density matrix and a pure state: <psi|rho|psi>.
+double density_pure_fidelity(const Matrix& rho, const std::vector<cplx>& psi);
+
+/// Trace distance 0.5 * Tr |rho - sigma|.
+double trace_distance(const Matrix& rho, const Matrix& sigma);
+
+/// Purity Tr(rho^2).
+double purity(const Matrix& rho);
+
+/// Global-phase-invariant unitary overlap fidelity |Tr(U^dag V)|^2 / d^2.
+/// This is the "process fidelity" figure used by gate-synthesis studies.
+double unitary_fidelity(const Matrix& u, const Matrix& v);
+
+/// Average gate fidelity (d*Fpro + 1) / (d + 1) from the process fidelity.
+double average_gate_fidelity(const Matrix& u, const Matrix& v);
+
+/// Hermitian PSD square root via eigendecomposition (negative eigenvalues
+/// from roundoff are clipped to zero).
+Matrix sqrtm_psd(const Matrix& a);
+
+/// Projects a Hermitian matrix onto the set of density matrices (PSD,
+/// unit trace) by eigenvalue clipping and renormalization. Used by the
+/// tomography module to enforce physicality.
+Matrix project_to_density(const Matrix& a);
+
+}  // namespace qs
+
+#endif  // QS_LINALG_METRICS_H

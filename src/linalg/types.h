@@ -1,0 +1,26 @@
+// Fundamental scalar types and constants for the linear algebra layer.
+#ifndef QS_LINALG_TYPES_H
+#define QS_LINALG_TYPES_H
+
+#include <complex>
+
+namespace qs {
+
+/// The library-wide complex scalar.
+using cplx = std::complex<double>;
+
+/// Imaginary unit.
+inline constexpr cplx kI{0.0, 1.0};
+
+/// Pi to double precision.
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Two pi.
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Default numerical tolerance for unitarity / hermiticity checks.
+inline constexpr double kTol = 1e-10;
+
+}  // namespace qs
+
+#endif  // QS_LINALG_TYPES_H

@@ -1,0 +1,149 @@
+#include "noise/channels.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "gates/qudit_gates.h"
+#include "linalg/types.h"
+
+namespace qs {
+
+namespace {
+
+double binomial(int n, int k) {
+  double r = 1.0;
+  for (int i = 1; i <= k; ++i)
+    r *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  return r;
+}
+
+}  // namespace
+
+std::vector<Matrix> depolarizing_channel(int d, double p) {
+  require(d >= 2, "depolarizing_channel: d >= 2 required");
+  require(p >= 0.0 && p <= 1.0, "depolarizing_channel: p in [0,1] required");
+  // rho -> (1-p) rho + (p/d^2) sum_{ab} W_ab rho W_ab^dag, where the Weyl
+  // twirl equals I/d on unit-trace inputs.
+  std::vector<Matrix> kraus;
+  const double d2 = static_cast<double>(d) * static_cast<double>(d);
+  kraus.push_back(Matrix::identity(static_cast<std::size_t>(d)) *
+                  cplx{std::sqrt(1.0 - p + p / d2), 0.0});
+  const double w = std::sqrt(p / d2);
+  if (w > 0.0) {
+    for (int a = 0; a < d; ++a)
+      for (int b = 0; b < d; ++b) {
+        if (a == 0 && b == 0) continue;
+        kraus.push_back(weyl(d, a, b) * cplx{w, 0.0});
+      }
+  }
+  return kraus;
+}
+
+std::vector<Matrix> dephasing_channel(int d, double p) {
+  require(d >= 2, "dephasing_channel: d >= 2 required");
+  require(p >= 0.0 && p <= 1.0, "dephasing_channel: p in [0,1] required");
+  std::vector<Matrix> kraus;
+  kraus.push_back(Matrix::identity(static_cast<std::size_t>(d)) *
+                  cplx{std::sqrt(1.0 - p + p / d), 0.0});
+  const double w = std::sqrt(p / d);
+  if (w > 0.0) {
+    const Matrix z = weyl_z(d);
+    Matrix zk = z;
+    for (int k = 1; k < d; ++k) {
+      kraus.push_back(zk * cplx{w, 0.0});
+      zk = zk * z;
+    }
+  }
+  return kraus;
+}
+
+std::vector<Matrix> amplitude_damping_channel(int d, double gamma) {
+  require(d >= 2, "amplitude_damping_channel: d >= 2 required");
+  require(gamma >= 0.0 && gamma <= 1.0,
+          "amplitude_damping_channel: gamma in [0,1] required");
+  std::vector<Matrix> kraus;
+  for (int l = 0; l < d; ++l) {
+    Matrix k(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+    bool nonzero = false;
+    for (int n = l; n < d; ++n) {
+      const double amp = std::sqrt(binomial(n, l) *
+                                   std::pow(1.0 - gamma, n - l) *
+                                   std::pow(gamma, l));
+      if (amp > 0.0) nonzero = true;
+      k(static_cast<std::size_t>(n - l), static_cast<std::size_t>(n)) = amp;
+    }
+    if (nonzero || l == 0) kraus.push_back(std::move(k));
+  }
+  return kraus;
+}
+
+std::vector<Matrix> thermal_excitation_channel(int d, double p_up) {
+  require(d >= 2, "thermal_excitation_channel: d >= 2 required");
+  require(p_up >= 0.0 && p_up < 0.5,
+          "thermal_excitation_channel: small p_up required");
+  // First-order raising channel: K1 ~ sqrt(p_up) a^dag / sqrt(n+1) scaling,
+  // K0 completes CPTP. Valid to O(p_up).
+  Matrix k1(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+  for (int n = 0; n + 1 < d; ++n)
+    k1(static_cast<std::size_t>(n + 1), static_cast<std::size_t>(n)) =
+        std::sqrt(p_up * (n + 1.0));
+  // K0 = sqrt(I - K1^dag K1) (diagonal, entries may clip at truncation).
+  Matrix k0(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+  for (int n = 0; n < d; ++n) {
+    const double occ = (n + 1 < d) ? p_up * (n + 1.0) : 0.0;
+    require(occ < 1.0, "thermal_excitation_channel: p_up too large for d");
+    k0(static_cast<std::size_t>(n), static_cast<std::size_t>(n)) =
+        std::sqrt(1.0 - occ);
+  }
+  return {k0, k1};
+}
+
+bool is_cptp(const std::vector<Matrix>& kraus, double tol) {
+  if (kraus.empty()) return false;
+  const std::size_t n = kraus.front().rows();
+  Matrix sum(n, n);
+  for (const Matrix& k : kraus) {
+    if (k.rows() != n || k.cols() != n) return false;
+    sum += k.adjoint() * k;
+  }
+  return max_abs_diff(sum, Matrix::identity(n)) < tol;
+}
+
+std::vector<double> apply_confusion(const std::vector<std::vector<double>>& m,
+                                    const std::vector<double>& counts) {
+  require(!m.empty() && m.size() == counts.size(),
+          "apply_confusion: shape mismatch");
+  std::vector<double> out(counts.size(), 0.0);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    require(m[i].size() == counts.size(), "apply_confusion: ragged matrix");
+    for (std::size_t j = 0; j < counts.size(); ++j)
+      out[i] += m[i][j] * counts[j];
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> adjacent_confusion_matrix(int d,
+                                                           double eps) {
+  require(d >= 2 && eps >= 0.0 && eps <= 1.0,
+          "adjacent_confusion_matrix: bad arguments");
+  std::vector<std::vector<double>> m(
+      static_cast<std::size_t>(d),
+      std::vector<double>(static_cast<std::size_t>(d), 0.0));
+  for (int j = 0; j < d; ++j) {
+    double leak = 0.0;
+    if (j > 0) {
+      m[static_cast<std::size_t>(j - 1)][static_cast<std::size_t>(j)] =
+          eps / 2.0;
+      leak += eps / 2.0;
+    }
+    if (j + 1 < d) {
+      m[static_cast<std::size_t>(j + 1)][static_cast<std::size_t>(j)] =
+          eps / 2.0;
+      leak += eps / 2.0;
+    }
+    m[static_cast<std::size_t>(j)][static_cast<std::size_t>(j)] = 1.0 - leak;
+  }
+  return m;
+}
+
+}  // namespace qs

@@ -1,0 +1,47 @@
+// Standard qudit noise channels as Kraus operator sets.
+//
+// The channels relevant to cavity-transmon qudit hardware: photon loss
+// (bosonic amplitude damping with sqrt(n) enhancement), Weyl dephasing,
+// qudit depolarizing, thermal excitation, and measurement confusion.
+#ifndef QS_NOISE_CHANNELS_H
+#define QS_NOISE_CHANNELS_H
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace qs {
+
+/// Qudit depolarizing channel: rho -> (1-p) rho + p I/d.
+/// Kraus: Weyl-operator mixture.
+std::vector<Matrix> depolarizing_channel(int d, double p);
+
+/// Qudit dephasing channel: rho -> (1-p) rho + (p/d) sum_k Z^k rho Z^-k.
+/// Kills off-diagonals uniformly at strength p (1 - 1/d of them).
+std::vector<Matrix> dephasing_channel(int d, double p);
+
+/// Bosonic amplitude damping (photon loss) with per-photon loss
+/// probability gamma: K_l = sum_n sqrt(C(n,l) (1-g)^(n-l) g^l) |n-l><n|.
+/// Fock level n decays at the enhanced rate n * kappa, the dominant error
+/// channel of cavity qudits.
+std::vector<Matrix> amplitude_damping_channel(int d, double gamma);
+
+/// Thermal excitation channel at heating probability `p_up` per level
+/// step (truncated raising analogue of damping, for small p_up).
+std::vector<Matrix> thermal_excitation_channel(int d, double p_up);
+
+/// Checks the CPTP completeness relation sum_m K_m^dag K_m = I.
+bool is_cptp(const std::vector<Matrix>& kraus, double tol = 1e-9);
+
+/// Applies a classical measurement-confusion matrix to an outcome
+/// histogram: counts'[i] = sum_j M(i, j) counts[j] (M column-stochastic).
+std::vector<double> apply_confusion(const std::vector<std::vector<double>>& m,
+                                    const std::vector<double>& counts);
+
+/// Uniform nearest-level confusion matrix with error rate eps (an outcome
+/// leaks to each adjacent level with probability eps/2, clipped at edges).
+std::vector<std::vector<double>> adjacent_confusion_matrix(int d, double eps);
+
+}  // namespace qs
+
+#endif  // QS_NOISE_CHANNELS_H

@@ -1,0 +1,67 @@
+#include "noise/mitigation.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "linalg/real_matrix.h"
+
+namespace qs {
+
+std::vector<double> mitigate_readout(
+    const std::vector<std::vector<double>>& confusion,
+    const std::vector<double>& observed) {
+  const std::size_t n = observed.size();
+  require(confusion.size() == n, "mitigate_readout: shape mismatch");
+  // Solve M x = y in the least-squares sense (ridge with tiny jitter),
+  // which tolerates mildly ill-conditioned confusion matrices.
+  RMatrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    require(confusion[r].size() == n, "mitigate_readout: ragged matrix");
+    for (std::size_t c = 0; c < n; ++c) m(r, c) = confusion[r][c];
+  }
+  RMatrix y(n, 1);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    y(i, 0) = observed[i];
+    total += observed[i];
+  }
+  const RMatrix x = ridge_fit(m, y, 1e-12);
+  // Clip negatives (unphysical quasi-probabilities) and renormalize to
+  // the observed total.
+  std::vector<double> out(n, 0.0);
+  double clipped_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::max(x(i, 0), 0.0);
+    clipped_total += out[i];
+  }
+  require(clipped_total > 0.0, "mitigate_readout: degenerate inversion");
+  for (double& v : out) v *= total / clipped_total;
+  return out;
+}
+
+std::vector<std::vector<double>> register_confusion_matrix(
+    const std::vector<std::vector<double>>& site_matrix, int sites) {
+  require(sites >= 1, "register_confusion_matrix: sites >= 1 required");
+  const std::size_t d = site_matrix.size();
+  std::size_t dim = 1;
+  for (int s = 0; s < sites; ++s) {
+    require(dim <= (std::size_t{1} << 20) / d,
+            "register_confusion_matrix: register too large");
+    dim *= d;
+  }
+  std::vector<std::vector<double>> full(dim, std::vector<double>(dim, 1.0));
+  for (std::size_t i = 0; i < dim; ++i)
+    for (std::size_t j = 0; j < dim; ++j) {
+      std::size_t ri = i, rj = j;
+      double p = 1.0;
+      for (int s = 0; s < sites; ++s) {
+        p *= site_matrix[ri % d][rj % d];
+        ri /= d;
+        rj /= d;
+      }
+      full[i][j] = p;
+    }
+  return full;
+}
+
+}  // namespace qs

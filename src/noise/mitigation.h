@@ -1,0 +1,29 @@
+// Classical measurement-error mitigation.
+//
+// Standard confusion-matrix inversion for readout errors: given the
+// column-stochastic confusion matrix M (measured[i] = sum_j M[i][j]
+// true[j]), recover the true outcome distribution by solving the linear
+// system and projecting back onto the probability simplex.
+#ifndef QS_NOISE_MITIGATION_H
+#define QS_NOISE_MITIGATION_H
+
+#include <vector>
+
+namespace qs {
+
+/// Inverts a confusion matrix on an observed histogram. `observed` may be
+/// raw counts or frequencies; the result is a nonnegative vector with the
+/// same total. Throws if the matrix is singular beyond repair.
+std::vector<double> mitigate_readout(
+    const std::vector<std::vector<double>>& confusion,
+    const std::vector<double>& observed);
+
+/// Builds the per-site tensor confusion matrix for a register of
+/// identical d-level sites each suffering `adjacent_confusion_matrix`
+/// style leakage (small registers only; the matrix is d^n x d^n).
+std::vector<std::vector<double>> register_confusion_matrix(
+    const std::vector<std::vector<double>>& site_matrix, int sites);
+
+}  // namespace qs
+
+#endif  // QS_NOISE_MITIGATION_H

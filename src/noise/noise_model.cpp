@@ -1,0 +1,76 @@
+#include "noise/noise_model.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "noise/channels.h"
+
+namespace qs {
+
+bool NoiseModel::is_trivial() const {
+  const NoiseParams& p = params_;
+  return p.depol_1q == 0.0 && p.depol_2q == 0.0 && p.dephase_1q == 0.0 &&
+         p.dephase_2q == 0.0 && p.loss_per_gate == 0.0 &&
+         p.idle_loss_rate == 0.0 && p.idle_dephase_rate == 0.0;
+}
+
+std::vector<ChannelOp> NoiseModel::channels_after(
+    const Operation& op, const QuditSpace& space) const {
+  std::vector<ChannelOp> out;
+  const bool two_plus = op.sites.size() >= 2;
+  const double depol = two_plus ? params_.depol_2q : params_.depol_1q;
+  const double dephase = two_plus ? params_.dephase_2q : params_.dephase_1q;
+
+  // An operation standing for n elementary gates receives its per-gate
+  // noise n times. All three channel families compose in closed form
+  // (p_eff = 1 - (1-p)^n), so one application with the composed parameter
+  // is exact and much cheaper than n applications.
+  const double n = static_cast<double>(op.noise_multiplicity);
+  const double depol_eff = 1.0 - std::pow(1.0 - depol, n);
+  const double dephase_eff = 1.0 - std::pow(1.0 - dephase, n);
+  const double loss_eff = 1.0 - std::pow(1.0 - params_.loss_per_gate, n);
+  for (int s : op.sites) {
+    const int d = space.dim(static_cast<std::size_t>(s));
+    if (depol_eff > 0.0)
+      out.push_back({depolarizing_channel(d, depol_eff), {s}});
+    if (dephase_eff > 0.0)
+      out.push_back({dephasing_channel(d, dephase_eff), {s}});
+    if (loss_eff > 0.0)
+      out.push_back({amplitude_damping_channel(d, loss_eff), {s}});
+  }
+
+  if (op.duration > 0.0 &&
+      (params_.idle_loss_rate > 0.0 || params_.idle_dephase_rate > 0.0)) {
+    for (std::size_t s = 0; s < space.num_sites(); ++s) {
+      const int d = space.dim(s);
+      if (params_.idle_loss_rate > 0.0) {
+        const double gamma =
+            1.0 - std::exp(-params_.idle_loss_rate * op.duration);
+        out.push_back({amplitude_damping_channel(d, gamma),
+                       {static_cast<int>(s)}});
+      }
+      if (params_.idle_dephase_rate > 0.0) {
+        const double p =
+            1.0 - std::exp(-params_.idle_dephase_rate * op.duration);
+        out.push_back({dephasing_channel(d, p), {static_cast<int>(s)}});
+      }
+    }
+  }
+  return out;
+}
+
+NoiseParams scale_noise(const NoiseParams& base, double factor) {
+  require(factor >= 0.0, "scale_noise: negative factor");
+  NoiseParams p = base;
+  auto clip = [](double x) { return x > 1.0 ? 1.0 : x; };
+  p.depol_1q = clip(base.depol_1q * factor);
+  p.depol_2q = clip(base.depol_2q * factor);
+  p.dephase_1q = clip(base.dephase_1q * factor);
+  p.dephase_2q = clip(base.dephase_2q * factor);
+  p.loss_per_gate = clip(base.loss_per_gate * factor);
+  p.idle_loss_rate = base.idle_loss_rate * factor;
+  p.idle_dephase_rate = base.idle_dephase_rate * factor;
+  return p;
+}
+
+}  // namespace qs

@@ -1,0 +1,65 @@
+// Circuit-level noise model.
+//
+// Attaches channels to gates: per-gate depolarizing/dephasing (strength
+// split by gate weight), per-gate photon loss on every involved cavity
+// site, and duration-proportional idle decay on all sites. This mirrors
+// the error models used in the paper's cited numerical studies ([11],
+// [20]) while staying hardware-parameterizable.
+#ifndef QS_NOISE_NOISE_MODEL_H
+#define QS_NOISE_NOISE_MODEL_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "linalg/matrix.h"
+#include "qudit/space.h"
+
+namespace qs {
+
+/// One channel application: Kraus set on specific sites.
+struct ChannelOp {
+  std::vector<Matrix> kraus;
+  std::vector<int> sites;
+};
+
+/// Per-gate and idle error rates. All probabilities per gate application;
+/// idle rates are per second and consume Operation::duration.
+struct NoiseParams {
+  double depol_1q = 0.0;         ///< depolarizing after 1-site gates
+  double depol_2q = 0.0;         ///< depolarizing per site after 2-site gates
+  double dephase_1q = 0.0;       ///< dephasing after 1-site gates
+  double dephase_2q = 0.0;       ///< dephasing per site after 2-site gates
+  double loss_per_gate = 0.0;    ///< photon-loss gamma per involved site
+  double idle_loss_rate = 0.0;   ///< kappa (1/s): gamma = 1-exp(-kappa t)
+  double idle_dephase_rate = 0.0;///< 1/s, same exponential conversion
+};
+
+/// Builds the channel list to apply after each gate.
+class NoiseModel {
+ public:
+  NoiseModel() = default;
+  explicit NoiseModel(NoiseParams params) : params_(params) {}
+
+  const NoiseParams& params() const { return params_; }
+  NoiseParams& params() { return params_; }
+
+  /// True when every rate is zero (executors can skip channel work).
+  bool is_trivial() const;
+
+  /// Channels to apply after `op` executes on `space`. Gate-local noise
+  /// lands on the gate's sites; idle decay (if configured and the op has
+  /// a duration) lands on every site of the register.
+  std::vector<ChannelOp> channels_after(const Operation& op,
+                                        const QuditSpace& space) const;
+
+ private:
+  NoiseParams params_;
+};
+
+/// Scales every per-gate probability in `base` by `factor` (used for
+/// error-rate sweeps); idle rates are scaled too.
+NoiseParams scale_noise(const NoiseParams& base, double factor);
+
+}  // namespace qs
+
+#endif  // QS_NOISE_NOISE_MODEL_H

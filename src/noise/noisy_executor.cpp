@@ -1,0 +1,76 @@
+#include "noise/noisy_executor.h"
+
+#include "common/require.h"
+#include "linalg/matrix.h"
+
+namespace qs {
+
+void run_noisy(const Circuit& circuit, DensityMatrix& rho,
+               const NoiseModel& noise) {
+  require(rho.space() == circuit.space(), "run_noisy: space mismatch");
+  for (const Operation& op : circuit.operations()) {
+    if (op.diagonal)
+      rho.apply_unitary(Matrix::diagonal(op.diag), op.sites);
+    else
+      rho.apply_unitary(op.matrix, op.sites);
+    for (const ChannelOp& ch : noise.channels_after(op, circuit.space()))
+      rho.apply_channel(ch.kraus, ch.sites);
+  }
+}
+
+void run_trajectory(const Circuit& circuit, StateVector& psi,
+                    const NoiseModel& noise, Rng& rng) {
+  require(psi.space() == circuit.space(), "run_trajectory: space mismatch");
+  const bool trivial = noise.is_trivial();
+  for (const Operation& op : circuit.operations()) {
+    if (op.diagonal)
+      psi.apply_diagonal(op.diag, op.sites);
+    else
+      psi.apply(op.matrix, op.sites);
+    if (trivial) continue;
+    for (const ChannelOp& ch : noise.channels_after(op, circuit.space()))
+      psi.apply_channel_sampled(ch.kraus, ch.sites, rng);
+  }
+}
+
+std::vector<std::size_t> sample_noisy_counts(const Circuit& circuit,
+                                             std::size_t shots,
+                                             const NoiseModel& noise,
+                                             Rng& rng) {
+  std::vector<std::size_t> counts(circuit.space().dimension(), 0);
+  if (noise.is_trivial()) {
+    // One pure run, then multinomial sampling.
+    StateVector psi(circuit.space());
+    run_trajectory(circuit, psi, noise, rng);
+    const auto c = psi.sample_counts(shots, rng);
+    for (std::size_t i = 0; i < c.size(); ++i) counts[i] += c[i];
+    return counts;
+  }
+  for (std::size_t s = 0; s < shots; ++s) {
+    StateVector psi(circuit.space());
+    run_trajectory(circuit, psi, noise, rng);
+    ++counts[psi.sample_index(rng)];
+  }
+  return counts;
+}
+
+double trajectory_expectation_diagonal(const Circuit& circuit,
+                                       const std::vector<double>& diag,
+                                       std::size_t trajectories,
+                                       const NoiseModel& noise, Rng& rng) {
+  require(trajectories > 0, "trajectory_expectation_diagonal: need shots");
+  if (noise.is_trivial()) {
+    StateVector psi(circuit.space());
+    run_trajectory(circuit, psi, noise, rng);
+    return psi.expectation_diagonal(diag);
+  }
+  double acc = 0.0;
+  for (std::size_t s = 0; s < trajectories; ++s) {
+    StateVector psi(circuit.space());
+    run_trajectory(circuit, psi, noise, rng);
+    acc += psi.expectation_diagonal(diag);
+  }
+  return acc / static_cast<double>(trajectories);
+}
+
+}  // namespace qs

@@ -1,0 +1,43 @@
+// Noisy circuit execution: exact density-matrix evolution and quantum
+// trajectory (Kraus-unravelled state-vector) sampling.
+#ifndef QS_NOISE_NOISY_EXECUTOR_H
+#define QS_NOISE_NOISY_EXECUTOR_H
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+#include "noise/noise_model.h"
+#include "qudit/density_matrix.h"
+#include "qudit/state_vector.h"
+
+namespace qs {
+
+/// Runs `circuit` on `rho`, applying the noise model's channels after
+/// every gate. Exact (no sampling); cost grows with dim^2.
+void run_noisy(const Circuit& circuit, DensityMatrix& rho,
+               const NoiseModel& noise);
+
+/// Runs one quantum trajectory: gates applied exactly, each channel
+/// sampled to one Kraus branch. The ensemble over trajectories reproduces
+/// the density-matrix evolution.
+void run_trajectory(const Circuit& circuit, StateVector& psi,
+                    const NoiseModel& noise, Rng& rng);
+
+/// Samples `shots` computational-basis outcomes, one trajectory per shot.
+/// Returns a histogram over basis indices of the circuit's space.
+std::vector<std::size_t> sample_noisy_counts(const Circuit& circuit,
+                                             std::size_t shots,
+                                             const NoiseModel& noise,
+                                             Rng& rng);
+
+/// Trajectory-averaged expectation of a diagonal full-space observable.
+double trajectory_expectation_diagonal(const Circuit& circuit,
+                                       const std::vector<double>& diag,
+                                       std::size_t trajectories,
+                                       const NoiseModel& noise, Rng& rng);
+
+}  // namespace qs
+
+#endif  // QS_NOISE_NOISY_EXECUTOR_H

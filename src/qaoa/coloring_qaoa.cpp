@@ -1,0 +1,132 @@
+#include "qaoa/coloring_qaoa.h"
+
+#include <cmath>
+
+#include "circuit/executor.h"
+#include "common/require.h"
+#include "gates/qudit_gates.h"
+#include "linalg/expm.h"
+#include "linalg/types.h"
+#include "noise/noisy_executor.h"
+#include "qudit/state_vector.h"
+
+namespace qs {
+
+ColoringQaoa::ColoringQaoa(Graph graph, int colors)
+    : graph_(std::move(graph)),
+      colors_(colors),
+      space_(QuditSpace::uniform(static_cast<std::size_t>(graph_.n),
+                                 colors)) {
+  require(colors_ >= 2, "ColoringQaoa: need at least 2 colors");
+  require(graph_.n >= 2, "ColoringQaoa: need at least 2 nodes");
+}
+
+std::vector<int> ColoringQaoa::decode(std::size_t index,
+                                      const std::vector<int>& offsets) const {
+  require(offsets.size() == static_cast<std::size_t>(graph_.n),
+          "decode: offsets size mismatch");
+  std::vector<int> coloring(static_cast<std::size_t>(graph_.n));
+  for (int v = 0; v < graph_.n; ++v)
+    coloring[static_cast<std::size_t>(v)] =
+        (space_.digit(index, static_cast<std::size_t>(v)) +
+         offsets[static_cast<std::size_t>(v)]) %
+        colors_;
+  return coloring;
+}
+
+std::vector<double> ColoringQaoa::cost_diagonal(
+    const std::vector<int>& offsets) const {
+  std::vector<double> diag(space_.dimension(), 0.0);
+  for (std::size_t i = 0; i < space_.dimension(); ++i)
+    diag[i] = colored_edges(graph_, decode(i, offsets));
+  return diag;
+}
+
+Circuit ColoringQaoa::build_circuit(const std::vector<double>& gammas,
+                                    const std::vector<double>& betas,
+                                    const std::vector<int>& offsets,
+                                    MixerKind mixer) const {
+  require(gammas.size() == betas.size() && !gammas.empty(),
+          "build_circuit: need equal nonempty parameter lists");
+  require(offsets.size() == static_cast<std::size_t>(graph_.n),
+          "build_circuit: offsets size mismatch");
+  Circuit circuit(space_);
+  // Uniform superposition per node.
+  const Matrix f = fourier(colors_);
+  for (int v = 0; v < graph_.n; ++v) circuit.add("F", f, {v});
+
+  const Matrix mix_h = (mixer == MixerKind::kFull)
+                           ? full_mixer_hamiltonian(colors_)
+                           : shift_mixer_hamiltonian(colors_);
+  for (std::size_t layer = 0; layer < gammas.size(); ++layer) {
+    // Phase separator: per edge, phase e^{-i gamma} on equal effective
+    // colors (penalizing conflicts == rewarding colored edges globally).
+    const double gamma = gammas[layer];
+    for (const auto& [a, b] : graph_.edges) {
+      std::vector<cplx> diag(
+          static_cast<std::size_t>(colors_) * static_cast<std::size_t>(colors_));
+      for (int za = 0; za < colors_; ++za)
+        for (int zb = 0; zb < colors_; ++zb) {
+          const int ca = (za + offsets[static_cast<std::size_t>(a)]) % colors_;
+          const int cb = (zb + offsets[static_cast<std::size_t>(b)]) % colors_;
+          diag[static_cast<std::size_t>(za + colors_ * zb)] =
+              (ca == cb) ? std::exp(cplx{0.0, -gamma}) : cplx{1.0, 0.0};
+        }
+      circuit.add_diagonal("CK", std::move(diag), {a, b});
+    }
+    // Mixer per node.
+    const Matrix mix = expm_hermitian(mix_h, cplx{0.0, -betas[layer]});
+    for (int v = 0; v < graph_.n; ++v) circuit.add("MIX", mix, {v});
+  }
+  return circuit;
+}
+
+double ColoringQaoa::expected_cost(const std::vector<double>& gammas,
+                                   const std::vector<double>& betas,
+                                   MixerKind mixer) const {
+  const std::vector<int> zero(static_cast<std::size_t>(graph_.n), 0);
+  const Circuit circuit = build_circuit(gammas, betas, zero, mixer);
+  const StateVector psi = run_from_vacuum(circuit);
+  return psi.expectation_diagonal(cost_diagonal(zero));
+}
+
+std::pair<double, double> ColoringQaoa::optimize_p1(int grid_points,
+                                                    MixerKind mixer) const {
+  require(grid_points >= 2, "optimize_p1: need at least 2 grid points");
+  double best_gamma = 0.0, best_beta = 0.0, best_cost = -1.0;
+  for (int gi = 1; gi <= grid_points; ++gi) {
+    const double gamma = kTwoPi * gi / (grid_points + 1);
+    for (int bi = 1; bi <= grid_points; ++bi) {
+      const double beta = kPi * bi / (grid_points + 1);
+      const double cost = expected_cost({gamma}, {beta}, mixer);
+      if (cost > best_cost) {
+        best_cost = cost;
+        best_gamma = gamma;
+        best_beta = beta;
+      }
+    }
+  }
+  return {best_gamma, best_beta};
+}
+
+std::vector<std::vector<int>> ColoringQaoa::sample_colorings(
+    const Circuit& circuit, const std::vector<int>& offsets,
+    std::size_t shots, const NoiseModel& noise, Rng& rng) const {
+  std::vector<std::vector<int>> out;
+  out.reserve(shots);
+  if (noise.is_trivial()) {
+    StateVector psi(space_);
+    run_trajectory(circuit, psi, noise, rng);
+    for (std::size_t s = 0; s < shots; ++s)
+      out.push_back(decode(psi.sample_index(rng), offsets));
+    return out;
+  }
+  for (std::size_t s = 0; s < shots; ++s) {
+    StateVector psi(space_);
+    run_trajectory(circuit, psi, noise, rng);
+    out.push_back(decode(psi.sample_index(rng), offsets));
+  }
+  return out;
+}
+
+}  // namespace qs

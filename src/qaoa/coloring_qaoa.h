@@ -1,0 +1,77 @@
+// Qudit QAOA for graph coloring (paper SS II-B).
+//
+// Colors map to qudit basis states (d = number of colors), so one-hot
+// constraints are enforced by the encoding itself: a node can never hold
+// two colors. The phase separator is a product of two-qudit diagonal
+// gates (one per edge, realizable via cross-Kerr interactions); the mixer
+// is a single-qudit rotation per node.
+#ifndef QS_QAOA_COLORING_QAOA_H
+#define QS_QAOA_COLORING_QAOA_H
+
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+#include "noise/noise_model.h"
+#include "qaoa/graph.h"
+
+namespace qs {
+
+/// Mixer choice for the qudit QAOA.
+enum class MixerKind {
+  kShift,  ///< X + X^dag cyclic mixer
+  kFull,   ///< all-to-all level mixing (complete-graph mixer)
+};
+
+/// Graph-coloring QAOA instance over `colors`-level qudits.
+class ColoringQaoa {
+ public:
+  ColoringQaoa(Graph graph, int colors);
+
+  const Graph& graph() const { return graph_; }
+  int colors() const { return colors_; }
+  const QuditSpace& space() const { return space_; }
+
+  /// Cost diagonal over the full register: number of properly colored
+  /// edges of the decoded coloring ((z_v + offset_v) mod colors).
+  std::vector<double> cost_diagonal(const std::vector<int>& offsets) const;
+
+  /// Builds the p-layer QAOA circuit: per-site Fourier state prep, then
+  /// alternating phase separators (per edge) and mixers (per node).
+  /// `offsets` fold the NDAR gauge into the phase separator.
+  Circuit build_circuit(const std::vector<double>& gammas,
+                        const std::vector<double>& betas,
+                        const std::vector<int>& offsets,
+                        MixerKind mixer = MixerKind::kFull) const;
+
+  /// Noiseless expectation of the cost for the given parameters.
+  double expected_cost(const std::vector<double>& gammas,
+                       const std::vector<double>& betas,
+                       MixerKind mixer = MixerKind::kFull) const;
+
+  /// Grid-search optimization of p=1 parameters (noiseless simulator);
+  /// returns {gamma, beta} maximizing the expected cost.
+  std::pair<double, double> optimize_p1(int grid_points,
+                                        MixerKind mixer = MixerKind::kFull)
+      const;
+
+  /// Samples `shots` colorings (already decoded through `offsets`) from
+  /// the noisy circuit via trajectory sampling.
+  std::vector<std::vector<int>> sample_colorings(
+      const Circuit& circuit, const std::vector<int>& offsets,
+      std::size_t shots, const NoiseModel& noise, Rng& rng) const;
+
+  /// Decodes a basis index into a coloring through `offsets`.
+  std::vector<int> decode(std::size_t index,
+                          const std::vector<int>& offsets) const;
+
+ private:
+  Graph graph_;
+  int colors_;
+  QuditSpace space_;
+};
+
+}  // namespace qs
+
+#endif  // QS_QAOA_COLORING_QAOA_H

@@ -1,0 +1,133 @@
+#include "qaoa/graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/require.h"
+
+namespace qs {
+
+Graph random_graph(int n, double p, Rng& rng) {
+  require(n >= 2, "random_graph: n >= 2 required");
+  require(p >= 0.0 && p <= 1.0, "random_graph: p in [0,1] required");
+  Graph g;
+  g.n = n;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (rng.bernoulli(p)) g.edges.emplace_back(i, j);
+  return g;
+}
+
+Graph random_regular_graph(int n, int k, Rng& rng) {
+  require(n >= 2 && k >= 1 && k < n, "random_regular_graph: bad arguments");
+  require(n * k % 2 == 0, "random_regular_graph: n*k must be even");
+  // Configuration model with retries; falls back after repeated failures
+  // by dropping conflicting pairs.
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    std::vector<int> stubs;
+    for (int v = 0; v < n; ++v)
+      for (int s = 0; s < k; ++s) stubs.push_back(v);
+    rng.shuffle(stubs);
+    std::set<std::pair<int, int>> edge_set;
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      int a = stubs[i], b = stubs[i + 1];
+      if (a == b) {
+        ok = false;
+        break;
+      }
+      if (a > b) std::swap(a, b);
+      if (!edge_set.insert({a, b}).second) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      Graph g;
+      g.n = n;
+      g.edges.assign(edge_set.begin(), edge_set.end());
+      return g;
+    }
+  }
+  // Fallback: dense-ish random graph with expected degree k.
+  return random_graph(n, static_cast<double>(k) / (n - 1), rng);
+}
+
+int colored_edges(const Graph& g, const std::vector<int>& coloring) {
+  require(coloring.size() == static_cast<std::size_t>(g.n),
+          "colored_edges: coloring size mismatch");
+  int score = 0;
+  for (const auto& [a, b] : g.edges)
+    if (coloring[static_cast<std::size_t>(a)] !=
+        coloring[static_cast<std::size_t>(b)])
+      ++score;
+  return score;
+}
+
+int optimal_colored_edges(const Graph& g, int k, std::size_t max_states) {
+  require(k >= 2, "optimal_colored_edges: k >= 2 required");
+  double states = 1.0;
+  for (int i = 0; i < g.n; ++i) states *= k;
+  require(states <= static_cast<double>(max_states),
+          "optimal_colored_edges: state space too large");
+  std::vector<int> coloring(static_cast<std::size_t>(g.n), 0);
+  int best = 0;
+  const auto total = static_cast<std::size_t>(states);
+  for (std::size_t code = 0; code < total; ++code) {
+    std::size_t rem = code;
+    for (int v = 0; v < g.n; ++v) {
+      coloring[static_cast<std::size_t>(v)] =
+          static_cast<int>(rem % static_cast<std::size_t>(k));
+      rem /= static_cast<std::size_t>(k);
+    }
+    best = std::max(best, colored_edges(g, coloring));
+    if (best == static_cast<int>(g.num_edges())) break;
+  }
+  return best;
+}
+
+std::vector<int> greedy_coloring(const Graph& g, int k) {
+  require(k >= 1, "greedy_coloring: k >= 1 required");
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(g.n));
+  for (const auto& [a, b] : g.edges) {
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
+  }
+  std::vector<int> order(static_cast<std::size_t>(g.n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return adj[static_cast<std::size_t>(a)].size() >
+           adj[static_cast<std::size_t>(b)].size();
+  });
+  std::vector<int> color(static_cast<std::size_t>(g.n), -1);
+  for (int v : order) {
+    std::vector<int> conflict(static_cast<std::size_t>(k), 0);
+    for (int u : adj[static_cast<std::size_t>(v)])
+      if (color[static_cast<std::size_t>(u)] >= 0)
+        ++conflict[static_cast<std::size_t>(
+            color[static_cast<std::size_t>(u)])];
+    int best_c = 0;
+    for (int c = 1; c < k; ++c)
+      if (conflict[static_cast<std::size_t>(c)] <
+          conflict[static_cast<std::size_t>(best_c)])
+        best_c = c;
+    color[static_cast<std::size_t>(v)] = best_c;
+  }
+  return color;
+}
+
+double random_coloring_mean(const Graph& g, int k, int trials, Rng& rng) {
+  require(trials >= 1, "random_coloring_mean: trials >= 1 required");
+  double acc = 0.0;
+  std::vector<int> coloring(static_cast<std::size_t>(g.n));
+  for (int t = 0; t < trials; ++t) {
+    for (int v = 0; v < g.n; ++v)
+      coloring[static_cast<std::size_t>(v)] =
+          static_cast<int>(rng.index(static_cast<std::size_t>(k)));
+    acc += colored_edges(g, coloring);
+  }
+  return acc / trials;
+}
+
+}  // namespace qs

@@ -1,0 +1,45 @@
+// Graph utilities for the coloring-optimization case study (SS II-B).
+#ifndef QS_QAOA_GRAPH_H
+#define QS_QAOA_GRAPH_H
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace qs {
+
+/// Simple undirected graph (no self-loops, no parallel edges).
+struct Graph {
+  int n = 0;
+  std::vector<std::pair<int, int>> edges;
+
+  std::size_t num_edges() const { return edges.size(); }
+};
+
+/// Erdos-Renyi G(n, p) graph.
+Graph random_graph(int n, double p, Rng& rng);
+
+/// Random k-regular-ish graph via edge pairing (best effort: retries until
+/// simple; falls back to fewer edges if pairing stalls).
+Graph random_regular_graph(int n, int k, Rng& rng);
+
+/// Number of properly colored edges of a coloring (the maximization
+/// objective of graph coloring as used in the paper / ref [19]).
+int colored_edges(const Graph& g, const std::vector<int>& coloring);
+
+/// Exhaustive optimum of the coloring objective for k colors. Feasible up
+/// to k^n ~ a few million states; guarded.
+int optimal_colored_edges(const Graph& g, int k,
+                          std::size_t max_states = 1u << 22);
+
+/// Greedy sequential coloring baseline (largest-degree-first): returns the
+/// coloring (classical baseline for benches).
+std::vector<int> greedy_coloring(const Graph& g, int k);
+
+/// Uniformly random coloring score, averaged over `trials`.
+double random_coloring_mean(const Graph& g, int k, int trials, Rng& rng);
+
+}  // namespace qs
+
+#endif  // QS_QAOA_GRAPH_H

@@ -1,0 +1,53 @@
+#include "qaoa/ndar.h"
+
+#include "common/require.h"
+
+namespace qs {
+
+NdarResult run_ndar(const ColoringQaoa& qaoa, double gamma, double beta,
+                    const NoiseModel& noise, const NdarOptions& options,
+                    Rng& rng) {
+  require(options.rounds >= 1 && options.shots >= 1,
+          "run_ndar: rounds and shots must be positive");
+  const int n = qaoa.graph().n;
+  NdarResult result;
+  std::vector<int> offsets(static_cast<std::size_t>(n), 0);
+  result.best_cost = -1;
+
+  for (int round = 0; round < options.rounds; ++round) {
+    const Circuit circuit =
+        qaoa.build_circuit({gamma}, {beta}, offsets, options.mixer);
+    const auto samples = qaoa.sample_colorings(circuit, offsets,
+                                               options.shots, noise, rng);
+    double mean = 0.0;
+    for (const auto& coloring : samples) {
+      const int cost = colored_edges(qaoa.graph(), coloring);
+      mean += cost;
+      if (cost > result.best_cost) {
+        result.best_cost = cost;
+        result.best_coloring = coloring;
+      }
+    }
+    mean /= static_cast<double>(samples.size());
+
+    std::size_t at_best = 0;
+    for (const auto& coloring : samples)
+      if (colored_edges(qaoa.graph(), coloring) == result.best_cost)
+        ++at_best;
+
+    result.best_cost_per_round.push_back(result.best_cost);
+    result.mean_cost_per_round.push_back(mean);
+    result.p_best_per_round.push_back(static_cast<double>(at_best) /
+                                      static_cast<double>(samples.size()));
+
+    if (options.remap && !result.best_coloring.empty()) {
+      // Gauge remap: attractor |0...0> decodes to the best coloring.
+      for (int v = 0; v < n; ++v)
+        offsets[static_cast<std::size_t>(v)] =
+            result.best_coloring[static_cast<std::size_t>(v)];
+    }
+  }
+  return result;
+}
+
+}  // namespace qs

@@ -1,0 +1,45 @@
+// Noise-Directed Adaptive Remapping (NDAR) for qudit QAOA.
+//
+// Generalization of ref [21] to qudits (paper SS II-B "exploiting photon
+// loss as an asset"): photon loss drives every cavity toward |0>, so the
+// register has an attractor state |0...0>. After each round, colors are
+// relabelled per node (a gauge transformation of the coloring objective)
+// so that the attractor decodes to the best solution found so far. Noise
+// then pulls the population toward the best-known solution while the
+// QAOA layers keep exploring around it.
+#ifndef QS_QAOA_NDAR_H
+#define QS_QAOA_NDAR_H
+
+#include <vector>
+
+#include "qaoa/coloring_qaoa.h"
+
+namespace qs {
+
+/// NDAR driver options.
+struct NdarOptions {
+  int rounds = 5;
+  std::size_t shots = 128;
+  bool remap = true;         ///< false = vanilla noisy QAOA (baseline)
+  MixerKind mixer = MixerKind::kFull;
+};
+
+/// Per-round and final metrics.
+struct NdarResult {
+  std::vector<double> best_cost_per_round;   ///< running best after round r
+  std::vector<double> mean_cost_per_round;   ///< sample mean in round r
+  std::vector<double> p_best_per_round;      ///< fraction of shots at the
+                                             ///< running best cost
+  int best_cost = 0;
+  std::vector<int> best_coloring;
+};
+
+/// Runs NDAR (or the vanilla baseline when options.remap is false) with
+/// fixed QAOA parameters under the given noise model.
+NdarResult run_ndar(const ColoringQaoa& qaoa, double gamma, double beta,
+                    const NoiseModel& noise, const NdarOptions& options,
+                    Rng& rng);
+
+}  // namespace qs
+
+#endif  // QS_QAOA_NDAR_H

@@ -1,0 +1,164 @@
+#include "qaoa/qrac.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/require.h"
+#include "gates/qudit_gates.h"
+#include "linalg/matrix.h"
+#include "linalg/types.h"
+
+namespace qs {
+
+int qrac_qudits_needed(int n, int d) {
+  require(n >= 1 && d >= 2, "qrac_qudits_needed: bad arguments");
+  const int slots = d * d - 1;
+  return (n + slots - 1) / slots;
+}
+
+std::vector<int> local_search_coloring(const Graph& g,
+                                       std::vector<int> coloring, int colors,
+                                       int sweeps) {
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(g.n));
+  for (const auto& [a, b] : g.edges) {
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
+  }
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    bool changed = false;
+    for (int v = 0; v < g.n; ++v) {
+      std::vector<int> conflicts(static_cast<std::size_t>(colors), 0);
+      for (int u : adj[static_cast<std::size_t>(v)])
+        ++conflicts[static_cast<std::size_t>(
+            coloring[static_cast<std::size_t>(u)])];
+      int best = coloring[static_cast<std::size_t>(v)];
+      for (int c = 0; c < colors; ++c)
+        if (conflicts[static_cast<std::size_t>(c)] <
+            conflicts[static_cast<std::size_t>(best)])
+          best = c;
+      if (best != coloring[static_cast<std::size_t>(v)]) {
+        coloring[static_cast<std::size_t>(v)] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return coloring;
+}
+
+namespace {
+
+/// Product ansatz state of one qudit: chain of adjacent-level Givens
+/// rotations applied to |0>; 2(d-1) parameters per qudit.
+std::vector<cplx> ansatz_state(int d, const double* params) {
+  std::vector<cplx> psi(static_cast<std::size_t>(d), cplx{0.0, 0.0});
+  psi[0] = 1.0;
+  for (int j = 0; j + 1 < d; ++j) {
+    const Matrix g = givens(d, j, j + 1, params[2 * j], params[2 * j + 1]);
+    psi = g * psi;
+  }
+  return psi;
+}
+
+/// <psi| G |psi> for a Hermitian observable.
+double expectation_of(const Matrix& obs, const std::vector<cplx>& psi) {
+  const std::vector<cplx> op = obs * psi;
+  return inner(psi, op).real();
+}
+
+}  // namespace
+
+QracResult solve_qrac_coloring(const Graph& g, const QracOptions& options,
+                               Rng& rng) {
+  require(options.qudit_dim >= 2 && options.colors >= 2,
+          "solve_qrac_coloring: bad options");
+  const int d = options.qudit_dim;
+  const int slots = d * d - 1;
+  const int num_qudits = qrac_qudits_needed(g.n, d);
+  const auto basis = gell_mann_basis(d);
+
+  // node -> (qudit, observable) round-robin assignment.
+  auto qudit_of = [&](int v) { return v / slots; };
+  auto obs_of = [&](int v) { return v % slots; };
+
+  const int params_per_qudit = 2 * (d - 1);
+  const std::size_t nparams =
+      static_cast<std::size_t>(num_qudits * params_per_qudit);
+  std::vector<double> params(nparams);
+  for (double& p : params) p = rng.uniform(-kPi, kPi);
+
+  // Relaxed objective: sum over edges of (x_u - x_v)^2 (maximize).
+  auto objective = [&](const std::vector<double>& p) {
+    std::vector<std::vector<cplx>> states;
+    states.reserve(static_cast<std::size_t>(num_qudits));
+    for (int q = 0; q < num_qudits; ++q)
+      states.push_back(ansatz_state(
+          d, p.data() + static_cast<std::size_t>(q * params_per_qudit)));
+    std::vector<double> x(static_cast<std::size_t>(g.n));
+    for (int v = 0; v < g.n; ++v)
+      x[static_cast<std::size_t>(v)] = expectation_of(
+          basis[static_cast<std::size_t>(obs_of(v))],
+          states[static_cast<std::size_t>(qudit_of(v))]);
+    double obj = 0.0;
+    for (const auto& [a, b] : g.edges) {
+      const double diff =
+          x[static_cast<std::size_t>(a)] - x[static_cast<std::size_t>(b)];
+      obj += diff * diff;
+    }
+    return obj;
+  };
+
+  // SPSA ascent.
+  for (int it = 1; it <= options.spsa_iters; ++it) {
+    const double ak =
+        options.spsa_a / std::pow(static_cast<double>(it), 0.602);
+    const double ck =
+        options.spsa_c / std::pow(static_cast<double>(it), 0.101);
+    std::vector<double> delta(nparams);
+    for (double& x : delta) x = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    std::vector<double> plus = params, minus = params;
+    for (std::size_t i = 0; i < nparams; ++i) {
+      plus[i] += ck * delta[i];
+      minus[i] -= ck * delta[i];
+    }
+    const double gradient_scale =
+        (objective(plus) - objective(minus)) / (2.0 * ck);
+    for (std::size_t i = 0; i < nparams; ++i)
+      params[i] += ak * gradient_scale * delta[i];
+  }
+
+  // Final expectations and quantile rounding to `colors` groups.
+  std::vector<std::vector<cplx>> states;
+  for (int q = 0; q < num_qudits; ++q)
+    states.push_back(ansatz_state(
+        d, params.data() + static_cast<std::size_t>(q * params_per_qudit)));
+  std::vector<double> x(static_cast<std::size_t>(g.n));
+  for (int v = 0; v < g.n; ++v)
+    x[static_cast<std::size_t>(v)] = expectation_of(
+        basis[static_cast<std::size_t>(obs_of(v))],
+        states[static_cast<std::size_t>(qudit_of(v))]);
+
+  std::vector<std::size_t> order(static_cast<std::size_t>(g.n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+  std::vector<int> coloring(static_cast<std::size_t>(g.n), 0);
+  for (std::size_t rank = 0; rank < order.size(); ++rank)
+    coloring[order[rank]] = static_cast<int>(
+        (rank * static_cast<std::size_t>(options.colors)) / order.size());
+
+  QracResult result;
+  result.qudits_used = num_qudits;
+  result.observables_per_qudit = slots;
+  result.relaxed_objective = objective(params);
+  result.raw_colored_edges = colored_edges(g, coloring);
+  if (options.local_search)
+    coloring = local_search_coloring(g, std::move(coloring), options.colors,
+                                     options.local_search_sweeps);
+  result.colored_edges = colored_edges(g, coloring);
+  result.coloring = std::move(coloring);
+  return result;
+}
+
+}  // namespace qs

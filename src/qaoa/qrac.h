@@ -1,0 +1,55 @@
+// Qudit quantum-random-access-code (QRAC) relaxation for large coloring
+// instances (paper SS II-B, generalizing refs [22], [23] to qudits).
+//
+// Many classical variables are packed into few qudits by assigning each
+// graph node one generalized Gell-Mann observable of one register qudit
+// (d^2 - 1 slots per qudit). A product ansatz is optimized (SPSA) against
+// the relaxed objective sum_edges (x_u - x_v)^2, x_v = <G_v>; quantile
+// rounding then maps expectations back to k colors, optionally followed
+// by one-swap local search (as in the cited large-scale experiments).
+#ifndef QS_QAOA_QRAC_H
+#define QS_QAOA_QRAC_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "qaoa/graph.h"
+
+namespace qs {
+
+/// Options for the QRAC relaxation solver.
+struct QracOptions {
+  int qudit_dim = 10;     ///< register qudit dimension
+  int colors = 3;
+  int spsa_iters = 400;
+  double spsa_a = 0.25;   ///< SPSA step size
+  double spsa_c = 0.15;   ///< SPSA perturbation size
+  bool local_search = true;
+  int local_search_sweeps = 3;
+};
+
+/// Outcome of the relaxation.
+struct QracResult {
+  std::vector<int> coloring;       ///< final coloring (post-processing on)
+  int colored_edges = 0;           ///< score of `coloring`
+  int raw_colored_edges = 0;       ///< score before local search
+  int qudits_used = 0;
+  int observables_per_qudit = 0;
+  double relaxed_objective = 0.0;  ///< final relaxed value
+};
+
+/// Number of qudits needed to host n node-observables at dimension d.
+int qrac_qudits_needed(int n, int d);
+
+/// Runs the QRAC relaxation + rounding pipeline.
+QracResult solve_qrac_coloring(const Graph& g, const QracOptions& options,
+                               Rng& rng);
+
+/// One-swap local search: repeatedly moves single nodes to their locally
+/// best color; returns the improved coloring. Exposed for baselines.
+std::vector<int> local_search_coloring(const Graph& g, std::vector<int>
+                                       coloring, int colors, int sweeps);
+
+}  // namespace qs
+
+#endif  // QS_QAOA_QRAC_H

@@ -1,0 +1,63 @@
+#include "qrc/esn.h"
+
+#include <cmath>
+
+#include "common/require.h"
+
+namespace qs {
+
+EchoStateNetwork::EchoStateNetwork(const EsnConfig& config, Rng& rng)
+    : cfg_(config) {
+  require(cfg_.neurons >= 1, "EchoStateNetwork: neurons >= 1 required");
+  require(cfg_.leak > 0.0 && cfg_.leak <= 1.0,
+          "EchoStateNetwork: leak in (0,1] required");
+  const auto n = static_cast<std::size_t>(cfg_.neurons);
+  w_ = RMatrix(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      if (rng.bernoulli(cfg_.density)) w_(r, c) = rng.normal();
+
+  // Rescale to the requested spectral radius (power iteration estimate).
+  std::vector<double> v(n, 1.0);
+  double radius = 0.0;
+  for (int it = 0; it < 60; ++it) {
+    std::vector<double> wv = w_ * v;
+    double nv = 0.0;
+    for (double x : wv) nv += x * x;
+    nv = std::sqrt(nv);
+    if (nv < 1e-12) break;
+    radius = nv;
+    for (std::size_t i = 0; i < n; ++i) v[i] = wv[i] / nv;
+  }
+  if (radius > 1e-12) w_ *= cfg_.spectral_radius / radius;
+
+  w_in_.resize(n);
+  for (double& x : w_in_) x = cfg_.input_scale * rng.normal();
+  state_.assign(n, 0.0);
+}
+
+void EchoStateNetwork::reset() {
+  state_.assign(static_cast<std::size_t>(cfg_.neurons), 0.0);
+}
+
+void EchoStateNetwork::step(double u) {
+  const std::vector<double> wx = w_ * state_;
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    const double pre = wx[i] + w_in_[i] * u;
+    state_[i] =
+        (1.0 - cfg_.leak) * state_[i] + cfg_.leak * std::tanh(pre);
+  }
+}
+
+RMatrix EchoStateNetwork::run(const std::vector<double>& input) {
+  reset();
+  RMatrix features(input.size(), num_features());
+  for (std::size_t t = 0; t < input.size(); ++t) {
+    step(input[t]);
+    for (std::size_t j = 0; j < state_.size(); ++j)
+      features(t, j) = state_[j];
+  }
+  return features;
+}
+
+}  // namespace qs

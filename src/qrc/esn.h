@@ -1,0 +1,55 @@
+// Classical echo state network baseline.
+//
+// Used to reproduce the ref [25] comparison: how many classical tanh
+// neurons are needed to match the quantum reservoir's performance on the
+// same task with the same readout training.
+#ifndef QS_QRC_ESN_H
+#define QS_QRC_ESN_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/real_matrix.h"
+
+namespace qs {
+
+/// ESN hyperparameters.
+struct EsnConfig {
+  int neurons = 50;
+  double spectral_radius = 0.9;
+  double input_scale = 1.0;
+  double density = 0.2;   ///< connection probability
+  double leak = 1.0;      ///< leaky-integrator coefficient (1 = none)
+};
+
+/// Standard leaky tanh echo state network.
+class EchoStateNetwork {
+ public:
+  EchoStateNetwork(const EsnConfig& config, Rng& rng);
+
+  std::size_t num_features() const {
+    return static_cast<std::size_t>(cfg_.neurons);
+  }
+
+  /// Resets the state to zero.
+  void reset();
+
+  /// One update x <- (1-leak) x + leak tanh(W x + w_in u).
+  void step(double u);
+
+  /// Current state vector.
+  const std::vector<double>& state() const { return state_; }
+
+  /// Processes a series from a fresh state; returns [T x neurons].
+  RMatrix run(const std::vector<double>& input);
+
+ private:
+  EsnConfig cfg_;
+  RMatrix w_;                  // neurons x neurons
+  std::vector<double> w_in_;   // neurons
+  std::vector<double> state_;
+};
+
+}  // namespace qs
+
+#endif  // QS_QRC_ESN_H

@@ -1,0 +1,113 @@
+#include "qrc/readout.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "common/stats.h"
+
+namespace qs {
+
+namespace {
+
+/// Appends a bias column of ones.
+RMatrix with_bias(const RMatrix& features) {
+  RMatrix out(features.rows(), features.cols() + 1);
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    for (std::size_t c = 0; c < features.cols(); ++c)
+      out(r, c) = features(r, c);
+    out(r, features.cols()) = 1.0;
+  }
+  return out;
+}
+
+RMatrix slice_rows(const RMatrix& m, std::size_t from, std::size_t count) {
+  RMatrix out(count, m.cols());
+  for (std::size_t r = 0; r < count; ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) out(r, c) = m(from + r, c);
+  return out;
+}
+
+}  // namespace
+
+Readout train_readout(const RMatrix& features,
+                      const std::vector<double>& targets, double lambda) {
+  require(features.rows() == targets.size(),
+          "train_readout: sample count mismatch");
+  require(features.rows() > 0, "train_readout: empty training set");
+  const RMatrix x = with_bias(features);
+  RMatrix y(targets.size(), 1);
+  for (std::size_t i = 0; i < targets.size(); ++i) y(i, 0) = targets[i];
+  return Readout{ridge_fit(x, y, lambda)};
+}
+
+std::vector<double> predict(const Readout& readout, const RMatrix& features) {
+  const RMatrix x = with_bias(features);
+  require(x.cols() == readout.weights.rows(),
+          "predict: feature count mismatch");
+  const RMatrix yhat = x * readout.weights;
+  std::vector<double> out(yhat.rows());
+  for (std::size_t i = 0; i < yhat.rows(); ++i) out[i] = yhat(i, 0);
+  return out;
+}
+
+EvalResult evaluate_readout(const RMatrix& features,
+                            const std::vector<double>& targets, int washout,
+                            int train, double lambda) {
+  require(features.rows() == targets.size(),
+          "evaluate_readout: sample count mismatch");
+  const auto w = static_cast<std::size_t>(washout);
+  const auto tr = static_cast<std::size_t>(train);
+  require(w + tr < features.rows(),
+          "evaluate_readout: washout+train exceeds series length");
+  const std::size_t te = features.rows() - w - tr;
+
+  const RMatrix train_x = slice_rows(features, w, tr);
+  std::vector<double> train_y(targets.begin() + static_cast<long>(w),
+                              targets.begin() + static_cast<long>(w + tr));
+  const Readout readout = train_readout(train_x, train_y, lambda);
+
+  EvalResult result;
+  result.train_nmse = nmse(train_y, predict(readout, train_x));
+  const RMatrix test_x = slice_rows(features, w + tr, te);
+  std::vector<double> test_y(targets.begin() + static_cast<long>(w + tr),
+                             targets.end());
+  result.test_nmse = nmse(test_y, predict(readout, test_x));
+  return result;
+}
+
+RMatrix stack_history(const RMatrix& features, int window) {
+  require(window >= 1, "stack_history: window >= 1 required");
+  const auto w = static_cast<std::size_t>(window);
+  RMatrix out(features.rows(), features.cols() * w);
+  for (std::size_t t = 0; t < features.rows(); ++t)
+    for (std::size_t k = 0; k < w; ++k) {
+      const std::size_t src = t >= k ? t - k : 0;
+      for (std::size_t c = 0; c < features.cols(); ++c)
+        out(t, k * features.cols() + c) = features(src, c);
+    }
+  return out;
+}
+
+double evaluate_sign_accuracy(const RMatrix& features,
+                              const std::vector<double>& targets, int washout,
+                              int train, double lambda) {
+  const auto w = static_cast<std::size_t>(washout);
+  const auto tr = static_cast<std::size_t>(train);
+  require(w + tr < features.rows(),
+          "evaluate_sign_accuracy: washout+train exceeds series length");
+  const RMatrix train_x = slice_rows(features, w, tr);
+  std::vector<double> train_y(targets.begin() + static_cast<long>(w),
+                              targets.begin() + static_cast<long>(w + tr));
+  const Readout readout = train_readout(train_x, train_y, lambda);
+  const std::size_t te = features.rows() - w - tr;
+  const RMatrix test_x = slice_rows(features, w + tr, te);
+  const auto yhat = predict(readout, test_x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < te; ++i) {
+    const double truth = targets[w + tr + i];
+    if ((yhat[i] >= 0.0) == (truth >= 0.0)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(te);
+}
+
+}  // namespace qs

@@ -1,0 +1,48 @@
+// Trained linear readout and evaluation helpers shared by the quantum
+// reservoir and the classical baseline.
+#ifndef QS_QRC_READOUT_H
+#define QS_QRC_READOUT_H
+
+#include <vector>
+
+#include "linalg/real_matrix.h"
+
+namespace qs {
+
+/// Linear readout weights (features + bias -> 1 output).
+struct Readout {
+  RMatrix weights;  ///< (features + 1) x 1
+};
+
+/// Ridge-trains a readout on [T x F] features against targets.
+Readout train_readout(const RMatrix& features,
+                      const std::vector<double>& targets, double lambda);
+
+/// Applies a readout to features, returning one prediction per row.
+std::vector<double> predict(const Readout& readout, const RMatrix& features);
+
+/// Train/test evaluation with washout: drops the first `washout` rows,
+/// trains on the next `train` rows, tests on the rest. Returns NMSEs.
+struct EvalResult {
+  double train_nmse = 0.0;
+  double test_nmse = 0.0;
+};
+EvalResult evaluate_readout(const RMatrix& features,
+                            const std::vector<double>& targets, int washout,
+                            int train, double lambda);
+
+/// Classification accuracy of sign(prediction) against +-1 targets on the
+/// test split (same washout/train protocol).
+double evaluate_sign_accuracy(const RMatrix& features,
+                              const std::vector<double>& targets, int washout,
+                              int train, double lambda);
+
+/// Stacks each row with its `window - 1` predecessors (clamped at the
+/// start): row t of the result is [f_t, f_{t-1}, ..., f_{t-window+1}].
+/// Standard trick for classifying sequences from per-step measurement
+/// records.
+RMatrix stack_history(const RMatrix& features, int window);
+
+}  // namespace qs
+
+#endif  // QS_QRC_READOUT_H

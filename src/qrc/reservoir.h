@@ -1,0 +1,85 @@
+// Coupled-oscillator quantum reservoir (paper SS II-C, following ref [25]).
+//
+// M dissipative cavity modes with beamsplitter coupling,
+//
+//   H = sum_i omega_i n_i + g (a_1^dag a_2 + h.c.) [+ chain couplings],
+//
+// driven by an input series through displacements on mode 1 and read out
+// through the joint Fock-state probabilities: with two modes of 9 levels
+// the feature vector has 81 entries -- the "81 neurons" of the paper.
+// Dissipation (photon loss kappa) provides the fading memory.
+#ifndef QS_QRC_RESERVOIR_H
+#define QS_QRC_RESERVOIR_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "dynamics/lindblad.h"
+#include "linalg/real_matrix.h"
+#include "qudit/density_matrix.h"
+
+namespace qs {
+
+/// Reservoir parameters (dimensionless units: g sets the scale).
+struct ReservoirConfig {
+  int modes = 2;
+  int levels = 5;               ///< Fock truncation per mode
+  std::vector<double> omegas;   ///< per-mode detuning; default 0, 0.5, ...
+  double coupling = 1.0;        ///< beamsplitter coupling g
+  double kappa = 0.2;           ///< photon loss rate per mode
+  double kerr = 0.3;            ///< self-Kerr chi/2 n(n-1) per mode; the
+                                ///< transmon-inherited anharmonicity that
+                                ///< makes the oscillator network nonlinear
+  double input_gain = 0.35;     ///< displacement amplitude per unit input
+  double tau = 1.0;             ///< evolution time per input step
+  int rk4_steps_per_tau = 12;
+  /// Number of Fock levels per mode exposed as features ("neurons"):
+  /// joint states with every digit < cutoff. 0 = all levels. The paper's
+  /// 81-neuron setup is levels = 9, cutoff = 9 on two modes.
+  int feature_cutoff = 0;
+};
+
+/// The analog reservoir: displacement input encoding, Lindblad evolution,
+/// Fock-probability features.
+class OscillatorReservoir {
+ public:
+  explicit OscillatorReservoir(const ReservoirConfig& config);
+
+  /// Number of feature outputs per time step: cutoff^modes (the "neuron"
+  /// count), or levels^modes when no cutoff is set.
+  std::size_t num_features() const { return feature_indices_.size(); }
+
+  /// Resets the reservoir to the vacuum.
+  void reset();
+
+  /// Feeds one input: displace mode 0 by input_gain * u, evolve for tau.
+  void step(double u);
+
+  /// Current feature vector: joint Fock probabilities (exact).
+  std::vector<double> features() const;
+
+  /// Current features estimated from `shots` multinomial samples
+  /// (models the measurement scheme's shot-noise overhead, E8).
+  std::vector<double> features_sampled(std::size_t shots, Rng& rng);
+
+  /// Convenience: processes a whole series, returning [T x features]
+  /// (exact features; reset() is called first).
+  RMatrix run(const std::vector<double>& input);
+
+  /// Shot-noise version of run().
+  RMatrix run_sampled(const std::vector<double>& input, std::size_t shots,
+                      Rng& rng);
+
+  const ReservoirConfig& config() const { return cfg_; }
+
+ private:
+  ReservoirConfig cfg_;
+  QuditSpace space_;
+  LindbladSystem system_;
+  DensityMatrix rho_;
+  std::vector<std::size_t> feature_indices_;  ///< basis indices exposed
+};
+
+}  // namespace qs
+
+#endif  // QS_QRC_RESERVOIR_H

@@ -1,0 +1,96 @@
+#include "qrc/tasks.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "linalg/types.h"
+
+namespace qs {
+
+SeriesTask make_narma(int order, int length, Rng& rng) {
+  require(order >= 1 && length > order + 10, "make_narma: bad arguments");
+  SeriesTask task;
+  task.input.resize(static_cast<std::size_t>(length));
+  task.target.assign(static_cast<std::size_t>(length), 0.0);
+  for (double& u : task.input) u = rng.uniform(0.0, 0.5);
+  const auto m = static_cast<std::size_t>(order);
+  for (std::size_t t = m; t + 1 < task.target.size(); ++t) {
+    double window = 0.0;
+    for (std::size_t i = 0; i < m; ++i) window += task.target[t - i];
+    double y = 0.3 * task.target[t] + 0.05 * task.target[t] * window +
+               1.5 * task.input[t - m + 1] * task.input[t] + 0.1;
+    // NARMA-10+ can diverge for unlucky drives; the standard fix is a
+    // saturating clip.
+    if (y > 1.0) y = 1.0;
+    task.target[t + 1] = y;
+  }
+  return task;
+}
+
+SeriesTask make_sine_square(int segments, int steps_per_segment, Rng& rng) {
+  require(segments >= 2 && steps_per_segment >= 4,
+          "make_sine_square: bad arguments");
+  SeriesTask task;
+  for (int s = 0; s < segments; ++s) {
+    const bool is_sine = rng.bernoulli(0.5);
+    for (int t = 0; t < steps_per_segment; ++t) {
+      const double phase =
+          kTwoPi * static_cast<double>(t) / steps_per_segment;
+      const double wave =
+          is_sine ? std::sin(phase) : (std::sin(phase) >= 0.0 ? 1.0 : -1.0);
+      task.input.push_back(0.5 * wave);
+      task.target.push_back(is_sine ? 1.0 : -1.0);
+    }
+  }
+  return task;
+}
+
+SeriesTask make_mackey_glass(int length, int horizon, Rng& rng) {
+  require(length > horizon + 50, "make_mackey_glass: series too short");
+  // x'(t) = 0.2 x(t-tau) / (1 + x(t-tau)^10) - 0.1 x(t), tau = 17.
+  constexpr int kTau = 17;
+  constexpr double kDt = 1.0;
+  const int warmup = 300;
+  std::vector<double> x(static_cast<std::size_t>(length + horizon + warmup),
+                        0.0);
+  for (int t = 0; t <= kTau; ++t)
+    x[static_cast<std::size_t>(t)] = 1.1 + 0.1 * rng.normal();
+  for (int t = kTau; t + 1 < static_cast<int>(x.size()); ++t) {
+    const double xd = x[static_cast<std::size_t>(t - kTau)];
+    const double dx = 0.2 * xd / (1.0 + std::pow(xd, 10)) -
+                      0.1 * x[static_cast<std::size_t>(t)];
+    x[static_cast<std::size_t>(t + 1)] =
+        x[static_cast<std::size_t>(t)] + kDt * dx;
+  }
+  // Normalize the post-warmup stretch to [0, 1].
+  double lo = 1e30, hi = -1e30;
+  for (int t = warmup; t < static_cast<int>(x.size()); ++t) {
+    lo = std::min(lo, x[static_cast<std::size_t>(t)]);
+    hi = std::max(hi, x[static_cast<std::size_t>(t)]);
+  }
+  SeriesTask task;
+  for (int t = 0; t < length; ++t) {
+    const double in =
+        (x[static_cast<std::size_t>(warmup + t)] - lo) / (hi - lo);
+    const double out =
+        (x[static_cast<std::size_t>(warmup + t + horizon)] - lo) / (hi - lo);
+    task.input.push_back(in);
+    task.target.push_back(out);
+  }
+  return task;
+}
+
+SeriesTask make_delay_memory(int delay, int length, Rng& rng) {
+  require(delay >= 0 && length > delay + 10,
+          "make_delay_memory: bad arguments");
+  SeriesTask task;
+  task.input.resize(static_cast<std::size_t>(length));
+  for (double& u : task.input) u = rng.uniform(-0.5, 0.5);
+  task.target.assign(static_cast<std::size_t>(length), 0.0);
+  for (int t = delay; t < length; ++t)
+    task.target[static_cast<std::size_t>(t)] =
+        task.input[static_cast<std::size_t>(t - delay)];
+  return task;
+}
+
+}  // namespace qs

@@ -1,0 +1,36 @@
+// Benchmark tasks for reservoir computing.
+#ifndef QS_QRC_TASKS_H
+#define QS_QRC_TASKS_H
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace qs {
+
+/// Input/target pair for a regression task.
+struct SeriesTask {
+  std::vector<double> input;
+  std::vector<double> target;
+};
+
+/// NARMA-m benchmark: y_{t+1} = 0.3 y_t + 0.05 y_t sum_{i<m} y_{t-i}
+///                              + 1.5 u_{t-m+1} u_t + 0.1,
+/// driven by i.i.d. u in [0, 0.5]. The standard fading-memory test.
+SeriesTask make_narma(int order, int length, Rng& rng);
+
+/// Sine/square waveform classification of ref [25]: the input alternates
+/// between sine and square segments; the target is the segment class
+/// (+-1) at every step.
+SeriesTask make_sine_square(int segments, int steps_per_segment, Rng& rng);
+
+/// Mackey-Glass chaotic series (discretized delay equation), normalized
+/// to [0, 1]; the task is `horizon`-step-ahead prediction.
+SeriesTask make_mackey_glass(int length, int horizon, Rng& rng);
+
+/// Delay-memory task: target_t = input_{t - delay} (linear memory probe).
+SeriesTask make_delay_memory(int delay, int length, Rng& rng);
+
+}  // namespace qs
+
+#endif  // QS_QRC_TASKS_H

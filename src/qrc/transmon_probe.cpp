@@ -1,0 +1,93 @@
+#include "qrc/transmon_probe.h"
+
+#include <cmath>
+
+#include "noise/channels.h"
+
+#include "common/require.h"
+#include "gates/bosonic.h"
+#include "gates/two_qudit.h"
+#include "linalg/expm.h"
+#include "linalg/types.h"
+
+namespace qs {
+
+namespace {
+
+Matrix build_probe_hamiltonian(const TransmonProbeConfig& cfg) {
+  const int d = cfg.cavity_levels;
+  const Matrix n_c = number_operator(d);
+  const Matrix id_c = Matrix::identity(static_cast<std::size_t>(d));
+  const Matrix id_q = Matrix::identity(2);
+  Matrix sz(2, 2);
+  sz(0, 0) = 1.0;
+  sz(1, 1) = -1.0;
+  Matrix sx(2, 2);
+  sx(0, 1) = sx(1, 0) = 1.0;
+  // Site order: qubit is site 0 (least significant), cavity site 1.
+  Matrix h = two_site(id_q, n_c) * cplx{cfg.omega_c, 0.0};
+  h += two_site(sz, n_c) * cplx{cfg.chi / 2.0, 0.0};
+  h += two_site(sx, id_c) * cplx{cfg.rabi / 2.0, 0.0};
+  return h;
+}
+
+}  // namespace
+
+TransmonProbeReservoir::TransmonProbeReservoir(
+    const TransmonProbeConfig& config)
+    : cfg_(config),
+      space_(QuditSpace({2, config.cavity_levels})),
+      probe_unitary_(evolution_unitary(build_probe_hamiltonian(config),
+                                       config.probe_time)),
+      reset_x_(Matrix{{0.0, 1.0}, {1.0, 0.0}}) {
+  require(cfg_.cavity_levels >= 2, "TransmonProbeReservoir: levels >= 2");
+  require(cfg_.probes_per_step >= 1 && cfg_.ensemble >= 1,
+          "TransmonProbeReservoir: probes and ensemble must be positive");
+  require(cfg_.kappa >= 0.0, "TransmonProbeReservoir: negative kappa");
+  if (cfg_.kappa > 0.0) {
+    const double gamma = 1.0 - std::exp(-cfg_.kappa * cfg_.probe_time);
+    loss_kraus_ = amplitude_damping_channel(cfg_.cavity_levels, gamma);
+  }
+}
+
+RMatrix TransmonProbeReservoir::run(const std::vector<double>& input,
+                                    Rng& rng) const {
+  RMatrix features(input.size(), num_features());
+  const int d = cfg_.cavity_levels;
+  for (int run_idx = 0; run_idx < cfg_.ensemble; ++run_idx) {
+    StateVector psi(space_);
+    for (std::size_t t = 0; t < input.size(); ++t) {
+      psi.apply(displacement(d, cplx{cfg_.input_gain * input[t], 0.0}), {1});
+      for (int p = 0; p < cfg_.probes_per_step; ++p) {
+        psi.apply(probe_unitary_, {0, 1});
+        if (!loss_kraus_.empty())
+          psi.apply_channel_sampled(loss_kraus_, {1}, rng);
+        const int outcome = psi.measure_site(0, rng);
+        features(t, static_cast<std::size_t>(p)) +=
+            static_cast<double>(outcome) / cfg_.ensemble;
+        if (outcome == 1) psi.apply(reset_x_, {0});  // active reset
+      }
+    }
+  }
+  return features;
+}
+
+SignalTask make_two_tone_task(int segments, int steps_per_segment,
+                              double freq_a, double freq_b, Rng& rng) {
+  require(segments >= 2 && steps_per_segment >= 4,
+          "make_two_tone_task: bad arguments");
+  SignalTask task;
+  double phase = 0.0;
+  for (int s = 0; s < segments; ++s) {
+    const bool is_a = rng.bernoulli(0.5);
+    const double freq = is_a ? freq_a : freq_b;
+    for (int t = 0; t < steps_per_segment; ++t) {
+      phase += freq;
+      task.input.push_back(std::sin(phase));
+      task.target.push_back(is_a ? 1.0 : -1.0);
+    }
+  }
+  return task;
+}
+
+}  // namespace qs

@@ -1,0 +1,30 @@
+// Shared index-arithmetic plan for applying k-local operators.
+//
+// For a set of target sites, `offsets` enumerates the flat-index
+// contributions of all target-digit assignments (sites[0] least
+// significant) and `bases` enumerates the contributions of all
+// assignments to the remaining sites. Every amplitude index factors
+// uniquely as bases[i] + offsets[a].
+#ifndef QS_QUDIT_BLOCK_PLAN_H
+#define QS_QUDIT_BLOCK_PLAN_H
+
+#include <cstddef>
+#include <vector>
+
+#include "qudit/space.h"
+
+namespace qs::detail {
+
+/// Precomputed gather/scatter plan for a k-local operator application.
+struct BlockPlan {
+  std::vector<std::size_t> offsets;  ///< one entry per target-digit tuple
+  std::vector<std::size_t> bases;    ///< one entry per non-target tuple
+};
+
+/// Builds the plan; validates that sites are distinct and in range.
+BlockPlan make_block_plan(const QuditSpace& space,
+                          const std::vector<int>& sites);
+
+}  // namespace qs::detail
+
+#endif  // QS_QUDIT_BLOCK_PLAN_H

@@ -1,0 +1,184 @@
+#include "qudit/density_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+#include "qudit/block_plan.h"
+
+namespace qs {
+
+DensityMatrix::DensityMatrix(QuditSpace space)
+    : space_(std::move(space)),
+      rho_(Matrix::zero(space_.dimension(), space_.dimension())) {
+  rho_(0, 0) = 1.0;
+}
+
+DensityMatrix::DensityMatrix(const StateVector& psi)
+    : space_(psi.space()),
+      rho_(Matrix::zero(space_.dimension(), space_.dimension())) {
+  const auto& a = psi.amplitudes();
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    if (a[r] == cplx{0.0, 0.0}) continue;
+    for (std::size_t c = 0; c < a.size(); ++c)
+      rho_(r, c) = a[r] * std::conj(a[c]);
+  }
+}
+
+DensityMatrix::DensityMatrix(QuditSpace space, Matrix rho)
+    : space_(std::move(space)), rho_(std::move(rho)) {
+  require(rho_.rows() == space_.dimension() && rho_.is_square(),
+          "DensityMatrix: matrix does not match space dimension");
+}
+
+void DensityMatrix::apply_left(const Matrix& op,
+                               const std::vector<int>& sites) {
+  const detail::BlockPlan plan = detail::make_block_plan(space_, sites);
+  const std::size_t block = plan.offsets.size();
+  require(op.rows() == block && op.cols() == block,
+          "DensityMatrix: operator dimension mismatch");
+  const std::size_t n = rho_.rows();
+  std::vector<cplx> temp(block), out(block);
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t base : plan.bases) {
+      for (std::size_t a = 0; a < block; ++a)
+        temp[a] = rho_(base + plan.offsets[a], c);
+      for (std::size_t a = 0; a < block; ++a) {
+        const cplx* row = op.data() + a * block;
+        cplx acc = 0.0;
+        for (std::size_t b = 0; b < block; ++b) acc += row[b] * temp[b];
+        out[a] = acc;
+      }
+      for (std::size_t a = 0; a < block; ++a)
+        rho_(base + plan.offsets[a], c) = out[a];
+    }
+  }
+}
+
+void DensityMatrix::apply_right_adjoint(const Matrix& op,
+                                        const std::vector<int>& sites) {
+  const detail::BlockPlan plan = detail::make_block_plan(space_, sites);
+  const std::size_t block = plan.offsets.size();
+  require(op.rows() == block && op.cols() == block,
+          "DensityMatrix: operator dimension mismatch");
+  const std::size_t n = rho_.rows();
+  std::vector<cplx> temp(block), out(block);
+  // (rho Op^dag)(r, c) = sum_b rho(r, b) * conj(Op(c_t, b_t)).
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t base : plan.bases) {
+      for (std::size_t b = 0; b < block; ++b)
+        temp[b] = rho_(r, base + plan.offsets[b]);
+      for (std::size_t a = 0; a < block; ++a) {
+        const cplx* row = op.data() + a * block;
+        cplx acc = 0.0;
+        for (std::size_t b = 0; b < block; ++b)
+          acc += std::conj(row[b]) * temp[b];
+        out[a] = acc;
+      }
+      for (std::size_t a = 0; a < block; ++a)
+        rho_(r, base + plan.offsets[a]) = out[a];
+    }
+  }
+}
+
+void DensityMatrix::apply_unitary(const Matrix& u,
+                                  const std::vector<int>& sites) {
+  apply_left(u, sites);
+  apply_right_adjoint(u, sites);
+}
+
+void DensityMatrix::apply_channel(const std::vector<Matrix>& kraus,
+                                  const std::vector<int>& sites) {
+  require(!kraus.empty(), "apply_channel: empty Kraus set");
+  Matrix result = Matrix::zero(rho_.rows(), rho_.cols());
+  for (const Matrix& k : kraus) {
+    DensityMatrix branch(space_, rho_);
+    branch.apply_left(k, sites);
+    branch.apply_right_adjoint(k, sites);
+    result += branch.rho_;
+  }
+  rho_ = std::move(result);
+}
+
+double DensityMatrix::trace() const { return rho_.trace().real(); }
+
+void DensityMatrix::normalize() {
+  const double t = trace();
+  require(std::abs(t) > 1e-300, "DensityMatrix::normalize: zero trace");
+  rho_ *= cplx{1.0 / t, 0.0};
+}
+
+double DensityMatrix::purity() const { return (rho_ * rho_).trace().real(); }
+
+std::vector<double> DensityMatrix::probabilities() const {
+  std::vector<double> p(rho_.rows());
+  for (std::size_t i = 0; i < rho_.rows(); ++i) p[i] = rho_(i, i).real();
+  return p;
+}
+
+std::vector<double> DensityMatrix::site_probabilities(int site) const {
+  require(site >= 0 && static_cast<std::size_t>(site) < space_.num_sites(),
+          "site_probabilities: site out of range");
+  std::vector<double> probs(
+      static_cast<std::size_t>(space_.dim(static_cast<std::size_t>(site))),
+      0.0);
+  for (std::size_t i = 0; i < rho_.rows(); ++i)
+    probs[static_cast<std::size_t>(
+        space_.digit(i, static_cast<std::size_t>(site)))] +=
+        rho_(i, i).real();
+  return probs;
+}
+
+std::vector<std::size_t> DensityMatrix::sample_counts(std::size_t shots,
+                                                      Rng& rng) const {
+  const std::vector<double> p = probabilities();
+  std::vector<double> cumulative(p.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    acc += std::max(p[i], 0.0);
+    cumulative[i] = acc;
+  }
+  std::vector<std::size_t> counts(p.size(), 0);
+  for (std::size_t s = 0; s < shots; ++s) {
+    const double r = rng.uniform() * acc;
+    const auto it = std::upper_bound(cumulative.begin(), cumulative.end(), r);
+    const std::size_t idx = std::min(
+        static_cast<std::size_t>(it - cumulative.begin()), p.size() - 1);
+    ++counts[idx];
+  }
+  return counts;
+}
+
+cplx DensityMatrix::expectation(const Matrix& op,
+                                const std::vector<int>& sites) const {
+  const detail::BlockPlan plan = detail::make_block_plan(space_, sites);
+  const std::size_t block = plan.offsets.size();
+  require(op.rows() == block && op.cols() == block,
+          "expectation: operator dimension mismatch");
+  cplx tr = 0.0;
+  // Tr(rho O) = sum_base sum_{a,b} rho(base+off_a, base+off_b) op(b, a).
+  for (std::size_t base : plan.bases)
+    for (std::size_t a = 0; a < block; ++a)
+      for (std::size_t b = 0; b < block; ++b)
+        tr += rho_(base + plan.offsets[a], base + plan.offsets[b]) * op(b, a);
+  return tr;
+}
+
+DensityMatrix DensityMatrix::partial_trace(
+    const std::vector<int>& keep_sites) const {
+  const detail::BlockPlan plan = detail::make_block_plan(space_, keep_sites);
+  const std::size_t block = plan.offsets.size();
+  std::vector<int> kept_dims;
+  kept_dims.reserve(keep_sites.size());
+  for (int s : keep_sites)
+    kept_dims.push_back(space_.dim(static_cast<std::size_t>(s)));
+  QuditSpace reduced(kept_dims);
+  Matrix out = Matrix::zero(block, block);
+  for (std::size_t base : plan.bases)
+    for (std::size_t a = 0; a < block; ++a)
+      for (std::size_t b = 0; b < block; ++b)
+        out(a, b) += rho_(base + plan.offsets[a], base + plan.offsets[b]);
+  return DensityMatrix(reduced, std::move(out));
+}
+
+}  // namespace qs

@@ -1,0 +1,51 @@
+#include "qudit/space.h"
+
+#include "common/require.h"
+
+namespace qs {
+
+QuditSpace::QuditSpace(std::vector<int> dims) : dims_(std::move(dims)) {
+  require(!dims_.empty(), "QuditSpace: need at least one site");
+  strides_.resize(dims_.size());
+  total_ = 1;
+  for (std::size_t s = 0; s < dims_.size(); ++s) {
+    require(dims_[s] >= 2, "QuditSpace: site dimension must be >= 2");
+    strides_[s] = total_;
+    total_ *= static_cast<std::size_t>(dims_[s]);
+  }
+}
+
+QuditSpace QuditSpace::uniform(std::size_t count, int d) {
+  return QuditSpace(std::vector<int>(count, d));
+}
+
+std::vector<int> QuditSpace::digits(std::size_t index) const {
+  require(index < total_, "QuditSpace::digits: index out of range");
+  std::vector<int> out(dims_.size());
+  for (std::size_t s = 0; s < dims_.size(); ++s) out[s] = digit(index, s);
+  return out;
+}
+
+std::size_t QuditSpace::index_of(const std::vector<int>& digits) const {
+  require(digits.size() == dims_.size(),
+          "QuditSpace::index_of: digit count mismatch");
+  std::size_t idx = 0;
+  for (std::size_t s = 0; s < dims_.size(); ++s) {
+    require(digits[s] >= 0 && digits[s] < dims_[s],
+            "QuditSpace::index_of: digit out of range");
+    idx += static_cast<std::size_t>(digits[s]) * strides_[s];
+  }
+  return idx;
+}
+
+std::string QuditSpace::to_string() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(dims_[i]);
+  }
+  s += "]";
+  return s;
+}
+
+}  // namespace qs

@@ -1,0 +1,70 @@
+// Mixed-radix qudit register description and index arithmetic.
+//
+// A register is an ordered list of sites, each with its own local dimension
+// (qubits d=2, qutrits d=3, cavity qudits d up to ~20, and heterogeneous
+// mixes such as transmon+cavity). Site 0 is the least significant digit of
+// a basis index.
+#ifndef QS_QUDIT_SPACE_H
+#define QS_QUDIT_SPACE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qs {
+
+/// Immutable description of a mixed-radix Hilbert space.
+class QuditSpace {
+ public:
+  QuditSpace() = default;
+
+  /// Builds a space from per-site dimensions; each must be >= 2.
+  explicit QuditSpace(std::vector<int> dims);
+
+  /// Homogeneous register of `count` sites with local dimension `d`.
+  static QuditSpace uniform(std::size_t count, int d);
+
+  /// Number of sites.
+  std::size_t num_sites() const { return dims_.size(); }
+
+  /// Local dimension of site `s`.
+  int dim(std::size_t s) const { return dims_[s]; }
+
+  /// All local dimensions.
+  const std::vector<int>& dims() const { return dims_; }
+
+  /// Total Hilbert-space dimension (product of local dimensions).
+  std::size_t dimension() const { return total_; }
+
+  /// Stride of site `s` in a flattened basis index.
+  std::size_t stride(std::size_t s) const { return strides_[s]; }
+
+  /// Digit of site `s` in basis index `index`.
+  int digit(std::size_t index, std::size_t s) const {
+    return static_cast<int>((index / strides_[s]) %
+                            static_cast<std::size_t>(dims_[s]));
+  }
+
+  /// Decomposes a basis index into per-site digits.
+  std::vector<int> digits(std::size_t index) const;
+
+  /// Composes per-site digits into a basis index. Validates ranges.
+  std::size_t index_of(const std::vector<int>& digits) const;
+
+  /// Equality of dimension lists.
+  bool operator==(const QuditSpace& other) const {
+    return dims_ == other.dims_;
+  }
+
+  /// Renders like "[3,3,3]" for diagnostics.
+  std::string to_string() const;
+
+ private:
+  std::vector<int> dims_;
+  std::vector<std::size_t> strides_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace qs
+
+#endif  // QS_QUDIT_SPACE_H

@@ -1,0 +1,194 @@
+#include "qudit/state_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+#include "qudit/block_plan.h"
+
+namespace qs {
+
+StateVector::StateVector(QuditSpace space)
+    : space_(std::move(space)), amps_(space_.dimension(), cplx{0.0, 0.0}) {
+  amps_[0] = 1.0;
+}
+
+StateVector::StateVector(QuditSpace space, const std::vector<int>& digits)
+    : space_(std::move(space)), amps_(space_.dimension(), cplx{0.0, 0.0}) {
+  amps_[space_.index_of(digits)] = 1.0;
+}
+
+StateVector::StateVector(QuditSpace space, std::vector<cplx> amplitudes)
+    : space_(std::move(space)), amps_(std::move(amplitudes)) {
+  require(amps_.size() == space_.dimension(),
+          "StateVector: amplitude count does not match space dimension");
+}
+
+void StateVector::block_offsets(const std::vector<int>& sites,
+                                std::vector<std::size_t>& offsets,
+                                std::vector<std::size_t>& bases) const {
+  detail::BlockPlan plan = detail::make_block_plan(space_, sites);
+  offsets = std::move(plan.offsets);
+  bases = std::move(plan.bases);
+}
+
+void StateVector::apply(const Matrix& op, const std::vector<int>& sites) {
+  std::vector<std::size_t> offsets, bases;
+  block_offsets(sites, offsets, bases);
+  const std::size_t block = offsets.size();
+  require(op.rows() == block && op.cols() == block,
+          "StateVector::apply: operator dimension mismatch");
+
+  std::vector<cplx> temp(block), out(block);
+  for (std::size_t base : bases) {
+    for (std::size_t a = 0; a < block; ++a) temp[a] = amps_[base + offsets[a]];
+    for (std::size_t a = 0; a < block; ++a) {
+      const cplx* row = op.data() + a * block;
+      cplx acc = 0.0;
+      for (std::size_t b = 0; b < block; ++b) acc += row[b] * temp[b];
+      out[a] = acc;
+    }
+    for (std::size_t a = 0; a < block; ++a) amps_[base + offsets[a]] = out[a];
+  }
+}
+
+void StateVector::apply_diagonal(const std::vector<cplx>& diag,
+                                 const std::vector<int>& sites) {
+  std::vector<std::size_t> offsets, bases;
+  block_offsets(sites, offsets, bases);
+  require(diag.size() == offsets.size(),
+          "StateVector::apply_diagonal: diagonal length mismatch");
+  for (std::size_t base : bases)
+    for (std::size_t a = 0; a < offsets.size(); ++a)
+      amps_[base + offsets[a]] *= diag[a];
+}
+
+double StateVector::norm_squared() const {
+  double s = 0.0;
+  for (const cplx& a : amps_) s += std::norm(a);
+  return s;
+}
+
+void StateVector::normalize() {
+  const double n2 = norm_squared();
+  require(n2 > 1e-300, "StateVector::normalize: zero state");
+  const double inv = 1.0 / std::sqrt(n2);
+  for (cplx& a : amps_) a *= inv;
+}
+
+std::vector<double> StateVector::site_probabilities(int site) const {
+  require(site >= 0 && static_cast<std::size_t>(site) < space_.num_sites(),
+          "site_probabilities: site out of range");
+  std::vector<double> probs(
+      static_cast<std::size_t>(space_.dim(static_cast<std::size_t>(site))),
+      0.0);
+  for (std::size_t i = 0; i < amps_.size(); ++i)
+    probs[static_cast<std::size_t>(
+        space_.digit(i, static_cast<std::size_t>(site)))] +=
+        std::norm(amps_[i]);
+  return probs;
+}
+
+int StateVector::measure_site(int site, Rng& rng) {
+  const std::vector<double> probs = site_probabilities(site);
+  const std::size_t outcome = rng.discrete(probs);
+  for (std::size_t i = 0; i < amps_.size(); ++i)
+    if (static_cast<std::size_t>(
+            space_.digit(i, static_cast<std::size_t>(site))) != outcome)
+      amps_[i] = 0.0;
+  normalize();
+  return static_cast<int>(outcome);
+}
+
+std::size_t StateVector::sample_index(Rng& rng) const {
+  double r = rng.uniform() * norm_squared();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    acc += std::norm(amps_[i]);
+    if (r < acc) return i;
+  }
+  return amps_.size() - 1;
+}
+
+std::vector<std::size_t> StateVector::sample_counts(std::size_t shots,
+                                                    Rng& rng) const {
+  std::vector<double> cumulative(amps_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    acc += std::norm(amps_[i]);
+    cumulative[i] = acc;
+  }
+  std::vector<std::size_t> counts(amps_.size(), 0);
+  for (std::size_t s = 0; s < shots; ++s) {
+    const double r = rng.uniform() * acc;
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), r);
+    const std::size_t idx = std::min(
+        static_cast<std::size_t>(it - cumulative.begin()), amps_.size() - 1);
+    ++counts[idx];
+  }
+  return counts;
+}
+
+cplx StateVector::expectation(const Matrix& op,
+                              const std::vector<int>& sites) const {
+  StateVector tmp = *this;
+  tmp.apply(op, sites);
+  return inner(amps_, tmp.amps_);
+}
+
+double StateVector::expectation_diagonal(
+    const std::vector<double>& diag) const {
+  require(diag.size() == amps_.size(),
+          "expectation_diagonal: length mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i)
+    s += diag[i] * std::norm(amps_[i]);
+  return s;
+}
+
+cplx StateVector::overlap(const StateVector& other) const {
+  require(space_ == other.space_, "overlap: space mismatch");
+  return inner(amps_, other.amps_);
+}
+
+std::vector<double> StateVector::channel_probabilities(
+    const std::vector<Matrix>& kraus, const std::vector<int>& sites) const {
+  require(!kraus.empty(), "channel_probabilities: empty Kraus set");
+  std::vector<std::size_t> offsets, bases;
+  block_offsets(sites, offsets, bases);
+  const std::size_t block = offsets.size();
+  for (const Matrix& k : kraus)
+    require(k.rows() == block && k.cols() == block,
+            "channel_probabilities: Kraus dimension mismatch");
+
+  std::vector<double> probs(kraus.size(), 0.0);
+  std::vector<cplx> temp(block);
+  for (std::size_t base : bases) {
+    for (std::size_t a = 0; a < block; ++a) temp[a] = amps_[base + offsets[a]];
+    for (std::size_t m = 0; m < kraus.size(); ++m) {
+      const Matrix& k = kraus[m];
+      double part = 0.0;
+      for (std::size_t a = 0; a < block; ++a) {
+        const cplx* row = k.data() + a * block;
+        cplx acc = 0.0;
+        for (std::size_t b = 0; b < block; ++b) acc += row[b] * temp[b];
+        part += std::norm(acc);
+      }
+      probs[m] += part;
+    }
+  }
+  return probs;
+}
+
+std::size_t StateVector::apply_channel_sampled(
+    const std::vector<Matrix>& kraus, const std::vector<int>& sites,
+    Rng& rng) {
+  const std::vector<double> probs = channel_probabilities(kraus, sites);
+  const std::size_t m = rng.discrete(probs);
+  apply(kraus[m], sites);
+  normalize();
+  return m;
+}
+
+}  // namespace qs

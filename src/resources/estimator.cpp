@@ -1,0 +1,169 @@
+#include "resources/estimator.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/require.h"
+#include "common/table.h"
+#include "compiler/compile.h"
+#include "qaoa/coloring_qaoa.h"
+#include "qaoa/qrac.h"
+#include "sqed/encodings.h"
+#include "sqed/gauge_model.h"
+
+namespace qs {
+
+Processor derate_for_levels(const Processor& proc, int levels) {
+  require(levels >= 2 && levels <= proc.config().levels_per_mode,
+          "derate_for_levels: levels must fit the device modes");
+  ProcessorConfig cfg = proc.config();
+  cfg.levels_per_mode = levels;
+  return Processor(cfg);
+}
+
+namespace {
+
+/// Compiles a logical circuit and fills the schedule-derived fields.
+/// The device is derated to the logical dimension so idle decay reflects
+/// the occupied Fock levels.
+void fill_from_compile(AppEstimate& est, const Circuit& logical,
+                       const Processor& proc, Rng& rng) {
+  est.unit_gates = logical.size();
+  est.hilbert_qubits =
+      std::log2(static_cast<double>(logical.space().dim(0))) *
+      static_cast<double>(logical.space().num_sites());
+  est.modes_needed = static_cast<int>(logical.space().num_sites());
+  const Processor device = derate_for_levels(proc, logical.space().dim(0));
+  const CompileReport report = compile_circuit(logical, device, rng);
+  est.routed_gates = report.routing.physical.size();
+  est.swaps = report.routing.swaps_inserted;
+  est.unit_duration = report.schedule.makespan;
+  est.unit_fidelity = report.schedule.total_fidelity;
+}
+
+}  // namespace
+
+AppEstimate estimate_sqed(int nx, int ny, int d, const Processor& proc,
+                          Rng& rng) {
+  AppEstimate est;
+  est.application = "sQED Simulation";
+  {
+    std::ostringstream os;
+    os << "2D lattice Ns = " << nx << " x " << ny << " with d = " << d;
+    est.implementation = os.str();
+  }
+  est.challenge = "Synthesis CSUM between co-located and adjacent qumodes";
+  const Hamiltonian h = gauge_ladder_2d(nx, ny, {d, 1.0, 1.0});
+  const Circuit step = native_trotter_circuit(h, {2, 0.1, 1});
+  fill_from_compile(est, step, proc, rng);
+  return est;
+}
+
+AppEstimate estimate_coloring(int n, int colors, const Processor& proc,
+                              Rng& rng) {
+  AppEstimate est;
+  est.application = "Coloring Optimization";
+  {
+    std::ostringstream os;
+    os << "NDAR-QAOA " << colors << "-colors N = " << n;
+    est.implementation = os.str();
+  }
+  est.challenge = "CSUM and generalize QRACs to qudits";
+  // 3-regular when the handshake parity allows it, otherwise the same
+  // expected degree via G(n, p).
+  const Graph g = (n * 3 % 2 == 0)
+                      ? random_regular_graph(n, 3, rng)
+                      : random_graph(n, 3.0 / (n - 1), rng);
+  const ColoringQaoa qaoa(g, colors);
+  const std::vector<int> zero(static_cast<std::size_t>(n), 0);
+  const Circuit layer = qaoa.build_circuit({0.7}, {0.4}, zero);
+  if (n <= proc.num_modes()) {
+    fill_from_compile(est, layer, proc, rng);
+  } else {
+    // Exceeds the device: report logical requirements only (the paper's
+    // answer for this regime is the QRAC encoding, see
+    // estimate_coloring_qrac).
+    est.modes_needed = n;
+    est.hilbert_qubits = n * std::log2(static_cast<double>(colors));
+    est.unit_gates = layer.size();
+    est.routed_gates = 0;
+    est.swaps = 0;
+    est.unit_duration = 0.0;
+    est.unit_fidelity = 0.0;
+  }
+  return est;
+}
+
+AppEstimate estimate_coloring_qrac(int n, int colors, int qudit_dim,
+                                   const Processor& proc) {
+  AppEstimate est;
+  est.application = "Coloring via QRAC";
+  const int qudits = qrac_qudits_needed(n, qudit_dim);
+  {
+    std::ostringstream os;
+    os << n << " nodes, " << colors << " colors on " << qudits
+       << " qudits (d = " << qudit_dim << ")";
+    est.implementation = os.str();
+  }
+  est.challenge = "Generalize QRACs to qudits";
+  est.modes_needed = qudits;
+  est.hilbert_qubits = qudits * std::log2(static_cast<double>(qudit_dim));
+  // Product ansatz: 2(d-1) Givens rotations per qudit per iteration.
+  est.unit_gates = static_cast<std::size_t>(qudits * 2 * (qudit_dim - 1));
+  est.routed_gates = est.unit_gates;
+  est.swaps = 0;
+  est.unit_duration =
+      static_cast<double>(est.unit_gates) * proc.durations().givens +
+      proc.durations().measurement;
+  double fid = 1.0;
+  for (std::size_t i = 0; i < est.unit_gates; ++i)
+    fid *= 1.0 - proc.native_op_error(NativeOp::kGivens, 0);
+  est.unit_fidelity = fid;
+  return est;
+}
+
+AppEstimate estimate_qrc(int modes, int d, int steps, std::size_t shots,
+                         const Processor& proc) {
+  AppEstimate est;
+  est.application = "Reservoir Computing";
+  const double neurons = std::pow(static_cast<double>(d), modes);
+  {
+    std::ostringstream os;
+    os << "time-series prediction, " << modes << " modes x d = " << d
+       << " -> " << static_cast<long long>(neurons) << " neurons";
+    est.implementation = os.str();
+  }
+  est.challenge = "Measurement scheme with low sampling overhead (shot noise)";
+  est.modes_needed = modes;
+  est.hilbert_qubits = modes * std::log2(static_cast<double>(d));
+  est.unit_gates = static_cast<std::size_t>(steps);  // displacements
+  est.routed_gates = est.unit_gates;
+  est.swaps = 0;
+  // Analog runtime: each input step costs one displacement + evolution
+  // (~ microseconds at MHz-scale couplings) and the feature readout needs
+  // `shots` repetitions of the entire sequence.
+  const double tau = 2e-6;
+  const double step_time =
+      proc.durations().displacement + tau + proc.durations().measurement;
+  est.unit_duration =
+      static_cast<double>(steps) * step_time * static_cast<double>(shots);
+  // Per-run survival: the protocol is dissipation-driven, so fidelity is
+  // not the limiting figure; report the fraction of runs without transmon
+  // readout error accumulation instead (measurement error per step).
+  double fid = 1.0;
+  for (int s = 0; s < steps; ++s)
+    fid *= 1.0 - proc.native_op_error(NativeOp::kMeasurement, 0);
+  est.unit_fidelity = fid;
+  return est;
+}
+
+std::vector<AppEstimate> table1_estimates(const Processor& proc, Rng& rng) {
+  std::vector<AppEstimate> rows;
+  rows.push_back(estimate_sqed(9, 2, 4, proc, rng));
+  rows.push_back(estimate_coloring(9, 3, proc, rng));
+  rows.push_back(estimate_coloring_qrac(50, 3, 10, proc));
+  rows.push_back(estimate_qrc(2, 9, 40, 256, proc));
+  return rows;
+}
+
+}  // namespace qs

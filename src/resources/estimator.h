@@ -1,0 +1,63 @@
+// Resource estimation for the paper's proposed experiments (Table I).
+//
+// Each application is converted into a representative logical circuit
+// ("unit": one Trotter step / one QAOA layer), compiled onto the forecast
+// device with the noise-aware pipeline, and summarized as mode count,
+// gate counts, unit duration, and forecast fidelity. The QRC row is an
+// analog protocol and is accounted through its measurement budget.
+#ifndef QS_RESOURCES_ESTIMATOR_H
+#define QS_RESOURCES_ESTIMATOR_H
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "hardware/processor.h"
+
+namespace qs {
+
+/// One row of the quantitative Table I.
+struct AppEstimate {
+  std::string application;
+  std::string implementation;  ///< Table I "implementation estimation"
+  std::string challenge;       ///< Table I "main challenge"
+  int modes_needed = 0;
+  double hilbert_qubits = 0.0;    ///< log2 of the used Hilbert dimension
+  std::size_t unit_gates = 0;     ///< logical gates per unit
+  std::size_t routed_gates = 0;   ///< physical ops after routing
+  int swaps = 0;
+  double unit_duration = 0.0;     ///< seconds (makespan for circuits)
+  double unit_fidelity = 0.0;     ///< forecast fidelity of one unit
+};
+
+/// Returns a copy of the device whose per-mode level count (and hence
+/// Fock-enhanced decay rate) matches the application's logical dimension:
+/// a d=4 application on d=10-capable modes only suffers decay of the
+/// levels it occupies.
+Processor derate_for_levels(const Processor& proc, int levels);
+
+/// sQED rotor ladder (E1/E3): one second-order Trotter step on the
+/// nx x ny lattice with d-level rotors, compiled to the device.
+AppEstimate estimate_sqed(int nx, int ny, int d, const Processor& proc,
+                          Rng& rng);
+
+/// Qudit one-hot coloring QAOA (E1/E5): one layer on an n-node random
+/// 3-regular graph with `colors` colors.
+AppEstimate estimate_coloring(int n, int colors, const Processor& proc,
+                              Rng& rng);
+
+/// QRAC variant (E6): n nodes packed into few d-level qudits.
+AppEstimate estimate_coloring_qrac(int n, int colors, int qudit_dim,
+                                   const Processor& proc);
+
+/// Reservoir computing (E1/E7): analog protocol budget for `modes`
+/// oscillators with d levels, `steps` input steps, `shots` per feature.
+AppEstimate estimate_qrc(int modes, int d, int steps, std::size_t shots,
+                         const Processor& proc);
+
+/// The three Table I rows with the paper's parameters.
+std::vector<AppEstimate> table1_estimates(const Processor& proc, Rng& rng);
+
+}  // namespace qs
+
+#endif  // QS_RESOURCES_ESTIMATOR_H

@@ -1,0 +1,123 @@
+#include "sqed/encodings.h"
+
+#include <cmath>
+
+#include "common/require.h"
+
+namespace qs {
+
+int qubits_for_levels(int d) {
+  require(d >= 2, "qubits_for_levels: d >= 2 required");
+  int q = 1;
+  while ((1 << q) < d) ++q;
+  return q;
+}
+
+int elementary_gate_cost(int num_qubits, bool diagonal) {
+  require(num_qubits >= 1, "elementary_gate_cost: bad qubit count");
+  if (num_qubits == 1) return 1;
+  if (diagonal) {
+    // k-qubit diagonal unitaries: 2^k - k - 1 entangling phases suffice
+    // (one CPHASE-class gate per multi-qubit Z monomial).
+    return (1 << num_qubits) - num_qubits - 1;
+  }
+  // Dense k-qubit unitaries: generic CNOT counts from the literature,
+  // halved for k >= 4 because lattice hopping terms are structured
+  // (number-conserving ladder products), cf. DESIGN.md.
+  switch (num_qubits) {
+    case 2: return 3;
+    case 3: return 14;
+    case 4: return 36;
+    case 5: return 80;
+    default: return 40 * (1 << (num_qubits - 4));
+  }
+}
+
+namespace {
+
+/// Zero-pads a block operator from per-site dims `dims` (product = op dim)
+/// to binary per-site dims 2^{q_s}. Index maps digitwise.
+Matrix pad_binary(const Matrix& op, const std::vector<int>& dims) {
+  std::size_t small_dim = 1;
+  std::size_t big_dim = 1;
+  std::vector<int> qs_per_site;
+  for (int d : dims) {
+    small_dim *= static_cast<std::size_t>(d);
+    const int q = qubits_for_levels(d);
+    qs_per_site.push_back(q);
+    big_dim *= static_cast<std::size_t>(1 << q);
+  }
+  require(op.rows() == small_dim, "pad_binary: dimension mismatch");
+
+  // Maps a small (mixed-radix over dims) index to the padded binary index.
+  auto remap = [&](std::size_t idx) {
+    std::size_t out = 0;
+    std::size_t shift = 0;
+    std::size_t rem = idx;
+    for (std::size_t s = 0; s < dims.size(); ++s) {
+      const auto d = static_cast<std::size_t>(dims[s]);
+      out |= (rem % d) << shift;
+      rem /= d;
+      shift += static_cast<std::size_t>(qs_per_site[s]);
+    }
+    return out;
+  };
+
+  Matrix padded(big_dim, big_dim);
+  for (std::size_t r = 0; r < small_dim; ++r)
+    for (std::size_t c = 0; c < small_dim; ++c)
+      padded(remap(r), remap(c)) = op(r, c);
+  return padded;
+}
+
+}  // namespace
+
+Hamiltonian encode_binary(const Hamiltonian& qudit_h) {
+  const QuditSpace& space = qudit_h.space();
+  // Qubit offsets per qudit site.
+  std::vector<int> offset(space.num_sites() + 1, 0);
+  for (std::size_t s = 0; s < space.num_sites(); ++s)
+    offset[s + 1] = offset[s] + qubits_for_levels(space.dim(s));
+  const int total_qubits = offset[space.num_sites()];
+
+  Hamiltonian encoded(
+      QuditSpace::uniform(static_cast<std::size_t>(total_qubits), 2));
+  for (const HamiltonianTerm& term : qudit_h.terms()) {
+    std::vector<int> dims;
+    std::vector<int> qubit_sites;
+    for (int s : term.sites) {
+      dims.push_back(space.dim(static_cast<std::size_t>(s)));
+      const int q = qubits_for_levels(space.dim(static_cast<std::size_t>(s)));
+      for (int j = 0; j < q; ++j)
+        qubit_sites.push_back(offset[static_cast<std::size_t>(s)] + j);
+    }
+    encoded.add(term.name + "_bin", pad_binary(term.op, dims),
+                std::move(qubit_sites));
+  }
+  return encoded;
+}
+
+Circuit binary_trotter_circuit(const Hamiltonian& encoded,
+                               const TrotterOptions& options) {
+  Circuit circuit = trotter_circuit(encoded, options);
+  // Assign elementary-gate multiplicities by matching ops to terms: each
+  // op name is "exp(<term name>)" and arity/diagonality decide the cost.
+  Circuit tagged(circuit.space());
+  for (const Operation& op : circuit.operations()) {
+    const bool diag = op.diagonal;
+    if (op.diagonal)
+      tagged.add_diagonal(op.name, op.diag, op.sites, op.duration);
+    else
+      tagged.add(op.name, op.matrix, op.sites, op.duration);
+    tagged.set_last_noise_multiplicity(
+        elementary_gate_cost(static_cast<int>(op.sites.size()), diag));
+  }
+  return tagged;
+}
+
+Circuit native_trotter_circuit(const Hamiltonian& qudit_h,
+                               const TrotterOptions& options) {
+  return trotter_circuit(qudit_h, options);
+}
+
+}  // namespace qs

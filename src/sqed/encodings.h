@@ -1,0 +1,46 @@
+// Binary-qubit encoding of qudit lattice Hamiltonians.
+//
+// The comparison axis of ref [11]: the same rotor model simulated either
+// natively (one qudit per rotor) or on qubits (ceil(log2 d) qubits per
+// rotor, operators padded with inert unphysical states). Qubit-encoded
+// Trotter terms act on 2*q qubits and decompose into many elementary
+// two-qubit gates on hardware; the encoding records that blow-up in each
+// operation's noise multiplicity, which is what drives the 10-100x noise
+// tolerance gap the paper cites.
+#ifndef QS_SQED_ENCODINGS_H
+#define QS_SQED_ENCODINGS_H
+
+#include "circuit/circuit.h"
+#include "dynamics/hamiltonian.h"
+#include "dynamics/trotter.h"
+
+namespace qs {
+
+/// Qubits needed to hold d levels.
+int qubits_for_levels(int d);
+
+/// Elementary two-qubit gate count of exp(-i t T) for a term acting on
+/// `num_qubits` qubits (diagonal terms are cheaper). Modeling constants
+/// documented in DESIGN.md; 1-qubit terms cost no two-qubit gates (their
+/// noise multiplicity is 1, charged at the 1q rate).
+int elementary_gate_cost(int num_qubits, bool diagonal);
+
+/// Re-expresses a qudit Hamiltonian on a register of qubits: each d-level
+/// site becomes q = qubits_for_levels(d) qubits (little-endian digits);
+/// operators are zero-padded on unphysical basis states, which Trotter
+/// exponentials leave invariant.
+Hamiltonian encode_binary(const Hamiltonian& qudit_h);
+
+/// Trotter circuit of an encoded Hamiltonian with per-operation noise
+/// multiplicities set to the elementary gate cost of each term.
+Circuit binary_trotter_circuit(const Hamiltonian& encoded,
+                               const TrotterOptions& options);
+
+/// Trotter circuit of the native qudit Hamiltonian; every term is one
+/// native operation (multiplicity 1).
+Circuit native_trotter_circuit(const Hamiltonian& qudit_h,
+                               const TrotterOptions& options);
+
+}  // namespace qs
+
+#endif  // QS_SQED_ENCODINGS_H

@@ -1,0 +1,116 @@
+#include "sqed/gauge_model.h"
+
+#include "common/require.h"
+#include "gates/two_qudit.h"
+
+namespace qs {
+
+Matrix rotor_lz(int d) {
+  require(d >= 2, "rotor_lz: d >= 2 required");
+  Matrix lz(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+  const double l = (d - 1) / 2.0;
+  for (int k = 0; k < d; ++k)
+    lz(static_cast<std::size_t>(k), static_cast<std::size_t>(k)) =
+        static_cast<double>(k) - l;
+  return lz;
+}
+
+Matrix rotor_raise(int d) {
+  require(d >= 2, "rotor_raise: d >= 2 required");
+  Matrix u(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+  for (int k = 0; k + 1 < d; ++k)
+    u(static_cast<std::size_t>(k + 1), static_cast<std::size_t>(k)) = 1.0;
+  return u;
+}
+
+namespace {
+
+/// Electric term (g2/2) Lz^2 on one site.
+Matrix electric_term(const GaugeModelParams& p) {
+  const Matrix lz = rotor_lz(p.d);
+  Matrix e = lz * lz;
+  e *= cplx{p.g2 / 2.0, 0.0};
+  return e;
+}
+
+/// Hopping term -(lambda/2)(U_a U_b^dag + h.c.) on a bond (two sites).
+Matrix hopping_term(const GaugeModelParams& p) {
+  const Matrix u = rotor_raise(p.d);
+  const Matrix id = Matrix::identity(static_cast<std::size_t>(p.d));
+  const Matrix ua = two_site(u, id);
+  const Matrix ub = two_site(id, u);
+  Matrix hop = ua * ub.adjoint();
+  hop += hop.adjoint();
+  hop *= cplx{-p.lambda / 2.0, 0.0};
+  return hop;
+}
+
+Hamiltonian build(const std::vector<std::pair<int, int>>& edges, int n,
+                  const GaugeModelParams& p) {
+  Hamiltonian h(QuditSpace::uniform(static_cast<std::size_t>(n), p.d));
+  const Matrix e = electric_term(p);
+  for (int i = 0; i < n; ++i) h.add("E", e, {i});
+  const Matrix hop = hopping_term(p);
+  for (const auto& [a, b] : edges) h.add("Hop", hop, {a, b});
+  return h;
+}
+
+}  // namespace
+
+Hamiltonian gauge_chain(int ns, const GaugeModelParams& params) {
+  require(ns >= 2, "gauge_chain: ns >= 2 required");
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < ns; ++i) edges.emplace_back(i, i + 1);
+  return build(edges, ns, params);
+}
+
+std::vector<std::pair<int, int>> grid_edges(int nx, int ny) {
+  require(nx >= 1 && ny >= 1, "grid_edges: positive grid required");
+  std::vector<std::pair<int, int>> edges;
+  for (int y = 0; y < ny; ++y)
+    for (int x = 0; x < nx; ++x) {
+      const int s = x + nx * y;
+      if (x + 1 < nx) edges.emplace_back(s, s + 1);
+      if (y + 1 < ny) edges.emplace_back(s, s + nx);
+    }
+  return edges;
+}
+
+Hamiltonian gauge_ladder_2d(int nx, int ny, const GaugeModelParams& params) {
+  return build(grid_edges(nx, ny), nx * ny, params);
+}
+
+std::vector<std::pair<int, int>> grid_edges_3d(int nx, int ny, int nz) {
+  require(nx >= 1 && ny >= 1 && nz >= 1, "grid_edges_3d: positive lattice");
+  std::vector<std::pair<int, int>> edges;
+  auto index = [&](int x, int y, int z) { return x + nx * (y + ny * z); };
+  for (int z = 0; z < nz; ++z)
+    for (int y = 0; y < ny; ++y)
+      for (int x = 0; x < nx; ++x) {
+        if (x + 1 < nx) edges.emplace_back(index(x, y, z), index(x + 1, y, z));
+        if (y + 1 < ny) edges.emplace_back(index(x, y, z), index(x, y + 1, z));
+        if (z + 1 < nz) edges.emplace_back(index(x, y, z), index(x, y, z + 1));
+      }
+  return edges;
+}
+
+Hamiltonian gauge_lattice_3d(int nx, int ny, int nz,
+                             const GaugeModelParams& params) {
+  return build(grid_edges_3d(nx, ny, nz), nx * ny * nz, params);
+}
+
+std::vector<double> electric_energy_diagonal(const QuditSpace& space) {
+  std::vector<double> diag(space.dimension(), 0.0);
+  for (std::size_t i = 0; i < space.dimension(); ++i) {
+    double e = 0.0;
+    for (std::size_t s = 0; s < space.num_sites(); ++s) {
+      const double l = (space.dim(s) - 1) / 2.0;
+      const double m = space.digit(i, s) - l;
+      e += m * m;
+    }
+    diag[i] = e;
+  }
+  return diag;
+}
+
+}  // namespace qs

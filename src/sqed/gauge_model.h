@@ -1,0 +1,65 @@
+// Truncated U(1) lattice gauge models for the paper's simulation case
+// study (SS II-A).
+//
+// Following refs [11] (1+1D sQED with qutrit truncations) and [12]
+// (2+1D pure-gauge dual/rotor Hamiltonian), the models consist of rotor
+// sites with angular momentum Lz truncated to d levels
+// (m = -l..l, d = 2l+1) and nearest-neighbour ladder couplings:
+//
+//   H = (g2/2) sum_i Lz_i^2  -  lambda/2 sum_<ij> (U_i U_j^dag + h.c.)
+//
+// with U the (clamped) raising operator U|m> = |m+1>. Both the linear
+// chain and the 2D ladder of Table I (9 x 2, d >= 4) are instances.
+#ifndef QS_SQED_GAUGE_MODEL_H
+#define QS_SQED_GAUGE_MODEL_H
+
+#include <utility>
+#include <vector>
+
+#include "dynamics/hamiltonian.h"
+#include "linalg/matrix.h"
+
+namespace qs {
+
+/// Lz operator on d levels: diag(-l, ..., +l) with l = (d-1)/2 (for even
+/// d the spectrum is offset by 1/2 as in spin truncations).
+Matrix rotor_lz(int d);
+
+/// Clamped raising operator U|m> = |m+1> (top level annihilated).
+Matrix rotor_raise(int d);
+
+/// Model parameters.
+struct GaugeModelParams {
+  int d = 3;           ///< truncation levels per rotor
+  double g2 = 1.0;     ///< gauge coupling squared (electric term weight)
+  double lambda = 1.0; ///< hopping/plaquette coupling weight
+};
+
+/// 1D chain of `ns` rotors with open boundaries (the [11]-style model).
+Hamiltonian gauge_chain(int ns, const GaugeModelParams& params);
+
+/// 2D ladder of nx x ny rotors with nearest-neighbour couplings along both
+/// directions (the [12]-style dual rotor model on the Table I footprint).
+Hamiltonian gauge_ladder_2d(int nx, int ny, const GaugeModelParams& params);
+
+/// Edge list of the nx x ny grid (site index = x + nx * y); useful for
+/// resource estimation.
+std::vector<std::pair<int, int>> grid_edges(int nx, int ny);
+
+/// Edge list of the nx x ny x nz lattice (index = x + nx*(y + ny*z)).
+/// The paper's "going beyond 2D ... for a small number of sites" case;
+/// the long-range third-dimension bonds are what the swap network must
+/// serve on the linear cavity chain.
+std::vector<std::pair<int, int>> grid_edges_3d(int nx, int ny, int nz);
+
+/// 3D rotor lattice with nearest-neighbour couplings in all directions.
+Hamiltonian gauge_lattice_3d(int nx, int ny, int nz,
+                             const GaugeModelParams& params);
+
+/// Electric energy observable sum_i Lz_i^2 as a full-space diagonal
+/// (used as the quench observable for gap extraction).
+std::vector<double> electric_energy_diagonal(const QuditSpace& space);
+
+}  // namespace qs
+
+#endif  // QS_SQED_GAUGE_MODEL_H

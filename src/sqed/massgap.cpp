@@ -1,0 +1,161 @@
+#include "sqed/massgap.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "noise/noisy_executor.h"
+#include "qudit/density_matrix.h"
+#include "sqed/encodings.h"
+#include "sqed/gauge_model.h"
+
+namespace qs {
+
+double dominant_frequency(const std::vector<double>& series, double dt) {
+  const std::size_t n = series.size();
+  require(n >= 8, "dominant_frequency: need at least 8 samples");
+  require(dt > 0.0, "dominant_frequency: dt must be positive");
+  double mean = 0.0;
+  for (double y : series) mean += y;
+  mean /= static_cast<double>(n);
+
+  // Hann-windowed DFT magnitudes for k = 0..n/2.
+  const std::size_t kmax = n / 2;
+  std::vector<double> mag(kmax + 1, 0.0);
+  for (std::size_t k = 1; k <= kmax; ++k) {
+    double re = 0.0, im = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double w =
+          0.5 * (1.0 - std::cos(2.0 * kPi * static_cast<double>(t) /
+                                static_cast<double>(n - 1)));
+      const double y = (series[t] - mean) * w;
+      const double phase =
+          -2.0 * kPi * static_cast<double>(k) * static_cast<double>(t) /
+          static_cast<double>(n);
+      re += y * std::cos(phase);
+      im += y * std::sin(phase);
+    }
+    mag[k] = std::sqrt(re * re + im * im);
+  }
+  std::size_t peak = 1;
+  for (std::size_t k = 2; k <= kmax; ++k)
+    if (mag[k] > mag[peak]) peak = k;
+
+  // Quadratic interpolation of the peak bin.
+  double delta = 0.0;
+  if (peak > 1 && peak < kmax) {
+    const double a = mag[peak - 1];
+    const double b = mag[peak];
+    const double c = mag[peak + 1];
+    const double denom = a - 2.0 * b + c;
+    if (std::abs(denom) > 1e-30) delta = 0.5 * (a - c) / denom;
+  }
+  const double bin = static_cast<double>(peak) + delta;
+  return 2.0 * kPi * bin / (static_cast<double>(n) * dt);
+}
+
+std::vector<double> quench_series(const Circuit& step_circuit,
+                                  const std::vector<double>& observable_diag,
+                                  const std::vector<int>& initial_digits,
+                                  const NoiseModel& noise, int samples) {
+  require(samples >= 1, "quench_series: samples >= 1 required");
+  const QuditSpace& space = step_circuit.space();
+  require(observable_diag.size() == space.dimension(),
+          "quench_series: observable length mismatch");
+  StateVector init(space, initial_digits);
+  DensityMatrix rho(init);
+  std::vector<double> series;
+  series.reserve(static_cast<std::size_t>(samples) + 1);
+  auto record = [&] {
+    double v = 0.0;
+    const auto probs = rho.probabilities();
+    for (std::size_t i = 0; i < probs.size(); ++i)
+      v += observable_diag[i] * probs[i];
+    series.push_back(v);
+  };
+  record();
+  for (int s = 0; s < samples; ++s) {
+    run_noisy(step_circuit, rho, noise);
+    record();
+  }
+  return series;
+}
+
+std::vector<double> electric_energy_diagonal_binary(
+    const QuditSpace& qudit_space) {
+  // Build the binary register dimensions.
+  std::vector<int> qbits;
+  int total = 0;
+  for (std::size_t s = 0; s < qudit_space.num_sites(); ++s) {
+    qbits.push_back(qubits_for_levels(qudit_space.dim(s)));
+    total += qbits.back();
+  }
+  const std::size_t dim = std::size_t{1} << total;
+  std::vector<double> diag(dim, 0.0);
+  for (std::size_t idx = 0; idx < dim; ++idx) {
+    double e = 0.0;
+    bool physical = true;
+    std::size_t rem = idx;
+    for (std::size_t s = 0; s < qudit_space.num_sites(); ++s) {
+      const int q = qbits[s];
+      const int level = static_cast<int>(rem & ((std::size_t{1} << q) - 1));
+      rem >>= q;
+      const int d = qudit_space.dim(s);
+      if (level >= d) {
+        physical = false;
+        break;
+      }
+      const double l = (d - 1) / 2.0;
+      const double m = level - l;
+      e += m * m;
+    }
+    diag[idx] = physical ? e : 0.0;
+  }
+  return diag;
+}
+
+ThresholdScan scan_noise_threshold(
+    const Circuit& step_circuit, const std::vector<double>& observable_diag,
+    const std::vector<int>& initial_digits,
+    const std::function<NoiseParams(double)>& noise_for,
+    const std::vector<double>& scales, int samples, double dt,
+    double tolerance) {
+  require(!scales.empty(), "scan_noise_threshold: empty scale list");
+  ThresholdScan scan;
+  {
+    const std::vector<double> clean = quench_series(
+        step_circuit, observable_diag, initial_digits, NoiseModel(), samples);
+    scan.reference_frequency = dominant_frequency(clean, dt);
+  }
+  require(scan.reference_frequency > 0.0,
+          "scan_noise_threshold: degenerate reference frequency");
+
+  double last_good = 0.0;
+  double first_bad = -1.0;
+  for (double scale : scales) {
+    const NoiseModel noise(noise_for(scale));
+    const std::vector<double> series = quench_series(
+        step_circuit, observable_diag, initial_digits, noise, samples);
+    NoiseScanPoint point;
+    point.scale = scale;
+    point.frequency = dominant_frequency(series, dt);
+    point.relative_error =
+        std::abs(point.frequency - scan.reference_frequency) /
+        scan.reference_frequency;
+    if (point.relative_error <= tolerance) {
+      last_good = scale;
+    } else if (first_bad < 0.0) {
+      first_bad = scale;
+    }
+    scan.points.push_back(point);
+  }
+  if (first_bad < 0.0) {
+    scan.threshold = scales.back();  // never failed within the scan
+  } else if (last_good == 0.0) {
+    scan.threshold = scales.front();  // failed everywhere: report floor
+  } else {
+    scan.threshold = std::sqrt(last_good * first_bad);  // log midpoint
+  }
+  return scan;
+}
+
+}  // namespace qs

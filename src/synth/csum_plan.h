@@ -1,0 +1,57 @@
+// Constructive CSUM synthesis for cavity qudits.
+//
+// The paper (SS II-A/B) identifies the CSUM gate as the key missing
+// engineering component. We compile it constructively through the exact
+// Clifford identity
+//
+//   CSUM = (I (x) F^dag) . CZ_d . (I (x) F),
+//
+// where CZ_d is realized natively by dispersive cross-Kerr evolution
+// (chi t = 2 pi (d-1)/d) between co-located modes, and the Fourier gates
+// compile to SNAP+displacement sequences on the target mode. Between
+// modes in adjacent cavities, the target state is first moved into a
+// bridge mode co-located with the control via a beamsplitter swap (a
+// full-swap beamsplitter plus a parity SNAP correction).
+#ifndef QS_SYNTH_CSUM_PLAN_H
+#define QS_SYNTH_CSUM_PLAN_H
+
+#include "circuit/circuit.h"
+#include "hardware/processor.h"
+#include "synth/snap_displacement.h"
+
+namespace qs {
+
+/// A compiled CSUM implementation.
+struct CsumPlan {
+  /// Co-located: over {d,d} (control, target); adjacent: over {d,d,d}
+  /// (+ bridge site 2). Placeholder space until assigned.
+  Circuit circuit{QuditSpace({2, 2})};
+  bool adjacent = false;
+  double unitary_fidelity = 0.0;  ///< emitted circuit vs ideal CSUM (x) I
+  double fourier_fidelity = 0.0;  ///< fidelity of the synthesized F gate
+  double duration = 0.0;          ///< total native duration (s)
+  int native_ops = 0;
+};
+
+/// Builds the exact mode-swap circuit between sites `a` and `b` of equal
+/// dimension: full beamsplitter + Fock-parity SNAP correction. Appends to
+/// `circuit`.
+void append_mode_swap(Circuit& circuit, int a, int b,
+                      const GateDurations& durations);
+
+/// Compiles CSUM_d. `adjacent` selects the bridged (inter-cavity)
+/// variant. Uses the SNAP+displacement synthesizer for the Fourier gates.
+CsumPlan plan_csum(int d, bool adjacent, const SnapSynthOptions& snap_options,
+                   const GateDurations& durations);
+
+/// Estimated hardware fidelity of a native-gate circuit on `proc` given
+/// the map from circuit sites to device modes: product over ops of
+/// (1 - native_op_error). Ops are classified by name prefix
+/// ("D", "SNAP", "BS", "CK", "GIVENS").
+double estimate_hardware_fidelity(const Circuit& circuit,
+                                  const Processor& proc,
+                                  const std::vector<int>& site_to_mode);
+
+}  // namespace qs
+
+#endif  // QS_SYNTH_CSUM_PLAN_H

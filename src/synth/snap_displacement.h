@@ -1,0 +1,64 @@
+// Variational compilation of single-mode unitaries into SNAP+displacement
+// sequences.
+//
+// The universal single-mode gate set of cavity control (paper SS I, refs
+// [7], [24]): interleaved displacements D(alpha) and Fock-selective phase
+// gates SNAP(theta_0..theta_{d-1}). We compile a target d x d unitary by
+// optimizing a layered ansatz
+//
+//   U = D(a_{L+1}) . SNAP(th_L) D(a_L) ... SNAP(th_1) D(a_1)
+//
+// built from d-level truncated gates (so the emitted circuit realizes
+// exactly the optimized fidelity); the same parameters are re-evaluated
+// on a padded Fock space (d + pad levels) as a leakage diagnostic, in the
+// spirit of the cited numerical gate-synthesis studies ([20], [24]).
+#ifndef QS_SYNTH_SNAP_DISPLACEMENT_H
+#define QS_SYNTH_SNAP_DISPLACEMENT_H
+
+#include "circuit/circuit.h"
+#include "hardware/processor.h"
+#include "linalg/matrix.h"
+
+namespace qs {
+
+/// Options for the SNAP+displacement synthesizer.
+struct SnapSynthOptions {
+  int layers = 6;            ///< initial ansatz depth
+  int max_layers = 14;       ///< depth is grown by 2 until target reached
+  int pad = 4;               ///< extra Fock levels for leakage modelling
+  int iters = 400;           ///< Adam iterations per restart
+  int restarts = 2;          ///< random restarts per depth
+  double target_fidelity = 0.995;
+  double learning_rate = 0.08;
+  std::uint64_t seed = 1234;
+};
+
+/// Synthesis outcome.
+struct SnapSynthResult {
+  /// Over QuditSpace({d}); ops named "D"/"SNAP". Placeholder space until
+  /// assigned by the synthesizer.
+  Circuit circuit{QuditSpace({2})};
+  double fidelity_truncated = 0.0;  ///< fidelity of the emitted circuit
+                                    ///< (the optimization objective)
+  double fidelity_padded = 0.0;     ///< same parameters on the padded
+                                    ///< space: leakage diagnostic
+  int layers = 0;
+  int displacement_count = 0;
+  int snap_count = 0;
+  double duration = 0.0;     ///< seconds, from the duration table
+};
+
+/// Compiles `target` (d x d unitary) into SNAP+displacement ops.
+/// Durations are taken from `durations` (displacement/snap entries).
+SnapSynthResult synthesize_single_mode(const Matrix& target,
+                                       const SnapSynthOptions& options,
+                                       const GateDurations& durations);
+
+/// Convenience target: the qudit Fourier gate (the workhorse of CSUM
+/// synthesis).
+SnapSynthResult synthesize_fourier(int d, const SnapSynthOptions& options,
+                                   const GateDurations& durations);
+
+}  // namespace qs
+
+#endif  // QS_SYNTH_SNAP_DISPLACEMENT_H

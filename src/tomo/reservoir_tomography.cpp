@@ -1,0 +1,196 @@
+#include "tomo/reservoir_tomography.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "gates/bosonic.h"
+#include "gates/qudit_gates.h"
+#include "linalg/metrics.h"
+#include "linalg/types.h"
+#include "noise/channels.h"
+
+namespace qs {
+
+std::vector<double> hermitian_to_params(const Matrix& h) {
+  require(h.is_square(), "hermitian_to_params: square matrix required");
+  const std::size_t d = h.rows();
+  std::vector<double> p;
+  p.reserve(d * d);
+  for (std::size_t i = 0; i < d; ++i) p.push_back(h(i, i).real());
+  const double s = std::sqrt(2.0);
+  for (std::size_t i = 0; i < d; ++i)
+    for (std::size_t j = i + 1; j < d; ++j) {
+      p.push_back(s * h(i, j).real());
+      p.push_back(s * h(i, j).imag());
+    }
+  return p;
+}
+
+Matrix params_to_hermitian(const std::vector<double>& params, int d) {
+  const auto n = static_cast<std::size_t>(d);
+  require(params.size() == n * n, "params_to_hermitian: wrong length");
+  Matrix h(n, n);
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < n; ++i) h(i, i) = params[idx++];
+  const double inv_s = 1.0 / std::sqrt(2.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double re = params[idx++] * inv_s;
+      const double im = params[idx++] * inv_s;
+      h(i, j) = cplx{re, im};
+      h(j, i) = cplx{re, -im};
+    }
+  return h;
+}
+
+Matrix random_density(int d, int rank, Rng& rng) {
+  require(rank >= 1 && rank <= d, "random_density: bad rank");
+  const auto n = static_cast<std::size_t>(d);
+  Matrix rho(n, n);
+  std::vector<double> weights(static_cast<std::size_t>(rank));
+  double total = 0.0;
+  for (double& w : weights) {
+    w = rng.uniform() + 0.05;
+    total += w;
+  }
+  for (int r = 0; r < rank; ++r) {
+    const std::vector<cplx> psi = random_state(d, rng);
+    const double w = weights[static_cast<std::size_t>(r)] / total;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        rho(i, j) += w * psi[i] * std::conj(psi[j]);
+  }
+  return rho;
+}
+
+ReservoirTomography::ReservoirTomography(const TomoConfig& config)
+    : cfg_(config) {
+  require(cfg_.levels >= 2, "ReservoirTomography: levels >= 2 required");
+  require(cfg_.num_probes >= 1, "ReservoirTomography: probes >= 1 required");
+  const int d = cfg_.levels;
+  Rng rng(cfg_.probe_seed);
+  displacements_.reserve(static_cast<std::size_t>(cfg_.num_probes));
+  for (int k = 0; k < cfg_.num_probes; ++k) {
+    // Uniform-in-disk probe displacements; the first probe is the
+    // identity (direct photon-number readout).
+    if (k == 0 || cfg_.probe_radius == 0.0) {
+      displacements_.push_back(
+          Matrix::identity(static_cast<std::size_t>(d)));
+      continue;
+    }
+    const double r = cfg_.probe_radius * std::sqrt(rng.uniform());
+    const double phi = rng.uniform(0.0, kTwoPi);
+    displacements_.push_back(displacement(d, std::polar(r, phi)));
+  }
+  if (cfg_.loss_gamma > 0.0)
+    loss_kraus_ = amplitude_damping_channel(d, cfg_.loss_gamma);
+
+  // Ideal-model design matrix for the inversion baseline: feature (k, n)
+  // = <n| D_k^dag rho D_k |n> = sum_j A((k,n), j) params_j.
+  const auto np = static_cast<std::size_t>(d) * static_cast<std::size_t>(d);
+  inversion_design_ = RMatrix(num_features(), np);
+  for (std::size_t j = 0; j < np; ++j) {
+    std::vector<double> unit(np, 0.0);
+    unit[j] = 1.0;
+    const Matrix basis = params_to_hermitian(unit, d);
+    for (int k = 0; k < cfg_.num_probes; ++k) {
+      const Matrix& dk = displacements_[static_cast<std::size_t>(k)];
+      const Matrix rotated = dk.adjoint() * basis * dk;
+      for (int n = 0; n < d; ++n)
+        inversion_design_(
+            static_cast<std::size_t>(k * d + n), j) =
+            rotated(static_cast<std::size_t>(n), static_cast<std::size_t>(n))
+                .real();
+    }
+  }
+}
+
+std::vector<double> ReservoirTomography::measure(const Matrix& rho,
+                                                 Rng& rng) const {
+  require(rho.rows() == static_cast<std::size_t>(cfg_.levels),
+          "measure: state dimension mismatch");
+  const int d = cfg_.levels;
+  // Apply the preparation-to-measurement loss (the imperfection that the
+  // trained map learns to undo).
+  Matrix effective = rho;
+  if (!loss_kraus_.empty()) {
+    Matrix out(rho.rows(), rho.cols());
+    for (const Matrix& k : loss_kraus_) out += k * effective * k.adjoint();
+    effective = std::move(out);
+  }
+  std::vector<double> features;
+  features.reserve(num_features());
+  for (const Matrix& dk : displacements_) {
+    const Matrix rotated = dk.adjoint() * effective * dk;
+    std::vector<double> probs(static_cast<std::size_t>(d));
+    for (int n = 0; n < d; ++n)
+      probs[static_cast<std::size_t>(n)] = std::max(
+          rotated(static_cast<std::size_t>(n), static_cast<std::size_t>(n))
+              .real(),
+          0.0);
+    if (cfg_.shots > 0) {
+      // Multinomial shot noise over the d outcomes.
+      std::vector<std::size_t> counts(static_cast<std::size_t>(d), 0);
+      for (std::size_t s = 0; s < cfg_.shots; ++s)
+        ++counts[rng.discrete(probs)];
+      for (int n = 0; n < d; ++n)
+        features.push_back(static_cast<double>(
+                               counts[static_cast<std::size_t>(n)]) /
+                           static_cast<double>(cfg_.shots));
+    } else {
+      for (int n = 0; n < d; ++n)
+        features.push_back(probs[static_cast<std::size_t>(n)]);
+    }
+  }
+  return features;
+}
+
+void ReservoirTomography::train(const std::vector<Matrix>& training_states,
+                                double lambda, Rng& rng) {
+  require(!training_states.empty(), "train: empty training set");
+  const int d = cfg_.levels;
+  const auto np = static_cast<std::size_t>(d) * static_cast<std::size_t>(d);
+  RMatrix x(training_states.size(), num_features() + 1);
+  RMatrix y(training_states.size(), np);
+  for (std::size_t i = 0; i < training_states.size(); ++i) {
+    const auto features = measure(training_states[i], rng);
+    for (std::size_t k = 0; k < features.size(); ++k) x(i, k) = features[k];
+    x(i, features.size()) = 1.0;  // bias
+    const auto params = hermitian_to_params(training_states[i]);
+    for (std::size_t j = 0; j < np; ++j) y(i, j) = params[j];
+  }
+  readout_ = ridge_fit(x, y, lambda);
+  trained_ = true;
+}
+
+Matrix ReservoirTomography::reconstruct(
+    const std::vector<double>& features) const {
+  require(trained_, "reconstruct: train() first");
+  require(features.size() == num_features(),
+          "reconstruct: feature count mismatch");
+  std::vector<double> x(features);
+  x.push_back(1.0);
+  const auto np = static_cast<std::size_t>(cfg_.levels) *
+                  static_cast<std::size_t>(cfg_.levels);
+  std::vector<double> params(np, 0.0);
+  for (std::size_t j = 0; j < np; ++j) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < x.size(); ++k) acc += x[k] * readout_(k, j);
+    params[j] = acc;
+  }
+  return project_to_density(params_to_hermitian(params, cfg_.levels));
+}
+
+Matrix ReservoirTomography::invert_directly(
+    const std::vector<double>& features, double lambda) const {
+  require(features.size() == num_features(),
+          "invert_directly: feature count mismatch");
+  RMatrix f(features.size(), 1);
+  for (std::size_t i = 0; i < features.size(); ++i) f(i, 0) = features[i];
+  const RMatrix params = ridge_fit(inversion_design_, f, lambda);
+  std::vector<double> p(params.rows());
+  for (std::size_t i = 0; i < p.size(); ++i) p[i] = params(i, 0);
+  return project_to_density(params_to_hermitian(p, cfg_.levels));
+}
+
+}  // namespace qs

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gates/bosonic.h"
+#include "linalg/matrix.h"
+#include "linalg/metrics.h"
+#include "linalg/types.h"
+
+namespace qs {
+namespace {
+
+TEST(Bosonic, LadderOperatorAlgebra) {
+  const int d = 8;
+  const Matrix a = annihilation(d);
+  const Matrix ad = creation(d);
+  // [a, a^dag] = I on all but the top truncated level.
+  const Matrix comm = a * ad - ad * a;
+  for (int n = 0; n < d - 1; ++n)
+    EXPECT_NEAR(comm(static_cast<std::size_t>(n),
+                     static_cast<std::size_t>(n)).real(),
+                1.0, 1e-12);
+  EXPECT_NEAR(comm(static_cast<std::size_t>(d - 1),
+                   static_cast<std::size_t>(d - 1)).real(),
+              -(d - 1.0), 1e-12);
+}
+
+TEST(Bosonic, NumberOperatorFromLadder) {
+  const int d = 6;
+  EXPECT_LT(max_abs_diff(creation(d) * annihilation(d), number_operator(d)),
+            1e-12);
+}
+
+TEST(Bosonic, DisplacementIsUnitary) {
+  for (int d : {4, 8, 16}) {
+    const Matrix dd = displacement(d, cplx{0.5, -0.3});
+    EXPECT_TRUE(dd.is_unitary(1e-9)) << "d=" << d;
+  }
+}
+
+TEST(Bosonic, DisplacementComposition) {
+  // D(a) D(-a) = I.
+  const int d = 12;
+  const cplx alpha{0.4, 0.2};
+  const Matrix prod = displacement(d, alpha) * displacement(d, -alpha);
+  EXPECT_LT(max_abs_diff(prod, Matrix::identity(static_cast<std::size_t>(d))),
+            1e-9);
+}
+
+TEST(Bosonic, DisplacementOnVacuumGivesCoherent) {
+  // For truncation much larger than |alpha|^2 the displaced vacuum is the
+  // coherent state.
+  const int d = 24;
+  const cplx alpha{0.8, 0.5};
+  const Matrix dd = displacement(d, alpha);
+  std::vector<cplx> vac(static_cast<std::size_t>(d), cplx{0.0, 0.0});
+  vac[0] = 1.0;
+  const std::vector<cplx> displaced = dd * vac;
+  const std::vector<cplx> coh = coherent_state(d, alpha);
+  EXPECT_GT(state_fidelity(displaced, coh), 1.0 - 1e-8);
+}
+
+TEST(Bosonic, ProjectedDisplacementConvergesToTruncated) {
+  // With a large buffer, the projected displacement restricted to low Fock
+  // levels approaches the infinite-dimensional one; for small alpha both
+  // constructions should agree in the far-from-truncation corner.
+  const int d = 6;
+  const cplx alpha{0.2, 0.1};
+  const Matrix exact = displacement(d + 20, alpha);
+  const Matrix proj = displacement_projected(d, alpha, 20);
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c)
+      EXPECT_NEAR(std::abs(proj(static_cast<std::size_t>(r),
+                                static_cast<std::size_t>(c)) -
+                           exact(static_cast<std::size_t>(r),
+                                 static_cast<std::size_t>(c))),
+                  0.0, 1e-10);
+}
+
+TEST(Bosonic, CoherentStateMeanPhotonNumber) {
+  const int d = 30;
+  const cplx alpha{1.2, -0.4};
+  const std::vector<cplx> coh = coherent_state(d, alpha);
+  const Matrix n = number_operator(d);
+  const std::vector<cplx> nc = n * coh;
+  EXPECT_NEAR(inner(coh, nc).real(), std::norm(alpha), 1e-6);
+}
+
+TEST(Bosonic, FockStateBasics) {
+  const std::vector<cplx> f = fock_state(5, 3);
+  EXPECT_EQ(f[3], cplx(1.0, 0.0));
+  EXPECT_THROW(fock_state(5, 5), std::invalid_argument);
+}
+
+TEST(Bosonic, CatStateParity) {
+  // Even cat has support only on even Fock levels.
+  const int d = 20;
+  const std::vector<cplx> cat = cat_state(d, cplx{1.5, 0.0}, 1);
+  for (int n = 1; n < d; n += 2)
+    EXPECT_LT(std::abs(cat[static_cast<std::size_t>(n)]), 1e-10);
+  const std::vector<cplx> odd = cat_state(d, cplx{1.5, 0.0}, -1);
+  for (int n = 0; n < d; n += 2)
+    EXPECT_LT(std::abs(odd[static_cast<std::size_t>(n)]), 1e-10);
+}
+
+TEST(Bosonic, ThermalStateMoments) {
+  const int d = 60;
+  const double nbar = 1.5;
+  const Matrix rho = thermal_state(d, nbar);
+  EXPECT_NEAR(rho.trace().real(), 1.0, 1e-12);
+  const Matrix n = number_operator(d);
+  EXPECT_NEAR((rho * n).trace().real(), nbar, 1e-6);
+}
+
+TEST(Bosonic, ParityOperator) {
+  const Matrix p = parity_operator(4);
+  EXPECT_EQ(p(0, 0), cplx(1.0, 0.0));
+  EXPECT_EQ(p(1, 1), cplx(-1.0, 0.0));
+  EXPECT_EQ(p(2, 2), cplx(1.0, 0.0));
+}
+
+TEST(Bosonic, QuadratureCommutator) {
+  // [x, p] = i on levels far from truncation.
+  const int d = 16;
+  const Matrix comm = quadrature_x(d) * quadrature_p(d) -
+                      quadrature_p(d) * quadrature_x(d);
+  for (int n = 0; n < d - 1; ++n)
+    EXPECT_NEAR(std::abs(comm(static_cast<std::size_t>(n),
+                              static_cast<std::size_t>(n)) -
+                         kI),
+                0.0, 1e-10);
+}
+
+TEST(Bosonic, SqueezeIsUnitary) {
+  const Matrix s = squeeze(16, cplx{0.3, 0.1});
+  EXPECT_TRUE(s.is_unitary(1e-9));
+}
+
+TEST(Bosonic, SqueezeReducesXVariance) {
+  // Squeezing along x with real z>0 reduces <x^2> of the vacuum.
+  const int d = 40;
+  const Matrix s = squeeze(d, cplx{0.5, 0.0});
+  std::vector<cplx> vac(static_cast<std::size_t>(d), cplx{0.0, 0.0});
+  vac[0] = 1.0;
+  const std::vector<cplx> sv = s * vac;
+  const Matrix x = quadrature_x(d);
+  const Matrix x2 = x * x;
+  const std::vector<cplx> xv = x2 * sv;
+  const double var = inner(sv, xv).real();
+  EXPECT_LT(var, 0.5);  // vacuum variance is 0.5
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "circuit/executor.h"
+#include "common/rng.h"
+#include "compiler/compile.h"
+#include "gates/qudit_gates.h"
+#include "gates/two_qudit.h"
+#include "linalg/metrics.h"
+
+namespace qs {
+namespace {
+
+/// Chain of CSUMs over n qutrits: 0-1, 1-2, ..., plus local Fouriers.
+Circuit chain_circuit(int n, int d) {
+  Circuit c(QuditSpace::uniform(static_cast<std::size_t>(n), d));
+  for (int i = 0; i < n; ++i) c.add("F", fourier(d), {i});
+  for (int i = 0; i + 1 < n; ++i) c.add("CSUM", csum(d, d), {i, i + 1});
+  return c;
+}
+
+/// Circuit with a deliberately bad interaction pattern for a linear chain.
+Circuit star_circuit(int n, int d) {
+  Circuit c(QuditSpace::uniform(static_cast<std::size_t>(n), d));
+  for (int i = 1; i < n; ++i) c.add("CSUM", csum(d, d), {0, i});
+  return c;
+}
+
+TEST(Mapping, InteractionWeightsSymmetric) {
+  const Circuit c = chain_circuit(4, 3);
+  const auto w = interaction_weights(c);
+  EXPECT_DOUBLE_EQ(w[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(w[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(w[0][2], 0.0);
+}
+
+TEST(Mapping, AssignmentIsValidPermutation) {
+  Rng rng(71);
+  const Circuit c = chain_circuit(6, 3);
+  const Processor proc = Processor::forecast_device(&rng);
+  const MappingResult r = map_qudits(c, proc, rng);
+  std::set<int> used;
+  for (int m : r.logical_to_mode) {
+    EXPECT_GE(m, 0);
+    EXPECT_LT(m, proc.num_modes());
+    EXPECT_TRUE(used.insert(m).second) << "duplicate mode " << m;
+  }
+}
+
+TEST(Mapping, BeatsOrEqualsTrivialMapping) {
+  Rng rng(72);
+  const Processor proc = Processor::forecast_device(&rng);
+  const Circuit c = star_circuit(8, 3);
+  const MappingResult annealed = map_qudits(c, proc, rng);
+  const MappingResult trivial = trivial_mapping(c, proc);
+  EXPECT_LE(annealed.cost, trivial.cost + 1e-12);
+}
+
+TEST(Mapping, ExploitsCoherenceDisorder) {
+  // With one cavity of clearly worse modes, heavy-use qudits should land
+  // on the better cavity.
+  Rng rng(73);
+  ProcessorConfig cfg;
+  cfg.num_cavities = 2;
+  cfg.modes_per_cavity = 4;
+  cfg.levels_per_mode = 3;
+  cfg.mode_t1 = 1e-3;
+  Processor proc(cfg);
+  // Build a heavily-used 3-qutrit circuit; 8 modes available.
+  Circuit c(QuditSpace::uniform(3, 3));
+  for (int rep = 0; rep < 5; ++rep)
+    for (int i = 0; i < 3; ++i)
+      for (int j = i + 1; j < 3; ++j) c.add("CSUM", csum(3, 3), {i, j});
+  const MappingResult r = map_qudits(c, proc, rng);
+  // All three qudits must be co-located (one cavity has 4 modes).
+  const int cav = proc.cavity_of(r.logical_to_mode[0]);
+  for (int m : r.logical_to_mode) EXPECT_EQ(proc.cavity_of(m), cav);
+}
+
+TEST(Routing, NoSwapsWhenLocal) {
+  Rng rng(74);
+  const Processor proc = Processor::forecast_device();
+  const Circuit c = chain_circuit(3, 3);
+  // Map all three qutrits into cavity 0 (4 modes available).
+  const RoutingResult r = route_circuit(c, proc, {0, 1, 2});
+  EXPECT_EQ(r.swaps_inserted, 0);
+  EXPECT_EQ(r.physical.size(), c.size());
+}
+
+TEST(Routing, InsertsSwapsForDistantPairs) {
+  const Processor proc = Processor::forecast_device();
+  Circuit c(QuditSpace::uniform(2, 3));
+  c.add("CSUM", csum(3, 3), {0, 1});
+  // Mode 0 (cavity 0) and mode 12 (cavity 3): distance 3 -> 2 hops needed
+  // to reach adjacency.
+  const RoutingResult r = route_circuit(c, proc, {0, 12});
+  EXPECT_EQ(r.swaps_inserted, 2);
+  EXPECT_EQ(r.physical.size(), 3u);  // 2 swaps + the gate
+}
+
+TEST(Routing, PreservesCircuitSemantics) {
+  // Simulate logical and routed circuits; final states must agree on the
+  // logical qudits (after accounting for the final mode permutation).
+  const int d = 2;
+  ProcessorConfig cfg;
+  cfg.num_cavities = 3;
+  cfg.modes_per_cavity = 1;
+  cfg.levels_per_mode = d;
+  const Processor proc(cfg);
+  Circuit logical(QuditSpace::uniform(2, d));
+  logical.add("F", fourier(d), {0});
+  logical.add("CSUM", csum(d, d), {0, 1});
+  // Distant placement: modes 0 and 2 (cavities 0 and 2).
+  const RoutingResult r = route_circuit(logical, proc, {0, 2});
+  EXPECT_GE(r.swaps_inserted, 1);
+
+  const StateVector logical_out = run_from_vacuum(logical);
+  const StateVector physical_out = run_from_vacuum(r.physical);
+  // Extract the reduced state on the final physical locations.
+  DensityMatrix rho(physical_out);
+  const DensityMatrix reduced = rho.partial_trace(
+      {r.final_logical_to_mode[0], r.final_logical_to_mode[1]});
+  EXPECT_NEAR(
+      density_pure_fidelity(reduced.matrix(), logical_out.amplitudes()),
+      1.0, 1e-9);
+}
+
+TEST(Routing, RequiresUniformDims) {
+  const Processor proc = Processor::forecast_device();
+  Circuit c(QuditSpace({2, 3}));
+  c.add("F", fourier(2), {0});
+  EXPECT_THROW(route_circuit(c, proc, {0, 1}), std::invalid_argument);
+}
+
+TEST(Scheduler, ParallelGatesOverlap) {
+  ProcessorConfig cfg;
+  cfg.num_cavities = 2;
+  cfg.modes_per_cavity = 1;
+  cfg.levels_per_mode = 2;
+  const Processor proc(cfg);
+  Circuit phys(QuditSpace::uniform(2, 2));
+  phys.add("SNAP", snap({0.1, 0.2}), {0}, 1e-6);
+  phys.add("SNAP", snap({0.1, 0.2}), {1}, 1e-6);
+  const ScheduleResult s = schedule_asap(phys, proc, {0, 1});
+  EXPECT_NEAR(s.makespan, 1e-6, 1e-12);  // both run in parallel
+  EXPECT_DOUBLE_EQ(s.start_times[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.start_times[1], 0.0);
+}
+
+TEST(Scheduler, SerialOnSharedMode) {
+  ProcessorConfig cfg;
+  cfg.num_cavities = 1;
+  cfg.modes_per_cavity = 2;
+  cfg.levels_per_mode = 2;
+  const Processor proc(cfg);
+  Circuit phys(QuditSpace::uniform(2, 2));
+  phys.add("SNAP", snap({0.1, 0.2}), {0}, 1e-6);
+  phys.add("CK", cz(2, 2), {0, 1}, 2e-6);
+  const ScheduleResult s = schedule_asap(phys, proc, {0, 1});
+  EXPECT_NEAR(s.start_times[1], 1e-6, 1e-12);
+  EXPECT_NEAR(s.makespan, 3e-6, 1e-12);
+  // Mode 1 idles while mode 0 runs its SNAP.
+  EXPECT_NEAR(s.idle[1], 1e-6, 1e-12);
+  EXPECT_LT(s.total_fidelity, 1.0);
+}
+
+TEST(Compile, EndToEndReport) {
+  Rng rng(75);
+  const Processor proc = Processor::forecast_device(&rng);
+  const Circuit c = chain_circuit(5, 3);
+  const CompileReport report = compile_circuit(c, proc, rng);
+  EXPECT_GT(report.schedule.makespan, 0.0);
+  EXPECT_GT(report.schedule.total_fidelity, 0.0);
+  EXPECT_LE(report.schedule.total_fidelity, 1.0);
+  EXPECT_FALSE(report.summary().empty());
+}
+
+TEST(Compile, NoiseAwareBeatsTrivialOnDisorderedDevice) {
+  Rng rng(76);
+  const Processor proc = Processor::forecast_device(&rng);
+  const Circuit c = star_circuit(6, 3);
+  CompileOptions aware;
+  CompileOptions naive;
+  naive.use_noise_aware_mapping = false;
+  Rng r1(7), r2(7);
+  const CompileReport a = compile_circuit(c, proc, r1, aware);
+  const CompileReport b = compile_circuit(c, proc, r2, naive);
+  // The mapper's predicted gate-error cost can never exceed the identity
+  // placement (identity is one of its candidate seeds).
+  EXPECT_LE(a.mapping.cost, b.mapping.cost + 1e-12);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "linalg/types.h"
+
+namespace qs {
+namespace {
+
+Matrix random_hermitian(std::size_t n, Rng& rng) {
+  Matrix h(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    h(r, r) = rng.normal();
+    for (std::size_t c = r + 1; c < n; ++c) {
+      h(r, c) = rng.complex_normal();
+      h(c, r) = std::conj(h(r, c));
+    }
+  }
+  return h;
+}
+
+TEST(Eigh, DiagonalMatrix) {
+  const Matrix d = Matrix::diagonal({3.0, 1.0, 2.0});
+  const EigResult er = eigh(d);
+  EXPECT_NEAR(er.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(er.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(er.values[2], 3.0, 1e-12);
+}
+
+TEST(Eigh, PauliXSpectrum) {
+  const Matrix x{{0.0, 1.0}, {1.0, 0.0}};
+  const EigResult er = eigh(x);
+  EXPECT_NEAR(er.values[0], -1.0, 1e-12);
+  EXPECT_NEAR(er.values[1], 1.0, 1e-12);
+}
+
+TEST(Eigh, ReconstructsMatrix) {
+  Rng rng(17);
+  for (std::size_t n : {2u, 5u, 12u, 30u}) {
+    const Matrix h = random_hermitian(n, rng);
+    const EigResult er = eigh(h);
+    // H = V diag V^dag
+    Matrix recon = er.vectors;
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i) recon(i, j) *= er.values[j];
+    recon = recon * er.vectors.adjoint();
+    EXPECT_LT(max_abs_diff(recon, h), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Eigh, EigenvectorsOrthonormal) {
+  Rng rng(18);
+  const Matrix h = random_hermitian(8, rng);
+  const EigResult er = eigh(h);
+  EXPECT_TRUE(er.vectors.is_unitary(1e-9));
+}
+
+TEST(Eigh, ValuesSortedAscending) {
+  Rng rng(19);
+  const Matrix h = random_hermitian(10, rng);
+  const EigResult er = eigh(h);
+  for (std::size_t i = 1; i < er.values.size(); ++i)
+    EXPECT_LE(er.values[i - 1], er.values[i]);
+}
+
+TEST(Eigh, RejectsNonHermitian) {
+  Matrix a(2, 2);
+  a(0, 1) = 1.0;
+  EXPECT_THROW(eigh(a), std::invalid_argument);
+}
+
+TEST(Eigh, TraceConserved) {
+  Rng rng(20);
+  const Matrix h = random_hermitian(7, rng);
+  const EigResult er = eigh(h);
+  double sum = 0.0;
+  for (double v : er.values) sum += v;
+  EXPECT_NEAR(sum, h.trace().real(), 1e-9);
+}
+
+TEST(Lanczos, MatchesDenseOnRandomHermitian) {
+  Rng rng(23);
+  const std::size_t n = 40;
+  const Matrix h = random_hermitian(n, rng);
+  const EigResult dense = eigh(h);
+  auto apply = [&](const std::vector<cplx>& v) { return h * v; };
+  const LanczosResult lr = lanczos_lowest(apply, n, 3, rng);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(lr.values[i], dense.values[i], 1e-7) << "i=" << i;
+}
+
+TEST(Lanczos, RitzVectorsAreEigenvectors) {
+  Rng rng(24);
+  const std::size_t n = 25;
+  const Matrix h = random_hermitian(n, rng);
+  auto apply = [&](const std::vector<cplx>& v) { return h * v; };
+  const LanczosResult lr = lanczos_lowest(apply, n, 2, rng);
+  for (std::size_t j = 0; j < 2; ++j) {
+    const std::vector<cplx> hv = h * lr.vectors[j];
+    // ||H v - lambda v|| should be small.
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      err += std::norm(hv[i] - lr.values[j] * lr.vectors[j][i]);
+    EXPECT_LT(std::sqrt(err), 1e-6);
+  }
+}
+
+TEST(Lanczos, DegenerateGroundSpace) {
+  // diag(0, 0, 1, 2): lowest two eigenvalues equal.
+  const Matrix d = Matrix::diagonal({0.0, 0.0, 1.0, 2.0});
+  Rng rng(25);
+  auto apply = [&](const std::vector<cplx>& v) { return d * v; };
+  const LanczosResult lr = lanczos_lowest(apply, 4, 2, rng);
+  EXPECT_NEAR(lr.values[0], 0.0, 1e-9);
+  EXPECT_NEAR(lr.values[1], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qs

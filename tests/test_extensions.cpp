@@ -1,0 +1,243 @@
+// Tests for the extension modules: state preparation, measurement
+// mitigation, and the transmon-probe analog reservoir.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/executor.h"
+#include "circuit/state_prep.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "gates/qudit_gates.h"
+#include "linalg/metrics.h"
+#include "noise/channels.h"
+#include "noise/mitigation.h"
+#include "qrc/readout.h"
+#include "qrc/transmon_probe.h"
+
+namespace qs {
+namespace {
+
+// ---------------------------------------------------------------------
+// State preparation.
+// ---------------------------------------------------------------------
+
+class GhzP : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GhzP, ProducesGhzState) {
+  const auto [sites, d] = GetParam();
+  const Circuit c = ghz_circuit(sites, d);
+  const StateVector psi = run_from_vacuum(c);
+  const double expect = 1.0 / std::sqrt(static_cast<double>(d));
+  for (int k = 0; k < d; ++k) {
+    std::vector<int> digits(static_cast<std::size_t>(sites), k);
+    EXPECT_NEAR(std::abs(psi.amplitude(c.space().index_of(digits))), expect,
+                1e-10)
+        << "k=" << k;
+  }
+  // No weight outside the diagonal strings.
+  double diag_weight = 0.0;
+  for (int k = 0; k < d; ++k) {
+    std::vector<int> digits(static_cast<std::size_t>(sites), k);
+    diag_weight += std::norm(psi.amplitude(c.space().index_of(digits)));
+  }
+  EXPECT_NEAR(diag_weight, 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GhzP,
+                         ::testing::Values(std::make_tuple(2, 2),
+                                           std::make_tuple(3, 3),
+                                           std::make_tuple(4, 3),
+                                           std::make_tuple(2, 5)));
+
+class WStateP : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WStateP, ProducesWState) {
+  const auto [sites, d] = GetParam();
+  const Circuit c = w_circuit(sites, d);
+  const StateVector psi = run_from_vacuum(c);
+  const double expect = 1.0 / std::sqrt(static_cast<double>(sites));
+  for (int i = 0; i < sites; ++i) {
+    std::vector<int> digits(static_cast<std::size_t>(sites), 0);
+    digits[static_cast<std::size_t>(i)] = 1;
+    EXPECT_NEAR(std::abs(psi.amplitude(c.space().index_of(digits))), expect,
+                1e-9)
+        << "site " << i;
+  }
+  EXPECT_NEAR(psi.norm_squared(), 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, WStateP,
+                         ::testing::Values(std::make_tuple(2, 2),
+                                           std::make_tuple(3, 3),
+                                           std::make_tuple(5, 3),
+                                           std::make_tuple(4, 4)));
+
+TEST(StatePrep, UniformSuperposition) {
+  Circuit c(QuditSpace({3, 4}));
+  append_uniform_superposition(c);
+  const StateVector psi = run_from_vacuum(c);
+  for (std::size_t i = 0; i < psi.dimension(); ++i)
+    EXPECT_NEAR(std::abs(psi.amplitude(i)), 1.0 / std::sqrt(12.0), 1e-10);
+}
+
+// ---------------------------------------------------------------------
+// Measurement mitigation.
+// ---------------------------------------------------------------------
+
+TEST(Mitigation, RecoversTrueDistribution) {
+  const auto m = adjacent_confusion_matrix(4, 0.2);
+  const std::vector<double> truth{0.5, 0.1, 0.3, 0.1};
+  const auto observed = apply_confusion(m, truth);
+  const auto recovered = mitigate_readout(m, observed);
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    EXPECT_NEAR(recovered[i], truth[i], 1e-8);
+}
+
+TEST(Mitigation, PreservesTotalCounts) {
+  const auto m = adjacent_confusion_matrix(3, 0.15);
+  const std::vector<double> observed{120.0, 60.0, 20.0};
+  const auto recovered = mitigate_readout(m, observed);
+  double total = 0.0;
+  for (double v : recovered) total += v;
+  EXPECT_NEAR(total, 200.0, 1e-8);
+  for (double v : recovered) EXPECT_GE(v, 0.0);
+}
+
+TEST(Mitigation, ClipsQuasiProbabilities) {
+  // Heavily corrupted counts can invert to negative quasi-probabilities;
+  // the mitigator must clip and renormalize.
+  const auto m = adjacent_confusion_matrix(2, 0.4);
+  const std::vector<double> observed{1.0, 99.0};
+  const auto recovered = mitigate_readout(m, observed);
+  EXPECT_GE(recovered[0], 0.0);
+  EXPECT_GE(recovered[1], 0.0);
+  EXPECT_NEAR(recovered[0] + recovered[1], 100.0, 1e-8);
+}
+
+TEST(Mitigation, RegisterMatrixIsTensorProduct) {
+  const auto site = adjacent_confusion_matrix(2, 0.1);
+  const auto reg = register_confusion_matrix(site, 2);
+  ASSERT_EQ(reg.size(), 4u);
+  // Entry (0, 3): both sites leak: site[0][1]^2.
+  EXPECT_NEAR(reg[0][3], site[0][1] * site[0][1], 1e-12);
+  // Columns sum to 1 (stochastic).
+  for (std::size_t j = 0; j < 4; ++j) {
+    double col = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) col += reg[i][j];
+    EXPECT_NEAR(col, 1.0, 1e-12);
+  }
+}
+
+TEST(Mitigation, EndToEndWithSampledCounts) {
+  // Simulate readout corruption of a known distribution with sampling
+  // noise and verify mitigation improves the total-variation distance.
+  Rng rng(55);
+  const auto m = adjacent_confusion_matrix(3, 0.25);
+  const std::vector<double> truth{0.6, 0.3, 0.1};
+  const auto corrupted = apply_confusion(m, truth);
+  // Multinomial sample of the corrupted distribution.
+  std::vector<double> counts(3, 0.0);
+  const int shots = 20000;
+  for (int s = 0; s < shots; ++s) ++counts[rng.discrete(corrupted)];
+  const auto mitigated = mitigate_readout(m, counts);
+  double tv_raw = 0.0, tv_mit = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    tv_raw += std::abs(counts[i] / shots - truth[i]);
+    tv_mit += std::abs(mitigated[i] / shots - truth[i]);
+  }
+  EXPECT_LT(tv_mit, tv_raw);
+}
+
+// ---------------------------------------------------------------------
+// Transmon-probe analog reservoir.
+// ---------------------------------------------------------------------
+
+TransmonProbeConfig probe_config() {
+  TransmonProbeConfig cfg;
+  cfg.cavity_levels = 6;
+  cfg.probes_per_step = 3;
+  cfg.ensemble = 16;
+  return cfg;
+}
+
+TEST(TransmonProbe, FeatureShape) {
+  const TransmonProbeReservoir res(probe_config());
+  Rng rng(60);
+  const RMatrix f = res.run({0.2, -0.4, 0.7}, rng);
+  EXPECT_EQ(f.rows(), 3u);
+  EXPECT_EQ(f.cols(), 3u);
+  for (std::size_t r = 0; r < f.rows(); ++r)
+    for (std::size_t c = 0; c < f.cols(); ++c) {
+      EXPECT_GE(f(r, c), 0.0);
+      EXPECT_LE(f(r, c), 1.0);
+    }
+}
+
+TEST(TransmonProbe, DeterministicGivenSeed) {
+  const TransmonProbeReservoir res(probe_config());
+  Rng r1(61), r2(61);
+  const RMatrix a = res.run({0.5, 0.1}, r1);
+  const RMatrix b = res.run({0.5, 0.1}, r2);
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      EXPECT_DOUBLE_EQ(a(r, c), b(r, c));
+}
+
+TEST(TransmonProbe, RespondsToInput) {
+  const TransmonProbeReservoir res(probe_config());
+  Rng r1(62), r2(62);
+  const RMatrix quiet = res.run(std::vector<double>(8, 0.0), r1);
+  const RMatrix driven = res.run(std::vector<double>(8, 1.0), r2);
+  double diff = 0.0;
+  for (std::size_t r = 0; r < quiet.rows(); ++r)
+    for (std::size_t c = 0; c < quiet.cols(); ++c)
+      diff += std::abs(quiet(r, c) - driven(r, c));
+  EXPECT_GT(diff, 0.05);
+}
+
+TEST(TransmonProbe, TwoToneTaskLabels) {
+  Rng rng(63);
+  const SignalTask task = make_two_tone_task(6, 10, 0.4, 1.3, rng);
+  EXPECT_EQ(task.input.size(), 60u);
+  for (double l : task.target) EXPECT_TRUE(l == 1.0 || l == -1.0);
+  EXPECT_GT(stddev(task.input), 0.1);
+}
+
+TEST(TransmonProbe, ClassifiesTwoTones) {
+  // The [27]-style experiment: distinguish two signal classes from a
+  // window of the transmon measurement record with a linear readout.
+  // Weak-measurement regime (strong frequent probes would Zeno-freeze
+  // the cavity response); a large measurement ensemble is needed, which
+  // is exactly the paper's shot-noise challenge.
+  Rng rng(31);
+  const SignalTask task = make_two_tone_task(28, 8, 0.35, 1.25, rng);
+  TransmonProbeConfig cfg = probe_config();
+  cfg.probes_per_step = 1;
+  cfg.probe_time = 1.8;
+  cfg.chi = 0.6;
+  cfg.omega_c = 0.6;
+  cfg.input_gain = 0.7;
+  cfg.ensemble = 512;
+  const TransmonProbeReservoir res(cfg);
+  Rng run_rng(100);
+  const RMatrix features = stack_history(res.run(task.input, run_rng), 12);
+  const double acc =
+      evaluate_sign_accuracy(features, task.target, 12, 148, 1e-4);
+  EXPECT_GT(acc, 0.65);
+}
+
+TEST(TransmonProbe, StackHistoryShapesAndClamping) {
+  RMatrix f(3, 2);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c)
+      f(r, c) = static_cast<double>(10 * r + c);
+  const RMatrix s = stack_history(f, 2);
+  EXPECT_EQ(s.cols(), 4u);
+  EXPECT_DOUBLE_EQ(s(2, 0), 20.0);  // current row
+  EXPECT_DOUBLE_EQ(s(2, 2), 10.0);  // previous row
+  EXPECT_DOUBLE_EQ(s(0, 2), 0.0);   // clamped at the start
+}
+
+}  // namespace
+}  // namespace qs

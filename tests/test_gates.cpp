@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gates/qudit_gates.h"
+#include "gates/two_qudit.h"
+#include "linalg/metrics.h"
+#include "linalg/types.h"
+
+namespace qs {
+namespace {
+
+class WeylGatesP : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeylGatesP, XIsUnitaryAndCyclic) {
+  const int d = GetParam();
+  const Matrix x = weyl_x(d);
+  EXPECT_TRUE(x.is_unitary());
+  // X^d = I.
+  Matrix p = Matrix::identity(static_cast<std::size_t>(d));
+  for (int i = 0; i < d; ++i) p = x * p;
+  EXPECT_LT(max_abs_diff(p, Matrix::identity(static_cast<std::size_t>(d))),
+            1e-10);
+}
+
+TEST_P(WeylGatesP, ZIsUnitaryAndCyclic) {
+  const int d = GetParam();
+  const Matrix z = weyl_z(d);
+  EXPECT_TRUE(z.is_unitary());
+  Matrix p = Matrix::identity(static_cast<std::size_t>(d));
+  for (int i = 0; i < d; ++i) p = z * p;
+  EXPECT_LT(max_abs_diff(p, Matrix::identity(static_cast<std::size_t>(d))),
+            1e-10);
+}
+
+TEST_P(WeylGatesP, CommutationRelation) {
+  // Z X = w X Z with w = exp(2 pi i / d).
+  const int d = GetParam();
+  const Matrix lhs = weyl_z(d) * weyl_x(d);
+  const Matrix rhs = weyl_x(d) * weyl_z(d) * std::exp(kI * (kTwoPi / d));
+  EXPECT_LT(max_abs_diff(lhs, rhs), 1e-10);
+}
+
+TEST_P(WeylGatesP, FourierDiagonalizesX) {
+  // F^dag X F = Z (up to convention F X F^dag = Z^dag etc.); check
+  // F^dag X F is diagonal with the d-th roots of unity.
+  const int d = GetParam();
+  const Matrix f = fourier(d);
+  EXPECT_TRUE(f.is_unitary(1e-10));
+  const Matrix m = f.adjoint() * weyl_x(d) * f;
+  for (int r = 0; r < d; ++r) {
+    for (int c = 0; c < d; ++c) {
+      if (r != c) {
+        EXPECT_LT(std::abs(m(static_cast<std::size_t>(r),
+                             static_cast<std::size_t>(c))),
+                  1e-10);
+      }
+    }
+  }
+}
+
+TEST_P(WeylGatesP, FourierFourthPowerIsIdentity) {
+  const int d = GetParam();
+  const Matrix f = fourier(d);
+  const Matrix f4 = f * f * f * f;
+  EXPECT_LT(max_abs_diff(f4, Matrix::identity(static_cast<std::size_t>(d))),
+            1e-9);
+}
+
+TEST_P(WeylGatesP, CsumDecompositionIdentity) {
+  // CSUM = (I (x) F^dag) CZ (I (x) F) -- the synthesis identity used by
+  // the compiler.
+  const int d = GetParam();
+  const Matrix f = fourier(d);
+  const Matrix id = Matrix::identity(static_cast<std::size_t>(d));
+  const Matrix lhs = csum(d, d);
+  const Matrix rhs = two_site(id, f.adjoint()) * cz(d, d) * two_site(id, f);
+  EXPECT_LT(max_abs_diff(lhs, rhs), 1e-9);
+}
+
+TEST_P(WeylGatesP, CsumIsClifford) {
+  // CSUM conjugates X (x) I to X (x) X (control-side X propagates).
+  const int d = GetParam();
+  const Matrix cs = csum(d, d);
+  const Matrix id = Matrix::identity(static_cast<std::size_t>(d));
+  const Matrix lhs = cs * two_site(weyl_x(d), id) * cs.adjoint();
+  const Matrix rhs = two_site(weyl_x(d), weyl_x(d));
+  EXPECT_LT(max_abs_diff(lhs, rhs), 1e-9);
+}
+
+TEST_P(WeylGatesP, CsumOrderIsD) {
+  // CSUM^d = identity.
+  const int d = GetParam();
+  const Matrix cs = csum(d, d);
+  Matrix p = Matrix::identity(cs.rows());
+  for (int i = 0; i < d; ++i) p = cs * p;
+  EXPECT_LT(max_abs_diff(p, Matrix::identity(cs.rows())), 1e-9);
+}
+
+TEST_P(WeylGatesP, CrossKerrRealizesCzAtMagicTime) {
+  // exp(-i chi t n1 n2) with chi t = 2 pi (d-1)/d equals CZ_d.
+  const int d = GetParam();
+  const double chi_t = kTwoPi * (d - 1) / d;
+  EXPECT_LT(max_abs_diff(cross_kerr(d, d, chi_t), cz(d, d)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, WeylGatesP, ::testing::Values(2, 3, 4, 5, 7));
+
+TEST(Gates, SnapIsDiagonalUnitary) {
+  const Matrix s = snap({0.1, 0.2, 0.3, 0.4});
+  EXPECT_TRUE(s.is_unitary());
+  EXPECT_NEAR(std::arg(s(2, 2)), 0.3, 1e-12);
+  EXPECT_EQ(s(0, 1), cplx(0.0, 0.0));
+}
+
+TEST(Gates, GivensActsOnlyOnTargetLevels) {
+  const Matrix g = givens(5, 1, 3, 0.7, 0.2);
+  EXPECT_TRUE(g.is_unitary());
+  EXPECT_EQ(g(0, 0), cplx(1.0, 0.0));
+  EXPECT_EQ(g(2, 2), cplx(1.0, 0.0));
+  EXPECT_EQ(g(4, 4), cplx(1.0, 0.0));
+  EXPECT_NEAR(std::abs(g(1, 1)), std::cos(0.35), 1e-12);
+}
+
+TEST(Gates, GivensFullRotationSwapsLevels) {
+  // theta = pi maps |j> -> -i e^{i phi} |k> (population fully transferred).
+  const Matrix g = givens(4, 0, 2, kPi, 0.0);
+  EXPECT_NEAR(std::abs(g(2, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(g(0, 0)), 0.0, 1e-12);
+}
+
+TEST(Gates, MixerHamiltoniansHermitian) {
+  for (int d : {2, 3, 5}) {
+    EXPECT_TRUE(shift_mixer_hamiltonian(d).is_hermitian());
+    EXPECT_TRUE(full_mixer_hamiltonian(d).is_hermitian());
+  }
+}
+
+TEST(Gates, RandomUnitaryIsHaarLikeUnitary) {
+  Rng rng(77);
+  for (int d : {2, 3, 6}) {
+    const Matrix u = random_unitary(d, rng);
+    EXPECT_TRUE(u.is_unitary(1e-9)) << "d=" << d;
+  }
+}
+
+TEST(Gates, WeylPowersComposition) {
+  const Matrix w = weyl(3, 2, 1);
+  const Matrix expect = weyl_x(3) * weyl_x(3) * weyl_z(3);
+  EXPECT_LT(max_abs_diff(w, expect), 1e-12);
+}
+
+TEST(Gates, GellMannBasisProperties) {
+  for (int d : {2, 3, 4}) {
+    const auto basis = gell_mann_basis(d);
+    EXPECT_EQ(basis.size(), static_cast<std::size_t>(d * d - 1));
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+      EXPECT_TRUE(basis[i].is_hermitian()) << "d=" << d << " i=" << i;
+      EXPECT_NEAR(std::abs(basis[i].trace()), 0.0, 1e-12);
+      for (std::size_t j = 0; j < basis.size(); ++j) {
+        const double expect = (i == j) ? 2.0 : 0.0;
+        EXPECT_NEAR((basis[i] * basis[j]).trace().real(), expect, 1e-10);
+      }
+    }
+  }
+}
+
+TEST(TwoQudit, SwapGateSwaps) {
+  const Matrix s = swap_gate(3);
+  // |a,b> -> |b,a>: index a + 3b -> b + 3a.
+  for (int a = 0; a < 3; ++a)
+    for (int b = 0; b < 3; ++b)
+      EXPECT_EQ(s(static_cast<std::size_t>(b + 3 * a),
+                  static_cast<std::size_t>(a + 3 * b)),
+                cplx(1.0, 0.0));
+  EXPECT_TRUE(s.is_unitary());
+}
+
+TEST(TwoQudit, MixedDimensionCsum) {
+  // Control d0=2, target d1=4: |1,3> -> |1,0>.
+  const Matrix cs = csum(2, 4);
+  EXPECT_TRUE(cs.is_unitary());
+  EXPECT_EQ(cs(static_cast<std::size_t>(1 + 2 * 0),
+               static_cast<std::size_t>(1 + 2 * 3)),
+            cplx(1.0, 0.0));
+}
+
+TEST(TwoQudit, CsumDaggerInverts) {
+  const Matrix cs = csum(3, 3);
+  EXPECT_LT(max_abs_diff(cs * csum_dagger(3, 3), Matrix::identity(9)), 1e-12);
+}
+
+TEST(TwoQudit, ControlledPowerOfX) {
+  // controlled_power(d, X) should equal CSUM.
+  const Matrix cp = controlled_power(3, weyl_x(3));
+  EXPECT_LT(max_abs_diff(cp, csum(3, 3)), 1e-12);
+}
+
+TEST(TwoQudit, CphaseReducesToCz) {
+  const int d = 4;
+  EXPECT_LT(max_abs_diff(cphase(d, d, kTwoPi / d), cz(d, d)), 1e-10);
+}
+
+TEST(TwoQudit, BeamsplitterUnitary) {
+  const Matrix bs = beamsplitter(4, 4, kPi / 4.0, 0.0);
+  EXPECT_TRUE(bs.is_unitary(1e-9));
+}
+
+TEST(TwoQudit, BeamsplitterConservesTotalPhotonNumber) {
+  const int d = 5;
+  const Matrix bs = beamsplitter(d, d, 0.9, 0.3);
+  // <a,b| BS |c,e> = 0 unless a+b == c+e.
+  for (int a = 0; a < d; ++a) {
+    for (int b = 0; b < d; ++b) {
+      for (int c = 0; c < d; ++c) {
+        for (int e = 0; e < d; ++e) {
+          if (a + b != c + e) {
+            EXPECT_LT(std::abs(bs(static_cast<std::size_t>(a + d * b),
+                                  static_cast<std::size_t>(c + d * e))),
+                      1e-9);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TwoQudit, FullBeamsplitterSwapsSinglePhoton) {
+  // theta = pi/2 transfers |1,0> fully to |0,1> (up to phase).
+  const int d = 3;
+  const Matrix bs = beamsplitter(d, d, kPi / 2.0, 0.0);
+  const std::size_t in = 1;       // |1,0>
+  const std::size_t out = d;      // |0,1>
+  EXPECT_NEAR(std::abs(bs(out, in)), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qs

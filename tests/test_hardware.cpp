@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "hardware/processor.h"
+
+namespace qs {
+namespace {
+
+TEST(Processor, ForecastDeviceShape) {
+  const Processor p = Processor::forecast_device();
+  EXPECT_EQ(p.num_modes(), 40);
+  EXPECT_EQ(p.num_cavities(), 10);
+  EXPECT_EQ(p.mode(0).dim, 10);
+  // The paper: "exceed 100 qubits in Hilbert space dimension".
+  EXPECT_GT(p.equivalent_qubits(), 100.0);
+}
+
+TEST(Processor, ModeIndexing) {
+  const Processor p = Processor::forecast_device();
+  EXPECT_EQ(p.cavity_of(0), 0);
+  EXPECT_EQ(p.cavity_of(3), 0);
+  EXPECT_EQ(p.cavity_of(4), 1);
+  EXPECT_TRUE(p.co_located(0, 3));
+  EXPECT_FALSE(p.co_located(3, 4));
+  EXPECT_TRUE(p.adjacent_cavities(3, 4));
+  EXPECT_EQ(p.cavity_distance(0, 39), 9);
+}
+
+TEST(Processor, DisorderedCoherences) {
+  Rng rng(101);
+  const Processor p = Processor::forecast_device(&rng);
+  bool any_different = false;
+  for (int m = 1; m < p.num_modes(); ++m) {
+    if (std::abs(p.mode(m).t1 - p.mode(0).t1) > 1e-9) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+  for (int m = 0; m < p.num_modes(); ++m) EXPECT_GT(p.mode(m).t1, 0.0);
+}
+
+TEST(Processor, ErrorModelOrdering) {
+  const Processor p = Processor::forecast_device();
+  // SNAP (transmon-heavy, us-scale) must cost more than a displacement.
+  EXPECT_GT(p.native_op_error(NativeOp::kSnap, 0),
+            p.native_op_error(NativeOp::kDisplacement, 0));
+  // All errors are probabilities.
+  for (NativeOp op : {NativeOp::kDisplacement, NativeOp::kSnap,
+                      NativeOp::kGivens, NativeOp::kCrossKerr,
+                      NativeOp::kBeamsplitter, NativeOp::kMeasurement}) {
+    const double e = p.native_op_error(op, 0);
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 1.0);
+  }
+}
+
+TEST(Processor, TwoModeErrorPrefersCoLocation) {
+  const Processor p = Processor::forecast_device();
+  const double co = p.two_mode_error(0, 1);      // same cavity
+  const double adj = p.two_mode_error(3, 4);     // adjacent cavities
+  const double far = p.two_mode_error(0, 39);    // across the chain
+  EXPECT_LT(co, adj);
+  EXPECT_LT(adj, far);
+}
+
+TEST(Processor, BetterT1MeansLowerError) {
+  ProcessorConfig cfg;
+  cfg.num_cavities = 1;
+  cfg.modes_per_cavity = 2;
+  cfg.mode_t1 = 1e-3;
+  const Processor good(cfg);
+  cfg.mode_t1 = 1e-4;
+  const Processor bad(cfg);
+  EXPECT_LT(good.two_mode_error(0, 1), bad.two_mode_error(0, 1));
+  EXPECT_LT(good.idle_rate(0), bad.idle_rate(0));
+}
+
+TEST(Processor, HigherDimCostsMore) {
+  // Larger d: longer CZ and faster photon loss -> higher error.
+  ProcessorConfig small;
+  small.num_cavities = 1;
+  small.modes_per_cavity = 2;
+  small.levels_per_mode = 3;
+  ProcessorConfig big = small;
+  big.levels_per_mode = 10;
+  EXPECT_LT(Processor(small).two_mode_error(0, 1),
+            Processor(big).two_mode_error(0, 1));
+}
+
+TEST(Processor, ConfigValidation) {
+  ProcessorConfig cfg;
+  cfg.num_cavities = 0;
+  EXPECT_THROW(Processor p(cfg), std::invalid_argument);
+  cfg = ProcessorConfig{};
+  cfg.levels_per_mode = 1;
+  EXPECT_THROW(Processor p(cfg), std::invalid_argument);
+}
+
+TEST(Processor, DurationTable) {
+  GateDurations d;
+  EXPECT_EQ(d.of(NativeOp::kSnap), d.snap);
+  EXPECT_EQ(d.of(NativeOp::kDisplacement), d.displacement);
+  EXPECT_GT(d.snap, d.displacement);  // paper: SNAP is the slow op
+}
+
+TEST(Processor, ToStringMentionsGeometry) {
+  const Processor p = Processor::forecast_device();
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("10 cavities"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.h"
+#include "circuit/executor.h"
+#include "common/rng.h"
+#include "gates/qudit_gates.h"
+#include "gates/two_qudit.h"
+#include "linalg/metrics.h"
+#include "noise/channels.h"
+#include "noise/noise_model.h"
+#include "noise/noisy_executor.h"
+
+namespace qs {
+namespace {
+
+class ChannelsP : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChannelsP, DepolarizingIsCptp) {
+  const int d = GetParam();
+  for (double p : {0.0, 0.01, 0.3, 1.0})
+    EXPECT_TRUE(is_cptp(depolarizing_channel(d, p))) << "d=" << d << " p=" << p;
+}
+
+TEST_P(ChannelsP, DephasingIsCptp) {
+  const int d = GetParam();
+  for (double p : {0.0, 0.05, 0.7, 1.0})
+    EXPECT_TRUE(is_cptp(dephasing_channel(d, p)));
+}
+
+TEST_P(ChannelsP, AmplitudeDampingIsCptp) {
+  const int d = GetParam();
+  for (double g : {0.0, 0.02, 0.5, 1.0})
+    EXPECT_TRUE(is_cptp(amplitude_damping_channel(d, g)));
+}
+
+TEST_P(ChannelsP, ThermalExcitationIsCptp) {
+  const int d = GetParam();
+  EXPECT_TRUE(is_cptp(thermal_excitation_channel(d, 0.01)));
+}
+
+TEST_P(ChannelsP, DepolarizingDrivesToMaximallyMixed) {
+  const int d = GetParam();
+  DensityMatrix rho(QuditSpace({d}));
+  rho.apply_channel(depolarizing_channel(d, 1.0), {0});
+  for (int k = 0; k < d; ++k)
+    EXPECT_NEAR(rho.matrix()(static_cast<std::size_t>(k),
+                             static_cast<std::size_t>(k)).real(),
+                1.0 / d, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ChannelsP, ::testing::Values(2, 3, 4, 6));
+
+TEST(Channels, DephasingKillsCoherences) {
+  const int d = 3;
+  StateVector psi(QuditSpace({d}));
+  psi.apply(fourier(d), {0});
+  DensityMatrix rho(psi);
+  rho.apply_channel(dephasing_channel(d, 1.0), {0});
+  // Fully dephased: diagonal in the computational basis.
+  for (int r = 0; r < d; ++r) {
+    for (int c = 0; c < d; ++c) {
+      if (r != c) {
+        EXPECT_LT(std::abs(rho.matrix()(static_cast<std::size_t>(r),
+                                        static_cast<std::size_t>(c))),
+                  1e-10);
+      }
+    }
+  }
+  // Populations untouched.
+  EXPECT_NEAR(rho.matrix()(0, 0).real(), 1.0 / 3.0, 1e-10);
+}
+
+TEST(Channels, AmplitudeDampingDecaysFockLevels) {
+  // After loss gamma, <n> of Fock |n0> is n0 (1-gamma).
+  const int d = 6;
+  const int n0 = 4;
+  const double gamma = 0.3;
+  DensityMatrix rho(QuditSpace({d}));
+  StateVector psi(QuditSpace({d}), std::vector<int>{n0});
+  rho = DensityMatrix(psi);
+  rho.apply_channel(amplitude_damping_channel(d, gamma), {0});
+  double nbar = 0.0;
+  for (int k = 0; k < d; ++k)
+    nbar += k * rho.matrix()(static_cast<std::size_t>(k),
+                             static_cast<std::size_t>(k)).real();
+  EXPECT_NEAR(nbar, n0 * (1.0 - gamma), 1e-10);
+}
+
+TEST(Channels, FullDampingReachesVacuum) {
+  const int d = 5;
+  DensityMatrix rho(QuditSpace({d}));
+  StateVector psi(QuditSpace({d}), std::vector<int>{3});
+  rho = DensityMatrix(psi);
+  rho.apply_channel(amplitude_damping_channel(d, 1.0), {0});
+  EXPECT_NEAR(rho.matrix()(0, 0).real(), 1.0, 1e-10);
+}
+
+TEST(Channels, ConfusionMatrixConservesCounts) {
+  const auto m = adjacent_confusion_matrix(4, 0.1);
+  const std::vector<double> counts{100.0, 50.0, 25.0, 10.0};
+  const auto out = apply_confusion(m, counts);
+  double in_total = 0.0, out_total = 0.0;
+  for (double x : counts) in_total += x;
+  for (double x : out) out_total += x;
+  EXPECT_NEAR(in_total, out_total, 1e-9);
+}
+
+TEST(NoiseModel, TrivialByDefault) {
+  NoiseModel nm;
+  EXPECT_TRUE(nm.is_trivial());
+  NoiseParams p;
+  p.depol_2q = 0.01;
+  EXPECT_FALSE(NoiseModel(p).is_trivial());
+}
+
+TEST(NoiseModel, ChannelsAfterTwoSiteGate) {
+  NoiseParams p;
+  p.depol_2q = 0.01;
+  p.loss_per_gate = 0.002;
+  const NoiseModel nm(p);
+  Circuit c(QuditSpace({3, 3}));
+  c.add("CSUM", csum(3, 3), {0, 1});
+  const auto chans = nm.channels_after(c.operations()[0], c.space());
+  // Per site: depolarizing + loss = 4 channel applications.
+  EXPECT_EQ(chans.size(), 4u);
+  for (const auto& ch : chans) EXPECT_TRUE(is_cptp(ch.kraus));
+}
+
+TEST(NoiseModel, IdleChannelsUseDuration) {
+  NoiseParams p;
+  p.idle_loss_rate = 1e3;  // 1/s
+  const NoiseModel nm(p);
+  Circuit c(QuditSpace({2, 2, 2}));
+  c.add("X", weyl_x(2), {0}, /*duration=*/1e-3);
+  const auto chans = nm.channels_after(c.operations()[0], c.space());
+  EXPECT_EQ(chans.size(), 3u);  // idle loss on every site
+}
+
+TEST(NoiseModel, ScaleNoiseClipsAtOne) {
+  NoiseParams p;
+  p.depol_1q = 0.4;
+  const NoiseParams scaled = scale_noise(p, 10.0);
+  EXPECT_DOUBLE_EQ(scaled.depol_1q, 1.0);
+}
+
+TEST(NoisyExecutor, TrajectoryEnsembleMatchesDensityMatrix) {
+  // Bell circuit with dephasing: trajectory-averaged site probabilities
+  // must match the exact density-matrix result.
+  Rng rng(55);
+  Circuit c(QuditSpace({3, 3}));
+  c.add("F", fourier(3), {0});
+  c.add("CSUM", csum(3, 3), {0, 1});
+  NoiseParams p;
+  p.depol_1q = 0.05;
+  p.depol_2q = 0.10;
+  const NoiseModel nm(p);
+
+  DensityMatrix rho(c.space());
+  run_noisy(c, rho, nm);
+  const std::vector<double> exact = rho.probabilities();
+
+  std::vector<double> traj(c.space().dimension(), 0.0);
+  const int shots = 4000;
+  for (int s = 0; s < shots; ++s) {
+    StateVector psi(c.space());
+    run_trajectory(c, psi, nm, rng);
+    for (std::size_t i = 0; i < traj.size(); ++i)
+      traj[i] += std::norm(psi.amplitude(i)) / shots;
+  }
+  for (std::size_t i = 0; i < traj.size(); ++i)
+    EXPECT_NEAR(traj[i], exact[i], 0.03) << "i=" << i;
+}
+
+TEST(NoisyExecutor, LossTrajectoriesMatchDensityMatrix) {
+  Rng rng(56);
+  Circuit c(QuditSpace({4}));
+  c.add("F", fourier(4), {0});
+  NoiseParams p;
+  p.loss_per_gate = 0.2;
+  const NoiseModel nm(p);
+
+  DensityMatrix rho(c.space());
+  run_noisy(c, rho, nm);
+  const std::vector<double> exact = rho.probabilities();
+
+  std::vector<double> traj(4, 0.0);
+  const int shots = 6000;
+  for (int s = 0; s < shots; ++s) {
+    StateVector psi(c.space());
+    run_trajectory(c, psi, nm, rng);
+    for (std::size_t i = 0; i < 4; ++i)
+      traj[i] += std::norm(psi.amplitude(i)) / shots;
+  }
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(traj[i], exact[i], 0.02);
+}
+
+TEST(NoisyExecutor, SampleCountsTotalShots) {
+  Rng rng(57);
+  Circuit c(QuditSpace({3, 3}));
+  c.add("F", fourier(3), {0});
+  NoiseParams p;
+  p.depol_1q = 0.1;
+  const auto counts = sample_noisy_counts(c, 500, NoiseModel(p), rng);
+  std::size_t total = 0;
+  for (auto x : counts) total += x;
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(NoisyExecutor, NoiselessFastPath) {
+  Rng rng(58);
+  Circuit c(QuditSpace({2}));
+  c.add("F", fourier(2), {0});
+  const auto counts = sample_noisy_counts(c, 10000, NoiseModel(), rng);
+  EXPECT_NEAR(counts[0] / 10000.0, 0.5, 0.03);
+}
+
+TEST(NoisyExecutor, DiagonalExpectationUnderNoise) {
+  Rng rng(59);
+  Circuit c(QuditSpace({2}));
+  c.add("X", weyl_x(2), {0});
+  // Observable Z: diag(1, -1). Noiseless expectation = -1.
+  std::vector<double> z{1.0, -1.0};
+  EXPECT_NEAR(
+      trajectory_expectation_diagonal(c, z, 1, NoiseModel(), rng), -1.0,
+      1e-12);
+  // Depolarizing p shrinks it toward 0: exact value (1-p)(-1).
+  NoiseParams p;
+  p.depol_1q = 0.3;
+  const double noisy =
+      trajectory_expectation_diagonal(c, z, 6000, NoiseModel(p), rng);
+  EXPECT_NEAR(noisy, -0.7, 0.04);
+}
+
+}  // namespace
+}  // namespace qs

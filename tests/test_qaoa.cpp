@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "qaoa/coloring_qaoa.h"
+#include "qaoa/graph.h"
+#include "qaoa/ndar.h"
+#include "qaoa/qrac.h"
+
+namespace qs {
+namespace {
+
+Graph triangle() {
+  Graph g;
+  g.n = 3;
+  g.edges = {{0, 1}, {1, 2}, {0, 2}};
+  return g;
+}
+
+Graph cycle(int n) {
+  Graph g;
+  g.n = n;
+  for (int i = 0; i < n; ++i) g.edges.emplace_back(i, (i + 1) % n);
+  return g;
+}
+
+TEST(GraphUtils, ColoredEdgesCounts) {
+  const Graph g = triangle();
+  EXPECT_EQ(colored_edges(g, {0, 1, 2}), 3);
+  EXPECT_EQ(colored_edges(g, {0, 0, 0}), 0);
+  EXPECT_EQ(colored_edges(g, {0, 0, 1}), 2);
+}
+
+TEST(GraphUtils, OptimalByBruteForce) {
+  const Graph g = triangle();
+  EXPECT_EQ(optimal_colored_edges(g, 3), 3);
+  EXPECT_EQ(optimal_colored_edges(g, 2), 2);  // triangle not 2-colorable
+  const Graph c5 = cycle(5);
+  EXPECT_EQ(optimal_colored_edges(c5, 2), 4);  // odd cycle
+  EXPECT_EQ(optimal_colored_edges(c5, 3), 5);
+}
+
+TEST(GraphUtils, RandomGraphEdgeCount) {
+  Rng rng(81);
+  const Graph g = random_graph(30, 0.3, rng);
+  EXPECT_EQ(g.n, 30);
+  // Expect ~ 0.3 * C(30,2) = 130.5 edges.
+  EXPECT_GT(g.num_edges(), 80u);
+  EXPECT_LT(g.num_edges(), 190u);
+}
+
+TEST(GraphUtils, RegularGraphDegrees) {
+  Rng rng(82);
+  const Graph g = random_regular_graph(12, 3, rng);
+  std::vector<int> deg(12, 0);
+  for (const auto& [a, b] : g.edges) {
+    ++deg[static_cast<std::size_t>(a)];
+    ++deg[static_cast<std::size_t>(b)];
+  }
+  for (int d : deg) EXPECT_EQ(d, 3);
+}
+
+TEST(GraphUtils, GreedyBeatsRandomOnAverage) {
+  Rng rng(83);
+  const Graph g = random_regular_graph(20, 4, rng);
+  const double random_score = random_coloring_mean(g, 3, 200, rng);
+  const int greedy_score = colored_edges(g, greedy_coloring(g, 3));
+  EXPECT_GT(greedy_score, random_score);
+}
+
+TEST(ColoringQaoa, CostDiagonalMatchesDecoding) {
+  const ColoringQaoa qaoa(triangle(), 3);
+  const std::vector<int> zero(3, 0);
+  const auto diag = qaoa.cost_diagonal(zero);
+  // State |0,1,2> has all edges colored.
+  const std::size_t idx = qaoa.space().index_of({0, 1, 2});
+  EXPECT_DOUBLE_EQ(diag[idx], 3.0);
+  EXPECT_DOUBLE_EQ(diag[0], 0.0);
+}
+
+TEST(ColoringQaoa, OffsetsShiftDecoding) {
+  const ColoringQaoa qaoa(triangle(), 3);
+  // offsets (0,1,2): the attractor |000> decodes to coloring (0,1,2).
+  const auto coloring = qaoa.decode(0, {0, 1, 2});
+  EXPECT_EQ(coloring, (std::vector<int>{0, 1, 2}));
+  const auto diag = qaoa.cost_diagonal({0, 1, 2});
+  EXPECT_DOUBLE_EQ(diag[0], 3.0);
+}
+
+TEST(ColoringQaoa, UniformSuperpositionExpectation) {
+  // gamma = 0 leaves the uniform state: expected cost = E * (1 - 1/k).
+  const ColoringQaoa qaoa(triangle(), 3);
+  const double cost = qaoa.expected_cost({0.0}, {0.0});
+  EXPECT_NEAR(cost, 3.0 * (1.0 - 1.0 / 3.0), 1e-9);
+}
+
+TEST(ColoringQaoa, OptimizedP1BeatsUniform) {
+  Rng rng(84);
+  const Graph g = cycle(5);
+  const ColoringQaoa qaoa(g, 3);
+  const auto [gamma, beta] = qaoa.optimize_p1(9);
+  const double uniform = 5.0 * (1.0 - 1.0 / 3.0);
+  EXPECT_GT(qaoa.expected_cost({gamma}, {beta}), uniform + 0.05);
+}
+
+TEST(ColoringQaoa, SamplingMatchesExpectation) {
+  Rng rng(85);
+  const ColoringQaoa qaoa(triangle(), 3);
+  const std::vector<int> zero(3, 0);
+  const Circuit c = qaoa.build_circuit({0.8}, {0.4}, zero);
+  const auto samples =
+      qaoa.sample_colorings(c, zero, 3000, NoiseModel(), rng);
+  double mean = 0.0;
+  for (const auto& coloring : samples)
+    mean += colored_edges(qaoa.graph(), coloring);
+  mean /= static_cast<double>(samples.size());
+  EXPECT_NEAR(mean, qaoa.expected_cost({0.8}, {0.4}), 0.1);
+}
+
+TEST(Ndar, LossDrivesAttractorToRemappedBest) {
+  // With strong photon loss the samples collapse toward |0...0>, which
+  // NDAR remaps to the best-known coloring: P(best) should grow.
+  Rng rng(86);
+  const Graph g = cycle(6);
+  const ColoringQaoa qaoa(g, 3);
+  NoiseParams p;
+  p.loss_per_gate = 0.05;
+  const NoiseModel noise(p);
+  NdarOptions opt;
+  opt.rounds = 4;
+  opt.shots = 96;
+  const NdarResult ndar = run_ndar(qaoa, 0.9, 0.5, noise, opt, rng);
+  ASSERT_EQ(ndar.best_cost_per_round.size(), 4u);
+  // Best-so-far is monotone.
+  for (std::size_t r = 1; r < 4; ++r)
+    EXPECT_GE(ndar.best_cost_per_round[r], ndar.best_cost_per_round[r - 1]);
+  EXPECT_GT(ndar.best_cost, 0);
+}
+
+TEST(Ndar, RemapBeatsVanillaUnderLoss) {
+  // In the strong-loss regime the attractor dominates: with remapping the
+  // attractor is the best-known coloring (samples stay good); without it
+  // the attractor is the all-equal coloring (samples collapse to cost 0).
+  Rng rng(87);
+  const Graph g = cycle(6);
+  const ColoringQaoa qaoa(g, 3);
+  NoiseParams p;
+  p.loss_per_gate = 0.2;
+  const NoiseModel noise(p);
+  NdarOptions remap_opt;
+  remap_opt.rounds = 6;
+  remap_opt.shots = 96;
+  NdarOptions vanilla_opt = remap_opt;
+  vanilla_opt.remap = false;
+  // Average final mean cost over a few seeds to be robust.
+  double remap_mean = 0.0, vanilla_mean = 0.0;
+  for (int seed = 0; seed < 4; ++seed) {
+    Rng r1(900 + seed), r2(900 + seed);
+    remap_mean +=
+        run_ndar(qaoa, 0.9, 0.5, noise, remap_opt, r1).mean_cost_per_round.back();
+    vanilla_mean +=
+        run_ndar(qaoa, 0.9, 0.5, noise, vanilla_opt, r2).mean_cost_per_round.back();
+  }
+  EXPECT_GT(remap_mean, vanilla_mean);
+}
+
+TEST(Qrac, QuditsNeededArithmetic) {
+  EXPECT_EQ(qrac_qudits_needed(50, 10), 1);   // 99 slots
+  EXPECT_EQ(qrac_qudits_needed(100, 10), 2);
+  EXPECT_EQ(qrac_qudits_needed(9, 3), 2);     // 8 slots each
+}
+
+TEST(Qrac, LocalSearchNeverWorsens) {
+  Rng rng(88);
+  const Graph g = random_regular_graph(16, 3, rng);
+  std::vector<int> coloring(16, 0);
+  const int before = colored_edges(g, coloring);
+  const auto after = local_search_coloring(g, coloring, 3, 5);
+  EXPECT_GE(colored_edges(g, after), before);
+}
+
+TEST(Qrac, SolvesSmallInstanceAboveRandom) {
+  Rng rng(89);
+  const Graph g = random_regular_graph(18, 3, rng);
+  QracOptions opt;
+  opt.qudit_dim = 5;  // 24 slots: one qudit
+  opt.colors = 3;
+  opt.spsa_iters = 150;
+  opt.local_search = false;
+  const QracResult res = solve_qrac_coloring(g, opt, rng);
+  EXPECT_EQ(res.qudits_used, 1);
+  const double random_score = random_coloring_mean(g, 3, 300, rng);
+  EXPECT_GT(res.raw_colored_edges, random_score - 1.5);
+  EXPECT_GT(res.relaxed_objective, 0.0);
+}
+
+TEST(Qrac, FiftyNodeInstanceRunsOnTwoQudits) {
+  // The Table I row: 50+ nodes via QRACs on few qudits.
+  Rng rng(90);
+  const Graph g = random_regular_graph(50, 3, rng);
+  QracOptions opt;
+  opt.qudit_dim = 8;  // 63 slots
+  opt.colors = 3;
+  opt.spsa_iters = 120;
+  const QracResult res = solve_qrac_coloring(g, opt, rng);
+  EXPECT_EQ(res.qudits_used, 1);
+  // With local search the result should be decent (>= greedy - small gap).
+  const int greedy = colored_edges(g, greedy_coloring(g, 3));
+  EXPECT_GE(res.colored_edges, greedy - 8);
+  EXPECT_LE(res.colored_edges, static_cast<int>(g.num_edges()));
+}
+
+}  // namespace
+}  // namespace qs

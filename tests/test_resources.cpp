@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "resources/estimator.h"
+
+namespace qs {
+namespace {
+
+TEST(Resources, SqedEstimateShape) {
+  Rng rng(121);
+  const Processor proc = Processor::forecast_device();
+  const AppEstimate est = estimate_sqed(3, 2, 4, proc, rng);
+  EXPECT_EQ(est.modes_needed, 6);
+  EXPECT_GT(est.unit_gates, 6u);          // 6 electric + 7 hopping
+  EXPECT_GE(est.routed_gates, est.unit_gates);
+  EXPECT_GT(est.unit_duration, 0.0);
+  EXPECT_GT(est.unit_fidelity, 0.0);
+  EXPECT_LE(est.unit_fidelity, 1.0);
+  EXPECT_NEAR(est.hilbert_qubits, 6 * 2.0, 1e-9);  // d=4 -> 2 qubits/site
+}
+
+TEST(Resources, Table1HasAllRows) {
+  Rng rng(122);
+  const Processor proc = Processor::forecast_device();
+  const auto rows = table1_estimates(proc, rng);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_NE(rows[0].application.find("sQED"), std::string::npos);
+  EXPECT_NE(rows[1].application.find("Coloring"), std::string::npos);
+  EXPECT_NE(rows[2].application.find("QRAC"), std::string::npos);
+  EXPECT_NE(rows[3].application.find("Reservoir"), std::string::npos);
+}
+
+TEST(Resources, PaperFootprintFitsForecastDevice) {
+  // Table I sQED row: 9 x 2 sites with d = 4+ must fit the 40-mode
+  // forecast device.
+  Rng rng(123);
+  const Processor proc = Processor::forecast_device();
+  const AppEstimate est = estimate_sqed(9, 2, 4, proc, rng);
+  EXPECT_LE(est.modes_needed, proc.num_modes());
+  EXPECT_GT(est.swaps, -1);
+}
+
+TEST(Resources, QracUsesFarFewerModes) {
+  Rng rng(124);
+  const Processor proc = Processor::forecast_device();
+  const AppEstimate direct = estimate_coloring(50, 3, proc, rng);
+  const AppEstimate qrac = estimate_coloring_qrac(50, 3, 10, proc);
+  EXPECT_LT(qrac.modes_needed, direct.modes_needed / 10);
+}
+
+TEST(Resources, QrcNeuronCountInImplementationString) {
+  const Processor proc = Processor::forecast_device();
+  const AppEstimate est = estimate_qrc(2, 9, 40, 256, proc);
+  EXPECT_NE(est.implementation.find("81 neurons"), std::string::npos);
+  EXPECT_GT(est.unit_duration, 0.0);
+}
+
+TEST(Resources, ShotBudgetScalesRuntime) {
+  const Processor proc = Processor::forecast_device();
+  const AppEstimate few = estimate_qrc(2, 9, 40, 64, proc);
+  const AppEstimate many = estimate_qrc(2, 9, 40, 4096, proc);
+  EXPECT_NEAR(many.unit_duration / few.unit_duration, 64.0, 1.0);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/eigen.h"
+#include "noise/noise_model.h"
+#include "sqed/encodings.h"
+#include "sqed/gauge_model.h"
+#include "sqed/massgap.h"
+
+namespace qs {
+namespace {
+
+TEST(GaugeModel, RotorOperators) {
+  const Matrix lz = rotor_lz(3);
+  EXPECT_NEAR(lz(0, 0).real(), -1.0, 1e-12);
+  EXPECT_NEAR(lz(1, 1).real(), 0.0, 1e-12);
+  EXPECT_NEAR(lz(2, 2).real(), 1.0, 1e-12);
+  const Matrix u = rotor_raise(3);
+  EXPECT_EQ(u(1, 0), cplx(1.0, 0.0));
+  EXPECT_EQ(u(2, 1), cplx(1.0, 0.0));
+  EXPECT_EQ(u(0, 2), cplx(0.0, 0.0));  // clamped at truncation
+}
+
+TEST(GaugeModel, ChainIsHermitianAndLocal) {
+  const Hamiltonian h = gauge_chain(3, {3, 1.0, 1.0});
+  EXPECT_EQ(h.space().dimension(), 27u);
+  EXPECT_EQ(h.num_terms(), 3u + 2u);  // 3 electric + 2 hopping
+  EXPECT_TRUE(h.dense().is_hermitian(1e-9));
+}
+
+TEST(GaugeModel, ConservesTotalLz) {
+  // [H, sum Lz] = 0: the hopping term moves +1 on one site and -1 on the
+  // neighbour.
+  const Hamiltonian h = gauge_chain(3, {3, 1.0, 0.7});
+  const Matrix dense = h.dense();
+  Matrix total_lz(27, 27);
+  const QuditSpace space = h.space();
+  for (std::size_t i = 0; i < 27; ++i) {
+    double m = 0.0;
+    for (std::size_t s = 0; s < 3; ++s) m += space.digit(i, s) - 1.0;
+    total_lz(i, i) = m;
+  }
+  const Matrix comm = dense * total_lz - total_lz * dense;
+  EXPECT_LT(comm.max_abs(), 1e-10);
+}
+
+TEST(GaugeModel, StrongCouplingGroundState) {
+  // For lambda -> 0 the ground state is |m=0...0> with energy 0.
+  const Hamiltonian h = gauge_chain(3, {3, 1.0, 0.0});
+  const EigResult er = eigh(h.dense());
+  EXPECT_NEAR(er.values[0], 0.0, 1e-10);
+  // Gap to the first excited state: g2/2 * (1) * 2 sites changed... the
+  // cheapest excitation flips one rotor to m = +-1: cost g2/2.
+  EXPECT_NEAR(er.values[1], 0.5, 1e-10);
+}
+
+TEST(GaugeModel, Ladder2DMatchesGridEdges) {
+  const Hamiltonian h = gauge_ladder_2d(3, 2, {3, 1.0, 1.0});
+  // 6 sites, edges: horizontal 2*2=4... grid 3x2: x-edges 2 per row * 2
+  // rows = 4, y-edges 3.
+  EXPECT_EQ(grid_edges(3, 2).size(), 7u);
+  EXPECT_EQ(h.num_terms(), 6u + 7u);
+}
+
+TEST(GaugeModel, ElectricDiagonalMatchesOperator) {
+  const Hamiltonian h = gauge_chain(2, {3, 2.0, 0.3});
+  const auto diag = electric_energy_diagonal(h.space());
+  // |m=(1,-1)> -> digits (2, 0): e = 1 + 1 = 2.
+  EXPECT_NEAR(diag[h.space().index_of({2, 0})], 2.0, 1e-12);
+  EXPECT_NEAR(diag[h.space().index_of({1, 1})], 0.0, 1e-12);
+}
+
+TEST(Encodings, QubitsForLevels) {
+  EXPECT_EQ(qubits_for_levels(2), 1);
+  EXPECT_EQ(qubits_for_levels(3), 2);
+  EXPECT_EQ(qubits_for_levels(4), 2);
+  EXPECT_EQ(qubits_for_levels(5), 3);
+  EXPECT_EQ(qubits_for_levels(8), 3);
+}
+
+TEST(Encodings, BinaryEncodingPreservesPhysicalSpectrum) {
+  // The encoded Hamiltonian restricted to physical basis states must have
+  // the qudit spectrum; unphysical states are zero-energy.
+  const Hamiltonian h = gauge_chain(2, {3, 1.0, 0.8});
+  const Hamiltonian enc = encode_binary(h);
+  EXPECT_EQ(enc.space().dimension(), 16u);  // 2 sites x 2 qubits
+  const EigResult small = eigh(h.dense());
+  const EigResult big = eigh(enc.dense());
+  // Every qudit eigenvalue appears in the encoded spectrum.
+  for (double ev : small.values) {
+    double best = 1e9;
+    for (double bv : big.values) best = std::min(best, std::abs(bv - ev));
+    EXPECT_LT(best, 1e-8) << "missing eigenvalue " << ev;
+  }
+}
+
+TEST(Encodings, ElementaryCostsOrdered) {
+  EXPECT_EQ(elementary_gate_cost(1, false), 1);
+  EXPECT_LT(elementary_gate_cost(2, true), elementary_gate_cost(2, false) + 1);
+  EXPECT_LT(elementary_gate_cost(2, false), elementary_gate_cost(3, false));
+  EXPECT_LT(elementary_gate_cost(3, false), elementary_gate_cost(4, false));
+}
+
+TEST(Encodings, TrotterMultiplicityTagging) {
+  const Hamiltonian h = gauge_chain(2, {3, 1.0, 1.0});
+  const Circuit native = native_trotter_circuit(h, {1, 0.1, 1});
+  for (const auto& op : native.operations())
+    EXPECT_EQ(op.noise_multiplicity, 1);
+  const Circuit binary = binary_trotter_circuit(encode_binary(h), {1, 0.1, 1});
+  int max_mult = 0;
+  for (const auto& op : binary.operations())
+    max_mult = std::max(max_mult, op.noise_multiplicity);
+  // Hopping terms act on 4 qubits: expensive.
+  EXPECT_EQ(max_mult, elementary_gate_cost(4, false));
+}
+
+TEST(Encodings, BinaryTrotterMatchesNativeDynamics) {
+  // Noiseless evolution of the same initial physical state must agree
+  // between encodings (both approximate the same H).
+  const Hamiltonian h = gauge_chain(2, {3, 1.0, 1.0});
+  const Hamiltonian enc = encode_binary(h);
+  const TrotterOptions opt{2, 0.05, 4};
+  const Circuit cn = native_trotter_circuit(h, opt);
+  const Circuit cb = binary_trotter_circuit(enc, opt);
+
+  const auto diag_n = electric_energy_diagonal(h.space());
+  const auto diag_b = electric_energy_diagonal_binary(h.space());
+
+  const auto series_n =
+      quench_series(cn, diag_n, {1, 1}, NoiseModel(), 10);
+  // Initial digits for binary: level 1 -> binary (1, 0) per site.
+  const auto series_b =
+      quench_series(cb, diag_b, {1, 0, 1, 0}, NoiseModel(), 10);
+  for (std::size_t i = 0; i < series_n.size(); ++i)
+    EXPECT_NEAR(series_n[i], series_b[i], 1e-9) << "i=" << i;
+}
+
+TEST(MassGap, DominantFrequencyOfPureTone) {
+  const double w = 1.7;
+  const double dt = 0.25;
+  std::vector<double> series;
+  for (int n = 0; n < 128; ++n)
+    series.push_back(3.0 + std::cos(w * dt * n));
+  EXPECT_NEAR(dominant_frequency(series, dt), w, 0.05);
+}
+
+TEST(MassGap, FrequencyOfMixedTonesPicksStronger) {
+  const double dt = 0.2;
+  std::vector<double> series;
+  for (int n = 0; n < 200; ++n)
+    series.push_back(2.0 * std::cos(1.1 * dt * n) +
+                     0.4 * std::cos(2.9 * dt * n));
+  EXPECT_NEAR(dominant_frequency(series, dt), 1.1, 0.05);
+}
+
+TEST(MassGap, NoiselessQuenchMatchesExactEigengap) {
+  // The dominant frequency of <E>(t) must equal an exact eigenvalue
+  // difference of states sharing overlap with |m=0...0>.
+  const Hamiltonian h = gauge_chain(2, {3, 1.0, 1.0});
+  const double dt = 0.25;
+  const Circuit step = native_trotter_circuit(h, {2, dt / 2, 2});
+  const auto diag = electric_energy_diagonal(h.space());
+  const auto series = quench_series(step, diag, {1, 1}, NoiseModel(), 127);
+  const double freq = dominant_frequency(series, dt);
+
+  const EigResult er = eigh(h.dense());
+  double best = 1e9;
+  for (std::size_t i = 0; i < er.values.size(); ++i)
+    for (std::size_t j = i + 1; j < er.values.size(); ++j)
+      best = std::min(best, std::abs((er.values[j] - er.values[i]) - freq));
+  EXPECT_LT(best, 0.08) << "frequency " << freq
+                        << " matches no exact eigen-difference";
+}
+
+TEST(MassGap, NoiseDegradesExtraction) {
+  const Hamiltonian h = gauge_chain(2, {3, 1.0, 1.0});
+  const double dt = 0.25;
+  const Circuit step = native_trotter_circuit(h, {2, dt / 2, 2});
+  const auto diag = electric_energy_diagonal(h.space());
+
+  auto noise_for = [](double scale) {
+    NoiseParams p;
+    p.depol_1q = 0.2 * scale;
+    p.depol_2q = scale;
+    return p;
+  };
+  const ThresholdScan scan = scan_noise_threshold(
+      step, diag, {1, 1}, noise_for, {1e-4, 1e-3, 1e-2, 0.1}, 127, dt, 0.1);
+  EXPECT_GT(scan.reference_frequency, 0.0);
+  EXPECT_GT(scan.threshold, 1e-4);
+  // Error should grow with noise scale overall.
+  EXPECT_LT(scan.points.front().relative_error,
+            scan.points.back().relative_error + 0.5);
+}
+
+TEST(MassGap, QuditThresholdExceedsQubitThreshold) {
+  // The headline sQED claim (paper SS II-A): native qudit encodings
+  // tolerate substantially higher error rates than binary encodings.
+  const Hamiltonian h = gauge_chain(2, {3, 1.0, 1.0});
+  const double dt = 0.25;
+  const int samples = 127;
+  const auto scales = std::vector<double>{3e-4, 1e-3, 3e-3, 1e-2, 3e-2};
+  auto noise_for = [](double scale) {
+    NoiseParams p;
+    p.depol_1q = 0.1 * scale;
+    p.depol_2q = scale;
+    return p;
+  };
+
+  const Circuit step_n = native_trotter_circuit(h, {2, dt / 2, 2});
+  const ThresholdScan scan_n = scan_noise_threshold(
+      step_n, electric_energy_diagonal(h.space()), {1, 1}, noise_for, scales,
+      samples, dt, 0.1);
+
+  const Circuit step_b =
+      binary_trotter_circuit(encode_binary(h), {2, dt / 2, 2});
+  const ThresholdScan scan_b = scan_noise_threshold(
+      step_b, electric_energy_diagonal_binary(h.space()), {1, 0, 1, 0},
+      noise_for, scales, samples, dt, 0.1);
+
+  EXPECT_GT(scan_n.threshold, scan_b.threshold);
+}
+
+}  // namespace
+}  // namespace qs
