@@ -74,13 +74,12 @@ int main() {
 
   // --- (d) Readout mitigation --------------------------------------------
   {
-    Rng rng(72);
     const Circuit ghz = ghz_circuit(2, 3);
-    const StateVector psi = run_from_vacuum(ghz);
     const auto site_conf = adjacent_confusion_matrix(3, 0.15);
     const auto reg_conf = register_confusion_matrix(site_conf, 2);
-    // True sampling, then classical corruption, then mitigation.
-    const auto counts = psi.sample_counts(20000, rng);
+    // True sampling (state-vector backend), then classical corruption,
+    // then mitigation.
+    const auto counts = StateVectorBackend().sample_counts(ghz, 20000, 72);
     std::vector<double> observed(counts.size());
     {
       std::vector<double> raw(counts.begin(), counts.end());

@@ -1,36 +1,24 @@
 #include "circuit/executor.h"
 
 #include "common/require.h"
+#include "exec/density_matrix_backend.h"
+#include "exec/state_vector_backend.h"
 #include "linalg/matrix.h"
 
 namespace qs {
 
 void run(const Circuit& circuit, StateVector& psi) {
-  require(psi.space() == circuit.space(), "run: space mismatch");
-  for (const Operation& op : circuit.operations()) {
-    if (op.diagonal)
-      psi.apply_diagonal(op.diag, op.sites);
-    else
-      psi.apply(op.matrix, op.sites);
-  }
+  StateVectorBackend::apply(circuit, psi);
 }
 
 StateVector run_from_vacuum(const Circuit& circuit) {
   StateVector psi(circuit.space());
-  run(circuit, psi);
+  StateVectorBackend::apply(circuit, psi);
   return psi;
 }
 
 void run(const Circuit& circuit, DensityMatrix& rho) {
-  require(rho.space() == circuit.space(), "run: space mismatch");
-  for (const Operation& op : circuit.operations()) {
-    if (op.diagonal) {
-      Matrix u = Matrix::diagonal(op.diag);
-      rho.apply_unitary(u, op.sites);
-    } else {
-      rho.apply_unitary(op.matrix, op.sites);
-    }
-  }
+  DensityMatrixBackend::apply(circuit, rho);
 }
 
 Matrix circuit_unitary(const Circuit& circuit, std::size_t max_dim) {
@@ -43,7 +31,7 @@ Matrix circuit_unitary(const Circuit& circuit, std::size_t max_dim) {
     std::vector<cplx> col(n, cplx{0.0, 0.0});
     col[j] = 1.0;
     StateVector psi(circuit.space(), std::move(col));
-    run(circuit, psi);
+    StateVectorBackend::apply(circuit, psi);
     for (std::size_t i = 0; i < n; ++i) u(i, j) = psi.amplitude(i);
   }
   return u;

@@ -1,0 +1,18 @@
+// Opt-in deprecation markers.
+//
+// The legacy free-function executors are kept as thin shims over the
+// qs::Backend subsystem for one release. Downstream code migrates at its
+// own pace: defining QS_ENABLE_DEPRECATION_WARNINGS (CMake option of the
+// same name) turns the markers into real [[deprecated]] attributes so the
+// compiler points at every remaining call site, while the default build
+// stays warning-clean under -Werror.
+#ifndef QS_COMMON_DEPRECATION_H
+#define QS_COMMON_DEPRECATION_H
+
+#if defined(QS_ENABLE_DEPRECATION_WARNINGS)
+#define QS_DEPRECATED(msg) [[deprecated(msg)]]
+#else
+#define QS_DEPRECATED(msg)
+#endif
+
+#endif  // QS_COMMON_DEPRECATION_H

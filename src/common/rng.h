@@ -83,6 +83,9 @@ class Rng {
   /// Derives an independent child generator (for parallel workloads).
   Rng split() { return Rng(engine_() ^ 0xd1342543de82ef95ull); }
 
+  /// Draws a raw 64-bit word (e.g. a root seed for split_seed streams).
+  std::uint64_t draw_seed() { return engine_(); }
+
   /// Access to the raw engine for std:: distribution interop.
   std::mt19937_64& engine() { return engine_; }
 
@@ -91,6 +94,18 @@ class Rng {
   std::uniform_real_distribution<double> unit_{0.0, 1.0};
   std::normal_distribution<double> normal_{0.0, 1.0};
 };
+
+/// Deterministically derives the seed of the `stream`-th child RNG stream
+/// from a root seed (splitmix64 finalizer). Unlike Rng::split(), which
+/// advances the parent engine, this is a pure function of (root, stream):
+/// parallel workloads that assign stream indices by task get bitwise-
+/// reproducible results regardless of scheduling or thread count.
+inline std::uint64_t split_seed(std::uint64_t root, std::uint64_t stream) {
+  std::uint64_t z = root + 0x9e3779b97f4a7c15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
 
 }  // namespace qs
 

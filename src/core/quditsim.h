@@ -37,6 +37,9 @@
 #include "noise/noise_model.h"     // IWYU pragma: export
 #include "noise/noisy_executor.h"  // IWYU pragma: export
 
+// Execution subsystem (backends + sessions).
+#include "exec/exec.h"             // IWYU pragma: export
+
 // Hardware platform and compilation.
 #include "compiler/compile.h"          // IWYU pragma: export
 #include "compiler/mapping.h"          // IWYU pragma: export

@@ -1,0 +1,64 @@
+#include "exec/backend.h"
+
+#include "common/require.h"
+#include "common/rng.h"
+
+namespace qs {
+
+namespace {
+/// Stream index reserved for the compiler's RNG so it never collides with
+/// trajectory streams (which use 0, 1, 2, ...).
+constexpr std::uint64_t kCompileStream = ~std::uint64_t{0} - 1;
+}  // namespace
+
+std::vector<double> Backend::run_state(const Circuit& circuit,
+                                       std::uint64_t seed) const {
+  ExecutionRequest request(circuit);
+  request.seed = seed;
+  return execute(request).probabilities;
+}
+
+std::vector<std::size_t> Backend::sample_counts(const Circuit& circuit,
+                                                std::size_t shots,
+                                                std::uint64_t seed) const {
+  require(shots > 0, "Backend::sample_counts: shots must be positive");
+  ExecutionRequest request(circuit);
+  request.shots = shots;
+  request.seed = seed;
+  return execute(request).counts;
+}
+
+double Backend::expectation(const Circuit& circuit,
+                            const std::vector<double>& diag,
+                            std::uint64_t seed) const {
+  ExecutionRequest request(circuit);
+  request.seed = seed;
+  request.observables.push_back({"value", diag});
+  return execute(request).expectation("value");
+}
+
+Circuit Backend::routed_circuit(const ExecutionRequest& request,
+                                std::uint64_t seed, std::string* summary) {
+  if (request.processor == nullptr) return request.circuit;
+  Rng compile_rng(split_seed(seed, kCompileStream));
+  const CompileReport report =
+      compile_circuit(request.circuit, *request.processor, compile_rng,
+                      request.compile_options);
+  if (summary != nullptr) *summary = report.summary();
+  return report.routing.physical;
+}
+
+void Backend::fill_expectations(const ExecutionRequest& request,
+                                ExecutionResult& result) {
+  for (const Observable& obs : request.observables) {
+    require(obs.diagonal.size() == result.probabilities.size(),
+            "Backend: observable '" + obs.name +
+                "' length does not match the executed circuit's dimension");
+    double value = 0.0;
+    for (std::size_t i = 0; i < obs.diagonal.size(); ++i)
+      value += obs.diagonal[i] * result.probabilities[i];
+    result.expectations[obs.name] = value;
+  }
+}
+
+}  // namespace qs

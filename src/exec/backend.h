@@ -1,0 +1,78 @@
+// Abstract execution backend: the single entry point for running circuits.
+//
+// Every execution substrate -- exact state-vector, exact density-matrix,
+// and trajectory-sampled noisy simulation -- implements the same
+// interface, so application code is written once and the substrate is an
+// injection point (swap a noiseless backend for a hardware forecast
+// without touching the workload). Execution is deterministic for a fixed
+// ExecutionRequest::seed; batching and parallelism live one layer up in
+// ExecutionSession.
+#ifndef QS_EXEC_BACKEND_H
+#define QS_EXEC_BACKEND_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/request.h"
+
+namespace qs {
+
+/// Interface of an execution substrate. Implementations must be stateless
+/// with respect to execute() (safe to call concurrently from the session's
+/// worker threads).
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Short identifier ("statevector", "densitymatrix", "trajectory").
+  virtual std::string name() const = 0;
+
+  /// True when the backend models a nontrivial noise channel set.
+  virtual bool is_noisy() const = 0;
+
+  /// Executes one request. Deterministic given request.seed; thread-safe.
+  virtual ExecutionResult execute(const ExecutionRequest& request) const = 0;
+
+  // --- conveniences over execute() ---------------------------------------
+
+  /// Final-state populations of the circuit run from the vacuum (exact for
+  /// deterministic backends, trajectory-averaged for stochastic ones).
+  std::vector<double> run_state(const Circuit& circuit,
+                                std::uint64_t seed = kAutoSeed) const;
+
+  /// Counts histogram over basis indices from `shots` measurements.
+  std::vector<std::size_t> sample_counts(const Circuit& circuit,
+                                         std::size_t shots,
+                                         std::uint64_t seed) const;
+
+  /// Expectation of a full-space diagonal observable on the final state.
+  double expectation(const Circuit& circuit, const std::vector<double>& diag,
+                     std::uint64_t seed = kAutoSeed) const;
+
+ protected:
+  /// Seed used when a request (or convenience call) carries kAutoSeed.
+  static constexpr std::uint64_t kDefaultSeed = 0x5eedf00dcafef00dull;
+
+  /// kAutoSeed -> kDefaultSeed, anything else passes through.
+  static std::uint64_t resolve_seed(std::uint64_t seed) {
+    return seed == kAutoSeed ? kDefaultSeed : seed;
+  }
+
+  /// Compiles request.circuit for request.processor when one is set
+  /// (filling *summary), otherwise returns the logical circuit unchanged.
+  /// The compiler's stochastic passes draw from a stream derived from
+  /// `seed`, so compiled execution stays reproducible.
+  static Circuit routed_circuit(const ExecutionRequest& request,
+                                std::uint64_t seed, std::string* summary);
+
+  /// Fills result.expectations from result.probabilities (every requested
+  /// observable must match the executed circuit's space dimension).
+  static void fill_expectations(const ExecutionRequest& request,
+                                ExecutionResult& result);
+};
+
+}  // namespace qs
+
+#endif  // QS_EXEC_BACKEND_H

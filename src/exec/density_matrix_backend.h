@@ -1,0 +1,42 @@
+// Exact density-matrix execution backend (optionally noisy).
+#ifndef QS_EXEC_DENSITY_MATRIX_BACKEND_H
+#define QS_EXEC_DENSITY_MATRIX_BACKEND_H
+
+#include "exec/backend.h"
+#include "noise/noise_model.h"
+#include "qudit/density_matrix.h"
+
+namespace qs {
+
+/// Exact mixed-state simulation: unitary conjugation per gate plus -- when
+/// the backend carries a nontrivial NoiseModel -- the model's Kraus
+/// channels after every gate. Cost grows with dim^2, so the full-space
+/// dimension is validated against ExecutionRequest::max_dim before any
+/// dense allocation.
+class DensityMatrixBackend final : public Backend {
+ public:
+  explicit DensityMatrixBackend(NoiseModel noise = NoiseModel())
+      : noise_(std::move(noise)) {}
+
+  std::string name() const override { return "densitymatrix"; }
+  bool is_noisy() const override { return !noise_.is_trivial(); }
+  ExecutionResult execute(const ExecutionRequest& request) const override;
+
+  const NoiseModel& noise() const { return noise_; }
+
+  /// Stateful primitive: applies every gate of `circuit` to `rho`
+  /// (with `noise`'s channels after each gate) after validating that the
+  /// space dimension stays within the dense-allocation cap. Shared by the
+  /// request path, stepped evolutions (e.g. SQED quench series), and the
+  /// legacy run()/run_noisy shims.
+  static void apply(const Circuit& circuit, DensityMatrix& rho,
+                    const NoiseModel& noise = NoiseModel(),
+                    std::size_t max_dim = kDefaultMaxDenseDim);
+
+ private:
+  NoiseModel noise_;
+};
+
+}  // namespace qs
+
+#endif  // QS_EXEC_DENSITY_MATRIX_BACKEND_H

@@ -1,0 +1,15 @@
+// Umbrella header for the execution subsystem: Backend implementations,
+// request/result types, the batched ExecutionSession, and the
+// deterministic fork-join pool.
+#ifndef QS_EXEC_EXEC_H
+#define QS_EXEC_EXEC_H
+
+#include "exec/backend.h"                 // IWYU pragma: export
+#include "exec/density_matrix_backend.h"  // IWYU pragma: export
+#include "exec/pool.h"                    // IWYU pragma: export
+#include "exec/request.h"                 // IWYU pragma: export
+#include "exec/session.h"                 // IWYU pragma: export
+#include "exec/state_vector_backend.h"    // IWYU pragma: export
+#include "exec/trajectory_backend.h"      // IWYU pragma: export
+
+#endif  // QS_EXEC_EXEC_H

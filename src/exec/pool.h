@@ -1,0 +1,31 @@
+// Minimal deterministic fork-join helper for the execution subsystem.
+//
+// parallel_for runs `count` independent tasks on up to `threads`
+// std::threads. Tasks are claimed through an atomic counter, so scheduling
+// is nondeterministic -- determinism is the *caller's* contract: each task
+// must derive its randomness from its own index (see split_seed) and write
+// only to per-index output slots. Under that contract results are bitwise
+// identical for any thread count, which is what ExecutionSession and
+// TrajectoryBackend rely on.
+#ifndef QS_EXEC_POOL_H
+#define QS_EXEC_POOL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace qs {
+
+/// Threads to use when a caller passes 0: std::thread::hardware_concurrency
+/// clamped to at least 1.
+std::size_t default_thread_count();
+
+/// Runs fn(0) .. fn(count-1), each exactly once, on up to `threads`
+/// worker threads (0 = default_thread_count(); 1 = inline, no spawning).
+/// Blocks until every task finished. The first exception thrown by a task
+/// is rethrown on the calling thread after all workers join.
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace qs
+
+#endif  // QS_EXEC_POOL_H

@@ -1,0 +1,21 @@
+#include "exec/request.h"
+
+#include "common/require.h"
+
+namespace qs {
+
+double ExecutionResult::expectation(const std::string& name) const {
+  const auto it = expectations.find(name);
+  require(it != expectations.end(),
+          "ExecutionResult::expectation: observable '" + name +
+              "' was not part of the request");
+  return it->second;
+}
+
+std::size_t ExecutionResult::total_counts() const {
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  return total;
+}
+
+}  // namespace qs

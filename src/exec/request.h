@@ -1,0 +1,131 @@
+// Typed requests and results for the qs::Backend execution API.
+//
+// One ExecutionRequest bundles everything a backend needs to run a circuit
+// reproducibly: the circuit itself, a shot budget, a deterministic seed,
+// named diagonal observables, an optional initial basis state, and an
+// optional hardware target (Processor + CompileOptions) for compiled
+// execution. Backends answer with an ExecutionResult carrying a counts
+// histogram, final-state populations, per-observable expectation values,
+// and timing metadata.
+#ifndef QS_EXEC_REQUEST_H
+#define QS_EXEC_REQUEST_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "compiler/compile.h"
+#include "hardware/processor.h"
+
+namespace qs {
+
+/// Sentinel seed: "derive one for me". ExecutionSession replaces it with a
+/// per-request stream seed (split_seed of the session seed and the request
+/// index); backends called directly replace it with their default seed.
+inline constexpr std::uint64_t kAutoSeed = ~std::uint64_t{0};
+
+/// Default cap on the full-space dimension of dense (dim^2) allocations:
+/// density-matrix execution and unitary construction validate against it
+/// so an oversized register fails fast instead of exhausting memory.
+inline constexpr std::size_t kDefaultMaxDenseDim = 4096;
+
+/// A named observable that is diagonal in the computational basis, given
+/// by its full-space diagonal (length = space dimension).
+struct Observable {
+  std::string name;
+  std::vector<double> diagonal;
+};
+
+/// One unit of work for a Backend. Construct with the circuit, then chain
+/// `with_*` setters for everything else:
+///
+///   ExecutionRequest(circuit).with_shots(256).with_seed(7)
+///       .with_observable("cost", diag);
+struct ExecutionRequest {
+  explicit ExecutionRequest(Circuit c) : circuit(std::move(c)) {}
+
+  Circuit circuit;
+  /// Measurement shots. 0 = no sampling: exact populations/expectations
+  /// only (stochastic backends still run trajectories, see below).
+  std::size_t shots = 0;
+  /// Seed of this request's RNG stream. kAutoSeed = derive (see above).
+  std::uint64_t seed = kAutoSeed;
+  /// Diagonal observables to evaluate on the final state.
+  std::vector<Observable> observables;
+  /// Initial computational-basis state; empty = vacuum |0...0>.
+  std::vector<int> initial_digits;
+  /// Stochastic backends only: trajectories to average when shots == 0
+  /// (when shots > 0 every shot is its own trajectory). 0 = 1 trajectory.
+  std::size_t trajectories = 0;
+  /// When set, the circuit is compiled for this processor (mapping ->
+  /// routing -> scheduling) and the routed physical circuit is executed.
+  const Processor* processor = nullptr;
+  CompileOptions compile_options;
+  /// Guard for dense dim^2 allocations (DensityMatrixBackend).
+  std::size_t max_dim = kDefaultMaxDenseDim;
+
+  ExecutionRequest& with_shots(std::size_t n) {
+    shots = n;
+    return *this;
+  }
+  ExecutionRequest& with_seed(std::uint64_t s) {
+    seed = s;
+    return *this;
+  }
+  ExecutionRequest& with_observable(std::string name,
+                                    std::vector<double> diagonal) {
+    observables.push_back({std::move(name), std::move(diagonal)});
+    return *this;
+  }
+  ExecutionRequest& with_initial(std::vector<int> digits) {
+    initial_digits = std::move(digits);
+    return *this;
+  }
+  ExecutionRequest& with_trajectories(std::size_t n) {
+    trajectories = n;
+    return *this;
+  }
+  ExecutionRequest& with_compilation(const Processor& proc,
+                                     CompileOptions options = {}) {
+    processor = &proc;
+    compile_options = options;
+    return *this;
+  }
+  ExecutionRequest& with_max_dim(std::size_t dim) {
+    max_dim = dim;
+    return *this;
+  }
+};
+
+/// Structured outcome of one executed request.
+struct ExecutionResult {
+  std::string backend;                ///< Backend::name() that produced it
+  std::uint64_t seed = 0;             ///< seed actually used
+  std::size_t shots = 0;              ///< shots actually sampled
+  std::size_t trajectories = 0;       ///< stochastic paths run (1 if exact)
+  std::vector<std::size_t> counts;    ///< histogram over basis indices
+                                      ///< (empty when shots == 0)
+  std::vector<double> probabilities;  ///< final populations: exact for the
+                                      ///< deterministic backends; for the
+                                      ///< trajectory backend, exact
+                                      ///< per-trajectory averages when
+                                      ///< shots == 0 or observables were
+                                      ///< requested, else the counts/shots
+                                      ///< frequency estimate
+  std::map<std::string, double> expectations;  ///< one per observable
+  double wall_seconds = 0.0;          ///< backend execution wall time
+  std::string compile_summary;        ///< nonempty for compiled execution
+
+  /// Expectation of the named observable; throws if it was not requested.
+  double expectation(const std::string& name) const;
+
+  /// Sum of the counts histogram (== shots when sampling was requested).
+  std::size_t total_counts() const;
+};
+
+}  // namespace qs
+
+#endif  // QS_EXEC_REQUEST_H

@@ -1,0 +1,50 @@
+#include "exec/session.h"
+
+#include <utility>
+
+#include "common/rng.h"
+#include "exec/pool.h"
+
+namespace qs {
+
+ExecutionSession::ExecutionSession(const Backend& backend,
+                                   SessionOptions options)
+    : backend_(backend), options_(options) {
+  if (options_.threads == 0) options_.threads = default_thread_count();
+}
+
+void ExecutionSession::assign_seed(ExecutionRequest& request) {
+  if (request.seed == kAutoSeed)
+    request.seed = split_seed(options_.seed, next_stream_++);
+}
+
+ExecutionResult ExecutionSession::submit(ExecutionRequest request) {
+  assign_seed(request);
+  ExecutionResult result = backend_.execute(request);
+  ++requests_executed_;
+  total_backend_seconds_ += result.wall_seconds;
+  return result;
+}
+
+std::vector<ExecutionResult> ExecutionSession::submit_batch(
+    std::vector<ExecutionRequest> requests) {
+  // Seeds are fixed up front, in submission order, so the work below is
+  // free to run in any interleaving.
+  for (ExecutionRequest& request : requests) assign_seed(request);
+
+  std::vector<ExecutionResult> results;
+  results.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    results.emplace_back();
+  parallel_for(requests.size(), options_.threads, [&](std::size_t i) {
+    results[i] = backend_.execute(requests[i]);
+  });
+
+  for (const ExecutionResult& result : results) {
+    ++requests_executed_;
+    total_backend_seconds_ += result.wall_seconds;
+  }
+  return results;
+}
+
+}  // namespace qs

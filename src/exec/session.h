@@ -1,0 +1,74 @@
+// Batched, seeded circuit execution over a Backend.
+//
+// An ExecutionSession owns the concerns that sit above a single request:
+// fanning a batch out over worker threads, deriving a deterministic RNG
+// stream per request (seed-splitting, so results are bitwise reproducible
+// for any thread count), and aggregating telemetry. The backend is an
+// injection point: the same session code drives exact simulation and
+// noisy hardware forecasts.
+#ifndef QS_EXEC_SESSION_H
+#define QS_EXEC_SESSION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "exec/backend.h"
+
+namespace qs {
+
+/// Session-level knobs.
+struct SessionOptions {
+  /// Worker threads for submit_batch. 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Root seed. Requests carrying kAutoSeed get stream seeds derived from
+  /// it by submission order (split_seed(seed, k) for the k-th auto-seeded
+  /// request of the session's lifetime).
+  std::uint64_t seed = 0x51e55edbadc0ffeeull;
+};
+
+/// Submits requests to a Backend, in batches or one at a time. Not
+/// thread-safe itself (one session per driver thread); the parallelism it
+/// provides is internal.
+class ExecutionSession {
+ public:
+  explicit ExecutionSession(const Backend& backend,
+                            SessionOptions options = {});
+
+  const Backend& backend() const { return backend_; }
+  const SessionOptions& options() const { return options_; }
+
+  /// Executes one request on the calling thread.
+  ExecutionResult submit(ExecutionRequest request);
+
+  /// Executes every request, fanning out over the session's worker
+  /// threads. Results are returned in request order, and each request's
+  /// RNG stream depends only on its seed (explicit, or derived from the
+  /// session seed by submission order) -- never on scheduling -- so a
+  /// batch is bitwise identical run serially or on N threads.
+  std::vector<ExecutionResult> submit_batch(
+      std::vector<ExecutionRequest> requests);
+
+  // --- telemetry ----------------------------------------------------------
+
+  /// Requests executed over the session's lifetime.
+  std::size_t requests_executed() const { return requests_executed_; }
+
+  /// Sum of per-request backend wall time (exceeds elapsed wall time when
+  /// batches run in parallel).
+  double total_backend_seconds() const { return total_backend_seconds_; }
+
+ private:
+  /// Replaces kAutoSeed with the next derived stream seed.
+  void assign_seed(ExecutionRequest& request);
+
+  const Backend& backend_;
+  SessionOptions options_;
+  std::uint64_t next_stream_ = 0;
+  std::size_t requests_executed_ = 0;
+  double total_backend_seconds_ = 0.0;
+};
+
+}  // namespace qs
+
+#endif  // QS_EXEC_SESSION_H

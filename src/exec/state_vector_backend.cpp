@@ -1,0 +1,50 @@
+#include "exec/state_vector_backend.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace qs {
+
+void StateVectorBackend::apply(const Circuit& circuit, StateVector& psi) {
+  require(psi.space() == circuit.space(),
+          "StateVectorBackend::apply: space mismatch");
+  for (const Operation& op : circuit.operations()) {
+    if (op.diagonal)
+      psi.apply_diagonal(op.diag, op.sites);
+    else
+      psi.apply(op.matrix, op.sites);
+  }
+}
+
+ExecutionResult StateVectorBackend::execute(
+    const ExecutionRequest& request) const {
+  const Stopwatch timer;
+  ExecutionResult result;
+  result.backend = name();
+  result.seed = resolve_seed(request.seed);
+
+  const Circuit circuit =
+      routed_circuit(request, result.seed, &result.compile_summary);
+  StateVector psi = request.initial_digits.empty()
+                        ? StateVector(circuit.space())
+                        : StateVector(circuit.space(), request.initial_digits);
+  apply(circuit, psi);
+
+  result.trajectories = 1;
+  result.probabilities.reserve(psi.dimension());
+  for (const cplx& a : psi.amplitudes())
+    result.probabilities.push_back(std::norm(a));
+  if (request.shots > 0) {
+    Rng rng(result.seed);
+    result.counts = psi.sample_counts(request.shots, rng);
+    result.shots = request.shots;
+  }
+  fill_expectations(request, result);
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace qs

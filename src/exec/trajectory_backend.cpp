@@ -1,0 +1,136 @@
+#include "exec/trajectory_backend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/require.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "exec/pool.h"
+#include "exec/state_vector_backend.h"
+
+namespace qs {
+
+namespace {
+/// Trajectories per reduction block: at least kMinBlock, grown so the
+/// number of blocks (and with it per-block accumulator memory) stays
+/// bounded. A pure function of the trajectory total -- never of the
+/// thread count -- so the block-ordered reduction is bitwise reproducible.
+constexpr std::size_t kMinBlock = 16;
+constexpr std::size_t kMaxBlocks = 256;
+
+std::size_t block_size_for(std::size_t total) {
+  const std::size_t from_cap = (total + kMaxBlocks - 1) / kMaxBlocks;
+  return std::max(kMinBlock, from_cap);
+}
+}  // namespace
+
+void TrajectoryBackend::apply(const Circuit& circuit, StateVector& psi,
+                              const NoiseModel& noise, Rng& rng) {
+  require(psi.space() == circuit.space(),
+          "TrajectoryBackend::apply: space mismatch");
+  const bool trivial = noise.is_trivial();
+  for (const Operation& op : circuit.operations()) {
+    if (op.diagonal)
+      psi.apply_diagonal(op.diag, op.sites);
+    else
+      psi.apply(op.matrix, op.sites);
+    if (trivial) continue;
+    for (const ChannelOp& ch : noise.channels_after(op, circuit.space()))
+      psi.apply_channel_sampled(ch.kraus, ch.sites, rng);
+  }
+}
+
+ExecutionResult TrajectoryBackend::execute(
+    const ExecutionRequest& request) const {
+  const Stopwatch timer;
+  ExecutionResult result;
+  result.backend = name();
+  result.seed = resolve_seed(request.seed);
+
+  const Circuit circuit =
+      routed_circuit(request, result.seed, &result.compile_summary);
+  const std::size_t dim = circuit.space().dimension();
+  auto initial_state = [&] {
+    return request.initial_digits.empty()
+               ? StateVector(circuit.space())
+               : StateVector(circuit.space(), request.initial_digits);
+  };
+
+  if (noise_.is_trivial()) {
+    // Pure evolution: one deterministic run, multinomial readout.
+    StateVector psi = initial_state();
+    StateVectorBackend::apply(circuit, psi);
+    result.trajectories = 1;
+    result.probabilities.reserve(dim);
+    for (const cplx& a : psi.amplitudes())
+      result.probabilities.push_back(std::norm(a));
+    if (request.shots > 0) {
+      Rng rng(split_seed(result.seed, 0));
+      result.counts = psi.sample_counts(request.shots, rng);
+      result.shots = request.shots;
+    }
+  } else {
+    const std::size_t total = request.shots > 0
+                                  ? request.shots
+                                  : std::max<std::size_t>(request.trajectories,
+                                                          1);
+    const std::size_t block = block_size_for(total);
+    const std::size_t blocks = (total + block - 1) / block;
+    // Exact per-trajectory populations are only accumulated when someone
+    // consumes them (shots == 0, or observables to evaluate); a pure
+    // counts request skips that work and estimates populations from the
+    // histogram instead.
+    const bool want_exact_probs =
+        request.shots == 0 || !request.observables.empty();
+    std::vector<std::vector<double>> block_probs(
+        blocks, std::vector<double>(want_exact_probs ? dim : 0, 0.0));
+    std::vector<std::vector<std::size_t>> block_counts(blocks);
+    if (request.shots > 0)
+      for (auto& c : block_counts) c.assign(dim, 0);
+
+    parallel_for(blocks, threads_, [&](std::size_t b) {
+      const std::size_t begin = b * block;
+      const std::size_t end = std::min(begin + block, total);
+      for (std::size_t t = begin; t < end; ++t) {
+        Rng rng(split_seed(result.seed, t));
+        StateVector psi = initial_state();
+        apply(circuit, psi, noise_, rng);
+        if (want_exact_probs)
+          for (std::size_t i = 0; i < dim; ++i)
+            block_probs[b][i] += std::norm(psi.amplitude(i));
+        if (request.shots > 0) ++block_counts[b][psi.sample_index(rng)];
+      }
+    });
+
+    // Block-ordered reduction: deterministic for any thread count.
+    result.trajectories = total;
+    if (request.shots > 0) {
+      result.counts.assign(dim, 0);
+      for (std::size_t b = 0; b < blocks; ++b)
+        for (std::size_t i = 0; i < dim; ++i)
+          result.counts[i] += block_counts[b][i];
+      result.shots = request.shots;
+    }
+    if (want_exact_probs) {
+      result.probabilities.assign(dim, 0.0);
+      for (std::size_t b = 0; b < blocks; ++b)
+        for (std::size_t i = 0; i < dim; ++i)
+          result.probabilities[i] += block_probs[b][i];
+      for (double& p : result.probabilities)
+        p /= static_cast<double>(total);
+    } else {
+      result.probabilities.reserve(dim);
+      for (std::size_t i = 0; i < dim; ++i)
+        result.probabilities.push_back(static_cast<double>(result.counts[i]) /
+                                       static_cast<double>(total));
+    }
+  }
+
+  fill_expectations(request, result);
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace qs

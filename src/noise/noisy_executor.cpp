@@ -1,36 +1,25 @@
 #include "noise/noisy_executor.h"
 
 #include "common/require.h"
-#include "linalg/matrix.h"
+#include "exec/density_matrix_backend.h"
+#include "exec/trajectory_backend.h"
 
 namespace qs {
 
+// These shims reproduce the pre-Backend call semantics (one shared Rng
+// advanced across shots) on top of the backends' stateful primitives, so
+// code still on the legacy API keeps bitwise-identical results. The one
+// intentional change: run_noisy now inherits the backend's dense-dimension
+// guard (see its declaration).
+
 void run_noisy(const Circuit& circuit, DensityMatrix& rho,
                const NoiseModel& noise) {
-  require(rho.space() == circuit.space(), "run_noisy: space mismatch");
-  for (const Operation& op : circuit.operations()) {
-    if (op.diagonal)
-      rho.apply_unitary(Matrix::diagonal(op.diag), op.sites);
-    else
-      rho.apply_unitary(op.matrix, op.sites);
-    for (const ChannelOp& ch : noise.channels_after(op, circuit.space()))
-      rho.apply_channel(ch.kraus, ch.sites);
-  }
+  DensityMatrixBackend::apply(circuit, rho, noise);
 }
 
 void run_trajectory(const Circuit& circuit, StateVector& psi,
                     const NoiseModel& noise, Rng& rng) {
-  require(psi.space() == circuit.space(), "run_trajectory: space mismatch");
-  const bool trivial = noise.is_trivial();
-  for (const Operation& op : circuit.operations()) {
-    if (op.diagonal)
-      psi.apply_diagonal(op.diag, op.sites);
-    else
-      psi.apply(op.matrix, op.sites);
-    if (trivial) continue;
-    for (const ChannelOp& ch : noise.channels_after(op, circuit.space()))
-      psi.apply_channel_sampled(ch.kraus, ch.sites, rng);
-  }
+  TrajectoryBackend::apply(circuit, psi, noise, rng);
 }
 
 std::vector<std::size_t> sample_noisy_counts(const Circuit& circuit,
@@ -41,14 +30,14 @@ std::vector<std::size_t> sample_noisy_counts(const Circuit& circuit,
   if (noise.is_trivial()) {
     // One pure run, then multinomial sampling.
     StateVector psi(circuit.space());
-    run_trajectory(circuit, psi, noise, rng);
+    TrajectoryBackend::apply(circuit, psi, noise, rng);
     const auto c = psi.sample_counts(shots, rng);
     for (std::size_t i = 0; i < c.size(); ++i) counts[i] += c[i];
     return counts;
   }
   for (std::size_t s = 0; s < shots; ++s) {
     StateVector psi(circuit.space());
-    run_trajectory(circuit, psi, noise, rng);
+    TrajectoryBackend::apply(circuit, psi, noise, rng);
     ++counts[psi.sample_index(rng)];
   }
   return counts;
@@ -61,13 +50,13 @@ double trajectory_expectation_diagonal(const Circuit& circuit,
   require(trajectories > 0, "trajectory_expectation_diagonal: need shots");
   if (noise.is_trivial()) {
     StateVector psi(circuit.space());
-    run_trajectory(circuit, psi, noise, rng);
+    TrajectoryBackend::apply(circuit, psi, noise, rng);
     return psi.expectation_diagonal(diag);
   }
   double acc = 0.0;
   for (std::size_t s = 0; s < trajectories; ++s) {
     StateVector psi(circuit.space());
-    run_trajectory(circuit, psi, noise, rng);
+    TrajectoryBackend::apply(circuit, psi, noise, rng);
     acc += psi.expectation_diagonal(diag);
   }
   return acc / static_cast<double>(trajectories);

@@ -1,5 +1,12 @@
-// Noisy circuit execution: exact density-matrix evolution and quantum
-// trajectory (Kraus-unravelled state-vector) sampling.
+// Legacy noisy free-function executors (deprecated shims).
+//
+// Noisy execution lives in the exec subsystem: qs::DensityMatrixBackend
+// (exact channel evolution) and qs::TrajectoryBackend (Kraus-unravelled
+// sampling), driven directly or through ExecutionSession (see
+// docs/ARCHITECTURE.md for the migration table). The free functions below
+// forward to the backends' stateful primitives and are kept for one
+// release; define QS_ENABLE_DEPRECATION_WARNINGS to have the compiler
+// flag remaining call sites.
 #ifndef QS_NOISE_NOISY_EXECUTOR_H
 #define QS_NOISE_NOISY_EXECUTOR_H
 
@@ -7,6 +14,7 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "common/deprecation.h"
 #include "common/rng.h"
 #include "noise/noise_model.h"
 #include "qudit/density_matrix.h"
@@ -15,24 +23,31 @@
 namespace qs {
 
 /// Runs `circuit` on `rho`, applying the noise model's channels after
-/// every gate. Exact (no sampling); cost grows with dim^2.
+/// every gate. Exact (no sampling); cost grows with dim^2. Unlike the
+/// pre-Backend version this now validates the space dimension against the
+/// default dense-allocation cap (4096); larger registers must migrate to
+/// DensityMatrixBackend::apply with an explicit max_dim.
+QS_DEPRECATED("use qs::DensityMatrixBackend")
 void run_noisy(const Circuit& circuit, DensityMatrix& rho,
                const NoiseModel& noise);
 
 /// Runs one quantum trajectory: gates applied exactly, each channel
 /// sampled to one Kraus branch. The ensemble over trajectories reproduces
 /// the density-matrix evolution.
+QS_DEPRECATED("use qs::TrajectoryBackend::apply")
 void run_trajectory(const Circuit& circuit, StateVector& psi,
                     const NoiseModel& noise, Rng& rng);
 
 /// Samples `shots` computational-basis outcomes, one trajectory per shot.
 /// Returns a histogram over basis indices of the circuit's space.
+QS_DEPRECATED("use qs::TrajectoryBackend (Backend::sample_counts)")
 std::vector<std::size_t> sample_noisy_counts(const Circuit& circuit,
                                              std::size_t shots,
                                              const NoiseModel& noise,
                                              Rng& rng);
 
 /// Trajectory-averaged expectation of a diagonal full-space observable.
+QS_DEPRECATED("use qs::TrajectoryBackend (Backend::expectation)")
 double trajectory_expectation_diagonal(const Circuit& circuit,
                                        const std::vector<double>& diag,
                                        std::size_t trajectories,

@@ -2,13 +2,12 @@
 
 #include <cmath>
 
-#include "circuit/executor.h"
 #include "common/require.h"
+#include "exec/state_vector_backend.h"
+#include "exec/trajectory_backend.h"
 #include "gates/qudit_gates.h"
 #include "linalg/expm.h"
 #include "linalg/types.h"
-#include "noise/noisy_executor.h"
-#include "qudit/state_vector.h"
 
 namespace qs {
 
@@ -86,8 +85,7 @@ double ColoringQaoa::expected_cost(const std::vector<double>& gammas,
                                    MixerKind mixer) const {
   const std::vector<int> zero(static_cast<std::size_t>(graph_.n), 0);
   const Circuit circuit = build_circuit(gammas, betas, zero, mixer);
-  const StateVector psi = run_from_vacuum(circuit);
-  return psi.expectation_diagonal(cost_diagonal(zero));
+  return StateVectorBackend().expectation(circuit, cost_diagonal(zero));
 }
 
 std::pair<double, double> ColoringQaoa::optimize_p1(int grid_points,
@@ -109,24 +107,26 @@ std::pair<double, double> ColoringQaoa::optimize_p1(int grid_points,
   return {best_gamma, best_beta};
 }
 
+std::vector<std::vector<int>> ColoringQaoa::decode_counts(
+    const std::vector<std::size_t>& counts,
+    const std::vector<int>& offsets) const {
+  require(counts.size() == space_.dimension(),
+          "decode_counts: histogram length mismatch");
+  std::vector<std::vector<int>> out;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::vector<int> coloring = decode(i, offsets);
+    for (std::size_t c = 0; c < counts[i]; ++c) out.push_back(coloring);
+  }
+  return out;
+}
+
 std::vector<std::vector<int>> ColoringQaoa::sample_colorings(
     const Circuit& circuit, const std::vector<int>& offsets,
     std::size_t shots, const NoiseModel& noise, Rng& rng) const {
-  std::vector<std::vector<int>> out;
-  out.reserve(shots);
-  if (noise.is_trivial()) {
-    StateVector psi(space_);
-    run_trajectory(circuit, psi, noise, rng);
-    for (std::size_t s = 0; s < shots; ++s)
-      out.push_back(decode(psi.sample_index(rng), offsets));
-    return out;
-  }
-  for (std::size_t s = 0; s < shots; ++s) {
-    StateVector psi(space_);
-    run_trajectory(circuit, psi, noise, rng);
-    out.push_back(decode(psi.sample_index(rng), offsets));
-  }
-  return out;
+  const TrajectoryBackend backend(noise);
+  return decode_counts(backend.sample_counts(circuit, shots, rng.draw_seed()),
+                       offsets);
 }
 
 }  // namespace qs

@@ -57,10 +57,16 @@ class ColoringQaoa {
       const;
 
   /// Samples `shots` colorings (already decoded through `offsets`) from
-  /// the noisy circuit via trajectory sampling.
+  /// the noisy circuit via a TrajectoryBackend seeded from `rng`.
   std::vector<std::vector<int>> sample_colorings(
       const Circuit& circuit, const std::vector<int>& offsets,
       std::size_t shots, const NoiseModel& noise, Rng& rng) const;
+
+  /// Expands a basis-index counts histogram (e.g. ExecutionResult::counts)
+  /// into one decoded coloring per counted shot.
+  std::vector<std::vector<int>> decode_counts(
+      const std::vector<std::size_t>& counts,
+      const std::vector<int>& offsets) const;
 
   /// Decodes a basis index into a coloring through `offsets`.
   std::vector<int> decode(std::size_t index,

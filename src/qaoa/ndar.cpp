@@ -1,6 +1,8 @@
 #include "qaoa/ndar.h"
 
 #include "common/require.h"
+#include "exec/session.h"
+#include "exec/trajectory_backend.h"
 
 namespace qs {
 
@@ -14,11 +16,22 @@ NdarResult run_ndar(const ColoringQaoa& qaoa, double gamma, double beta,
   std::vector<int> offsets(static_cast<std::size_t>(n), 0);
   result.best_cost = -1;
 
+  // One session drives every round: the trajectory backend parallelizes
+  // the per-round shots internally, and each round's request draws its own
+  // deterministic seed stream from the session.
+  const TrajectoryBackend backend(noise, options.threads);
+  SessionOptions session_options;
+  session_options.seed = rng.draw_seed();
+  ExecutionSession session(backend, session_options);
+
   for (int round = 0; round < options.rounds; ++round) {
+    // Rounds stay sequential by construction: each round's gauge offsets
+    // depend on the best coloring found so far.
     const Circuit circuit =
         qaoa.build_circuit({gamma}, {beta}, offsets, options.mixer);
-    const auto samples = qaoa.sample_colorings(circuit, offsets,
-                                               options.shots, noise, rng);
+    const ExecutionResult executed =
+        session.submit(ExecutionRequest(circuit).with_shots(options.shots));
+    const auto samples = qaoa.decode_counts(executed.counts, offsets);
     double mean = 0.0;
     for (const auto& coloring : samples) {
       const int cost = colored_edges(qaoa.graph(), coloring);

@@ -22,6 +22,10 @@ struct NdarOptions {
   std::size_t shots = 128;
   bool remap = true;         ///< false = vanilla noisy QAOA (baseline)
   MixerKind mixer = MixerKind::kFull;
+  /// Worker threads for the per-round trajectory sampling (passed to the
+  /// TrajectoryBackend; 0 = hardware concurrency). Results are identical
+  /// for any value.
+  std::size_t threads = 0;
 };
 
 /// Per-round and final metrics.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/require.h"
+#include "exec/pool.h"
 #include "gates/bosonic.h"
 #include "gates/two_qudit.h"
 
@@ -74,10 +75,12 @@ OscillatorReservoir::OscillatorReservoir(const ReservoirConfig& config)
 
 void OscillatorReservoir::reset() { rho_ = DensityMatrix(space_); }
 
-void OscillatorReservoir::step(double u) {
+void OscillatorReservoir::step(double u) { step_state(rho_, u); }
+
+void OscillatorReservoir::step_state(DensityMatrix& rho, double u) const {
   const Matrix d_gate =
       displacement(cfg_.levels, cplx{cfg_.input_gain * u, 0.0});
-  rho_.apply_unitary(d_gate, {0});
+  rho.apply_unitary(d_gate, {0});
   // RK4 stability bound: dt * ||H|| must stay well below ~2.8. The Kerr
   // term dominates at high Fock levels, so derive a floor on the step
   // count from the spectral scale instead of trusting the configured one.
@@ -87,25 +90,26 @@ void OscillatorReservoir::step(double u) {
                          2.0 * std::abs(cfg_.coupling) * d + cfg_.kappa * d;
   const int min_steps =
       static_cast<int>(std::ceil(cfg_.tau * h_scale / 1.5)) + 1;
-  system_.evolve(rho_.matrix(), cfg_.tau,
+  system_.evolve(rho.matrix(), cfg_.tau,
                  std::max(cfg_.rk4_steps_per_tau, min_steps));
   // RK4 drift on a truncated space slowly leaks trace; renormalize to keep
   // probabilities interpretable as measurement frequencies.
-  rho_.normalize();
+  rho.normalize();
 }
 
-std::vector<double> OscillatorReservoir::features() const {
-  const auto probs = rho_.probabilities();
+std::vector<double> OscillatorReservoir::features_of(
+    const DensityMatrix& rho) const {
+  const auto probs = rho.probabilities();
   std::vector<double> out;
   out.reserve(feature_indices_.size());
   for (std::size_t idx : feature_indices_) out.push_back(probs[idx]);
   return out;
 }
 
-std::vector<double> OscillatorReservoir::features_sampled(std::size_t shots,
-                                                          Rng& rng) {
+std::vector<double> OscillatorReservoir::features_sampled_of(
+    const DensityMatrix& rho, std::size_t shots, Rng& rng) const {
   require(shots >= 1, "features_sampled: shots >= 1 required");
-  const auto counts = rho_.sample_counts(shots, rng);
+  const auto counts = rho.sample_counts(shots, rng);
   std::vector<double> freq;
   freq.reserve(feature_indices_.size());
   for (std::size_t idx : feature_indices_)
@@ -114,27 +118,61 @@ std::vector<double> OscillatorReservoir::features_sampled(std::size_t shots,
   return freq;
 }
 
-RMatrix OscillatorReservoir::run(const std::vector<double>& input) {
-  reset();
+std::vector<double> OscillatorReservoir::features() const {
+  return features_of(rho_);
+}
+
+std::vector<double> OscillatorReservoir::features_sampled(std::size_t shots,
+                                                          Rng& rng) {
+  return features_sampled_of(rho_, shots, rng);
+}
+
+RMatrix OscillatorReservoir::run_state(DensityMatrix& rho,
+                                       const std::vector<double>& input,
+                                       std::size_t shots, Rng* rng) const {
   RMatrix features_matrix(input.size(), num_features());
   for (std::size_t t = 0; t < input.size(); ++t) {
-    step(input[t]);
-    const auto f = features();
+    step_state(rho, input[t]);
+    const auto f = rng == nullptr ? features_of(rho)
+                                  : features_sampled_of(rho, shots, *rng);
     for (std::size_t j = 0; j < f.size(); ++j) features_matrix(t, j) = f[j];
   }
   return features_matrix;
 }
 
+RMatrix OscillatorReservoir::run(const std::vector<double>& input) {
+  reset();
+  return run_state(rho_, input, 0, nullptr);
+}
+
 RMatrix OscillatorReservoir::run_sampled(const std::vector<double>& input,
                                          std::size_t shots, Rng& rng) {
   reset();
-  RMatrix features_matrix(input.size(), num_features());
-  for (std::size_t t = 0; t < input.size(); ++t) {
-    step(input[t]);
-    const auto f = features_sampled(shots, rng);
-    for (std::size_t j = 0; j < f.size(); ++j) features_matrix(t, j) = f[j];
-  }
-  return features_matrix;
+  return run_state(rho_, input, shots, &rng);
+}
+
+std::vector<RMatrix> OscillatorReservoir::run_batch(
+    const std::vector<std::vector<double>>& inputs,
+    std::size_t threads) const {
+  std::vector<RMatrix> results(inputs.size());
+  parallel_for(inputs.size(), threads, [&](std::size_t i) {
+    DensityMatrix rho(space_);
+    results[i] = run_state(rho, inputs[i], 0, nullptr);
+  });
+  return results;
+}
+
+std::vector<RMatrix> OscillatorReservoir::run_sampled_batch(
+    const std::vector<std::vector<double>>& inputs, std::size_t shots,
+    Rng& rng, std::size_t threads) const {
+  const std::uint64_t root = rng.draw_seed();
+  std::vector<RMatrix> results(inputs.size());
+  parallel_for(inputs.size(), threads, [&](std::size_t i) {
+    Rng series_rng(split_seed(root, i));
+    DensityMatrix rho(space_);
+    results[i] = run_state(rho, inputs[i], shots, &series_rng);
+  });
+  return results;
 }
 
 }  // namespace qs

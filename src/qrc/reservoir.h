@@ -70,9 +70,36 @@ class OscillatorReservoir {
   RMatrix run_sampled(const std::vector<double>& input, std::size_t shots,
                       Rng& rng);
 
+  /// Batched run(): processes independent input series in parallel over
+  /// the exec pool (`threads` workers, 0 = hardware concurrency), each
+  /// with its own reservoir state. results[i] == run(inputs[i]).
+  std::vector<RMatrix> run_batch(
+      const std::vector<std::vector<double>>& inputs,
+      std::size_t threads = 0) const;
+
+  /// Batched run_sampled(): per-series RNG streams are split from a root
+  /// drawn once from `rng`, so the batch is bitwise identical for any
+  /// thread count.
+  std::vector<RMatrix> run_sampled_batch(
+      const std::vector<std::vector<double>>& inputs, std::size_t shots,
+      Rng& rng, std::size_t threads = 0) const;
+
   const ReservoirConfig& config() const { return cfg_; }
 
  private:
+  /// Stateless core of step(): displace + evolve `rho` for one input.
+  void step_state(DensityMatrix& rho, double u) const;
+
+  /// Feature vector of an arbitrary reservoir state (exact / sampled).
+  std::vector<double> features_of(const DensityMatrix& rho) const;
+  std::vector<double> features_sampled_of(const DensityMatrix& rho,
+                                          std::size_t shots, Rng& rng) const;
+
+  /// run()/run_sampled() core over an explicit state; `rng` may be null
+  /// (exact features).
+  RMatrix run_state(DensityMatrix& rho, const std::vector<double>& input,
+                    std::size_t shots, Rng* rng) const;
+
   ReservoirConfig cfg_;
   QuditSpace space_;
   LindbladSystem system_;

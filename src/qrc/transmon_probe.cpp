@@ -1,10 +1,12 @@
 #include "qrc/transmon_probe.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "noise/channels.h"
 
 #include "common/require.h"
+#include "exec/pool.h"
 #include "gates/bosonic.h"
 #include "gates/two_qudit.h"
 #include "linalg/expm.h"
@@ -52,23 +54,47 @@ TransmonProbeReservoir::TransmonProbeReservoir(
 
 RMatrix TransmonProbeReservoir::run(const std::vector<double>& input,
                                     Rng& rng) const {
-  RMatrix features(input.size(), num_features());
   const int d = cfg_.cavity_levels;
-  for (int run_idx = 0; run_idx < cfg_.ensemble; ++run_idx) {
+  // Ensemble members are independent stochastic trajectories: give each
+  // its own RNG stream (split from a root drawn once from the caller's
+  // generator) and fan them out over the exec pool. Per-member records are
+  // reduced in member order, so the features are bitwise identical for any
+  // thread count. The input series is folded into the root so different
+  // inputs get statistically independent ensembles -- common random
+  // numbers across inputs would couple the binomial readout noise and
+  // mask small genuine response differences.
+  std::uint64_t root = rng.draw_seed();
+  for (double u : input) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &u, sizeof bits);
+    root = split_seed(root, bits);
+  }
+  const auto members = static_cast<std::size_t>(cfg_.ensemble);
+  std::vector<RMatrix> records(members);
+  parallel_for(members, static_cast<std::size_t>(cfg_.threads),
+               [&](std::size_t m) {
+    Rng member_rng(split_seed(root, m));
+    RMatrix record(input.size(), num_features());
     StateVector psi(space_);
     for (std::size_t t = 0; t < input.size(); ++t) {
       psi.apply(displacement(d, cplx{cfg_.input_gain * input[t], 0.0}), {1});
       for (int p = 0; p < cfg_.probes_per_step; ++p) {
         psi.apply(probe_unitary_, {0, 1});
         if (!loss_kraus_.empty())
-          psi.apply_channel_sampled(loss_kraus_, {1}, rng);
-        const int outcome = psi.measure_site(0, rng);
-        features(t, static_cast<std::size_t>(p)) +=
-            static_cast<double>(outcome) / cfg_.ensemble;
+          psi.apply_channel_sampled(loss_kraus_, {1}, member_rng);
+        const int outcome = psi.measure_site(0, member_rng);
+        record(t, static_cast<std::size_t>(p)) = outcome;
         if (outcome == 1) psi.apply(reset_x_, {0});  // active reset
       }
     }
-  }
+    records[m] = std::move(record);
+  });
+
+  RMatrix features(input.size(), num_features());
+  for (std::size_t m = 0; m < members; ++m)
+    for (std::size_t t = 0; t < input.size(); ++t)
+      for (std::size_t p = 0; p < num_features(); ++p)
+        features(t, p) += records[m](t, p) / cfg_.ensemble;
   return features;
 }
 

@@ -35,6 +35,9 @@ struct TransmonProbeConfig {
   int probes_per_step = 4;   ///< measurement cycles per input step
   double input_gain = 0.5;   ///< displacement per unit input
   int ensemble = 24;         ///< stochastic runs averaged per feature
+  int threads = 0;           ///< worker threads over ensemble members
+                             ///< (0 = hardware concurrency); features are
+                             ///< identical for any value
 };
 
 /// Stochastic (trajectory-level) reservoir: each run interleaves cavity

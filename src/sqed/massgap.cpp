@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "common/require.h"
-#include "noise/noisy_executor.h"
+#include "exec/density_matrix_backend.h"
 #include "qudit/density_matrix.h"
 #include "sqed/encodings.h"
 #include "sqed/gauge_model.h"
@@ -74,7 +74,10 @@ std::vector<double> quench_series(const Circuit& step_circuit,
   };
   record();
   for (int s = 0; s < samples; ++s) {
-    run_noisy(step_circuit, rho, noise);
+    // Stateful stepped evolution: reuse the density-matrix backend's
+    // primitive (which also guards the dim^2 allocation cost) instead of
+    // paying a fresh from-vacuum request per quench sample.
+    DensityMatrixBackend::apply(step_circuit, rho, noise);
     record();
   }
   return series;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/require.h"
+#include "exec/pool.h"
 #include "gates/bosonic.h"
 #include "gates/qudit_gates.h"
 #include "linalg/metrics.h"
@@ -152,13 +153,18 @@ void ReservoirTomography::train(const std::vector<Matrix>& training_states,
   const auto np = static_cast<std::size_t>(d) * static_cast<std::size_t>(d);
   RMatrix x(training_states.size(), num_features() + 1);
   RMatrix y(training_states.size(), np);
-  for (std::size_t i = 0; i < training_states.size(); ++i) {
-    const auto features = measure(training_states[i], rng);
+  // Training measurements are independent per state: fan them out over
+  // the exec pool, one split RNG stream per state, writing disjoint rows.
+  // Bitwise identical for any thread count.
+  const std::uint64_t root = rng.draw_seed();
+  parallel_for(training_states.size(), cfg_.threads, [&](std::size_t i) {
+    Rng state_rng(split_seed(root, i));
+    const auto features = measure(training_states[i], state_rng);
     for (std::size_t k = 0; k < features.size(); ++k) x(i, k) = features[k];
     x(i, features.size()) = 1.0;  // bias
     const auto params = hermitian_to_params(training_states[i]);
     for (std::size_t j = 0; j < np; ++j) y(i, j) = params[j];
-  }
+  });
   readout_ = ridge_fit(x, y, lambda);
   trained_ = true;
 }

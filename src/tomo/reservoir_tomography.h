@@ -33,6 +33,9 @@ struct TomoConfig {
   double loss_gamma = 0.0;   ///< photon-loss before measurement (imperfection)
   std::size_t shots = 0;     ///< readout shots per probe; 0 = exact
   std::uint64_t probe_seed = 11;
+  std::size_t threads = 0;   ///< worker threads for train() measurements
+                             ///< (0 = hardware concurrency); results are
+                             ///< identical for any value
 };
 
 /// Hermitian matrix <-> real parameter vector (d^2 entries: diagonal then

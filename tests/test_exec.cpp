@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "circuit/executor.h"
+#include "common/rng.h"
+#include "exec/exec.h"
+#include "gates/qudit_gates.h"
+#include "gates/two_qudit.h"
+#include "hardware/processor.h"
+#include "noise/noise_model.h"
+#include "noise/noisy_executor.h"
+
+namespace qs {
+namespace {
+
+/// Two-qutrit "Bell" circuit: F on site 0, then CSUM -- a maximally
+/// entangled pair with populations 1/3 on |00>, |11>, |22>.
+Circuit bell_circuit() {
+  Circuit c(QuditSpace::uniform(2, 3));
+  c.add("F", fourier(3), {0});
+  c.add("CSUM", csum(3, 3), {0, 1});
+  return c;
+}
+
+NoiseModel lossy_noise() {
+  NoiseParams p;
+  p.loss_per_gate = 0.05;
+  p.depol_2q = 0.02;
+  return NoiseModel(p);
+}
+
+// ---------------------------------------------------------------------
+// Backend agreement.
+// ---------------------------------------------------------------------
+
+TEST(Backends, AgreeOnNoiselessBellCircuit) {
+  const Circuit c = bell_circuit();
+  const StateVectorBackend sv;
+  const DensityMatrixBackend dm;
+  const TrajectoryBackend traj{NoiseModel()};
+
+  const auto p_sv = sv.run_state(c);
+  const auto p_dm = dm.run_state(c);
+  const auto p_traj = traj.run_state(c);
+  ASSERT_EQ(p_sv.size(), 9u);
+  ASSERT_EQ(p_dm.size(), 9u);
+  ASSERT_EQ(p_traj.size(), 9u);
+  for (std::size_t i = 0; i < p_sv.size(); ++i) {
+    EXPECT_NEAR(p_sv[i], p_dm[i], 1e-12);
+    EXPECT_NEAR(p_sv[i], p_traj[i], 1e-12);
+  }
+  // Bell populations: 1/3 on the three |kk> states.
+  const auto& space = c.space();
+  for (int k = 0; k < 3; ++k)
+    EXPECT_NEAR(p_sv[space.index_of({k, k})], 1.0 / 3.0, 1e-12);
+
+  EXPECT_FALSE(sv.is_noisy());
+  EXPECT_FALSE(dm.is_noisy());
+  EXPECT_FALSE(traj.is_noisy());
+  EXPECT_TRUE(TrajectoryBackend{lossy_noise()}.is_noisy());
+  EXPECT_TRUE(DensityMatrixBackend{lossy_noise()}.is_noisy());
+}
+
+TEST(Backends, ExpectationMatchesDiagonalContraction) {
+  const Circuit c = bell_circuit();
+  std::vector<double> diag(c.space().dimension(), 0.0);
+  for (int k = 0; k < 3; ++k) diag[c.space().index_of({k, k})] = 1.0;
+  // All population sits on |kk>: expectation 1 on every backend.
+  EXPECT_NEAR(StateVectorBackend().expectation(c, diag), 1.0, 1e-12);
+  EXPECT_NEAR(DensityMatrixBackend().expectation(c, diag), 1.0, 1e-12);
+  // Under loss some weight leaves the |kk> manifold.
+  const double noisy =
+      DensityMatrixBackend{lossy_noise()}.expectation(c, diag);
+  EXPECT_LT(noisy, 1.0);
+  EXPECT_GT(noisy, 0.5);
+}
+
+TEST(Backends, TrajectoryCountsConvergeToDensityMatrixPopulations) {
+  const Circuit c = bell_circuit();
+  const auto exact = DensityMatrixBackend{lossy_noise()}.run_state(c);
+
+  const std::size_t shots = 8000;
+  const auto counts =
+      TrajectoryBackend{lossy_noise()}.sample_counts(c, shots, 1234);
+  ASSERT_EQ(counts.size(), exact.size());
+  std::size_t total = 0;
+  for (std::size_t n : counts) total += n;
+  EXPECT_EQ(total, shots);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    const double freq = static_cast<double>(counts[i]) / shots;
+    // 4-sigma band of the binomial estimator.
+    const double sigma =
+        std::sqrt(exact[i] * (1.0 - exact[i]) / static_cast<double>(shots));
+    EXPECT_NEAR(freq, exact[i], 4.0 * sigma + 1e-3) << "index " << i;
+  }
+}
+
+TEST(Backends, TrajectoryAveragedPopulationsConvergeToo) {
+  const Circuit c = bell_circuit();
+  const auto exact = DensityMatrixBackend{lossy_noise()}.run_state(c);
+  ExecutionRequest request(c);
+  request.trajectories = 3000;
+  request.seed = 99;
+  const ExecutionResult r = TrajectoryBackend{lossy_noise()}.execute(request);
+  EXPECT_EQ(r.trajectories, 3000u);
+  EXPECT_TRUE(r.counts.empty());  // no shots requested
+  for (std::size_t i = 0; i < exact.size(); ++i)
+    EXPECT_NEAR(r.probabilities[i], exact[i], 0.03) << "index " << i;
+}
+
+// ---------------------------------------------------------------------
+// Requests and results.
+// ---------------------------------------------------------------------
+
+TEST(ExecutionRequest, InitialDigitsAndObservables) {
+  Circuit c(QuditSpace::uniform(2, 3));
+  c.add("CSUM", csum(3, 3), {0, 1});  // adds site 0's digit onto site 1
+  std::vector<double> target_pop(c.space().dimension(), 0.0);
+  target_pop[c.space().index_of({1, 2})] = 1.0;
+  const ExecutionResult r = StateVectorBackend().execute(
+      ExecutionRequest(c).with_initial({1, 1}).with_observable("hit",
+                                                               target_pop));
+  // |1,1> -> |1, 1+1>.
+  EXPECT_NEAR(r.expectation("hit"), 1.0, 1e-12);
+  EXPECT_THROW(r.expectation("missing"), std::invalid_argument);
+  EXPECT_EQ(r.backend, "statevector");
+  EXPECT_GE(r.wall_seconds, 0.0);
+}
+
+TEST(ExecutionRequest, SampledCountsAreSeededAndReproducible) {
+  const Circuit c = bell_circuit();
+  const StateVectorBackend sv;
+  const auto a = sv.sample_counts(c, 500, 42);
+  const auto b = sv.sample_counts(c, 500, 42);
+  const auto other = sv.sample_counts(c, 500, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+}
+
+TEST(ExecutionRequest, CompiledExecutionReportsSummary) {
+  ProcessorConfig cfg;
+  cfg.num_cavities = 3;
+  cfg.modes_per_cavity = 1;
+  cfg.levels_per_mode = 3;
+  const Processor proc(cfg);
+  const ExecutionResult r = StateVectorBackend().execute(
+      ExecutionRequest(bell_circuit()).with_compilation(proc).with_seed(5));
+  EXPECT_FALSE(r.compile_summary.empty());
+  // The physical register has one site per device mode.
+  EXPECT_EQ(r.probabilities.size(), 27u);
+  // Compiled execution is deterministic under a fixed seed.
+  const ExecutionResult r2 = StateVectorBackend().execute(
+      ExecutionRequest(bell_circuit()).with_compilation(proc).with_seed(5));
+  EXPECT_EQ(r.probabilities, r2.probabilities);
+}
+
+TEST(DensityMatrixBackendGuard, RejectsOversizedDenseAllocation) {
+  const Circuit c = bell_circuit();  // dim 9
+  EXPECT_THROW(
+      DensityMatrixBackend().execute(ExecutionRequest(c).with_max_dim(8)),
+      std::invalid_argument);
+  DensityMatrix rho(c.space());
+  EXPECT_THROW(DensityMatrixBackend::apply(c, rho, NoiseModel(), 8),
+               std::invalid_argument);
+  // Within the cap everything runs.
+  EXPECT_NO_THROW(
+      DensityMatrixBackend().execute(ExecutionRequest(c).with_max_dim(9)));
+}
+
+// ---------------------------------------------------------------------
+// Session batching and determinism.
+// ---------------------------------------------------------------------
+
+std::vector<ExecutionRequest> bell_batch(std::size_t n) {
+  std::vector<ExecutionRequest> batch;
+  for (std::size_t i = 0; i < n; ++i)
+    batch.push_back(ExecutionRequest(bell_circuit()).with_shots(64));
+  return batch;
+}
+
+TEST(ExecutionSession, BatchIsBitwiseIdenticalForAnyThreadCount) {
+  const TrajectoryBackend backend{lossy_noise()};
+  std::vector<std::vector<ExecutionResult>> runs;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SessionOptions opts;
+    opts.threads = threads;
+    opts.seed = 777;
+    ExecutionSession session(backend, opts);
+    runs.push_back(session.submit_batch(bell_batch(10)));
+  }
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  for (std::size_t i = 0; i < runs[0].size(); ++i) {
+    EXPECT_EQ(runs[0][i].seed, runs[1][i].seed);
+    EXPECT_EQ(runs[0][i].counts, runs[1][i].counts);
+    // Bitwise, not approximate: the whole point of seed-splitting.
+    ASSERT_EQ(runs[0][i].probabilities.size(),
+              runs[1][i].probabilities.size());
+    for (std::size_t k = 0; k < runs[0][i].probabilities.size(); ++k)
+      EXPECT_EQ(runs[0][i].probabilities[k], runs[1][i].probabilities[k]);
+  }
+}
+
+TEST(ExecutionSession, TrajectoryInternalThreadsDontChangeResults) {
+  // Same request, trajectory backend worker count 1 vs 4: the fixed-size
+  // block reduction keeps results bitwise identical.
+  ExecutionRequest request(bell_circuit());
+  request.shots = 600;
+  request.seed = 4242;
+  const ExecutionResult serial =
+      TrajectoryBackend(lossy_noise(), 1).execute(request);
+  const ExecutionResult parallel =
+      TrajectoryBackend(lossy_noise(), 4).execute(request);
+  EXPECT_EQ(serial.counts, parallel.counts);
+  ASSERT_EQ(serial.probabilities.size(), parallel.probabilities.size());
+  for (std::size_t k = 0; k < serial.probabilities.size(); ++k)
+    EXPECT_EQ(serial.probabilities[k], parallel.probabilities[k]);
+}
+
+TEST(ExecutionSession, AutoSeedsFollowSubmissionOrder) {
+  const StateVectorBackend backend;
+  SessionOptions opts;
+  opts.seed = 31337;
+  ExecutionSession a(backend, opts);
+  ExecutionSession b(backend, opts);
+  // submit + submit on one session == submit_batch of two on another.
+  const ExecutionResult first = a.submit(bell_batch(1)[0]);
+  const ExecutionResult second = a.submit(bell_batch(1)[0]);
+  const auto batch = b.submit_batch(bell_batch(2));
+  EXPECT_EQ(first.seed, batch[0].seed);
+  EXPECT_EQ(second.seed, batch[1].seed);
+  EXPECT_NE(first.seed, second.seed);
+  EXPECT_EQ(first.counts, batch[0].counts);
+  EXPECT_EQ(second.counts, batch[1].counts);
+  // Explicit seeds pass through untouched.
+  const ExecutionResult fixed =
+      a.submit(bell_batch(1)[0].with_seed(123456789));
+  EXPECT_EQ(fixed.seed, 123456789u);
+  EXPECT_EQ(a.requests_executed(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Seed splitting and legacy shims.
+// ---------------------------------------------------------------------
+
+TEST(SplitSeed, StreamsAreDistinctAndPure) {
+  EXPECT_EQ(split_seed(1, 0), split_seed(1, 0));
+  EXPECT_NE(split_seed(1, 0), split_seed(1, 1));
+  EXPECT_NE(split_seed(1, 0), split_seed(2, 0));
+  // No short-cycle collisions over a small window.
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 4096; ++s) seen.push_back(split_seed(9, s));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(LegacyShims, MatchBackendPrimitives) {
+  const Circuit c = bell_circuit();
+  const StateVector via_shim = run_from_vacuum(c);
+  const auto populations = StateVectorBackend().run_state(c);
+  for (std::size_t i = 0; i < populations.size(); ++i)
+    EXPECT_NEAR(std::norm(via_shim.amplitude(i)), populations[i], 1e-15);
+
+  DensityMatrix rho_shim(c.space());
+  run_noisy(c, rho_shim, lossy_noise());
+  const auto noisy = DensityMatrixBackend{lossy_noise()}.run_state(c);
+  const auto shim_probs = rho_shim.probabilities();
+  for (std::size_t i = 0; i < noisy.size(); ++i)
+    EXPECT_NEAR(shim_probs[i], noisy[i], 1e-15);
+
+  // Trajectory shim: same rng stream -> same trajectory as the primitive.
+  Rng r1(7), r2(7);
+  StateVector psi_shim(c.space());
+  StateVector psi_backend(c.space());
+  run_trajectory(c, psi_shim, lossy_noise(), r1);
+  TrajectoryBackend::apply(c, psi_backend, lossy_noise(), r2);
+  for (std::size_t i = 0; i < psi_shim.dimension(); ++i)
+    EXPECT_EQ(psi_shim.amplitude(i), psi_backend.amplitude(i));
+}
+
+}  // namespace
+}  // namespace qs
