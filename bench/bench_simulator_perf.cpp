@@ -1,7 +1,11 @@
 // E11 -- Simulator microbenchmarks (google-benchmark): gate application,
-// channel application, and Lindblad stepping across dimensions. Supports
-// the feasibility note that fast C++ qudit simulators cover the paper's
-// whole evaluation envelope on a laptop.
+// channel application, compiled-plan execution, and Lindblad stepping
+// across dimensions. Supports the feasibility note that fast C++ qudit
+// simulators cover the paper's whole evaluation envelope on a laptop.
+//
+// The CI perf-smoke job runs this binary with --benchmark_format=json and
+// archives BENCH_simulator_perf.json; items_per_second is the
+// machine-readable ops/sec figure per kernel class.
 #include <benchmark/benchmark.h>
 
 #include "core/quditsim.h"
@@ -9,6 +13,34 @@
 namespace {
 
 using namespace qs;
+
+/// The paper-shaped noisy workload: a layered 6-qutrit circuit (local
+/// unitaries, CSUM entanglers, phase layers) under per-gate
+/// depolarizing/dephasing/loss noise.
+Circuit layered_qutrit_circuit(int layers) {
+  Circuit c(QuditSpace::uniform(6, 3));
+  Rng rng(11);
+  for (int layer = 0; layer < layers; ++layer) {
+    for (int s = 0; s < 6; ++s) c.add("U", random_unitary(3, rng), {s});
+    for (int s = 0; s + 1 < 6; s += 2) c.add("CSUM", csum(3, 3), {s, s + 1});
+    std::vector<cplx> diag(9);
+    for (int i = 0; i < 9; ++i)
+      diag[static_cast<std::size_t>(i)] =
+          std::exp(cplx{0.0, 0.07 * static_cast<double>(i)});
+    for (int s = 1; s + 1 < 6; s += 2)
+      c.add_diagonal("P", diag, {s, s + 1});
+  }
+  return c;
+}
+
+NoiseModel workload_noise() {
+  NoiseParams p;
+  p.depol_1q = 0.002;
+  p.depol_2q = 0.01;
+  p.dephase_1q = 0.001;
+  p.loss_per_gate = 0.002;
+  return NoiseModel(p);
+}
 
 void BM_StateVectorSingleQuditGate(benchmark::State& state) {
   const int d = static_cast<int>(state.range(0));
@@ -91,6 +123,96 @@ void BM_TrajectoryChannelSample(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TrajectoryChannelSample)->Args({3, 9})->Args({10, 4});
+
+// --- compiled execution plans (exec/plan.h) ------------------------------
+
+/// The acceptance workload: noisy trajectories through the full backend
+/// (compile once per request, shared plan, per-block scratch arenas).
+/// items_per_second = trajectories/sec.
+void BM_NoisyTrajectoryWorkload(benchmark::State& state) {
+  const Circuit circuit = layered_qutrit_circuit(4);
+  const TrajectoryBackend backend{workload_noise()};
+  const std::size_t shots = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    ExecutionRequest request(circuit);
+    request.shots = shots;
+    request.seed = seed++;
+    const ExecutionResult r = backend.execute(request);
+    benchmark::DoNotOptimize(r.counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(shots));
+}
+BENCHMARK(BM_NoisyTrajectoryWorkload)->Arg(50)->Unit(benchmark::kMillisecond);
+
+/// Gate-by-gate comparator for the same workload: the seed path that
+/// re-resolves channels and rebuilds block plans per operation per
+/// trajectory. The ratio to BM_NoisyTrajectoryWorkload is the compiled-
+/// plan speedup.
+void BM_NoisyTrajectoryGateByGate(benchmark::State& state) {
+  const Circuit circuit = layered_qutrit_circuit(4);
+  const NoiseModel noise = workload_noise();
+  const std::size_t shots = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    for (std::size_t t = 0; t < shots; ++t) {
+      Rng rng(split_seed(seed, t));
+      StateVector psi(circuit.space());
+      TrajectoryBackend::apply(circuit, psi, noise, rng);
+      benchmark::DoNotOptimize(psi.amplitudes().data());
+    }
+    ++seed;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(shots));
+}
+BENCHMARK(BM_NoisyTrajectoryGateByGate)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+/// Noiseless compiled run (plan reused across iterations) vs the
+/// per-gate legacy loop below: isolates plan reuse + kernel dispatch.
+void BM_CompiledPureRun(benchmark::State& state) {
+  const Circuit circuit = layered_qutrit_circuit(4);
+  const CompiledCircuit plan(circuit);
+  kernels::Scratch scratch;
+  StateVector psi(circuit.space());
+  for (auto _ : state) {
+    psi.reset();
+    plan.run_pure(psi, scratch);
+    benchmark::DoNotOptimize(psi.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(circuit.size()));
+}
+BENCHMARK(BM_CompiledPureRun);
+
+void BM_GateByGatePureRun(benchmark::State& state) {
+  const Circuit circuit = layered_qutrit_circuit(4);
+  StateVector psi(circuit.space());
+  for (auto _ : state) {
+    psi.reset();
+    StateVectorBackend::apply(circuit, psi);
+    benchmark::DoNotOptimize(psi.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(circuit.size()));
+}
+BENCHMARK(BM_GateByGatePureRun);
+
+/// One-time lowering cost (plan construction incl. channel resolution):
+/// what the session's plan cache amortizes away.
+void BM_PlanCompile(benchmark::State& state) {
+  const Circuit circuit = layered_qutrit_circuit(4);
+  const NoiseModel noise = workload_noise();
+  for (auto _ : state) {
+    const CompiledCircuit plan(circuit, noise);
+    benchmark::DoNotOptimize(plan.steps().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlanCompile);
 
 void BM_LindbladStep(benchmark::State& state) {
   const int d = static_cast<int>(state.range(0));

@@ -2,6 +2,7 @@
 
 #include "common/require.h"
 #include "common/rng.h"
+#include "exec/plan.h"
 
 namespace qs {
 
@@ -46,6 +47,16 @@ Circuit Backend::routed_circuit(const ExecutionRequest& request,
                       request.compile_options);
   if (summary != nullptr) *summary = report.summary();
   return report.routing.physical;
+}
+
+std::shared_ptr<const CompiledCircuit> Backend::resolve_plan(
+    const ExecutionRequest& request, const Circuit& routed,
+    const NoiseModel& noise) {
+  if (request.plan != nullptr && request.processor == nullptr &&
+      request.plan->space() == routed.space())
+    return request.plan;
+  return std::make_shared<const CompiledCircuit>(routed, noise,
+                                                 request.plan_options);
 }
 
 void Backend::fill_expectations(const ExecutionRequest& request,

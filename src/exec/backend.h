@@ -12,12 +12,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "exec/request.h"
 
 namespace qs {
+
+class NoiseModel;
 
 /// Interface of an execution substrate. Implementations must be stateless
 /// with respect to execute() (safe to call concurrently from the session's
@@ -34,6 +37,11 @@ class Backend {
 
   /// Executes one request. Deterministic given request.seed; thread-safe.
   virtual ExecutionResult execute(const ExecutionRequest& request) const = 0;
+
+  /// The noise model this backend executes under, or nullptr for
+  /// noiseless substrates. ExecutionSession uses it to compile/cache
+  /// execution plans on the backend's behalf.
+  virtual const NoiseModel* noise_model() const { return nullptr; }
 
   // --- conveniences over execute() ---------------------------------------
 
@@ -71,6 +79,13 @@ class Backend {
   /// observable must match the executed circuit's space dimension).
   static void fill_expectations(const ExecutionRequest& request,
                                 ExecutionResult& result);
+
+  /// Returns the execution plan for `routed`: the request's session-cached
+  /// plan when applicable (no processor routing, matching space),
+  /// otherwise a freshly compiled plan for (routed, noise).
+  static std::shared_ptr<const CompiledCircuit> resolve_plan(
+      const ExecutionRequest& request, const Circuit& routed,
+      const NoiseModel& noise);
 };
 
 }  // namespace qs

@@ -5,6 +5,7 @@
 #include "common/require.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "exec/plan.h"
 #include "linalg/matrix.h"
 #include "qudit/state_vector.h"
 
@@ -50,11 +51,15 @@ ExecutionResult DensityMatrixBackend::execute(
   const Circuit circuit =
       routed_circuit(request, result.seed, &result.compile_summary);
   check_dense_dim(circuit.space().dimension(), request.max_dim);
+  const std::shared_ptr<const CompiledCircuit> plan =
+      resolve_plan(request, circuit, noise_);
   DensityMatrix rho =
       request.initial_digits.empty()
           ? DensityMatrix(circuit.space())
           : DensityMatrix(StateVector(circuit.space(), request.initial_digits));
-  apply(circuit, rho, noise_, request.max_dim);
+  kernels::Scratch scratch;
+  scratch.reserve_block(plan->max_block());
+  plan->run_density(rho, scratch);
 
   result.trajectories = 1;
   result.probabilities = rho.probabilities();

@@ -21,6 +21,7 @@ class DensityMatrixBackend final : public Backend {
   std::string name() const override { return "densitymatrix"; }
   bool is_noisy() const override { return !noise_.is_trivial(); }
   ExecutionResult execute(const ExecutionRequest& request) const override;
+  const NoiseModel* noise_model() const override { return &noise_; }
 
   const NoiseModel& noise() const { return noise_; }
 

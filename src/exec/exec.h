@@ -6,6 +6,7 @@
 
 #include "exec/backend.h"                 // IWYU pragma: export
 #include "exec/density_matrix_backend.h"  // IWYU pragma: export
+#include "exec/plan.h"                    // IWYU pragma: export
 #include "exec/pool.h"                    // IWYU pragma: export
 #include "exec/request.h"                 // IWYU pragma: export
 #include "exec/session.h"                 // IWYU pragma: export

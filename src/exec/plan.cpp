@@ -1,0 +1,233 @@
+#include "exec/plan.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/require.h"
+
+namespace qs {
+
+namespace {
+
+// --- fingerprinting ------------------------------------------------------
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv_bytes(const void* data, std::size_t len, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv_u64(std::uint64_t v, std::uint64_t h) {
+  return fnv_bytes(&v, sizeof(v), h);
+}
+
+std::uint64_t fnv_double(double v, std::uint64_t h) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return fnv_u64(bits, h);
+}
+
+std::uint64_t fnv_cplx_span(const cplx* data, std::size_t count,
+                            std::uint64_t h) {
+  for (std::size_t i = 0; i < count; ++i) {
+    h = fnv_double(data[i].real(), h);
+    h = fnv_double(data[i].imag(), h);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const Circuit& circuit) {
+  std::uint64_t h = kFnvOffset;
+  const QuditSpace& space = circuit.space();
+  h = fnv_u64(space.num_sites(), h);
+  for (std::size_t s = 0; s < space.num_sites(); ++s)
+    h = fnv_u64(static_cast<std::uint64_t>(space.dim(s)), h);
+  for (const Operation& op : circuit.operations()) {
+    // Length-prefix the variable-length name so records cannot alias by
+    // re-partitioning bytes across field boundaries.
+    h = fnv_u64(op.name.size(), h);
+    h = fnv_bytes(op.name.data(), op.name.size(), h);
+    h = fnv_u64(op.diagonal ? 1 : 0, h);
+    h = fnv_u64(op.sites.size(), h);
+    for (int s : op.sites) h = fnv_u64(static_cast<std::uint64_t>(s), h);
+    h = fnv_double(op.duration, h);
+    h = fnv_u64(static_cast<std::uint64_t>(op.noise_multiplicity), h);
+    if (op.diagonal)
+      h = fnv_cplx_span(op.diag.data(), op.diag.size(), h);
+    else
+      h = fnv_cplx_span(op.matrix.data(), op.matrix.rows() * op.matrix.cols(),
+                        h);
+  }
+  return h;
+}
+
+std::uint64_t fingerprint(const NoiseModel& noise) {
+  const NoiseParams& p = noise.params();
+  std::uint64_t h = kFnvOffset;
+  h = fnv_double(p.depol_1q, h);
+  h = fnv_double(p.depol_2q, h);
+  h = fnv_double(p.dephase_1q, h);
+  h = fnv_double(p.dephase_2q, h);
+  h = fnv_double(p.loss_per_gate, h);
+  h = fnv_double(p.idle_loss_rate, h);
+  h = fnv_double(p.idle_dephase_rate, h);
+  return h;
+}
+
+// --- CompiledCircuit -----------------------------------------------------
+
+const detail::BlockPlan* CompiledCircuit::pooled_plan(
+    const std::vector<int>& sites) {
+  auto it = plan_pool_.find(sites);
+  if (it == plan_pool_.end())
+    it = plan_pool_.emplace(sites, detail::make_block_plan(space_, sites))
+             .first;
+  if (it->second.block > max_block_) max_block_ = it->second.block;
+  return &it->second;
+}
+
+CompiledCircuit::CompiledCircuit(const Circuit& circuit,
+                                 const NoiseModel& noise, PlanOptions options)
+    : space_(circuit.space()), options_(options) {
+  const bool trivial_noise = noise.is_trivial();
+  source_operations_ = circuit.size();
+  steps_.reserve(circuit.size());
+
+  for (const Operation& op : circuit.operations()) {
+    std::vector<ChannelOp> raw_channels;
+    if (!trivial_noise) raw_channels = noise.channels_after(op, space_);
+
+    // Fusion: only into a step that emits no noise, so the channel (and
+    // with it the RNG consumption) sequence is exactly the seed path's.
+    CompiledStep* last = steps_.empty() ? nullptr : &steps_.back();
+    const bool fusible =
+        last != nullptr && last->channels.empty() && last->sites == op.sites;
+    if (fusible && !op.diagonal && last->kind == CompiledStep::Kind::kDense &&
+        options_.fuse_dense) {
+      last->op = kernels::OpKernel::analyze(op.matrix * last->op.dense);
+      ++last->source_ops;
+    } else if (fusible && op.diagonal &&
+               last->kind == CompiledStep::Kind::kDiagonal &&
+               options_.merge_diagonals) {
+      for (std::size_t i = 0; i < last->diag.size(); ++i)
+        last->diag[i] *= op.diag[i];
+      ++last->source_ops;
+    } else {
+      CompiledStep step;
+      step.kind = op.diagonal ? CompiledStep::Kind::kDiagonal
+                              : CompiledStep::Kind::kDense;
+      if (!op.diagonal) step.op = kernels::OpKernel::analyze(op.matrix);
+      step.diag = op.diag;
+      step.sites = op.sites;
+      step.plan = pooled_plan(op.sites);
+      steps_.push_back(std::move(step));
+      last = &steps_.back();
+    }
+
+    for (ChannelOp& ch : raw_channels) {
+      CompiledChannel compiled;
+      compiled.kraus.reserve(ch.kraus.size());
+      for (const Matrix& k : ch.kraus)
+        compiled.kraus.push_back(kernels::OpKernel::analyze(k));
+      compiled.plan = pooled_plan(ch.sites);
+      compiled.sites = std::move(ch.sites);
+      last->channels.push_back(std::move(compiled));
+      ++total_channels_;
+    }
+  }
+}
+
+std::string CompiledCircuit::summary() const {
+  std::string s = std::to_string(steps_.size()) + " steps from " +
+                  std::to_string(source_operations_) + " ops";
+  if (fused_operations() > 0)
+    s += " (" + std::to_string(fused_operations()) + " fused)";
+  s += ", " + std::to_string(total_channels_) + " channels";
+  return s;
+}
+
+void CompiledCircuit::run_pure(StateVector& psi,
+                               kernels::Scratch& scratch) const {
+  require(psi.space() == space_, "CompiledCircuit::run_pure: space mismatch");
+  require(!noisy(),
+          "CompiledCircuit::run_pure: plan carries noise channels; use "
+          "run_trajectory or run_density");
+  cplx* amps = psi.amplitudes().data();
+  for (const CompiledStep& step : steps_) {
+    if (step.kind == CompiledStep::Kind::kDiagonal)
+      kernels::apply_diagonal(step.diag.data(), *step.plan, amps);
+    else
+      kernels::apply(step.op, *step.plan, amps, scratch);
+  }
+}
+
+void CompiledCircuit::run_trajectory(StateVector& psi, Rng& rng,
+                                     kernels::Scratch& scratch) const {
+  require(psi.space() == space_,
+          "CompiledCircuit::run_trajectory: space mismatch");
+  cplx* amps = psi.amplitudes().data();
+  for (const CompiledStep& step : steps_) {
+    if (step.kind == CompiledStep::Kind::kDiagonal)
+      kernels::apply_diagonal(step.diag.data(), *step.plan, amps);
+    else
+      kernels::apply(step.op, *step.plan, amps, scratch);
+    for (const CompiledChannel& ch : step.channels) {
+      scratch.weights.assign(ch.kraus.size(), 0.0);
+      kernels::accumulate_channel_probabilities(ch.kraus, *ch.plan, amps,
+                                                scratch,
+                                                scratch.weights.data());
+      const std::size_t m = rng.discrete(scratch.weights);
+      kernels::apply(ch.kraus[m], *ch.plan, amps, scratch);
+      psi.normalize();
+    }
+  }
+}
+
+void CompiledCircuit::run_density(DensityMatrix& rho,
+                                  kernels::Scratch& scratch) const {
+  require(rho.space() == space_,
+          "CompiledCircuit::run_density: space mismatch");
+  for (const CompiledStep& step : steps_) {
+    if (step.kind == CompiledStep::Kind::kDiagonal)
+      rho.apply_diagonal_unitary(step.diag, *step.plan);
+    else
+      rho.apply_unitary(step.op.dense, *step.plan, scratch);
+    for (const CompiledChannel& ch : step.channels)
+      rho.apply_channel(ch.kraus, *ch.plan, scratch);
+  }
+}
+
+// --- PlanCache -----------------------------------------------------------
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const CompiledCircuit> PlanCache::get_or_compile(
+    const Circuit& circuit, const NoiseModel& noise, PlanOptions options) {
+  const Key key{fingerprint(circuit), fingerprint(noise), options.bits()};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    order_.splice(order_.end(), order_, it->second.position);
+    return it->second.plan;
+  }
+  ++misses_;
+  auto plan = std::make_shared<const CompiledCircuit>(circuit, noise, options);
+  if (capacity_ == 0) return plan;
+  while (entries_.size() >= capacity_) {
+    entries_.erase(order_.front());
+    order_.pop_front();
+  }
+  order_.push_back(key);
+  entries_.emplace(key, Entry{plan, std::prev(order_.end())});
+  return plan;
+}
+
+}  // namespace qs

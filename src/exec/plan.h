@@ -1,0 +1,211 @@
+// Compiled execution plans: lower a Circuit + NoiseModel once, run many.
+//
+// The paper's application studies (QAOA coloring sweeps, qudit reservoir
+// batches, SQED quench series) execute the same circuit thousands of times
+// under noise. The gate-by-gate path re-derives everything per call: block
+// offset tables per gate, scratch allocations per matvec, and Kraus channel
+// construction per operation per trajectory. A CompiledCircuit hoists all
+// of that out of the hot loop:
+//
+//   Circuit + NoiseModel --compile once--> [CompiledStep...]
+//     each step:  precomputed BlockPlan            (no index rebuilds)
+//                 pre-resolved post-gate channels  (no Kraus re-construction)
+//                 fused adjacent same-site gates   (fewer sweeps, optional)
+//     run many:   shared immutable plan across threads,
+//                 per-thread kernels::Scratch arenas (no allocations)
+//
+// Determinism contract: with fusion disabled (PlanOptions::none()), every
+// run_* method performs bitwise the same arithmetic, in the same order,
+// and consumes the RNG stream identically to the gate-by-gate seed path.
+// Fusion reassociates floating-point products, so fused plans agree to
+// ~1e-12 rather than bitwise; fusion never crosses a noise channel, so the
+// RNG consumption order is preserved either way.
+#ifndef QS_EXEC_PLAN_H
+#define QS_EXEC_PLAN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+#include "noise/noise_model.h"
+#include "qudit/block_plan.h"
+#include "qudit/density_matrix.h"
+#include "qudit/kernels.h"
+#include "qudit/state_vector.h"
+
+namespace qs {
+
+/// Lowering knobs. The defaults fuse; use none() when bitwise agreement
+/// with the gate-by-gate path is required (e.g. equivalence tests).
+struct PlanOptions {
+  /// Fuse adjacent dense gates on the identical site list (later gate's
+  /// matrix left-multiplies the earlier) when no noise channel intervenes.
+  bool fuse_dense = true;
+  /// Merge consecutive diagonal gates on the identical site list.
+  bool merge_diagonals = true;
+
+  /// Lowering with every transformation disabled: the compiled plan is a
+  /// 1:1 image of the circuit and runs bitwise like the seed path.
+  static PlanOptions none() { return {false, false}; }
+
+  /// Encodes the options into cache-key bits.
+  std::uint8_t bits() const {
+    return static_cast<std::uint8_t>((fuse_dense ? 1 : 0) |
+                                     (merge_diagonals ? 2 : 0));
+  }
+};
+
+/// One pre-resolved noise channel application: Kraus operators analyzed
+/// into their kernel class (standard channels are all monomial) + shared
+/// plan.
+struct CompiledChannel {
+  std::vector<kernels::OpKernel> kraus;
+  std::vector<int> sites;
+  const detail::BlockPlan* plan = nullptr;  ///< owned by the CompiledCircuit
+};
+
+/// One lowered execution step: a gate (possibly standing for several fused
+/// source operations) plus the noise channels that follow it.
+struct CompiledStep {
+  enum class Kind { kDense, kDiagonal };
+  Kind kind = Kind::kDense;
+  kernels::OpKernel op;    ///< analyzed operator (kind == kDense)
+  std::vector<cplx> diag;  ///< diagonal entries (kind == kDiagonal)
+  std::vector<int> sites;
+  const detail::BlockPlan* plan = nullptr;  ///< owned by the CompiledCircuit
+  std::vector<CompiledChannel> channels;    ///< post-gate noise, in order
+  std::size_t source_ops = 1;  ///< circuit operations this step stands for
+};
+
+/// Immutable lowered form of (Circuit, NoiseModel) under PlanOptions.
+/// Thread-compatible by construction: run_* methods only read the plan and
+/// write through the caller's state + scratch, so one instance may be
+/// shared across any number of worker threads.
+class CompiledCircuit {
+ public:
+  CompiledCircuit(const Circuit& circuit, const NoiseModel& noise = {},
+                  PlanOptions options = {});
+
+  CompiledCircuit(const CompiledCircuit&) = delete;
+  CompiledCircuit& operator=(const CompiledCircuit&) = delete;
+
+  const QuditSpace& space() const { return space_; }
+  const std::vector<CompiledStep>& steps() const { return steps_; }
+  const PlanOptions& options() const { return options_; }
+
+  /// True when any step carries noise channels.
+  bool noisy() const { return total_channels_ > 0; }
+
+  /// Operations in the source circuit.
+  std::size_t source_operations() const { return source_operations_; }
+
+  /// Source operations eliminated by fusion/merging.
+  std::size_t fused_operations() const {
+    return source_operations_ - steps_.size();
+  }
+
+  /// Channel applications per execution (sum over steps).
+  std::size_t total_channels() const { return total_channels_; }
+
+  /// Largest operator block across steps and channels (scratch sizing).
+  std::size_t max_block() const { return max_block_; }
+
+  /// One-line lowering report, e.g. "12 steps from 18 ops (6 fused), 24
+  /// channels".
+  std::string summary() const;
+
+  /// Applies the gate steps to `psi` (requires a noiseless plan).
+  void run_pure(StateVector& psi, kernels::Scratch& scratch) const;
+
+  /// One quantum trajectory: gates exactly, each channel sampled to a
+  /// single Kraus branch. Consumes `rng` in the identical order to the
+  /// gate-by-gate TrajectoryBackend::apply.
+  void run_trajectory(StateVector& psi, Rng& rng,
+                      kernels::Scratch& scratch) const;
+
+  /// Exact mixed-state execution: unitary conjugation per step plus every
+  /// channel applied in full.
+  void run_density(DensityMatrix& rho, kernels::Scratch& scratch) const;
+
+ private:
+  const detail::BlockPlan* pooled_plan(const std::vector<int>& sites);
+
+  QuditSpace space_;
+  PlanOptions options_;
+  std::vector<CompiledStep> steps_;
+  /// Plans deduplicated by site list; node-based map keeps them at stable
+  /// addresses for the steps' raw pointers.
+  std::map<std::vector<int>, detail::BlockPlan> plan_pool_;
+  std::size_t source_operations_ = 0;
+  std::size_t total_channels_ = 0;
+  std::size_t max_block_ = 0;
+};
+
+/// Order-sensitive 64-bit digest of a circuit: space dims plus every
+/// operation's name, kind, sites, duration, multiplicity, and exact matrix
+/// or diagonal payload bits. Used as a plan-cache key component.
+std::uint64_t fingerprint(const Circuit& circuit);
+
+/// Digest of the noise parameters (exact double bits).
+std::uint64_t fingerprint(const NoiseModel& noise);
+
+/// LRU cache of compiled plans keyed by (circuit, noise, options)
+/// fingerprints. Not thread-safe: callers (ExecutionSession) resolve plans
+/// on the submission thread before fanning work out; the cached plans
+/// themselves are immutable and freely shared across threads afterwards.
+/// Entries pin their plan via shared_ptr, so eviction never invalidates a
+/// plan still held by an in-flight request.
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = 32);
+
+  /// Returns the cached plan for the key, compiling and inserting on miss.
+  std::shared_ptr<const CompiledCircuit> get_or_compile(
+      const Circuit& circuit, const NoiseModel& noise, PlanOptions options);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  struct Key {
+    std::uint64_t circuit_fp;
+    std::uint64_t noise_fp;
+    std::uint8_t option_bits;
+    bool operator==(const Key& o) const {
+      return circuit_fp == o.circuit_fp && noise_fp == o.noise_fp &&
+             option_bits == o.option_bits;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = k.circuit_fp;
+      h ^= k.noise_fp + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h ^= k.option_bits + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  std::size_t capacity_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  /// Most-recently-used at the back.
+  std::list<Key> order_;
+  struct Entry {
+    std::shared_ptr<const CompiledCircuit> plan;
+    std::list<Key>::iterator position;
+  };
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+};
+
+}  // namespace qs
+
+#endif  // QS_EXEC_PLAN_H

@@ -13,11 +13,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "circuit/circuit.h"
 #include "compiler/compile.h"
+#include "exec/plan.h"
 #include "hardware/processor.h"
 
 namespace qs {
@@ -66,6 +68,18 @@ struct ExecutionRequest {
   CompileOptions compile_options;
   /// Guard for dense dim^2 allocations (DensityMatrixBackend).
   std::size_t max_dim = kDefaultMaxDenseDim;
+  /// Precompiled execution plan for `circuit`. Normally attached by
+  /// ExecutionSession's plan cache; backends honor it only when
+  /// `processor` is unset (routed circuits are compiled per request). The
+  /// plan MUST have been lowered from this exact circuit and the executing
+  /// backend's noise model -- the session guarantees that pairing; set it
+  /// manually only with the same care.
+  std::shared_ptr<const CompiledCircuit> plan;
+  /// Lowering options used whenever the backend compiles a plan itself
+  /// (no `plan` attached, or a routed circuit). ExecutionSession
+  /// propagates its SessionOptions::plan_options here so an opt-out of
+  /// fusion holds on every path.
+  PlanOptions plan_options;
 
   ExecutionRequest& with_shots(std::size_t n) {
     shots = n;
@@ -96,6 +110,10 @@ struct ExecutionRequest {
   }
   ExecutionRequest& with_max_dim(std::size_t dim) {
     max_dim = dim;
+    return *this;
+  }
+  ExecutionRequest& with_plan(std::shared_ptr<const CompiledCircuit> p) {
+    plan = std::move(p);
     return *this;
   }
 };

@@ -4,12 +4,15 @@
 
 #include "common/rng.h"
 #include "exec/pool.h"
+#include "noise/noise_model.h"
 
 namespace qs {
 
 ExecutionSession::ExecutionSession(const Backend& backend,
                                    SessionOptions options)
-    : backend_(backend), options_(options) {
+    : backend_(backend),
+      options_(options),
+      plan_cache_(options.plan_cache_capacity) {
   if (options_.threads == 0) options_.threads = default_thread_count();
 }
 
@@ -18,8 +21,24 @@ void ExecutionSession::assign_seed(ExecutionRequest& request) {
     request.seed = split_seed(options_.seed, next_stream_++);
 }
 
+void ExecutionSession::attach_plan(ExecutionRequest& request) {
+  // The session's lowering options hold on every path, including the
+  // uncached ones where the backend compiles for itself.
+  request.plan_options = options_.plan_options;
+  // Routed circuits are seed-dependent, and explicit plans are the
+  // caller's responsibility -- both bypass the cache.
+  if (request.plan != nullptr || request.processor != nullptr) return;
+  if (options_.plan_cache_capacity == 0) return;
+  static const NoiseModel kNoiseless;
+  const NoiseModel* noise = backend_.noise_model();
+  request.plan = plan_cache_.get_or_compile(
+      request.circuit, noise != nullptr ? *noise : kNoiseless,
+      options_.plan_options);
+}
+
 ExecutionResult ExecutionSession::submit(ExecutionRequest request) {
   assign_seed(request);
+  attach_plan(request);
   ExecutionResult result = backend_.execute(request);
   ++requests_executed_;
   total_backend_seconds_ += result.wall_seconds;
@@ -28,9 +47,14 @@ ExecutionResult ExecutionSession::submit(ExecutionRequest request) {
 
 std::vector<ExecutionResult> ExecutionSession::submit_batch(
     std::vector<ExecutionRequest> requests) {
-  // Seeds are fixed up front, in submission order, so the work below is
-  // free to run in any interleaving.
-  for (ExecutionRequest& request : requests) assign_seed(request);
+  // Seeds and plans are fixed up front, in submission order, so the work
+  // below is free to run in any interleaving: plans are resolved on this
+  // thread (the cache is not thread-safe) and shared immutably with the
+  // workers.
+  for (ExecutionRequest& request : requests) {
+    assign_seed(request);
+    attach_plan(request);
+  }
 
   std::vector<ExecutionResult> results;
   results.reserve(requests.size());

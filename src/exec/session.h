@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "exec/backend.h"
+#include "exec/plan.h"
 
 namespace qs {
 
@@ -25,6 +26,11 @@ struct SessionOptions {
   /// it by submission order (split_seed(seed, k) for the k-th auto-seeded
   /// request of the session's lifetime).
   std::uint64_t seed = 0x51e55edbadc0ffeeull;
+  /// Compiled-plan cache entries, keyed by (circuit, noise, options)
+  /// fingerprints. 0 disables caching (every request compiles afresh).
+  std::size_t plan_cache_capacity = 32;
+  /// Lowering options for session-compiled plans.
+  PlanOptions plan_options;
 };
 
 /// Submits requests to a Backend, in batches or one at a time. Not
@@ -58,12 +64,22 @@ class ExecutionSession {
   /// batches run in parallel).
   double total_backend_seconds() const { return total_backend_seconds_; }
 
+  /// The session's compiled-plan cache (telemetry: hits/misses/size).
+  /// Plans are resolved on the submission thread, so repeated circuits --
+  /// e.g. the same ansatz re-run across a parameter sweep's shot batches
+  /// -- compile once and execute from the cached plan.
+  const PlanCache& plan_cache() const { return plan_cache_; }
+
  private:
   /// Replaces kAutoSeed with the next derived stream seed.
   void assign_seed(ExecutionRequest& request);
 
+  /// Attaches a cached compiled plan to an unplanned, unrouted request.
+  void attach_plan(ExecutionRequest& request);
+
   const Backend& backend_;
   SessionOptions options_;
+  PlanCache plan_cache_;
   std::uint64_t next_stream_ = 0;
   std::size_t requests_executed_ = 0;
   double total_backend_seconds_ = 0.0;

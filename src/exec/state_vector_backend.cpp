@@ -5,6 +5,7 @@
 #include "common/require.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "exec/plan.h"
 
 namespace qs {
 
@@ -28,10 +29,14 @@ ExecutionResult StateVectorBackend::execute(
 
   const Circuit circuit =
       routed_circuit(request, result.seed, &result.compile_summary);
+  const std::shared_ptr<const CompiledCircuit> plan =
+      resolve_plan(request, circuit, NoiseModel());
   StateVector psi = request.initial_digits.empty()
                         ? StateVector(circuit.space())
                         : StateVector(circuit.space(), request.initial_digits);
-  apply(circuit, psi);
+  kernels::Scratch scratch;
+  scratch.reserve_block(plan->max_block());
+  plan->run_pure(psi, scratch);
 
   result.trajectories = 1;
   result.probabilities.reserve(psi.dimension());

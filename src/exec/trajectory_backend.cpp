@@ -7,6 +7,7 @@
 #include "common/require.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "exec/plan.h"
 #include "exec/pool.h"
 #include "exec/state_vector_backend.h"
 
@@ -51,17 +52,19 @@ ExecutionResult TrajectoryBackend::execute(
 
   const Circuit circuit =
       routed_circuit(request, result.seed, &result.compile_summary);
+  const std::shared_ptr<const CompiledCircuit> plan =
+      resolve_plan(request, circuit, noise_);
   const std::size_t dim = circuit.space().dimension();
-  auto initial_state = [&] {
-    return request.initial_digits.empty()
-               ? StateVector(circuit.space())
-               : StateVector(circuit.space(), request.initial_digits);
-  };
 
-  if (noise_.is_trivial()) {
+  if (!plan->noisy()) {
     // Pure evolution: one deterministic run, multinomial readout.
-    StateVector psi = initial_state();
-    StateVectorBackend::apply(circuit, psi);
+    StateVector psi = request.initial_digits.empty()
+                          ? StateVector(circuit.space())
+                          : StateVector(circuit.space(),
+                                        request.initial_digits);
+    kernels::Scratch scratch;
+    scratch.reserve_block(plan->max_block());
+    plan->run_pure(psi, scratch);
     result.trajectories = 1;
     result.probabilities.reserve(dim);
     for (const cplx& a : psi.amplitudes())
@@ -90,13 +93,19 @@ ExecutionResult TrajectoryBackend::execute(
     if (request.shots > 0)
       for (auto& c : block_counts) c.assign(dim, 0);
 
+    // One immutable plan shared by every worker; each block owns its
+    // scratch arena and reuses one state buffer across its trajectories.
+    const CompiledCircuit& shared_plan = *plan;
     parallel_for(blocks, threads_, [&](std::size_t b) {
       const std::size_t begin = b * block;
       const std::size_t end = std::min(begin + block, total);
+      kernels::Scratch scratch;
+      scratch.reserve_block(shared_plan.max_block());
+      StateVector psi(circuit.space());
       for (std::size_t t = begin; t < end; ++t) {
         Rng rng(split_seed(result.seed, t));
-        StateVector psi = initial_state();
-        apply(circuit, psi, noise_, rng);
+        psi.reset(request.initial_digits);
+        shared_plan.run_trajectory(psi, rng, scratch);
         if (want_exact_probs)
           for (std::size_t i = 0; i < dim; ++i)
             block_probs[b][i] += std::norm(psi.amplitude(i));

@@ -32,6 +32,7 @@ class TrajectoryBackend final : public Backend {
   std::string name() const override { return "trajectory"; }
   bool is_noisy() const override { return !noise_.is_trivial(); }
   ExecutionResult execute(const ExecutionRequest& request) const override;
+  const NoiseModel* noise_model() const override { return &noise_; }
 
   const NoiseModel& noise() const { return noise_; }
 

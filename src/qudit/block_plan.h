@@ -5,6 +5,9 @@
 // significant) and `bases` enumerates the contributions of all
 // assignments to the remaining sites. Every amplitude index factors
 // uniquely as bases[i] + offsets[a].
+//
+// Plans are pure index arithmetic -- no amplitude data -- so one plan can
+// be built once (see exec/plan.h) and shared immutably across threads.
 #ifndef QS_QUDIT_BLOCK_PLAN_H
 #define QS_QUDIT_BLOCK_PLAN_H
 
@@ -19,6 +22,17 @@ namespace qs::detail {
 struct BlockPlan {
   std::vector<std::size_t> offsets;  ///< one entry per target-digit tuple
   std::vector<std::size_t> bases;    ///< one entry per non-target tuple
+
+  std::size_t block = 0;      ///< == offsets.size(): operator dimension
+  std::size_t dimension = 0;  ///< full-space dimension (block * bases.size())
+
+  /// Single-target-site fast path: offsets[a] == a * site_stride, and the
+  /// bases sequence is exactly the two nested stride loops
+  ///   for (outer = 0; outer < dimension; outer += site_stride * block)
+  ///     for (inner = 0; inner < site_stride; ++inner)
+  /// in that order, so kernels may iterate without touching the tables.
+  bool single_site = false;
+  std::size_t site_stride = 0;  ///< stride of the lone target site
 };
 
 /// Builds the plan; validates that sites are distinct and in range.

@@ -5,8 +5,22 @@
 
 #include "common/require.h"
 #include "qudit/block_plan.h"
+#include "qudit/kernels.h"
 
 namespace qs {
+
+namespace {
+/// Per-thread scratch for the plan-per-call entry points.
+kernels::Scratch& local_scratch() {
+  static thread_local kernels::Scratch scratch;
+  return scratch;
+}
+
+void check_block(const Matrix& op, const detail::BlockPlan& plan,
+                 const char* what) {
+  require(op.rows() == plan.block && op.cols() == plan.block, what);
+}
+}  // namespace
 
 DensityMatrix::DensityMatrix(QuditSpace space)
     : space_(std::move(space)),
@@ -31,71 +45,109 @@ DensityMatrix::DensityMatrix(QuditSpace space, Matrix rho)
           "DensityMatrix: matrix does not match space dimension");
 }
 
-void DensityMatrix::apply_left(const Matrix& op,
-                               const std::vector<int>& sites) {
-  const detail::BlockPlan plan = detail::make_block_plan(space_, sites);
-  const std::size_t block = plan.offsets.size();
-  require(op.rows() == block && op.cols() == block,
-          "DensityMatrix: operator dimension mismatch");
-  const std::size_t n = rho_.rows();
-  std::vector<cplx> temp(block), out(block);
-  for (std::size_t c = 0; c < n; ++c) {
-    for (std::size_t base : plan.bases) {
-      for (std::size_t a = 0; a < block; ++a)
-        temp[a] = rho_(base + plan.offsets[a], c);
-      for (std::size_t a = 0; a < block; ++a) {
-        const cplx* row = op.data() + a * block;
-        cplx acc = 0.0;
-        for (std::size_t b = 0; b < block; ++b) acc += row[b] * temp[b];
-        out[a] = acc;
-      }
-      for (std::size_t a = 0; a < block; ++a)
-        rho_(base + plan.offsets[a], c) = out[a];
-    }
-  }
+void DensityMatrix::apply_left(Matrix& rho, const Matrix& op,
+                               const detail::BlockPlan& plan,
+                               kernels::Scratch& scratch) {
+  check_block(op, plan, "DensityMatrix: operator dimension mismatch");
+  const std::size_t block = plan.block;
+  const std::size_t n = rho.rows();
+  scratch.reserve_block(block);
+  // Row-space application: offsets scale by the row stride n.
+  if (scratch.index.size() < block) scratch.index.resize(block);
+  for (std::size_t a = 0; a < block; ++a)
+    scratch.index[a] = plan.offsets[a] * n;
+  cplx* data = rho.data();
+  for (std::size_t c = 0; c < n; ++c)
+    for (std::size_t base : plan.bases)
+      kernels::dense_block(op.data(), block, data + base * n + c,
+                           scratch.index.data(), scratch.temp.data(),
+                           scratch.out.data());
 }
 
-void DensityMatrix::apply_right_adjoint(const Matrix& op,
-                                        const std::vector<int>& sites) {
-  const detail::BlockPlan plan = detail::make_block_plan(space_, sites);
-  const std::size_t block = plan.offsets.size();
-  require(op.rows() == block && op.cols() == block,
-          "DensityMatrix: operator dimension mismatch");
-  const std::size_t n = rho_.rows();
-  std::vector<cplx> temp(block), out(block);
+void DensityMatrix::apply_right_adjoint(Matrix& rho, const Matrix& op,
+                                        const detail::BlockPlan& plan,
+                                        kernels::Scratch& scratch) {
+  check_block(op, plan, "DensityMatrix: operator dimension mismatch");
+  const std::size_t block = plan.block;
+  const std::size_t n = rho.rows();
+  scratch.reserve_block(block);
+  cplx* data = rho.data();
   // (rho Op^dag)(r, c) = sum_b rho(r, b) * conj(Op(c_t, b_t)).
-  for (std::size_t r = 0; r < n; ++r) {
-    for (std::size_t base : plan.bases) {
-      for (std::size_t b = 0; b < block; ++b)
-        temp[b] = rho_(r, base + plan.offsets[b]);
-      for (std::size_t a = 0; a < block; ++a) {
-        const cplx* row = op.data() + a * block;
-        cplx acc = 0.0;
-        for (std::size_t b = 0; b < block; ++b)
-          acc += std::conj(row[b]) * temp[b];
-        out[a] = acc;
-      }
-      for (std::size_t a = 0; a < block; ++a)
-        rho_(r, base + plan.offsets[a]) = out[a];
-    }
-  }
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t base : plan.bases)
+      kernels::dense_block_conj(op.data(), block, data + r * n + base,
+                                plan.offsets.data(), scratch.temp.data(),
+                                scratch.out.data());
 }
 
 void DensityMatrix::apply_unitary(const Matrix& u,
                                   const std::vector<int>& sites) {
-  apply_left(u, sites);
-  apply_right_adjoint(u, sites);
+  const detail::BlockPlan plan = detail::make_block_plan(space_, sites);
+  apply_unitary(u, plan, local_scratch());
+}
+
+void DensityMatrix::apply_unitary(const Matrix& u,
+                                  const detail::BlockPlan& plan,
+                                  kernels::Scratch& scratch) {
+  apply_left(rho_, u, plan, scratch);
+  apply_right_adjoint(rho_, u, plan, scratch);
+}
+
+void DensityMatrix::apply_diagonal_unitary(const std::vector<cplx>& diag,
+                                           const detail::BlockPlan& plan) {
+  require(diag.size() == plan.block,
+          "apply_diagonal_unitary: diagonal length mismatch");
+  const std::size_t block = plan.block;
+  const std::size_t n = rho_.rows();
+  cplx* data = rho_.data();
+  // D rho D^dag done as a row-scaling pass then a column-scaling pass --
+  // the same values (and rounding) the dense conjugation would produce,
+  // at O(n^2) instead of O(n^2 * block).
+  for (std::size_t base : plan.bases)
+    for (std::size_t a = 0; a < block; ++a) {
+      cplx* row = data + (base + plan.offsets[a]) * n;
+      const cplx f = diag[a];
+      for (std::size_t c = 0; c < n; ++c) row[c] *= f;
+    }
+  for (std::size_t r = 0; r < n; ++r) {
+    cplx* row = data + r * n;
+    for (std::size_t base : plan.bases)
+      for (std::size_t b = 0; b < block; ++b)
+        row[base + plan.offsets[b]] =
+            std::conj(diag[b]) * row[base + plan.offsets[b]];
+  }
 }
 
 void DensityMatrix::apply_channel(const std::vector<Matrix>& kraus,
                                   const std::vector<int>& sites) {
+  const detail::BlockPlan plan = detail::make_block_plan(space_, sites);
+  apply_channel(kraus, plan, local_scratch());
+}
+
+void DensityMatrix::apply_channel(const std::vector<Matrix>& kraus,
+                                  const detail::BlockPlan& plan,
+                                  kernels::Scratch& scratch) {
   require(!kraus.empty(), "apply_channel: empty Kraus set");
   Matrix result = Matrix::zero(rho_.rows(), rho_.cols());
   for (const Matrix& k : kraus) {
-    DensityMatrix branch(space_, rho_);
-    branch.apply_left(k, sites);
-    branch.apply_right_adjoint(k, sites);
-    result += branch.rho_;
+    Matrix branch = rho_;
+    apply_left(branch, k, plan, scratch);
+    apply_right_adjoint(branch, k, plan, scratch);
+    result += branch;
+  }
+  rho_ = std::move(result);
+}
+
+void DensityMatrix::apply_channel(const std::vector<kernels::OpKernel>& kraus,
+                                  const detail::BlockPlan& plan,
+                                  kernels::Scratch& scratch) {
+  require(!kraus.empty(), "apply_channel: empty Kraus set");
+  Matrix result = Matrix::zero(rho_.rows(), rho_.cols());
+  for (const kernels::OpKernel& k : kraus) {
+    Matrix branch = rho_;
+    apply_left(branch, k.dense, plan, scratch);
+    apply_right_adjoint(branch, k.dense, plan, scratch);
+    result += branch;
   }
   rho_ = std::move(result);
 }
@@ -119,13 +171,17 @@ std::vector<double> DensityMatrix::probabilities() const {
 std::vector<double> DensityMatrix::site_probabilities(int site) const {
   require(site >= 0 && static_cast<std::size_t>(site) < space_.num_sites(),
           "site_probabilities: site out of range");
-  std::vector<double> probs(
-      static_cast<std::size_t>(space_.dim(static_cast<std::size_t>(site))),
-      0.0);
-  for (std::size_t i = 0; i < rho_.rows(); ++i)
-    probs[static_cast<std::size_t>(
-        space_.digit(i, static_cast<std::size_t>(site)))] +=
-        rho_(i, i).real();
+  const std::size_t s = static_cast<std::size_t>(site);
+  const std::size_t d = static_cast<std::size_t>(space_.dim(s));
+  const std::size_t stride = space_.stride(s);
+  const std::size_t span = stride * d;
+  std::vector<double> probs(d, 0.0);
+  for (std::size_t outer = 0; outer < rho_.rows(); outer += span)
+    for (std::size_t k = 0; k < d; ++k)
+      for (std::size_t inner = 0; inner < stride; ++inner) {
+        const std::size_t i = outer + k * stride + inner;
+        probs[k] += rho_(i, i).real();
+      }
   return probs;
 }
 

@@ -11,6 +11,14 @@
 
 namespace qs {
 
+namespace detail {
+struct BlockPlan;
+}
+namespace kernels {
+struct Scratch;
+struct OpKernel;
+}
+
 /// Density matrix over a QuditSpace. Supports k-local unitary conjugation,
 /// Kraus channel application, partial trace, sampling, and fidelity
 /// queries. Suitable for registers up to a few thousand dimensions.
@@ -33,9 +41,32 @@ class DensityMatrix {
   /// rho <- U_sites rho U_sites^dag for a k-local operator U.
   void apply_unitary(const Matrix& u, const std::vector<int>& sites);
 
+  /// Plan-aware variant for compiled execution: reuses a precomputed
+  /// BlockPlan and a caller-owned scratch arena (no per-call allocation).
+  void apply_unitary(const Matrix& u, const detail::BlockPlan& plan,
+                     kernels::Scratch& scratch);
+
+  /// rho <- D rho D^dag for a diagonal unitary over the plan's sites,
+  /// given its block diagonal entries. Produces the same values as dense
+  /// conjugation by Matrix::diagonal(diag) at O(dim^2) instead of
+  /// O(dim^2 * block).
+  void apply_diagonal_unitary(const std::vector<cplx>& diag,
+                              const detail::BlockPlan& plan);
+
   /// rho <- sum_m K_m rho K_m^dag for a k-local Kraus set.
   void apply_channel(const std::vector<Matrix>& kraus,
                      const std::vector<int>& sites);
+
+  /// Plan-aware variant of apply_channel.
+  void apply_channel(const std::vector<Matrix>& kraus,
+                     const detail::BlockPlan& plan,
+                     kernels::Scratch& scratch);
+
+  /// Compiled-channel variant: applies the Kraus set of analyzed
+  /// operators (uses each operator's dense form).
+  void apply_channel(const std::vector<kernels::OpKernel>& kraus,
+                     const detail::BlockPlan& plan,
+                     kernels::Scratch& scratch);
 
   /// Trace (1 for a normalized state).
   double trace() const;
@@ -64,10 +95,14 @@ class DensityMatrix {
 
  private:
   /// Applies op to the left (rows): rho <- Op rho. Non-unitary allowed.
-  void apply_left(const Matrix& op, const std::vector<int>& sites);
+  static void apply_left(Matrix& rho, const Matrix& op,
+                         const detail::BlockPlan& plan,
+                         kernels::Scratch& scratch);
 
   /// Applies op^dag to the right (columns): rho <- rho Op^dag.
-  void apply_right_adjoint(const Matrix& op, const std::vector<int>& sites);
+  static void apply_right_adjoint(Matrix& rho, const Matrix& op,
+                                  const detail::BlockPlan& plan,
+                                  kernels::Scratch& scratch);
 
   QuditSpace space_;
   Matrix rho_;

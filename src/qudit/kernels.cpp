@@ -1,0 +1,214 @@
+#include "qudit/kernels.h"
+
+#include <cmath>
+
+namespace qs::kernels {
+
+void apply_dense(const cplx* op, const detail::BlockPlan& plan, cplx* amps,
+                 Scratch& scratch) {
+  const std::size_t block = plan.block;
+  scratch.reserve_block(block);
+  cplx* temp = scratch.temp.data();
+  cplx* out = scratch.out.data();
+  if (plan.single_site) {
+    // Same base sequence as the offsets/bases tables, no indirection.
+    const std::size_t stride = plan.site_stride;
+    const std::size_t span = stride * block;
+    for (std::size_t outer = 0; outer < plan.dimension; outer += span)
+      for (std::size_t inner = 0; inner < stride; ++inner)
+        dense_block_strided(op, block, stride, amps + outer + inner, temp,
+                            out);
+    return;
+  }
+  const std::size_t* offsets = plan.offsets.data();
+  for (std::size_t base : plan.bases)
+    dense_block(op, block, amps + base, offsets, temp, out);
+}
+
+void apply_diagonal(const cplx* diag, const detail::BlockPlan& plan,
+                    cplx* amps) {
+  const std::size_t block = plan.block;
+  if (plan.single_site) {
+    const std::size_t stride = plan.site_stride;
+    const std::size_t span = stride * block;
+    for (std::size_t outer = 0; outer < plan.dimension; outer += span)
+      for (std::size_t inner = 0; inner < stride; ++inner) {
+        cplx* p = amps + outer + inner;
+        for (std::size_t a = 0; a < block; ++a) p[a * stride] *= diag[a];
+      }
+    return;
+  }
+  const std::size_t* offsets = plan.offsets.data();
+  for (std::size_t base : plan.bases)
+    for (std::size_t a = 0; a < block; ++a) amps[base + offsets[a]] *= diag[a];
+}
+
+void accumulate_channel_probabilities(const std::vector<Matrix>& kraus,
+                                      const detail::BlockPlan& plan,
+                                      const cplx* amps, Scratch& scratch,
+                                      double* probs) {
+  const std::size_t block = plan.block;
+  scratch.reserve_block(block);
+  cplx* temp = scratch.temp.data();
+  const std::size_t* offsets = plan.offsets.data();
+  for (std::size_t base : plan.bases) {
+    const cplx* p = amps + base;
+    if (plan.single_site) {
+      const std::size_t stride = plan.site_stride;
+      for (std::size_t a = 0; a < block; ++a) temp[a] = p[a * stride];
+    } else {
+      for (std::size_t a = 0; a < block; ++a) temp[a] = p[offsets[a]];
+    }
+    for (std::size_t m = 0; m < kraus.size(); ++m) {
+      const cplx* k = kraus[m].data();
+      double part = 0.0;
+      for (std::size_t a = 0; a < block; ++a) {
+        const cplx* row = k + a * block;
+        cplx acc = 0.0;
+        for (std::size_t b = 0; b < block; ++b) acc += row[b] * temp[b];
+        part += std::norm(acc);
+      }
+      probs[m] += part;
+    }
+  }
+}
+
+OpKernel OpKernel::analyze(const Matrix& m) {
+  OpKernel op;
+  op.dense = m;
+  op.block = m.rows();
+  op.coef.assign(op.block, cplx{0.0, 0.0});
+  op.col.assign(op.block, 0);
+  bool monomial = true;
+  for (std::size_t r = 0; r < op.block && monomial; ++r) {
+    std::size_t nonzeros = 0;
+    for (std::size_t c = 0; c < op.block; ++c) {
+      const cplx v = m(r, c);
+      if (v.real() == 0.0 && v.imag() == 0.0) continue;
+      if (++nonzeros > 1) {
+        monomial = false;
+        break;
+      }
+      op.coef[r] = v;
+      op.col[r] = c;
+    }
+  }
+  if (monomial) {
+    op.kind = Kind::kMonomial;
+  } else {
+    op.coef.clear();
+    op.col.clear();
+  }
+  return op;
+}
+
+namespace {
+
+/// Monomial block apply: out[a] = coef[a] * temp[col[a]].
+inline void monomial_block(const cplx* coef, const std::size_t* col,
+                           std::size_t block, cplx* amps,
+                           const std::size_t* offsets, cplx* temp) {
+  for (std::size_t a = 0; a < block; ++a) temp[a] = amps[offsets[a]];
+  for (std::size_t a = 0; a < block; ++a)
+    amps[offsets[a]] = coef[a] * temp[col[a]];
+}
+
+inline void monomial_block_strided(const cplx* coef, const std::size_t* col,
+                                   std::size_t block, std::size_t stride,
+                                   cplx* amps, cplx* temp) {
+  for (std::size_t a = 0; a < block; ++a) temp[a] = amps[a * stride];
+  for (std::size_t a = 0; a < block; ++a)
+    amps[a * stride] = coef[a] * temp[col[a]];
+}
+
+}  // namespace
+
+void apply(const OpKernel& op, const detail::BlockPlan& plan, cplx* amps,
+           Scratch& scratch) {
+  if (op.kind == OpKernel::Kind::kDense) {
+    apply_dense(op.dense.data(), plan, amps, scratch);
+    return;
+  }
+  const std::size_t block = plan.block;
+  scratch.reserve_block(block);
+  cplx* temp = scratch.temp.data();
+  const cplx* coef = op.coef.data();
+  const std::size_t* col = op.col.data();
+  if (plan.single_site) {
+    const std::size_t stride = plan.site_stride;
+    const std::size_t span = stride * block;
+    for (std::size_t outer = 0; outer < plan.dimension; outer += span)
+      for (std::size_t inner = 0; inner < stride; ++inner)
+        monomial_block_strided(coef, col, block, stride, amps + outer + inner,
+                               temp);
+    return;
+  }
+  const std::size_t* offsets = plan.offsets.data();
+  for (std::size_t base : plan.bases)
+    monomial_block(coef, col, block, amps + base, offsets, temp);
+}
+
+void accumulate_channel_probabilities(const std::vector<OpKernel>& kraus,
+                                      const detail::BlockPlan& plan,
+                                      const cplx* amps, Scratch& scratch,
+                                      double* probs) {
+  const std::size_t block = plan.block;
+  scratch.reserve_block(block);
+  cplx* temp = scratch.temp.data();
+  const std::size_t* offsets = plan.offsets.data();
+  for (std::size_t base : plan.bases) {
+    const cplx* p = amps + base;
+    if (plan.single_site) {
+      const std::size_t stride = plan.site_stride;
+      for (std::size_t a = 0; a < block; ++a) temp[a] = p[a * stride];
+    } else {
+      for (std::size_t a = 0; a < block; ++a) temp[a] = p[offsets[a]];
+    }
+    for (std::size_t m = 0; m < kraus.size(); ++m) {
+      const OpKernel& k = kraus[m];
+      double part = 0.0;
+      if (k.kind == OpKernel::Kind::kMonomial) {
+        const cplx* coef = k.coef.data();
+        const std::size_t* col = k.col.data();
+        for (std::size_t a = 0; a < block; ++a)
+          part += std::norm(coef[a] * temp[col[a]]);
+      } else {
+        const cplx* kd = k.dense.data();
+        for (std::size_t a = 0; a < block; ++a) {
+          const cplx* row = kd + a * block;
+          cplx acc = 0.0;
+          for (std::size_t b = 0; b < block; ++b) acc += row[b] * temp[b];
+          part += std::norm(acc);
+        }
+      }
+      probs[m] += part;
+    }
+  }
+}
+
+cplx expectation_dense(const cplx* op, const detail::BlockPlan& plan,
+                       const cplx* amps, Scratch& scratch) {
+  const std::size_t block = plan.block;
+  scratch.reserve_block(block);
+  cplx* temp = scratch.temp.data();
+  const std::size_t* offsets = plan.offsets.data();
+  cplx total = 0.0;
+  for (std::size_t base : plan.bases) {
+    const cplx* p = amps + base;
+    if (plan.single_site) {
+      const std::size_t stride = plan.site_stride;
+      for (std::size_t a = 0; a < block; ++a) temp[a] = p[a * stride];
+    } else {
+      for (std::size_t a = 0; a < block; ++a) temp[a] = p[offsets[a]];
+    }
+    for (std::size_t a = 0; a < block; ++a) {
+      const cplx* row = op + a * block;
+      cplx acc = 0.0;
+      for (std::size_t b = 0; b < block; ++b) acc += row[b] * temp[b];
+      total += std::conj(temp[a]) * acc;
+    }
+  }
+  return total;
+}
+
+}  // namespace qs::kernels

@@ -1,0 +1,158 @@
+// Shared apply-kernel layer for the simulator stack.
+//
+// Every matvec inner loop of the simulators lives here, exactly once:
+// StateVector, DensityMatrix, trajectory channel sampling, and the
+// compiled execution plans (exec/plan.h) all drive these kernels over raw
+// amplitude spans with caller-provided scratch. Kernels perform the same
+// arithmetic in the same order as the historical per-class loops, so
+// migrating a call site onto a kernel is bitwise result-preserving.
+//
+// Dispatch by operator shape:
+//
+//   | shape                 | kernel                     | index scheme     |
+//   |-----------------------|----------------------------|------------------|
+//   | diagonal, any arity   | apply_diagonal             | offsets table    |
+//   | dense, single site    | apply_dense (stride path)  | pure stride math |
+//   | dense, k >= 2 sites   | apply_dense (table path)   | offsets table    |
+//   | monomial (<=1 nonzero | apply(OpKernel) monomial   | row coefficient  |
+//   |  per row: Weyl, shift,|  path                      |  + column table  |
+//   |  damping, permutation)|                            |                  |
+//   | Kraus set             | channel_probabilities      | offsets table    |
+//   | observable contract   | expectation_dense          | offsets table    |
+//
+// The monomial path computes exactly the values the dense path would
+// (every skipped term is a product with a true zero entry, which
+// contributes +-0 to the row accumulator and cannot change a nonzero
+// result); only the IEEE sign of exactly-zero amplitudes may differ.
+//
+// All kernels are thread-compatible: they touch only the spans and scratch
+// they are handed, so one immutable BlockPlan can serve many threads as
+// long as each thread owns its Scratch.
+#ifndef QS_QUDIT_KERNELS_H
+#define QS_QUDIT_KERNELS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/types.h"
+#include "qudit/block_plan.h"
+
+namespace qs::kernels {
+
+/// Reusable per-thread scratch arena. Kernels never allocate when the
+/// scratch already covers the requested block size, which is what removes
+/// the per-gate heap traffic of the legacy paths.
+struct Scratch {
+  std::vector<cplx> temp;          ///< gathered block amplitudes
+  std::vector<cplx> out;           ///< matvec result block
+  std::vector<std::size_t> index;  ///< scaled offsets (density-matrix use)
+  std::vector<double> weights;     ///< channel outcome probabilities
+
+  /// Grows (never shrinks) temp/out to hold `block` entries.
+  void reserve_block(std::size_t block) {
+    if (temp.size() < block) temp.resize(block);
+    if (out.size() < block) out.resize(block);
+  }
+};
+
+/// One gathered block: temp <- amps[offsets], out <- op * temp,
+/// amps[offsets] <- out. `op` is row-major block x block.
+inline void dense_block(const cplx* op, std::size_t block, cplx* amps,
+                        const std::size_t* offsets, cplx* temp, cplx* out) {
+  for (std::size_t a = 0; a < block; ++a) temp[a] = amps[offsets[a]];
+  for (std::size_t a = 0; a < block; ++a) {
+    const cplx* row = op + a * block;
+    cplx acc = 0.0;
+    for (std::size_t b = 0; b < block; ++b) acc += row[b] * temp[b];
+    out[a] = acc;
+  }
+  for (std::size_t a = 0; a < block; ++a) amps[offsets[a]] = out[a];
+}
+
+/// Single-site variant: offsets[a] == a * stride, no table indirection.
+inline void dense_block_strided(const cplx* op, std::size_t block,
+                                std::size_t stride, cplx* amps, cplx* temp,
+                                cplx* out) {
+  for (std::size_t a = 0; a < block; ++a) temp[a] = amps[a * stride];
+  for (std::size_t a = 0; a < block; ++a) {
+    const cplx* row = op + a * block;
+    cplx acc = 0.0;
+    for (std::size_t b = 0; b < block; ++b) acc += row[b] * temp[b];
+    out[a] = acc;
+  }
+  for (std::size_t a = 0; a < block; ++a) amps[a * stride] = out[a];
+}
+
+/// As dense_block, but applies the conjugate of each op row (used for the
+/// density matrix's right-adjoint factor rho <- rho Op^dag).
+inline void dense_block_conj(const cplx* op, std::size_t block, cplx* amps,
+                             const std::size_t* offsets, cplx* temp,
+                             cplx* out) {
+  for (std::size_t b = 0; b < block; ++b) temp[b] = amps[offsets[b]];
+  for (std::size_t a = 0; a < block; ++a) {
+    const cplx* row = op + a * block;
+    cplx acc = 0.0;
+    for (std::size_t b = 0; b < block; ++b) acc += std::conj(row[b]) * temp[b];
+    out[a] = acc;
+  }
+  for (std::size_t a = 0; a < block; ++a) amps[offsets[a]] = out[a];
+}
+
+/// Applies a dense block x block operator over the whole span according to
+/// `plan`, dispatching to the single-site stride path when available.
+void apply_dense(const cplx* op, const detail::BlockPlan& plan, cplx* amps,
+                 Scratch& scratch);
+
+/// Applies a diagonal operator (block entries) according to `plan`.
+void apply_diagonal(const cplx* diag, const detail::BlockPlan& plan,
+                    cplx* amps);
+
+/// Accumulates ||K_m psi||^2 for every Kraus operator into probs (which
+/// must hold kraus.size() zeros-or-running-sums). Same base/operator
+/// iteration order as the legacy StateVector::channel_probabilities.
+void accumulate_channel_probabilities(const std::vector<Matrix>& kraus,
+                                      const detail::BlockPlan& plan,
+                                      const cplx* amps, Scratch& scratch,
+                                      double* probs);
+
+/// <psi| Op |psi> computed block-locally: gathers each block once,
+/// multiplies by `op`, and contracts against the conjugated gather. No
+/// O(dimension) state copy.
+cplx expectation_dense(const cplx* op, const detail::BlockPlan& plan,
+                       const cplx* amps, Scratch& scratch);
+
+/// A block operator analyzed once into its cheapest kernel class. The
+/// dense matrix is always retained (density-matrix conjugation and
+/// introspection use it); the monomial representation, when the matrix
+/// has at most one nonzero per row (Weyl/shift/permutation/damping
+/// operators -- i.e. every standard noise Kraus operator and CSUM-type
+/// gate), lets state-vector kernels do one multiply per row instead of a
+/// full row contraction.
+struct OpKernel {
+  enum class Kind { kDense, kMonomial };
+  Kind kind = Kind::kDense;
+  Matrix dense;                  ///< always valid
+  std::vector<cplx> coef;        ///< kMonomial: row coefficients
+  std::vector<std::size_t> col;  ///< kMonomial: source column per row
+  std::size_t block = 0;
+
+  /// Classifies `m` (square block matrix).
+  static OpKernel analyze(const Matrix& m);
+};
+
+/// Applies an analyzed operator over the whole span (monomial fast path,
+/// dense fallback). Same dispatch contract as apply_dense.
+void apply(const OpKernel& op, const detail::BlockPlan& plan, cplx* amps,
+           Scratch& scratch);
+
+/// Kraus-set probabilities over analyzed operators: monomial Kraus rows
+/// cost one multiply each. Accumulates into probs like the Matrix variant.
+void accumulate_channel_probabilities(const std::vector<OpKernel>& kraus,
+                                      const detail::BlockPlan& plan,
+                                      const cplx* amps, Scratch& scratch,
+                                      double* probs);
+
+}  // namespace qs::kernels
+
+#endif  // QS_QUDIT_KERNELS_H

@@ -5,8 +5,18 @@
 
 #include "common/require.h"
 #include "qudit/block_plan.h"
+#include "qudit/kernels.h"
 
 namespace qs {
+
+namespace {
+/// Per-thread scratch for the legacy (plan-per-call) entry points, so even
+/// unplanned gate application performs no per-call heap allocation.
+kernels::Scratch& local_scratch() {
+  static thread_local kernels::Scratch scratch;
+  return scratch;
+}
+}  // namespace
 
 StateVector::StateVector(QuditSpace space)
     : space_(std::move(space)), amps_(space_.dimension(), cplx{0.0, 0.0}) {
@@ -24,43 +34,32 @@ StateVector::StateVector(QuditSpace space, std::vector<cplx> amplitudes)
           "StateVector: amplitude count does not match space dimension");
 }
 
-void StateVector::block_offsets(const std::vector<int>& sites,
-                                std::vector<std::size_t>& offsets,
-                                std::vector<std::size_t>& bases) const {
-  detail::BlockPlan plan = detail::make_block_plan(space_, sites);
-  offsets = std::move(plan.offsets);
-  bases = std::move(plan.bases);
+void StateVector::reset(const std::vector<int>& digits) {
+  std::fill(amps_.begin(), amps_.end(), cplx{0.0, 0.0});
+  amps_[digits.empty() ? 0 : space_.index_of(digits)] = 1.0;
 }
 
 void StateVector::apply(const Matrix& op, const std::vector<int>& sites) {
-  std::vector<std::size_t> offsets, bases;
-  block_offsets(sites, offsets, bases);
-  const std::size_t block = offsets.size();
-  require(op.rows() == block && op.cols() == block,
+  const detail::BlockPlan plan = detail::make_block_plan(space_, sites);
+  require(op.rows() == plan.block && op.cols() == plan.block,
           "StateVector::apply: operator dimension mismatch");
+  kernels::apply_dense(op.data(), plan, amps_.data(), local_scratch());
+}
 
-  std::vector<cplx> temp(block), out(block);
-  for (std::size_t base : bases) {
-    for (std::size_t a = 0; a < block; ++a) temp[a] = amps_[base + offsets[a]];
-    for (std::size_t a = 0; a < block; ++a) {
-      const cplx* row = op.data() + a * block;
-      cplx acc = 0.0;
-      for (std::size_t b = 0; b < block; ++b) acc += row[b] * temp[b];
-      out[a] = acc;
-    }
-    for (std::size_t a = 0; a < block; ++a) amps_[base + offsets[a]] = out[a];
-  }
+void StateVector::apply(const Matrix& op, const detail::BlockPlan& plan,
+                        kernels::Scratch& scratch) {
+  require(op.rows() == plan.block && op.cols() == plan.block &&
+              plan.dimension == amps_.size(),
+          "StateVector::apply: plan/operator mismatch");
+  kernels::apply_dense(op.data(), plan, amps_.data(), scratch);
 }
 
 void StateVector::apply_diagonal(const std::vector<cplx>& diag,
                                  const std::vector<int>& sites) {
-  std::vector<std::size_t> offsets, bases;
-  block_offsets(sites, offsets, bases);
-  require(diag.size() == offsets.size(),
+  const detail::BlockPlan plan = detail::make_block_plan(space_, sites);
+  require(diag.size() == plan.block,
           "StateVector::apply_diagonal: diagonal length mismatch");
-  for (std::size_t base : bases)
-    for (std::size_t a = 0; a < offsets.size(); ++a)
-      amps_[base + offsets[a]] *= diag[a];
+  kernels::apply_diagonal(diag.data(), plan, amps_.data());
 }
 
 double StateVector::norm_squared() const {
@@ -79,23 +78,36 @@ void StateVector::normalize() {
 std::vector<double> StateVector::site_probabilities(int site) const {
   require(site >= 0 && static_cast<std::size_t>(site) < space_.num_sites(),
           "site_probabilities: site out of range");
-  std::vector<double> probs(
-      static_cast<std::size_t>(space_.dim(static_cast<std::size_t>(site))),
-      0.0);
-  for (std::size_t i = 0; i < amps_.size(); ++i)
-    probs[static_cast<std::size_t>(
-        space_.digit(i, static_cast<std::size_t>(site)))] +=
-        std::norm(amps_[i]);
+  const std::size_t s = static_cast<std::size_t>(site);
+  const std::size_t d = static_cast<std::size_t>(space_.dim(s));
+  const std::size_t stride = space_.stride(s);
+  const std::size_t span = stride * d;
+  std::vector<double> probs(d, 0.0);
+  // Stride loops instead of a per-amplitude digit() division: for a fixed
+  // outcome k the flat indices visited ascend exactly as in the legacy
+  // full scan, so each probs[k] accumulates in the identical order.
+  for (std::size_t outer = 0; outer < amps_.size(); outer += span)
+    for (std::size_t k = 0; k < d; ++k) {
+      const cplx* p = amps_.data() + outer + k * stride;
+      for (std::size_t inner = 0; inner < stride; ++inner)
+        probs[k] += std::norm(p[inner]);
+    }
   return probs;
 }
 
 int StateVector::measure_site(int site, Rng& rng) {
   const std::vector<double> probs = site_probabilities(site);
   const std::size_t outcome = rng.discrete(probs);
-  for (std::size_t i = 0; i < amps_.size(); ++i)
-    if (static_cast<std::size_t>(
-            space_.digit(i, static_cast<std::size_t>(site))) != outcome)
-      amps_[i] = 0.0;
+  const std::size_t s = static_cast<std::size_t>(site);
+  const std::size_t d = static_cast<std::size_t>(space_.dim(s));
+  const std::size_t stride = space_.stride(s);
+  const std::size_t span = stride * d;
+  for (std::size_t outer = 0; outer < amps_.size(); outer += span)
+    for (std::size_t k = 0; k < d; ++k) {
+      if (k == outcome) continue;
+      cplx* p = amps_.data() + outer + k * stride;
+      for (std::size_t inner = 0; inner < stride; ++inner) p[inner] = 0.0;
+    }
   normalize();
   return static_cast<int>(outcome);
 }
@@ -132,9 +144,11 @@ std::vector<std::size_t> StateVector::sample_counts(std::size_t shots,
 
 cplx StateVector::expectation(const Matrix& op,
                               const std::vector<int>& sites) const {
-  StateVector tmp = *this;
-  tmp.apply(op, sites);
-  return inner(amps_, tmp.amps_);
+  const detail::BlockPlan plan = detail::make_block_plan(space_, sites);
+  require(op.rows() == plan.block && op.cols() == plan.block,
+          "StateVector::expectation: operator dimension mismatch");
+  return kernels::expectation_dense(op.data(), plan, amps_.data(),
+                                    local_scratch());
 }
 
 double StateVector::expectation_diagonal(
@@ -155,29 +169,13 @@ cplx StateVector::overlap(const StateVector& other) const {
 std::vector<double> StateVector::channel_probabilities(
     const std::vector<Matrix>& kraus, const std::vector<int>& sites) const {
   require(!kraus.empty(), "channel_probabilities: empty Kraus set");
-  std::vector<std::size_t> offsets, bases;
-  block_offsets(sites, offsets, bases);
-  const std::size_t block = offsets.size();
+  const detail::BlockPlan plan = detail::make_block_plan(space_, sites);
   for (const Matrix& k : kraus)
-    require(k.rows() == block && k.cols() == block,
+    require(k.rows() == plan.block && k.cols() == plan.block,
             "channel_probabilities: Kraus dimension mismatch");
-
   std::vector<double> probs(kraus.size(), 0.0);
-  std::vector<cplx> temp(block);
-  for (std::size_t base : bases) {
-    for (std::size_t a = 0; a < block; ++a) temp[a] = amps_[base + offsets[a]];
-    for (std::size_t m = 0; m < kraus.size(); ++m) {
-      const Matrix& k = kraus[m];
-      double part = 0.0;
-      for (std::size_t a = 0; a < block; ++a) {
-        const cplx* row = k.data() + a * block;
-        cplx acc = 0.0;
-        for (std::size_t b = 0; b < block; ++b) acc += row[b] * temp[b];
-        part += std::norm(acc);
-      }
-      probs[m] += part;
-    }
-  }
+  kernels::accumulate_channel_probabilities(kraus, plan, amps_.data(),
+                                            local_scratch(), probs.data());
   return probs;
 }
 

@@ -11,6 +11,13 @@
 
 namespace qs {
 
+namespace detail {
+struct BlockPlan;
+}
+namespace kernels {
+struct Scratch;
+}
+
 /// State vector over a QuditSpace. Supports applying arbitrary (not
 /// necessarily unitary) k-local operators by stride gather/scatter,
 /// measurement, sampling, and expectation values.
@@ -32,11 +39,21 @@ class StateVector {
 
   cplx amplitude(std::size_t index) const { return amps_[index]; }
 
+  /// Resets to the computational basis state |digits> (vacuum when empty)
+  /// without reallocating. Lets hot loops reuse one state across runs.
+  void reset(const std::vector<int>& digits = {});
+
   /// Applies operator `op` (D x D where D is the product of the target
   /// sites' dimensions) to `sites`. Site order: sites[0] is the least
   /// significant digit of the operator's basis. Works for non-unitary
   /// operators; no renormalization is performed.
   void apply(const Matrix& op, const std::vector<int>& sites);
+
+  /// Plan-aware variant for compiled execution: the caller owns a
+  /// precomputed BlockPlan for this space and a reusable scratch arena, so
+  /// repeated application performs no index rebuilds or allocations.
+  void apply(const Matrix& op, const detail::BlockPlan& plan,
+             kernels::Scratch& scratch);
 
   /// Applies a diagonal operator given by its diagonal entries over the
   /// target sites (length D). Cheaper than `apply` for phase gates.
@@ -84,11 +101,6 @@ class StateVector {
                                     const std::vector<int>& sites, Rng& rng);
 
  private:
-  /// Validates sites and computes the gathered-block offsets table.
-  void block_offsets(const std::vector<int>& sites,
-                     std::vector<std::size_t>& offsets,
-                     std::vector<std::size_t>& bases) const;
-
   QuditSpace space_;
   std::vector<cplx> amps_;
 };
