@@ -1,0 +1,102 @@
+// Serve-layer throughput microbenchmarks (google-benchmark): plan-aware
+// fingerprint batching vs naive one-job-per-request dispatch, plus the
+// mixed multi-tenant workload the paper frames (QAOA + QRC + SQED tenants
+// sharing one oversubscribed device).
+//
+// The CI perf-smoke job runs this binary with --benchmark_format=json and
+// archives BENCH_serve_throughput.json; items_per_second is jobs/sec
+// through the JobService. The batched/naive pair on the same-circuit
+// burst is the headline comparison: batching amortizes fingerprinting,
+// queue wakeups, and dispatch overhead over a whole burst and shares one
+// CompiledCircuit across it.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/quditsim.h"
+
+namespace {
+
+using namespace qs;
+
+NoiseModel device_noise() {
+  NoiseParams p;
+  p.depol_2q = 0.02;
+  p.loss_per_gate = 0.01;
+  return NoiseModel(p);
+}
+
+/// Small layered qutrit-pair circuit: cheap enough that dispatch overhead
+/// matters, real enough to exercise the full compile->execute path.
+Circuit burst_circuit(int layers) {
+  Circuit c(QuditSpace::uniform(2, 3));
+  Rng rng(21);
+  for (int layer = 0; layer < layers; ++layer) {
+    c.add("U0", random_unitary(3, rng), {0});
+    c.add("U1", random_unitary(3, rng), {1});
+    c.add("CSUM", csum(3, 3), {0, 1});
+  }
+  return c;
+}
+
+/// Pushes `jobs` identical-circuit jobs through a service and drains it.
+void run_burst(benchmark::State& state, std::size_t max_batch) {
+  const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+  const TrajectoryBackend backend{device_noise()};
+  const Circuit circuit = burst_circuit(4);
+  for (auto _ : state) {
+    ServiceOptions options;
+    options.workers = 4;
+    options.max_batch = max_batch;
+    options.start_paused = true;  // accumulate the burst, then release
+    JobService service(backend, options);
+    for (std::size_t j = 0; j < jobs; ++j)
+      service.submit(JobSpec(circuit).with_shots(8));
+    service.resume();
+    service.shutdown(ShutdownMode::kDrain);
+    benchmark::DoNotOptimize(service.telemetry().completed);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(jobs));
+}
+
+void BM_ServeSameCircuitBurst_Batched(benchmark::State& state) {
+  run_burst(state, 16);
+}
+BENCHMARK(BM_ServeSameCircuitBurst_Batched)->Arg(64)->Arg(256);
+
+void BM_ServeSameCircuitBurst_Naive(benchmark::State& state) {
+  run_burst(state, 1);  // one job per dispatch: no fingerprint batching
+}
+BENCHMARK(BM_ServeSameCircuitBurst_Naive)->Arg(64)->Arg(256);
+
+/// Mixed 3-tenant workload: distinct circuit families and priorities,
+/// submitted round-robin so the scheduler interleaves, batches, and
+/// fair-shares all at once.
+void BM_ServeMixedTenantWorkload(benchmark::State& state) {
+  const std::size_t jobs_per_tenant = static_cast<std::size_t>(state.range(0));
+  const TrajectoryBackend backend{device_noise()};
+  const std::vector<Circuit> circuits = {burst_circuit(2), burst_circuit(4),
+                                         burst_circuit(6)};
+  const char* tenants[] = {"qaoa", "qrc", "sqed"};
+  for (auto _ : state) {
+    ServiceOptions options;
+    options.workers = 4;
+    options.max_batch = 16;
+    options.start_paused = true;
+    JobService service(backend, options);
+    for (std::size_t j = 0; j < jobs_per_tenant; ++j)
+      for (std::size_t t = 0; t < 3; ++t)
+        service.submit(JobSpec(circuits[t])
+                           .with_tenant(tenants[t])
+                           .with_priority(static_cast<int>(t))
+                           .with_shots(8));
+    service.resume();
+    service.shutdown(ShutdownMode::kDrain);
+    benchmark::DoNotOptimize(service.telemetry().completed);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(3 * jobs_per_tenant));
+}
+BENCHMARK(BM_ServeMixedTenantWorkload)->Arg(32);
+
+}  // namespace

@@ -3,6 +3,11 @@
 // hardware-style noise model, and as a batch of seeded trajectory
 // forecasts.
 //
+// One level up from sessions sits the multi-tenant job service
+// (src/serve/, docs/ARCHITECTURE.md "Serve layer"): many client threads
+// submitting JobSpecs against one shared backend, with fair-share
+// scheduling and plan-aware batching -- see examples/serve_daemon.cpp.
+//
 //   ./examples/example_quickstart
 #include <cstdio>
 

@@ -40,6 +40,9 @@
 // Execution subsystem (backends + sessions).
 #include "exec/exec.h"             // IWYU pragma: export
 
+// Serve subsystem (multi-tenant job service over exec).
+#include "serve/serve.h"           // IWYU pragma: export
+
 // Hardware platform and compilation.
 #include "compiler/compile.h"          // IWYU pragma: export
 #include "compiler/mapping.h"          // IWYU pragma: export

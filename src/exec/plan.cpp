@@ -211,15 +211,46 @@ PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {}
 
 std::shared_ptr<const CompiledCircuit> PlanCache::get_or_compile(
     const Circuit& circuit, const NoiseModel& noise, PlanOptions options) {
+  // Fingerprinting walks the circuit payload; keep it outside the lock.
   const Key key{fingerprint(circuit), fingerprint(noise), options.bits()};
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    ++hits_;
-    order_.splice(order_.end(), order_, it->second.position);
-    return it->second.plan;
+
+  std::promise<std::shared_ptr<const CompiledCircuit>> promise;
+  std::shared_future<std::shared_ptr<const CompiledCircuit>> waiter;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      order_.splice(order_.end(), order_, it->second.position);
+      return it->second.plan;
+    }
+    auto fit = inflight_.find(key);
+    if (fit != inflight_.end()) {
+      // Someone else is already lowering this key: count the reuse as a
+      // hit and wait on their result outside the lock.
+      ++hits_;
+      waiter = fit->second;
+    } else {
+      ++misses_;
+      inflight_.emplace(key, promise.get_future().share());
+    }
   }
-  ++misses_;
-  auto plan = std::make_shared<const CompiledCircuit>(circuit, noise, options);
+  if (waiter.valid()) return waiter.get();  // rethrows a failed compile
+
+  // This caller owns the compile; the lock is NOT held, so hits and
+  // other-key misses proceed while a large circuit lowers.
+  std::shared_ptr<const CompiledCircuit> plan;
+  try {
+    plan = std::make_shared<const CompiledCircuit>(circuit, noise, options);
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(key);
+    throw;
+  }
+  promise.set_value(plan);
+  std::lock_guard<std::mutex> lock(mutex_);
+  inflight_.erase(key);
   if (capacity_ == 0) return plan;
   while (entries_.size() >= capacity_) {
     entries_.erase(order_.front());

@@ -25,9 +25,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <future>
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -157,11 +159,16 @@ std::uint64_t fingerprint(const Circuit& circuit);
 std::uint64_t fingerprint(const NoiseModel& noise);
 
 /// LRU cache of compiled plans keyed by (circuit, noise, options)
-/// fingerprints. Not thread-safe: callers (ExecutionSession) resolve plans
-/// on the submission thread before fanning work out; the cached plans
-/// themselves are immutable and freely shared across threads afterwards.
-/// Entries pin their plan via shared_ptr, so eviction never invalidates a
-/// plan still held by an in-flight request.
+/// fingerprints. Thread-safe: a single mutex guards lookup, insertion,
+/// eviction, and the hit/miss counters, so the cache may be shared across
+/// ExecutionSessions and the serve layer's worker threads. Compilation
+/// happens OUTSIDE the lock: a miss installs an in-flight slot and lowers
+/// the circuit unlocked, concurrent same-key callers wait on that slot
+/// (each plan still compiles exactly once), and callers for other keys --
+/// including cache hits -- are never stalled by someone else's slow
+/// compile. The cached plans themselves are immutable and freely shared
+/// across threads. Entries pin their plan via shared_ptr, so eviction
+/// never invalidates a plan still held by an in-flight request.
 class PlanCache {
  public:
   explicit PlanCache(std::size_t capacity = 32);
@@ -170,10 +177,19 @@ class PlanCache {
   std::shared_ptr<const CompiledCircuit> get_or_compile(
       const Circuit& circuit, const NoiseModel& noise, PlanOptions options);
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
   std::size_t capacity() const { return capacity_; }
-  std::size_t hits() const { return hits_; }
-  std::size_t misses() const { return misses_; }
+  std::size_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  std::size_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
 
  private:
   struct Key {
@@ -194,6 +210,7 @@ class PlanCache {
     }
   };
 
+  mutable std::mutex mutex_;
   std::size_t capacity_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
@@ -204,6 +221,12 @@ class PlanCache {
     std::list<Key>::iterator position;
   };
   std::unordered_map<Key, Entry, KeyHash> entries_;
+  /// Keys currently compiling (outside the lock); same-key callers wait
+  /// on the future instead of compiling twice.
+  std::unordered_map<Key,
+                     std::shared_future<std::shared_ptr<const CompiledCircuit>>,
+                     KeyHash>
+      inflight_;
 };
 
 }  // namespace qs

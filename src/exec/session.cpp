@@ -28,10 +28,11 @@ void ExecutionSession::attach_plan(ExecutionRequest& request) {
   // Routed circuits are seed-dependent, and explicit plans are the
   // caller's responsibility -- both bypass the cache.
   if (request.plan != nullptr || request.processor != nullptr) return;
-  if (options_.plan_cache_capacity == 0) return;
+  if (!options_.shared_plan_cache && options_.plan_cache_capacity == 0)
+    return;
   static const NoiseModel kNoiseless;
   const NoiseModel* noise = backend_.noise_model();
-  request.plan = plan_cache_.get_or_compile(
+  request.plan = cache().get_or_compile(
       request.circuit, noise != nullptr ? *noise : kNoiseless,
       options_.plan_options);
 }
@@ -49,8 +50,7 @@ std::vector<ExecutionResult> ExecutionSession::submit_batch(
     std::vector<ExecutionRequest> requests) {
   // Seeds and plans are fixed up front, in submission order, so the work
   // below is free to run in any interleaving: plans are resolved on this
-  // thread (the cache is not thread-safe) and shared immutably with the
-  // workers.
+  // thread and shared immutably with the workers.
   for (ExecutionRequest& request : requests) {
     assign_seed(request);
     attach_plan(request);

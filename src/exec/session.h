@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "exec/backend.h"
@@ -28,9 +29,15 @@ struct SessionOptions {
   std::uint64_t seed = 0x51e55edbadc0ffeeull;
   /// Compiled-plan cache entries, keyed by (circuit, noise, options)
   /// fingerprints. 0 disables caching (every request compiles afresh).
+  /// Ignored when `shared_plan_cache` is set.
   std::size_t plan_cache_capacity = 32;
   /// Lowering options for session-compiled plans.
   PlanOptions plan_options;
+  /// When set, the session resolves plans through this externally owned
+  /// cache instead of a private one, so several sessions (e.g. the serve
+  /// layer's worker pool) share compiled plans. PlanCache is thread-safe,
+  /// so the sessions may live on different threads.
+  std::shared_ptr<PlanCache> shared_plan_cache;
 };
 
 /// Submits requests to a Backend, in batches or one at a time. Not
@@ -64,11 +71,12 @@ class ExecutionSession {
   /// batches run in parallel).
   double total_backend_seconds() const { return total_backend_seconds_; }
 
-  /// The session's compiled-plan cache (telemetry: hits/misses/size).
+  /// The plan cache in use -- the session's own, or the shared one from
+  /// SessionOptions::shared_plan_cache (telemetry: hits/misses/size).
   /// Plans are resolved on the submission thread, so repeated circuits --
   /// e.g. the same ansatz re-run across a parameter sweep's shot batches
   /// -- compile once and execute from the cached plan.
-  const PlanCache& plan_cache() const { return plan_cache_; }
+  const PlanCache& plan_cache() const { return cache(); }
 
  private:
   /// Replaces kAutoSeed with the next derived stream seed.
@@ -77,9 +85,15 @@ class ExecutionSession {
   /// Attaches a cached compiled plan to an unplanned, unrouted request.
   void attach_plan(ExecutionRequest& request);
 
+  /// The shared cache when configured, the private one otherwise.
+  PlanCache& cache() const {
+    return options_.shared_plan_cache ? *options_.shared_plan_cache
+                                      : plan_cache_;
+  }
+
   const Backend& backend_;
   SessionOptions options_;
-  PlanCache plan_cache_;
+  mutable PlanCache plan_cache_;
   std::uint64_t next_stream_ = 0;
   std::size_t requests_executed_ = 0;
   double total_backend_seconds_ = 0.0;

@@ -1,0 +1,188 @@
+// Job descriptions and lifecycle records for the serve subsystem.
+//
+// A JobSpec is what a tenant hands the JobService: a circuit plus the
+// execution knobs of an ExecutionRequest, a tenant identity, a priority,
+// and an optional dispatch deadline. At submission the service freezes the
+// spec into an ExecutionRequest with a concrete seed -- from then on the
+// job's result is a pure function of that request, never of queue order,
+// batching, or worker count (the serve determinism contract, see
+// docs/ARCHITECTURE.md "Serve layer").
+#ifndef QS_SERVE_JOB_H
+#define QS_SERVE_JOB_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/request.h"
+
+namespace qs {
+
+/// Monotonically increasing per-service job identifier (first job = 1).
+using JobId = std::uint64_t;
+
+/// Lifecycle of a job inside the service.
+enum class JobStatus {
+  kQueued,     ///< accepted, waiting for a worker
+  kRunning,    ///< dispatched onto a worker session
+  kDone,       ///< finished; result available
+  kFailed,     ///< backend threw; error message available
+  kCancelled,  ///< cancelled before dispatch (or at abort shutdown)
+  kExpired,    ///< deadline passed before dispatch
+};
+
+/// Human-readable status name ("queued", "running", ...).
+const char* to_string(JobStatus status);
+
+/// True for the states a job can never leave.
+inline bool is_terminal(JobStatus status) {
+  return status != JobStatus::kQueued && status != JobStatus::kRunning;
+}
+
+/// One unit of tenant work. Construct with the circuit, then chain
+/// `with_*` setters:
+///
+///   JobSpec(circuit).with_tenant("qaoa").with_priority(2).with_shots(256);
+struct JobSpec {
+  explicit JobSpec(Circuit c) : circuit(std::move(c)) {}
+
+  Circuit circuit;
+  /// Fair-share identity: the scheduler round-robins across tenants so no
+  /// single tenant can monopolize the workers.
+  std::string tenant = "default";
+  /// Larger runs earlier. Jobs of equal priority are fair-shared.
+  int priority = 0;
+  /// Measurement shots (see ExecutionRequest::shots).
+  std::size_t shots = 0;
+  /// Stochastic-backend trajectories when shots == 0.
+  std::size_t trajectories = 0;
+  /// Diagonal observables to evaluate on the final state.
+  std::vector<Observable> observables;
+  /// Initial computational-basis state; empty = vacuum.
+  std::vector<int> initial_digits;
+  /// Explicit RNG seed. kAutoSeed = derive from the tenant's stream: the
+  /// k-th auto-seeded job of a tenant always gets the same seed, so a
+  /// workload replayed per tenant in order is bitwise reproducible no
+  /// matter how tenants interleave.
+  std::uint64_t seed = kAutoSeed;
+  /// Seconds after submission by which the job must have been *dispatched*
+  /// (not finished); 0 = no deadline. Jobs still queued past the deadline
+  /// are marked kExpired instead of running.
+  double deadline_seconds = 0.0;
+  /// Guard for dense dim^2 allocations (DensityMatrixBackend jobs).
+  std::size_t max_dim = kDefaultMaxDenseDim;
+
+  JobSpec& with_tenant(std::string t) {
+    tenant = std::move(t);
+    return *this;
+  }
+  JobSpec& with_priority(int p) {
+    priority = p;
+    return *this;
+  }
+  JobSpec& with_shots(std::size_t n) {
+    shots = n;
+    return *this;
+  }
+  JobSpec& with_trajectories(std::size_t n) {
+    trajectories = n;
+    return *this;
+  }
+  JobSpec& with_observable(std::string name, std::vector<double> diagonal) {
+    observables.push_back({std::move(name), std::move(diagonal)});
+    return *this;
+  }
+  JobSpec& with_initial(std::vector<int> digits) {
+    initial_digits = std::move(digits);
+    return *this;
+  }
+  JobSpec& with_seed(std::uint64_t s) {
+    seed = s;
+    return *this;
+  }
+  JobSpec& with_deadline(double seconds) {
+    deadline_seconds = seconds;
+    return *this;
+  }
+  JobSpec& with_max_dim(std::size_t dim) {
+    max_dim = dim;
+    return *this;
+  }
+};
+
+/// Terminal snapshot of a job: its final status plus the result (kDone)
+/// or the error message (kFailed).
+struct JobOutcome {
+  JobStatus status = JobStatus::kQueued;
+  ExecutionResult result;
+  std::string error;
+};
+
+namespace detail {
+
+/// Shared lifecycle record of one submitted job. Owned jointly by the
+/// service (queue + bookkeeping) and every JobHandle; `mutex` guards the
+/// mutable tail (status/result/error) and `cv` signals terminal
+/// transitions. Everything above the mutex is frozen at submission and
+/// may be read without locking.
+struct JobRecord {
+  JobRecord(JobId job_id, std::string tenant_name, int prio,
+            std::uint64_t key, ExecutionRequest req,
+            std::chrono::steady_clock::time_point now, double deadline_s)
+      : id(job_id),
+        tenant(std::move(tenant_name)),
+        priority(prio),
+        plan_key(key),
+        submitted_at(now),
+        has_deadline(deadline_s > 0.0),
+        deadline(now + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(deadline_s))),
+        request(std::move(req)) {}
+
+  // --- frozen at submission ---------------------------------------------
+  const JobId id;
+  const std::string tenant;
+  const int priority;
+  /// Plan-sharing group: jobs with equal keys execute the same
+  /// (circuit, noise, options) compiled plan and may be batched together.
+  const std::uint64_t plan_key;
+  const std::chrono::steady_clock::time_point submitted_at;
+  const bool has_deadline;
+  const std::chrono::steady_clock::time_point deadline;
+  /// Fully seeded request; the job's result is a pure function of it.
+  ExecutionRequest request;
+
+  // --- guarded by `mutex` ------------------------------------------------
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  JobStatus status = JobStatus::kQueued;
+  ExecutionResult result;
+  std::string error;
+
+  /// Locked status read.
+  JobStatus current_status() const {
+    std::lock_guard<std::mutex> lock(mutex);
+    return status;
+  }
+
+  /// Moves to a terminal state and wakes waiters. No-op when already
+  /// terminal (first terminal transition wins).
+  void finish(JobStatus terminal, ExecutionResult r, std::string err) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (is_terminal(status)) return;
+    status = terminal;
+    result = std::move(r);
+    error = std::move(err);
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+}  // namespace qs
+
+#endif  // QS_SERVE_JOB_H

@@ -1,0 +1,76 @@
+#include "serve/result_store.h"
+
+#include <utility>
+
+#include "common/require.h"
+
+namespace qs {
+
+ResultStore::ResultStore(std::size_t capacity, double ttl_seconds)
+    : capacity_(capacity),
+      ttl_(std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(ttl_seconds))) {
+  require(capacity > 0, "ResultStore: capacity must be positive");
+  require(ttl_seconds > 0.0, "ResultStore: ttl must be positive");
+}
+
+void ResultStore::sweep_locked(Clock::time_point now) {
+  while (!order_.empty()) {
+    auto it = entries_.find(order_.front());
+    if (it->second.expires_at > now) break;  // oldest still live: all are
+    entries_.erase(it);
+    order_.pop_front();
+    ++expired_;
+  }
+}
+
+void ResultStore::put(JobId id, ExecutionResult result,
+                      Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sweep_locked(now);
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {  // replace in place, refresh age
+    order_.erase(it->second.position);
+    entries_.erase(it);
+  }
+  while (entries_.size() >= capacity_) {
+    entries_.erase(order_.front());
+    order_.pop_front();
+    ++evicted_;
+  }
+  order_.push_back(id);
+  entries_.emplace(
+      id, Entry{std::move(result), now + ttl_, std::prev(order_.end())});
+}
+
+std::optional<ExecutionResult> ResultStore::get(JobId id,
+                                                Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sweep_locked(now);
+  auto it = entries_.find(id);
+  if (it == entries_.end() || it->second.expires_at <= now)
+    return std::nullopt;
+  return it->second.result;
+}
+
+void ResultStore::sweep(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sweep_locked(now);
+}
+
+std::size_t ResultStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t ResultStore::evicted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evicted_;
+}
+
+std::size_t ResultStore::expired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return expired_;
+}
+
+}  // namespace qs

@@ -1,0 +1,75 @@
+// Bounded, TTL-evicting result store for the serve subsystem.
+//
+// Workers deposit every finished job's ExecutionResult here so tenants
+// can fetch results by JobId after the JobHandle is gone (the "submit,
+// walk away, poll later" pattern of a shared device queue). Two bounds
+// keep memory finite on a long-running service:
+//   - TTL: entries older than `ttl_seconds` are dropped (lazily, on the
+//     next put/get/sweep -- there is no background reaper thread);
+//   - capacity: when full, the oldest entry is evicted FIFO.
+// Unlike the queue, the store is internally synchronized: workers put and
+// tenant threads get concurrently.
+#ifndef QS_SERVE_RESULT_STORE_H
+#define QS_SERVE_RESULT_STORE_H
+
+#include <chrono>
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "exec/request.h"
+#include "serve/job.h"
+
+namespace qs {
+
+class ResultStore {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ResultStore(std::size_t capacity, double ttl_seconds);
+
+  /// Inserts (or replaces) the result for `id`, stamped at `now`. Expired
+  /// entries are swept first; then, if still full, the oldest entry is
+  /// evicted.
+  void put(JobId id, ExecutionResult result,
+           Clock::time_point now = Clock::now());
+
+  /// Fetches a copy of the result for `id`, or nullopt when it was never
+  /// stored, already evicted, or has expired as of `now`.
+  std::optional<ExecutionResult> get(JobId id,
+                                     Clock::time_point now = Clock::now());
+
+  /// Drops every entry whose TTL has passed as of `now`.
+  void sweep(Clock::time_point now = Clock::now());
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Entries dropped because the store was full (not TTL).
+  std::size_t evicted() const;
+  /// Entries dropped because their TTL passed.
+  std::size_t expired() const;
+
+ private:
+  void sweep_locked(Clock::time_point now);
+
+  struct Entry {
+    ExecutionResult result;
+    Clock::time_point expires_at;
+    std::list<JobId>::iterator position;
+  };
+
+  mutable std::mutex mutex_;
+  const std::size_t capacity_;
+  const Clock::duration ttl_;
+  /// Insertion order, oldest first.
+  std::list<JobId> order_;
+  std::unordered_map<JobId, Entry> entries_;
+  std::size_t evicted_ = 0;
+  std::size_t expired_ = 0;
+};
+
+}  // namespace qs
+
+#endif  // QS_SERVE_RESULT_STORE_H

@@ -1,0 +1,402 @@
+#include "serve/service.h"
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "common/require.h"
+#include "common/rng.h"
+#include "noise/noise_model.h"
+
+namespace qs {
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kQueued:
+      return "queued";
+    case JobStatus::kRunning:
+      return "running";
+    case JobStatus::kDone:
+      return "done";
+    case JobStatus::kFailed:
+      return "failed";
+    case JobStatus::kCancelled:
+      return "cancelled";
+    case JobStatus::kExpired:
+      return "expired";
+  }
+  return "unknown";
+}
+
+namespace detail {
+namespace {
+
+/// FNV-1a of a tenant name: selects the tenant's seed stream.
+std::uint64_t tenant_hash(const std::string& tenant) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : tenant) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+/// Shared state of one service. Kept alive by the JobService and by every
+/// JobHandle, so handles keep working (status/wait/cancel) after the
+/// service object is gone -- by then every job is terminal.
+struct ServiceCore {
+  ServiceCore(const Backend& b, const ServiceOptions& o)
+      : backend(b),
+        opts(o),
+        plan_cache(std::make_shared<PlanCache>(o.plan_cache_capacity)),
+        store(o.result_store_capacity, o.result_ttl_seconds),
+        paused(o.start_paused) {
+    plan_key_suffix = fingerprint(noise()) +
+                      0x9e3779b97f4a7c15ull *
+                          static_cast<std::uint64_t>(
+                              opts.plan_options.bits() + 1);
+  }
+
+  using Record = std::shared_ptr<JobRecord>;
+  using Clock = std::chrono::steady_clock;
+
+  const Backend& backend;  ///< used only while workers run (see shutdown)
+  const ServiceOptions opts;
+  const std::shared_ptr<PlanCache> plan_cache;
+  ResultStore store;
+  /// Constant (noise, options) contribution to every job's plan key,
+  /// folded once so submit only fingerprints the circuit.
+  std::uint64_t plan_key_suffix = 0;
+
+  std::mutex mutex;            ///< guards everything below + the queue
+  std::condition_variable cv;  ///< wakes workers (work ready / shutdown)
+  FairShareQueue queue;
+  bool accepting = true;
+  bool paused = false;
+  bool draining = false;  ///< workers exit once the queue is empty
+  JobId next_id = 0;
+  /// Next auto-seed stream index per tenant.
+  std::map<std::string, std::uint64_t> tenant_streams;
+
+  // Counters (see ServiceTelemetry).
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  std::size_t expired = 0;
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::size_t batches = 0;
+  std::size_t batched_jobs = 0;
+  std::size_t largest_batch = 0;
+  double queue_seconds_total = 0.0;
+
+  const NoiseModel& noise() const {
+    static const NoiseModel kNoiseless;
+    const NoiseModel* nm = backend.noise_model();
+    return nm != nullptr ? *nm : kNoiseless;
+  }
+
+  bool cancel_job(const Record& record) {
+    std::lock_guard<std::mutex> lock(mutex);
+    {
+      std::lock_guard<std::mutex> record_lock(record->mutex);
+      if (record->status != JobStatus::kQueued) return false;
+      record->status = JobStatus::kCancelled;
+      record->error = "cancelled by client";
+      record->cv.notify_all();
+    }
+    // Eagerly drop the queue's entries (and with them the circuit copy):
+    // a cancelled job in a lane no pop ever revisits must not pin its
+    // record for the service's lifetime.
+    queue.remove(record);
+    --queued;
+    ++cancelled;
+    cv.notify_all();  // a drain waiting on an emptying queue may finish
+    return true;
+  }
+
+  /// Runs one batch on the worker's session. All jobs share `plan_key`,
+  /// so the compiled plan is resolved once and attached to every request.
+  /// On a batch-level exception the jobs are retried one at a time --
+  /// seeds are already frozen, so the retry is bitwise the run the batch
+  /// would have produced -- isolating the failing job(s) instead of
+  /// failing innocent batch-mates.
+  void execute_batch(ExecutionSession& session,
+                     const std::vector<Record>& batch) {
+    std::shared_ptr<const CompiledCircuit> plan;
+    std::size_t done = 0;
+    std::size_t bad = 0;
+    try {
+      plan = plan_cache->get_or_compile(batch[0]->request.circuit, noise(),
+                                        opts.plan_options);
+    } catch (...) {
+      // Compilation failure (e.g. malformed circuit): leave plan empty;
+      // the per-job path below reports the error per job.
+    }
+
+    // Outcomes are collected first and records signalled last, so by the
+    // time any waiter wakes the counters already account for its job.
+    std::vector<JobOutcome> outcomes(batch.size());
+
+    bool batch_ok = plan != nullptr;
+    if (batch_ok) {
+      std::vector<ExecutionRequest> requests;
+      requests.reserve(batch.size());
+      for (const Record& r : batch) {
+        ExecutionRequest request = r->request;  // keep the original for
+        request.plan = plan;                    // the isolation retry
+        requests.push_back(std::move(request));
+      }
+      try {
+        std::vector<ExecutionResult> results =
+            session.submit_batch(std::move(requests));
+        for (std::size_t i = 0; i < batch.size(); ++i)
+          outcomes[i] = {JobStatus::kDone, std::move(results[i]), {}};
+      } catch (...) {
+        batch_ok = false;
+      }
+    }
+    if (!batch_ok) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        try {
+          ExecutionRequest request = batch[i]->request;
+          request.plan = plan;  // may be empty: backend compiles for itself
+          outcomes[i] = {JobStatus::kDone,
+                         session.submit(std::move(request)), {}};
+        } catch (const std::exception& e) {
+          outcomes[i] = {JobStatus::kFailed, {}, e.what()};
+        } catch (...) {
+          outcomes[i] = {JobStatus::kFailed, {}, "unknown execution error"};
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (outcomes[i].status == JobStatus::kDone) {
+        store.put(batch[i]->id, outcomes[i].result);
+        ++done;
+      } else {
+        ++bad;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      completed += done;
+      failed += bad;
+      running -= batch.size();
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      batch[i]->finish(outcomes[i].status, std::move(outcomes[i].result),
+                       std::move(outcomes[i].error));
+  }
+
+  void worker_loop() {
+    SessionOptions session_options;
+    session_options.threads = opts.threads_per_worker;
+    session_options.plan_options = opts.plan_options;
+    session_options.shared_plan_cache = plan_cache;
+    ExecutionSession session(backend, session_options);
+
+    for (;;) {
+      FairShareQueue::Pop pop;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] {
+          return (draining && queued == 0) || (!paused && queued > 0);
+        });
+        if (queued == 0) return;  // draining and nothing left
+        const Clock::time_point now = Clock::now();
+        pop = queue.pop_batch(opts.max_batch, now);
+        queued -= pop.batch.size() + pop.expired.size();
+        expired += pop.expired.size();
+        running += pop.batch.size();
+        if (!pop.batch.empty()) {
+          ++batches;
+          batched_jobs += pop.batch.size();
+          if (pop.batch.size() > largest_batch)
+            largest_batch = pop.batch.size();
+          for (const Record& r : pop.batch)
+            queue_seconds_total += seconds_between(r->submitted_at, now);
+        }
+        if (queued > 0) cv.notify_one();  // more work for idle workers
+        if (draining && queued == 0) cv.notify_all();
+      }
+      if (!pop.batch.empty()) execute_batch(session, pop.batch);
+    }
+  }
+};
+
+}  // namespace detail
+
+// --- JobHandle -----------------------------------------------------------
+
+JobId JobHandle::id() const {
+  require(valid(), "JobHandle::id: invalid handle");
+  return record_->id;
+}
+
+std::uint64_t JobHandle::seed() const {
+  require(valid(), "JobHandle::seed: invalid handle");
+  return record_->request.seed;
+}
+
+JobStatus JobHandle::status() const {
+  require(valid(), "JobHandle::status: invalid handle");
+  return record_->current_status();
+}
+
+JobOutcome JobHandle::wait() const {
+  require(valid(), "JobHandle::wait: invalid handle");
+  std::unique_lock<std::mutex> lock(record_->mutex);
+  record_->cv.wait(lock, [&] { return is_terminal(record_->status); });
+  return {record_->status, record_->result, record_->error};
+}
+
+ExecutionResult JobHandle::result() const {
+  JobOutcome outcome = wait();
+  if (outcome.status != JobStatus::kDone)
+    throw std::runtime_error(
+        "JobHandle::result: job " + std::to_string(record_->id) + " " +
+        to_string(outcome.status) +
+        (outcome.error.empty() ? "" : ": " + outcome.error));
+  return std::move(outcome.result);
+}
+
+bool JobHandle::cancel() {
+  require(valid(), "JobHandle::cancel: invalid handle");
+  return core_->cancel_job(record_);
+}
+
+// --- JobService ----------------------------------------------------------
+
+JobService::JobService(const Backend& backend, ServiceOptions options)
+    : options_(options) {
+  require(options_.workers > 0, "JobService: need at least one worker");
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  core_ = std::make_shared<detail::ServiceCore>(backend, options_);
+  workers_.reserve(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w)
+    workers_.emplace_back(
+        [core = core_] { core->worker_loop(); });
+}
+
+JobService::~JobService() { shutdown(ShutdownMode::kAbort); }
+
+JobHandle JobService::submit(JobSpec spec) {
+  // The plan key is the plan-cache identity of the job: jobs with equal
+  // keys share one CompiledCircuit and may be batched. Fingerprinting
+  // walks the circuit payload, so it happens outside the service lock;
+  // the constant (noise, options) term was folded at construction.
+  std::uint64_t key = fingerprint(spec.circuit);
+  key ^= core_->plan_key_suffix + 0x9e3779b97f4a7c15ull + (key << 6) +
+         (key >> 2);
+
+  ExecutionRequest request(std::move(spec.circuit));
+  request.shots = spec.shots;
+  request.trajectories = spec.trajectories;
+  request.observables = std::move(spec.observables);
+  request.initial_digits = std::move(spec.initial_digits);
+  request.max_dim = spec.max_dim;
+  request.plan_options = options_.plan_options;
+  request.seed = spec.seed;
+
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(core_->mutex);
+  if (!core_->accepting)
+    throw std::runtime_error("JobService::submit: service is shut down");
+  if (options_.max_queued != 0 && core_->queued >= options_.max_queued)
+    throw std::runtime_error("JobService::submit: queue is full (" +
+                             std::to_string(core_->queued) + " jobs)");
+
+  if (request.seed == kAutoSeed) {
+    // Tenant seed stream: pure function of (service seed, tenant, k) --
+    // independent of how tenants interleave at the submission door.
+    std::uint64_t& next_stream = core_->tenant_streams[spec.tenant];
+    const std::uint64_t tenant_root =
+        split_seed(options_.seed, detail::tenant_hash(spec.tenant));
+    request.seed = split_seed(tenant_root, next_stream++);
+  }
+
+  const JobId id = ++core_->next_id;
+  auto record = std::make_shared<detail::JobRecord>(
+      id, std::move(spec.tenant), spec.priority, key, std::move(request),
+      now, spec.deadline_seconds);
+  core_->queue.push(record);
+  ++core_->queued;
+  ++core_->submitted;
+  core_->cv.notify_one();
+  return JobHandle(core_, std::move(record));
+}
+
+std::optional<ExecutionResult> JobService::fetch(JobId id) const {
+  return core_->store.get(id);
+}
+
+void JobService::pause() {
+  std::lock_guard<std::mutex> lock(core_->mutex);
+  // No-op once shutdown started: re-pausing a draining service would
+  // strand its workers (they must keep popping until the queue is empty).
+  if (core_->draining) return;
+  core_->paused = true;
+}
+
+void JobService::resume() {
+  std::lock_guard<std::mutex> lock(core_->mutex);
+  core_->paused = false;
+  core_->cv.notify_all();
+}
+
+void JobService::shutdown(ShutdownMode mode) {
+  {
+    std::lock_guard<std::mutex> lock(core_->mutex);
+    core_->accepting = false;
+    core_->draining = true;
+    core_->paused = false;  // a paused drain would never finish
+    if (mode == ShutdownMode::kAbort) {
+      const std::size_t n = core_->queue.cancel_all();
+      core_->cancelled += n;
+      core_->queued -= n;
+    }
+    core_->cv.notify_all();
+  }
+  // Joining outside the lock: workers need it to finish their batches.
+  // Idempotent (joinable() is false after the first join); like the rest
+  // of the service API it must not be raced from two threads.
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+}
+
+ServiceTelemetry JobService::telemetry() const {
+  ServiceTelemetry t;
+  {
+    std::lock_guard<std::mutex> lock(core_->mutex);
+    t.submitted = core_->submitted;
+    t.completed = core_->completed;
+    t.failed = core_->failed;
+    t.cancelled = core_->cancelled;
+    t.expired = core_->expired;
+    t.queued = core_->queued;
+    t.running = core_->running;
+    t.batches = core_->batches;
+    t.batched_jobs = core_->batched_jobs;
+    t.largest_batch = core_->largest_batch;
+    t.queue_seconds_total = core_->queue_seconds_total;
+  }
+  t.plan_cache_hits = core_->plan_cache->hits();
+  t.plan_cache_misses = core_->plan_cache->misses();
+  t.plan_cache_size = core_->plan_cache->size();
+  t.results_stored = core_->store.size();
+  return t;
+}
+
+}  // namespace qs

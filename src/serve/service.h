@@ -1,0 +1,186 @@
+// Asynchronous multi-tenant job service over the exec layer.
+//
+// The paper frames near-term qudit processors as shared, oversubscribed
+// resources: many applications (QAOA coloring sweeps, reservoir batches,
+// SQED quench scans) compete for one device, and the engineering
+// bottleneck is the software that queues, batches, and schedules them. A
+// JobService is that software for the simulator stack: any number of
+// client threads submit JobSpecs and get future-style JobHandles back,
+// while a fixed pool of workers -- one ExecutionSession each, all sharing
+// one thread-safe PlanCache -- drains a priority queue with fair-share
+// tenant interleaving and plan-aware batching (jobs with equal
+// (circuit, noise, options) fingerprints dispatch as a single
+// submit_batch over one CompiledCircuit).
+//
+// Determinism contract (the headline guarantee): every job's seed is
+// fixed at submission -- explicitly, or from its tenant's stream (the
+// k-th auto-seeded job of a tenant gets split_seed(tenant_root, k)) -- so
+// results are bitwise identical regardless of queue order, batching
+// decisions, or worker count. See docs/ARCHITECTURE.md "Serve layer".
+#ifndef QS_SERVE_SERVICE_H
+#define QS_SERVE_SERVICE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/backend.h"
+#include "exec/plan.h"
+#include "exec/session.h"
+#include "serve/job.h"
+#include "serve/job_queue.h"
+#include "serve/result_store.h"
+
+namespace qs {
+
+namespace detail {
+struct ServiceCore;
+}
+
+/// Service-level knobs.
+struct ServiceOptions {
+  /// Worker threads draining the queue, one ExecutionSession each.
+  std::size_t workers = 2;
+  /// ExecutionSession threads per worker for intra-batch fan-out. The
+  /// default keeps each worker serial; workers parallelize across batches.
+  std::size_t threads_per_worker = 1;
+  /// Max jobs dispatched as one submit_batch (same plan key). 1 disables
+  /// batching (one job per dispatch).
+  std::size_t max_batch = 16;
+  /// Queued-job bound; submit throws std::runtime_error when the queue is
+  /// full. 0 = unbounded.
+  std::size_t max_queued = 0;
+  /// Root seed of the per-tenant auto-seed streams.
+  std::uint64_t seed = 0x5e4ce5eedf005e4cull;
+  /// Capacity of the shared compiled-plan cache.
+  std::size_t plan_cache_capacity = 64;
+  /// Lowering options for every job's plan.
+  PlanOptions plan_options;
+  /// ResultStore bounds (see result_store.h).
+  std::size_t result_store_capacity = 1024;
+  double result_ttl_seconds = 300.0;
+  /// Start with dispatch paused (jobs queue up until resume()); useful for
+  /// deterministic tests and for accumulating bursts into full batches.
+  bool start_paused = false;
+};
+
+/// How shutdown treats queued jobs.
+enum class ShutdownMode {
+  kDrain,  ///< stop accepting, run everything queued, then stop workers
+  kAbort,  ///< stop accepting, cancel everything queued, finish in-flight
+};
+
+/// Monotonic counters + gauges describing the service. The core
+/// scheduler counters form one consistent snapshot; the plan-cache and
+/// result-store gauges are read adjacently and may run momentarily ahead
+/// of `completed` (a worker stores results before bumping the counter).
+struct ServiceTelemetry {
+  std::size_t submitted = 0;   ///< jobs accepted
+  std::size_t completed = 0;   ///< jobs finished with a result
+  std::size_t failed = 0;      ///< jobs whose backend threw
+  std::size_t cancelled = 0;   ///< jobs cancelled before dispatch
+  std::size_t expired = 0;     ///< jobs whose deadline passed undispatched
+  std::size_t queued = 0;      ///< gauge: jobs waiting now
+  std::size_t running = 0;     ///< gauge: jobs on workers now
+  std::size_t batches = 0;      ///< dispatches (submit_batch calls)
+  std::size_t batched_jobs = 0; ///< jobs dispatched across all batches
+  std::size_t largest_batch = 0;
+  double queue_seconds_total = 0.0;  ///< sum of per-job submit->dispatch
+  std::size_t plan_cache_hits = 0;
+  std::size_t plan_cache_misses = 0;
+  std::size_t plan_cache_size = 0;
+  std::size_t results_stored = 0;  ///< gauge: ResultStore entries
+
+  /// Mean dispatched batch size (0 when nothing dispatched yet).
+  double mean_batch_size() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batched_jobs) /
+                              static_cast<double>(batches);
+  }
+};
+
+/// Future-style view of one submitted job. Copyable; all copies observe
+/// the same job. Handles stay valid after the service is destroyed (the
+/// job is then in a terminal state).
+class JobHandle {
+ public:
+  JobHandle() = default;  ///< invalid handle (valid() == false)
+
+  bool valid() const { return record_ != nullptr; }
+  JobId id() const;
+  std::uint64_t seed() const;  ///< the seed frozen at submission
+
+  /// Current lifecycle state (poll).
+  JobStatus status() const;
+
+  /// Blocks until the job reaches a terminal state and returns it.
+  JobOutcome wait() const;
+
+  /// wait() + unwrap: returns the result, throwing std::runtime_error
+  /// unless the job finished kDone.
+  ExecutionResult result() const;
+
+  /// Cancels the job if it has not been dispatched yet. Returns true when
+  /// the job was still queued (now kCancelled); false when it is already
+  /// running or terminal.
+  bool cancel();
+
+ private:
+  friend class JobService;
+  JobHandle(std::shared_ptr<detail::ServiceCore> core,
+            std::shared_ptr<detail::JobRecord> record)
+      : core_(std::move(core)), record_(std::move(record)) {}
+
+  std::shared_ptr<detail::ServiceCore> core_;
+  std::shared_ptr<detail::JobRecord> record_;
+};
+
+class JobService {
+ public:
+  /// The backend outlives the service (workers call it concurrently;
+  /// Backend implementations are stateless with respect to execute()).
+  explicit JobService(const Backend& backend, ServiceOptions options = {});
+
+  /// Equivalent to shutdown(ShutdownMode::kAbort) when still running.
+  ~JobService();
+
+  JobService(const JobService&) = delete;
+  JobService& operator=(const JobService&) = delete;
+
+  const ServiceOptions& options() const { return options_; }
+
+  /// Accepts a job: freezes its seed and plan key, enqueues it, and
+  /// returns a handle. Thread-safe (any number of client threads).
+  /// Throws std::runtime_error after shutdown or when the queue is full.
+  JobHandle submit(JobSpec spec);
+
+  /// Fetches a finished job's result from the ResultStore (for clients
+  /// that dropped the handle), subject to its TTL/capacity bounds.
+  std::optional<ExecutionResult> fetch(JobId id) const;
+
+  /// Pauses dispatch: workers stop popping (in-flight batches finish).
+  void pause();
+  /// Resumes dispatch.
+  void resume();
+
+  /// Stops the service: no further submissions; queued jobs run (kDrain)
+  /// or are cancelled (kAbort); blocks until every worker exited.
+  /// Idempotent -- later calls (any mode) are no-ops.
+  void shutdown(ShutdownMode mode);
+
+  /// Counter snapshot (see ServiceTelemetry's consistency note).
+  ServiceTelemetry telemetry() const;
+
+ private:
+  ServiceOptions options_;
+  std::shared_ptr<detail::ServiceCore> core_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qs
+
+#endif  // QS_SERVE_SERVICE_H

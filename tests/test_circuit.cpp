@@ -3,6 +3,9 @@
 #include "circuit/circuit.h"
 #include "circuit/executor.h"
 #include "common/rng.h"
+#include "exec/density_matrix_backend.h"
+#include "exec/state_vector_backend.h"
+#include "test_support.h"
 #include "gates/qudit_gates.h"
 #include "gates/two_qudit.h"
 #include "linalg/metrics.h"
@@ -17,6 +20,8 @@ Circuit bell_circuit(int d) {
   return c;
 }
 
+using test_support::final_state;
+
 TEST(Circuit, AddValidatesDimensions) {
   Circuit c(QuditSpace({3, 3}));
   EXPECT_THROW(c.add("X", weyl_x(2), {0}), std::invalid_argument);
@@ -28,7 +33,7 @@ TEST(Circuit, AddValidatesDimensions) {
 
 TEST(Circuit, RunProducesBellState) {
   const Circuit c = bell_circuit(3);
-  const StateVector psi = run_from_vacuum(c);
+  const StateVector psi = final_state(c);
   // (|00> + |11> + |22>)/sqrt(3).
   for (int k = 0; k < 3; ++k) {
     const std::size_t idx = c.space().index_of({k, k});
@@ -45,8 +50,8 @@ TEST(Circuit, InverseUndoesCircuit) {
   StateVector psi(c.space(),
                   random_state(static_cast<int>(c.space().dimension()), rng));
   const StateVector original = psi;
-  run(c, psi);
-  run(c.inverse(), psi);
+  StateVectorBackend::apply(c, psi);
+  StateVectorBackend::apply(c.inverse(), psi);
   EXPECT_GT(state_fidelity(psi.amplitudes(), original.amplitudes()),
             1.0 - 1e-10);
 }
@@ -55,7 +60,7 @@ TEST(Circuit, AppendConcatenates) {
   Circuit a = bell_circuit(3);
   const Circuit b = bell_circuit(3);
   a.append(b.inverse());
-  const StateVector psi = run_from_vacuum(a);
+  const StateVector psi = final_state(a);
   EXPECT_NEAR(std::abs(psi.amplitude(0)), 1.0, 1e-10);
 }
 
@@ -102,8 +107,8 @@ TEST(Circuit, DurationsAccumulate) {
 TEST(Circuit, DensityMatrixExecutionMatchesPure) {
   const Circuit c = bell_circuit(3);
   DensityMatrix rho(c.space());
-  run(c, rho);
-  const StateVector psi = run_from_vacuum(c);
+  DensityMatrixBackend::apply(c, rho);
+  const StateVector psi = final_state(c);
   EXPECT_NEAR(density_pure_fidelity(rho.matrix(), psi.amplitudes()), 1.0,
               1e-10);
 }

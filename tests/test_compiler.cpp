@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <set>
 
-#include "circuit/executor.h"
+#include "exec/state_vector_backend.h"
+#include "test_support.h"
 #include "common/rng.h"
 #include "compiler/compile.h"
 #include "gates/qudit_gates.h"
@@ -12,6 +13,8 @@
 
 namespace qs {
 namespace {
+
+using test_support::final_state;
 
 /// Chain of CSUMs over n qutrits: 0-1, 1-2, ..., plus local Fouriers.
 Circuit chain_circuit(int n, int d) {
@@ -116,8 +119,8 @@ TEST(Routing, PreservesCircuitSemantics) {
   const RoutingResult r = route_circuit(logical, proc, {0, 2});
   EXPECT_GE(r.swaps_inserted, 1);
 
-  const StateVector logical_out = run_from_vacuum(logical);
-  const StateVector physical_out = run_from_vacuum(r.physical);
+  const StateVector logical_out = final_state(logical);
+  const StateVector physical_out = final_state(r.physical);
   // Extract the reduced state on the final physical locations.
   DensityMatrix rho(physical_out);
   const DensityMatrix reduced = rho.partial_trace(

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "circuit/circuit.h"
@@ -245,6 +246,82 @@ TEST(ExecutionSession, AutoSeedsFollowSubmissionOrder) {
 }
 
 // ---------------------------------------------------------------------
+// Failure paths: a backend that throws mid-batch must not deadlock the
+// pool, and the first exception must reach the submitter.
+// ---------------------------------------------------------------------
+
+/// Statevector-like backend that throws on requests whose seed satisfies
+/// `poisoned(seed)`. Seeds are assigned before fan-out, so which request
+/// blows up is deterministic for any thread count.
+class FaultInjectionBackend final : public Backend {
+ public:
+  explicit FaultInjectionBackend(bool (*poisoned)(std::uint64_t))
+      : poisoned_(poisoned) {}
+
+  std::string name() const override { return "faulty"; }
+  bool is_noisy() const override { return false; }
+  ExecutionResult execute(const ExecutionRequest& request) const override {
+    if (poisoned_(request.seed))
+      throw std::runtime_error("injected fault for seed " +
+                               std::to_string(request.seed));
+    return StateVectorBackend().execute(request);
+  }
+
+ private:
+  bool (*poisoned_)(std::uint64_t);
+};
+
+TEST(ExecutionSessionFailure, MidBatchThrowSurfacesAndPoolSurvives) {
+  const FaultInjectionBackend backend(
+      [](std::uint64_t seed) { return seed % 3 == 0; });
+  SessionOptions opts;
+  opts.threads = 4;
+  ExecutionSession session(backend, opts);
+
+  std::vector<ExecutionRequest> batch;
+  for (std::uint64_t s = 0; s < 12; ++s)
+    batch.push_back(ExecutionRequest(bell_circuit()).with_seed(s + 1));
+  // Seeds 3, 6, 9, 12 are poisoned; the batch must throw (first failure
+  // wins) instead of hanging a worker.
+  EXPECT_THROW(session.submit_batch(std::move(batch)), std::runtime_error);
+
+  // The session (and its thread fan-out) stays usable afterwards.
+  std::vector<ExecutionRequest> clean;
+  for (std::uint64_t s = 0; s < 8; ++s)
+    clean.push_back(ExecutionRequest(bell_circuit()).with_seed(3 * s + 1));
+  const auto results = session.submit_batch(std::move(clean));
+  ASSERT_EQ(results.size(), 8u);
+  for (const ExecutionResult& r : results)
+    EXPECT_NEAR(r.probabilities[0], 1.0 / 3.0, 1e-12);
+}
+
+TEST(ExecutionSessionFailure, EveryRequestThrowingStillReturns) {
+  // Degenerate corner: every worker task throws at once; the pool must
+  // join all workers and rethrow exactly one exception.
+  const FaultInjectionBackend backend([](std::uint64_t) { return true; });
+  SessionOptions opts;
+  opts.threads = 4;
+  ExecutionSession session(backend, opts);
+  std::vector<ExecutionRequest> batch;
+  for (std::uint64_t s = 0; s < 16; ++s)
+    batch.push_back(ExecutionRequest(bell_circuit()).with_seed(s + 1));
+  try {
+    session.submit_batch(std::move(batch));
+    FAIL() << "expected the injected fault to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("injected fault"),
+              std::string::npos);
+  }
+}
+
+TEST(ExecutionSessionFailure, SingleSubmitPropagatesBackendError) {
+  const FaultInjectionBackend backend([](std::uint64_t) { return true; });
+  ExecutionSession session(backend);
+  EXPECT_THROW(session.submit(ExecutionRequest(bell_circuit()).with_seed(1)),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
 // Seed splitting and legacy shims.
 // ---------------------------------------------------------------------
 
@@ -258,6 +335,14 @@ TEST(SplitSeed, StreamsAreDistinctAndPure) {
   std::sort(seen.begin(), seen.end());
   EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
 }
+
+// This suite exercises the deprecated shims on purpose (they must keep
+// matching the backend primitives until removal), so the deprecation
+// markers are silenced locally.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 
 TEST(LegacyShims, MatchBackendPrimitives) {
   const Circuit c = bell_circuit();
@@ -282,6 +367,10 @@ TEST(LegacyShims, MatchBackendPrimitives) {
   for (std::size_t i = 0; i < psi_shim.dimension(); ++i)
     EXPECT_EQ(psi_shim.amplitude(i), psi_backend.amplitude(i));
 }
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace
 }  // namespace qs

@@ -4,7 +4,8 @@
 
 #include <cmath>
 
-#include "circuit/executor.h"
+#include "exec/state_vector_backend.h"
+#include "test_support.h"
 #include "circuit/state_prep.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -18,6 +19,8 @@
 namespace qs {
 namespace {
 
+using test_support::final_state;
+
 // ---------------------------------------------------------------------
 // State preparation.
 // ---------------------------------------------------------------------
@@ -27,7 +30,7 @@ class GhzP : public ::testing::TestWithParam<std::tuple<int, int>> {};
 TEST_P(GhzP, ProducesGhzState) {
   const auto [sites, d] = GetParam();
   const Circuit c = ghz_circuit(sites, d);
-  const StateVector psi = run_from_vacuum(c);
+  const StateVector psi = final_state(c);
   const double expect = 1.0 / std::sqrt(static_cast<double>(d));
   for (int k = 0; k < d; ++k) {
     std::vector<int> digits(static_cast<std::size_t>(sites), k);
@@ -55,7 +58,7 @@ class WStateP : public ::testing::TestWithParam<std::tuple<int, int>> {};
 TEST_P(WStateP, ProducesWState) {
   const auto [sites, d] = GetParam();
   const Circuit c = w_circuit(sites, d);
-  const StateVector psi = run_from_vacuum(c);
+  const StateVector psi = final_state(c);
   const double expect = 1.0 / std::sqrt(static_cast<double>(sites));
   for (int i = 0; i < sites; ++i) {
     std::vector<int> digits(static_cast<std::size_t>(sites), 0);
@@ -76,7 +79,7 @@ INSTANTIATE_TEST_SUITE_P(Shapes, WStateP,
 TEST(StatePrep, UniformSuperposition) {
   Circuit c(QuditSpace({3, 4}));
   append_uniform_superposition(c);
-  const StateVector psi = run_from_vacuum(c);
+  const StateVector psi = final_state(c);
   for (std::size_t i = 0; i < psi.dimension(); ++i)
     EXPECT_NEAR(std::abs(psi.amplitude(i)), 1.0 / std::sqrt(12.0), 1e-10);
 }

@@ -4,13 +4,13 @@
 
 #include <cmath>
 
-#include "circuit/executor.h"
+#include "exec/state_vector_backend.h"
+#include "test_support.h"
 #include "common/rng.h"
 #include "compiler/compile.h"
 #include "gates/qudit_gates.h"
 #include "gates/two_qudit.h"
 #include "linalg/metrics.h"
-#include "noise/noisy_executor.h"
 #include "qaoa/coloring_qaoa.h"
 #include "qaoa/ndar.h"
 #include "qrc/readout.h"
@@ -25,6 +25,8 @@
 
 namespace qs {
 namespace {
+
+using test_support::final_state;
 
 TEST(Integration, SynthesizedCsumRunsInsideQaoaStyleCircuit) {
   // Compile CSUM_3 from native gates, then use the *synthesized* circuit
@@ -43,7 +45,7 @@ TEST(Integration, SynthesizedCsumRunsInsideQaoaStyleCircuit) {
   const StateVector ideal = [&] {
     Circuit c = bell;
     c.add("CSUM", csum(3, 3), {0, 1});
-    return run_from_vacuum(c);
+    return final_state(c);
   }();
   Circuit with_synth = bell;
   for (const Operation& op : plan.circuit.operations()) {
@@ -52,7 +54,7 @@ TEST(Integration, SynthesizedCsumRunsInsideQaoaStyleCircuit) {
     else
       with_synth.add(op.name, op.matrix, op.sites, op.duration);
   }
-  const StateVector synth_out = run_from_vacuum(with_synth);
+  const StateVector synth_out = final_state(with_synth);
   EXPECT_GT(state_fidelity(ideal.amplitudes(), synth_out.amplitudes()),
             0.9);
 }

@@ -3,14 +3,14 @@
 #include <cmath>
 
 #include "circuit/circuit.h"
-#include "circuit/executor.h"
+#include "exec/density_matrix_backend.h"
+#include "exec/trajectory_backend.h"
 #include "common/rng.h"
 #include "gates/qudit_gates.h"
 #include "gates/two_qudit.h"
 #include "linalg/metrics.h"
 #include "noise/channels.h"
 #include "noise/noise_model.h"
-#include "noise/noisy_executor.h"
 
 namespace qs {
 namespace {
@@ -158,14 +158,14 @@ TEST(NoisyExecutor, TrajectoryEnsembleMatchesDensityMatrix) {
   const NoiseModel nm(p);
 
   DensityMatrix rho(c.space());
-  run_noisy(c, rho, nm);
+  DensityMatrixBackend::apply(c, rho, nm);
   const std::vector<double> exact = rho.probabilities();
 
   std::vector<double> traj(c.space().dimension(), 0.0);
   const int shots = 4000;
   for (int s = 0; s < shots; ++s) {
     StateVector psi(c.space());
-    run_trajectory(c, psi, nm, rng);
+    TrajectoryBackend::apply(c, psi, nm, rng);
     for (std::size_t i = 0; i < traj.size(); ++i)
       traj[i] += std::norm(psi.amplitude(i)) / shots;
   }
@@ -182,14 +182,14 @@ TEST(NoisyExecutor, LossTrajectoriesMatchDensityMatrix) {
   const NoiseModel nm(p);
 
   DensityMatrix rho(c.space());
-  run_noisy(c, rho, nm);
+  DensityMatrixBackend::apply(c, rho, nm);
   const std::vector<double> exact = rho.probabilities();
 
   std::vector<double> traj(4, 0.0);
   const int shots = 6000;
   for (int s = 0; s < shots; ++s) {
     StateVector psi(c.space());
-    run_trajectory(c, psi, nm, rng);
+    TrajectoryBackend::apply(c, psi, nm, rng);
     for (std::size_t i = 0; i < 4; ++i)
       traj[i] += std::norm(psi.amplitude(i)) / shots;
   }
@@ -202,7 +202,8 @@ TEST(NoisyExecutor, SampleCountsTotalShots) {
   c.add("F", fourier(3), {0});
   NoiseParams p;
   p.depol_1q = 0.1;
-  const auto counts = sample_noisy_counts(c, 500, NoiseModel(p), rng);
+  const auto counts =
+      TrajectoryBackend{NoiseModel(p)}.sample_counts(c, 500, rng.draw_seed());
   std::size_t total = 0;
   for (auto x : counts) total += x;
   EXPECT_EQ(total, 500u);
@@ -212,7 +213,8 @@ TEST(NoisyExecutor, NoiselessFastPath) {
   Rng rng(58);
   Circuit c(QuditSpace({2}));
   c.add("F", fourier(2), {0});
-  const auto counts = sample_noisy_counts(c, 10000, NoiseModel(), rng);
+  const auto counts =
+      TrajectoryBackend{NoiseModel()}.sample_counts(c, 10000, rng.draw_seed());
   EXPECT_NEAR(counts[0] / 10000.0, 0.5, 0.03);
 }
 
@@ -223,13 +225,17 @@ TEST(NoisyExecutor, DiagonalExpectationUnderNoise) {
   // Observable Z: diag(1, -1). Noiseless expectation = -1.
   std::vector<double> z{1.0, -1.0};
   EXPECT_NEAR(
-      trajectory_expectation_diagonal(c, z, 1, NoiseModel(), rng), -1.0,
-      1e-12);
+      TrajectoryBackend{NoiseModel()}.expectation(c, z, rng.draw_seed()),
+      -1.0, 1e-12);
   // Depolarizing p shrinks it toward 0: exact value (1-p)(-1).
   NoiseParams p;
   p.depol_1q = 0.3;
-  const double noisy =
-      trajectory_expectation_diagonal(c, z, 6000, NoiseModel(p), rng);
+  const ExecutionResult noisy_run =
+      TrajectoryBackend{NoiseModel(p)}.execute(ExecutionRequest(c)
+                                                   .with_trajectories(6000)
+                                                   .with_seed(rng.draw_seed())
+                                                   .with_observable("z", z));
+  const double noisy = noisy_run.expectation("z");
   EXPECT_NEAR(noisy, -0.7, 0.04);
 }
 

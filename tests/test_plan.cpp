@@ -9,8 +9,11 @@
 // floating-point products and agree to tolerance instead.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "circuit/circuit.h"
@@ -359,6 +362,72 @@ TEST(PlanCache, EvictsLeastRecentlyUsed) {
   EXPECT_EQ(cache.hits(), 2u);
   cache.get_or_compile(c2, NoiseModel(), PlanOptions{});  // recompiles
   EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(PlanCache, SafeUnderConcurrentHammering) {
+  // The serve layer's workers resolve plans from one shared cache; hammer
+  // get_or_compile from N threads over a working set larger than the
+  // capacity so hits, compiles, and evictions all race. Run under
+  // ThreadSanitizer in CI (the tsan job builds this suite).
+  const QuditSpace space(std::vector<int>{3, 3});
+  std::vector<Circuit> circuits;
+  for (int k = 0; k < 6; ++k) {
+    Circuit c(space);
+    c.add("F", fourier(3), {k % 2});
+    c.add_diagonal("P", {cplx{1.0, 0.0},
+                         std::exp(cplx{0.0, 0.1 * (k + 1)}),
+                         cplx{1.0, 0.0}},
+                   {0});
+    circuits.push_back(std::move(c));
+  }
+  PlanCache cache(4);  // smaller than the working set: evictions happen
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> threads;
+  std::atomic<bool> mismatch{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const Circuit& c = circuits[(t + round) % circuits.size()];
+        const auto plan =
+            cache.get_or_compile(c, NoiseModel(), PlanOptions{});
+        // Every caller must see a plan compiled from its own circuit.
+        if (plan == nullptr || plan->steps().size() != c.size())
+          mismatch = true;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(mismatch);
+  EXPECT_LE(cache.size(), 4u);
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::size_t>(kThreads) * kRounds);
+  // Each circuit compiles at least once; evictions may force recompiles.
+  EXPECT_GE(cache.misses(), circuits.size());
+}
+
+TEST(PlanCache, SharedAcrossSessions) {
+  Rng rng(9100);
+  const QuditSpace space = random_space(rng);
+  const Circuit c = random_circuit(space, rng, 6, false);
+  const TrajectoryBackend backend{mixed_noise()};
+
+  auto shared = std::make_shared<PlanCache>(16);
+  SessionOptions options;
+  options.shared_plan_cache = shared;
+  ExecutionSession first(backend, options);
+  ExecutionSession second(backend, options);
+
+  ExecutionRequest request(c);
+  request.shots = 32;
+  request.seed = 99;
+  const ExecutionResult a = first.submit(request);
+  const ExecutionResult b = second.submit(request);  // hits first's plan
+  EXPECT_EQ(shared->misses(), 1u);
+  EXPECT_EQ(shared->hits(), 1u);
+  EXPECT_EQ(&first.plan_cache(), shared.get());
+  EXPECT_EQ(&second.plan_cache(), shared.get());
+  EXPECT_EQ(a.counts, b.counts);
 }
 
 // ---------------------------------------------------------------------

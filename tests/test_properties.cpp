@@ -15,7 +15,8 @@
 #include "noise/channels.h"
 #include "noise/noise_model.h"
 #include "dynamics/trotter.h"
-#include "noise/noisy_executor.h"
+#include "exec/density_matrix_backend.h"
+#include "exec/trajectory_backend.h"
 #include "qudit/density_matrix.h"
 #include "qudit/state_vector.h"
 #include "sqed/gauge_model.h"
@@ -154,7 +155,7 @@ TEST_P(NoiseSweep, DensityMatrixStaysPhysical) {
   np.depol_2q = 2.0 * p;
   np.loss_per_gate = 0.5 * p;
   DensityMatrix rho(c.space());
-  run_noisy(c, rho, NoiseModel(np));
+  DensityMatrixBackend::apply(c, rho, NoiseModel(np));
   EXPECT_NEAR(rho.trace(), 1.0, 1e-9);
   EXPECT_TRUE(rho.matrix().is_hermitian(1e-9));
   const EigResult er = eigh(rho.matrix());
@@ -170,8 +171,8 @@ TEST_P(NoiseSweep, PurityDecreasesWithNoise) {
   weak.depol_1q = p;
   strong.depol_1q = std::min(1.0, 3.0 * p);
   DensityMatrix rho_w(c.space()), rho_s(c.space());
-  run_noisy(c, rho_w, NoiseModel(weak));
-  run_noisy(c, rho_s, NoiseModel(strong));
+  DensityMatrixBackend::apply(c, rho_w, NoiseModel(weak));
+  DensityMatrixBackend::apply(c, rho_s, NoiseModel(strong));
   EXPECT_GE(rho_w.purity(), rho_s.purity() - 1e-12);
 }
 
@@ -221,13 +222,13 @@ TEST(Properties, TrajectoriesUnbiasedAcrossChannels) {
   p.loss_per_gate = 0.1;
   const NoiseModel noise(p);
   DensityMatrix rho(c.space());
-  run_noisy(c, rho, noise);
+  DensityMatrixBackend::apply(c, rho, noise);
   const auto exact = rho.probabilities();
   std::vector<double> traj(4, 0.0);
   const int shots = 8000;
   for (int s = 0; s < shots; ++s) {
     StateVector psi(c.space());
-    run_trajectory(c, psi, noise, rng);
+    TrajectoryBackend::apply(c, psi, noise, rng);
     for (std::size_t i = 0; i < 4; ++i)
       traj[i] += std::norm(psi.amplitude(i)) / shots;
   }

@@ -1,0 +1,556 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dynamics/trotter.h"
+#include "exec/exec.h"
+#include "gates/bosonic.h"
+#include "gates/qudit_gates.h"
+#include "gates/two_qudit.h"
+#include "noise/noise_model.h"
+#include "qaoa/coloring_qaoa.h"
+#include "qaoa/graph.h"
+#include "serve/serve.h"
+#include "sqed/gauge_model.h"
+
+namespace qs {
+namespace {
+
+// ---------------------------------------------------------------------
+// The mixed 3-tenant workload: one circuit family per paper application.
+// ---------------------------------------------------------------------
+
+NoiseModel device_noise() {
+  NoiseParams p;
+  p.depol_2q = 0.02;
+  p.loss_per_gate = 0.01;
+  return NoiseModel(p);
+}
+
+/// QAOA tenant: p=1 coloring ansatz on a triangle, 3 colors (dim 27).
+Circuit qaoa_circuit(double gamma) {
+  Graph triangle;
+  triangle.n = 3;
+  triangle.edges = {{0, 1}, {1, 2}, {0, 2}};
+  const ColoringQaoa qaoa(triangle, 3);
+  return qaoa.build_circuit({gamma}, {0.4}, {0, 0, 0});
+}
+
+/// QRC tenant: a displacement/probe-style circuit on {2, 4} (dim 8).
+Circuit qrc_circuit(double drive) {
+  Circuit c(QuditSpace({2, 4}));
+  c.add("F", fourier(2), {0});
+  c.add("D", displacement(4, cplx(drive, 0.2)), {1});
+  c.add("CSUM", csum(2, 4), {0, 1});
+  c.add("F2", fourier(4), {1});
+  return c;
+}
+
+/// SQED tenant: one Trotter step of a 2-rotor gauge chain (dim 9).
+Circuit sqed_circuit(int steps) {
+  GaugeModelParams params;
+  params.d = 3;
+  TrotterOptions opt;
+  opt.dt = 0.2;
+  opt.steps = steps;
+  return trotter_circuit(gauge_chain(2, params), opt);
+}
+
+struct TenantJob {
+  std::string tenant;
+  int priority;
+  Circuit circuit;
+  std::vector<double> observable;
+};
+
+/// Per-tenant job lists with distinct priorities: the QAOA tenant sweeps
+/// gamma, the QRC tenant sweeps its drive, the SQED tenant sweeps Trotter
+/// depth -- plus same-circuit repeats so plan-aware batching has bursts
+/// to merge.
+std::vector<std::vector<TenantJob>> mixed_workload() {
+  std::vector<std::vector<TenantJob>> tenants(3);
+  for (int k = 0; k < 4; ++k) {
+    Circuit c = qaoa_circuit(0.5 + 0.1 * (k / 2));  // two jobs per circuit
+    std::vector<double> cost(c.space().dimension());
+    for (std::size_t i = 0; i < cost.size(); ++i)
+      cost[i] = static_cast<double>(i % 5);
+    tenants[0].push_back({"qaoa", 2, std::move(c), std::move(cost)});
+  }
+  for (int k = 0; k < 4; ++k) {
+    Circuit c = qrc_circuit(0.3 + 0.2 * (k / 2));
+    std::vector<double> number(c.space().dimension());
+    for (std::size_t i = 0; i < number.size(); ++i)
+      number[i] = static_cast<double>(i % 4);
+    tenants[1].push_back({"qrc", 1, std::move(c), std::move(number)});
+  }
+  for (int k = 0; k < 3; ++k) {
+    Circuit c = sqed_circuit(1 + k / 2);
+    std::vector<double> electric = electric_energy_diagonal(c.space());
+    tenants[2].push_back({"sqed", 0, std::move(c), std::move(electric)});
+  }
+  return tenants;
+}
+
+JobSpec make_spec(const TenantJob& job) {
+  return JobSpec(job.circuit)
+      .with_tenant(job.tenant)
+      .with_priority(job.priority)
+      .with_shots(96)
+      .with_observable("obs", job.observable);
+}
+
+/// Runs the workload through a service, submitting each tenant's jobs in
+/// order from its own thread when `concurrent_submitters` is set, and
+/// returns outcomes grouped as [tenant][job index].
+std::vector<std::vector<JobOutcome>> run_workload(
+    const Backend& backend, const ServiceOptions& options,
+    const std::vector<std::vector<TenantJob>>& tenants,
+    bool concurrent_submitters) {
+  JobService service(backend, options);
+  std::vector<std::vector<JobHandle>> handles(tenants.size());
+  auto submit_tenant = [&](std::size_t t) {
+    for (const TenantJob& job : tenants[t])
+      handles[t].push_back(service.submit(make_spec(job)));
+  };
+  if (concurrent_submitters) {
+    std::vector<std::thread> submitters;
+    for (std::size_t t = 0; t < tenants.size(); ++t)
+      submitters.emplace_back(submit_tenant, t);
+    for (std::thread& s : submitters) s.join();
+  } else {
+    for (std::size_t t = 0; t < tenants.size(); ++t) submit_tenant(t);
+  }
+  std::vector<std::vector<JobOutcome>> outcomes(tenants.size());
+  for (std::size_t t = 0; t < tenants.size(); ++t)
+    for (const JobHandle& h : handles[t]) outcomes[t].push_back(h.wait());
+  service.shutdown(ShutdownMode::kDrain);
+  return outcomes;
+}
+
+// The acceptance-criterion test: N concurrent submitter threads over K
+// workers produce results bitwise identical to serial single-worker
+// submission -- queue order, batching, and worker count never leak into
+// results.
+TEST(ServeDeterminism, ConcurrentMixedWorkloadMatchesSerialBitwise) {
+  const TrajectoryBackend backend{device_noise()};
+  const auto tenants = mixed_workload();
+
+  ServiceOptions serial;
+  serial.workers = 1;
+  serial.threads_per_worker = 1;
+  serial.max_batch = 1;  // one job per dispatch: the naive reference
+  const auto reference = run_workload(backend, serial, tenants, false);
+
+  ServiceOptions pooled;
+  pooled.workers = 3;
+  pooled.threads_per_worker = 2;
+  pooled.max_batch = 8;
+  const auto concurrent = run_workload(backend, pooled, tenants, true);
+
+  ASSERT_EQ(reference.size(), concurrent.size());
+  for (std::size_t t = 0; t < reference.size(); ++t) {
+    ASSERT_EQ(reference[t].size(), concurrent[t].size());
+    for (std::size_t j = 0; j < reference[t].size(); ++j) {
+      const JobOutcome& a = reference[t][j];
+      const JobOutcome& b = concurrent[t][j];
+      ASSERT_EQ(a.status, JobStatus::kDone);
+      ASSERT_EQ(b.status, JobStatus::kDone);
+      // Same tenant-stream seed regardless of global interleaving...
+      EXPECT_EQ(a.result.seed, b.result.seed);
+      // ...and bitwise identical payloads, not approximately equal.
+      EXPECT_EQ(a.result.counts, b.result.counts);
+      ASSERT_EQ(a.result.probabilities.size(), b.result.probabilities.size());
+      for (std::size_t i = 0; i < a.result.probabilities.size(); ++i)
+        EXPECT_EQ(a.result.probabilities[i], b.result.probabilities[i]);
+      EXPECT_EQ(a.result.expectation("obs"), b.result.expectation("obs"));
+    }
+  }
+}
+
+TEST(ServeDeterminism, TenantSeedStreamsAreOrderedAndExplicitSeedsPass) {
+  const StateVectorBackend backend;
+  ServiceOptions options;
+  options.start_paused = true;
+  JobService service(backend, options);
+  JobHandle a1 = service.submit(JobSpec(qrc_circuit(0.1)).with_tenant("a"));
+  JobHandle b1 = service.submit(JobSpec(qrc_circuit(0.1)).with_tenant("b"));
+  JobHandle a2 = service.submit(JobSpec(qrc_circuit(0.1)).with_tenant("a"));
+  JobHandle ex =
+      service.submit(JobSpec(qrc_circuit(0.1)).with_tenant("a").with_seed(7));
+  // Streams are per tenant: a's seeds differ from each other and from b's.
+  EXPECT_NE(a1.seed(), a2.seed());
+  EXPECT_NE(a1.seed(), b1.seed());
+  EXPECT_EQ(ex.seed(), 7u);
+
+  // A second service with the same root seed reproduces the streams even
+  // though the tenants interleave differently.
+  JobService replay(backend, options);
+  JobHandle b1r =
+      replay.submit(JobSpec(qrc_circuit(0.1)).with_tenant("b"));
+  JobHandle a1r =
+      replay.submit(JobSpec(qrc_circuit(0.1)).with_tenant("a"));
+  EXPECT_EQ(a1.seed(), a1r.seed());
+  EXPECT_EQ(b1.seed(), b1r.seed());
+  service.shutdown(ShutdownMode::kAbort);
+  replay.shutdown(ShutdownMode::kAbort);
+}
+
+// ---------------------------------------------------------------------
+// FairShareQueue scheduling policy (unit level).
+// ---------------------------------------------------------------------
+
+using Record = std::shared_ptr<detail::JobRecord>;
+
+Record make_record(JobId id, const std::string& tenant, int priority,
+                   std::uint64_t plan_key, double deadline_seconds = 0.0) {
+  Circuit c(QuditSpace::uniform(1, 2));
+  c.add("F", fourier(2), {0});
+  return std::make_shared<detail::JobRecord>(
+      id, tenant, priority, plan_key, ExecutionRequest(std::move(c)),
+      std::chrono::steady_clock::now(), deadline_seconds);
+}
+
+std::vector<JobId> drain_ids(FairShareQueue& queue, std::size_t max_batch) {
+  std::vector<JobId> ids;
+  for (;;) {
+    auto pop = queue.pop_batch(max_batch, std::chrono::steady_clock::now());
+    if (pop.batch.empty() && pop.expired.empty()) break;
+    for (const Record& r : pop.batch) ids.push_back(r->id);
+  }
+  return ids;
+}
+
+TEST(FairShareQueue, RoundRobinsTenantsWithinAPriority) {
+  FairShareQueue queue;
+  // Heavy tenant a (4 jobs), light tenants b and c (1 each); distinct
+  // plan keys so nothing merges into batches.
+  queue.push(make_record(1, "a", 0, 101));
+  queue.push(make_record(2, "a", 0, 102));
+  queue.push(make_record(3, "a", 0, 103));
+  queue.push(make_record(4, "a", 0, 104));
+  queue.push(make_record(5, "b", 0, 105));
+  queue.push(make_record(6, "c", 0, 106));
+  // a cannot starve b and c: they are served on a's first lap.
+  EXPECT_EQ(drain_ids(queue, 1),
+            (std::vector<JobId>{1, 5, 6, 2, 3, 4}));
+}
+
+TEST(FairShareQueue, HigherPriorityPreemptsFairShare) {
+  FairShareQueue queue;
+  queue.push(make_record(1, "a", 0, 101));
+  queue.push(make_record(2, "a", 0, 102));
+  queue.push(make_record(3, "b", 5, 103));  // arrives later, runs first
+  EXPECT_EQ(drain_ids(queue, 1), (std::vector<JobId>{3, 1, 2}));
+}
+
+TEST(FairShareQueue, BatchesSamePlanKeyAcrossTenants) {
+  FairShareQueue queue;
+  queue.push(make_record(1, "a", 0, 77));
+  queue.push(make_record(2, "b", 0, 77));
+  queue.push(make_record(3, "c", 0, 88));
+  queue.push(make_record(4, "a", 0, 77));
+  auto pop = queue.pop_batch(8, std::chrono::steady_clock::now());
+  // Seed job 1 pulls every queued key-77 job along, in submission order.
+  std::vector<JobId> ids;
+  for (const Record& r : pop.batch) ids.push_back(r->id);
+  EXPECT_EQ(ids, (std::vector<JobId>{1, 2, 4}));
+  for (const Record& r : pop.batch)
+    EXPECT_EQ(r->current_status(), JobStatus::kRunning);
+  // Job 3 (key 88) is untouched and pops next.
+  EXPECT_EQ(drain_ids(queue, 8), (std::vector<JobId>{3}));
+}
+
+TEST(FairShareQueue, MaxBatchCapsTheMerge) {
+  FairShareQueue queue;
+  for (JobId id = 1; id <= 5; ++id)
+    queue.push(make_record(id, "a", 0, 42));
+  auto pop = queue.pop_batch(2, std::chrono::steady_clock::now());
+  EXPECT_EQ(pop.batch.size(), 2u);
+  EXPECT_EQ(drain_ids(queue, 2), (std::vector<JobId>{3, 4, 5}));
+}
+
+TEST(FairShareQueue, NoRecordOutlivesItsQueueLifetime) {
+  // Regression: every exit path -- unbatched dispatch (max_batch == 1),
+  // batched dispatch, expiry, and cancellation -- must erase the record
+  // from BOTH index structures, or a long-running service leaks one
+  // circuit copy per job.
+  FairShareQueue queue;
+  queue.push(make_record(1, "a", 0, 50));        // dispatched, no mates
+  queue.push(make_record(2, "a", 0, 60));        // gathered batch mate
+  queue.push(make_record(3, "b", 0, 60));        // batch seed
+  queue.push(make_record(4, "b", 0, 70, 1e-9));  // expires in its lane
+  Record dropped = make_record(5, "c", 0, 60);   // cancelled
+  queue.push(dropped);
+  EXPECT_EQ(queue.indexed_records(), 5u);
+
+  {
+    std::lock_guard<std::mutex> lock(dropped->mutex);
+    dropped->status = JobStatus::kCancelled;
+  }
+  queue.remove(dropped);
+  EXPECT_EQ(queue.indexed_records(), 4u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  while (true) {
+    auto pop = queue.pop_batch(8, std::chrono::steady_clock::now());
+    if (pop.batch.empty() && pop.expired.empty()) break;
+  }
+  EXPECT_EQ(queue.indexed_records(), 0u);
+
+  // The unbatched configuration (max_batch == 1) skips the gather loop
+  // entirely; the seed's plan-key entry must still be reclaimed.
+  queue.push(make_record(6, "a", 0, 90));
+  EXPECT_EQ(queue.pop_batch(1, std::chrono::steady_clock::now()).batch.size(),
+            1u);
+  EXPECT_EQ(queue.indexed_records(), 0u);
+}
+
+TEST(FairShareQueue, ExpiredJobsAreDivertedNotDispatched) {
+  FairShareQueue queue;
+  queue.push(make_record(1, "a", 0, 1, 1e-9));  // expires immediately
+  queue.push(make_record(2, "a", 0, 2));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  auto pop = queue.pop_batch(4, std::chrono::steady_clock::now());
+  ASSERT_EQ(pop.expired.size(), 1u);
+  EXPECT_EQ(pop.expired[0]->id, 1u);
+  EXPECT_EQ(pop.expired[0]->current_status(), JobStatus::kExpired);
+  ASSERT_EQ(pop.batch.size(), 1u);
+  EXPECT_EQ(pop.batch[0]->id, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Service lifecycle: batching telemetry, cancel, deadlines, shutdown.
+// ---------------------------------------------------------------------
+
+TEST(JobService, BurstOfIdenticalCircuitsBatchesAndCompilesOnce) {
+  const TrajectoryBackend backend{device_noise()};
+  ServiceOptions options;
+  options.workers = 2;
+  options.max_batch = 16;
+  options.start_paused = true;  // let the burst accumulate, then release
+  JobService service(backend, options);
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 12; ++i)
+    handles.push_back(
+        service.submit(JobSpec(qaoa_circuit(0.5)).with_shots(16)));
+  EXPECT_EQ(service.telemetry().queued, 12u);
+  service.resume();
+  for (const JobHandle& h : handles)
+    EXPECT_EQ(h.wait().status, JobStatus::kDone);
+  service.shutdown(ShutdownMode::kDrain);
+
+  const ServiceTelemetry t = service.telemetry();
+  EXPECT_EQ(t.submitted, 12u);
+  EXPECT_EQ(t.completed, 12u);
+  EXPECT_EQ(t.queued, 0u);
+  EXPECT_EQ(t.running, 0u);
+  // Plan-aware batching: far fewer dispatches than jobs, and the circuit
+  // was compiled exactly once for the whole burst.
+  EXPECT_LT(t.batches, 12u);
+  EXPECT_GT(t.largest_batch, 1u);
+  EXPECT_EQ(t.batched_jobs, 12u);
+  EXPECT_EQ(t.plan_cache_misses, 1u);
+  EXPECT_GE(t.plan_cache_hits, t.batches - 1);
+  EXPECT_GE(t.queue_seconds_total, 0.0);
+  EXPECT_EQ(t.results_stored, 12u);
+}
+
+TEST(JobService, CancelBeforeDispatchWinsAfterDispatchLoses) {
+  const StateVectorBackend backend;
+  ServiceOptions options;
+  options.workers = 1;
+  options.start_paused = true;
+  JobService service(backend, options);
+  JobHandle keep = service.submit(JobSpec(qrc_circuit(0.2)).with_shots(8));
+  JobHandle drop = service.submit(JobSpec(qrc_circuit(0.9)).with_shots(8));
+  EXPECT_EQ(drop.status(), JobStatus::kQueued);
+  EXPECT_TRUE(drop.cancel());
+  EXPECT_FALSE(drop.cancel());  // already cancelled
+  service.resume();
+  EXPECT_EQ(keep.wait().status, JobStatus::kDone);
+  EXPECT_EQ(drop.status(), JobStatus::kCancelled);
+  EXPECT_THROW(drop.result(), std::runtime_error);
+  EXPECT_FALSE(keep.cancel());  // terminal jobs cannot be cancelled
+  service.shutdown(ShutdownMode::kDrain);
+  EXPECT_EQ(service.telemetry().cancelled, 1u);
+  EXPECT_EQ(service.telemetry().completed, 1u);
+}
+
+TEST(JobService, DeadlineExpiresQueuedJobs) {
+  const StateVectorBackend backend;
+  ServiceOptions options;
+  options.workers = 1;
+  options.start_paused = true;
+  JobService service(backend, options);
+  JobHandle late = service.submit(
+      JobSpec(qrc_circuit(0.3)).with_shots(8).with_deadline(1e-6));
+  JobHandle fine = service.submit(JobSpec(qrc_circuit(0.4)).with_shots(8));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  service.resume();
+  const JobOutcome expired = late.wait();
+  EXPECT_EQ(expired.status, JobStatus::kExpired);
+  EXPECT_FALSE(expired.error.empty());
+  EXPECT_EQ(fine.wait().status, JobStatus::kDone);
+  service.shutdown(ShutdownMode::kDrain);
+  EXPECT_EQ(service.telemetry().expired, 1u);
+}
+
+TEST(JobService, ShutdownDrainRunsEverythingAbortCancelsQueued) {
+  const StateVectorBackend backend;
+  {
+    ServiceOptions options;
+    options.workers = 2;
+    options.start_paused = true;
+    JobService service(backend, options);
+    std::vector<JobHandle> handles;
+    for (int i = 0; i < 6; ++i)
+      handles.push_back(
+          service.submit(JobSpec(qrc_circuit(0.5)).with_shots(4)));
+    service.shutdown(ShutdownMode::kDrain);  // resumes, runs all, stops
+    for (const JobHandle& h : handles)
+      EXPECT_EQ(h.status(), JobStatus::kDone);
+    EXPECT_THROW(service.submit(JobSpec(qrc_circuit(0.5))),
+                 std::runtime_error);
+  }
+  {
+    ServiceOptions options;
+    options.workers = 2;
+    options.start_paused = true;
+    JobService service(backend, options);
+    std::vector<JobHandle> handles;
+    for (int i = 0; i < 6; ++i)
+      handles.push_back(
+          service.submit(JobSpec(qrc_circuit(0.5)).with_shots(4)));
+    service.shutdown(ShutdownMode::kAbort);
+    for (const JobHandle& h : handles)
+      EXPECT_EQ(h.status(), JobStatus::kCancelled);
+    EXPECT_EQ(service.telemetry().cancelled, 6u);
+  }
+}
+
+TEST(JobService, PauseAfterShutdownIsANoOp) {
+  // pause() racing shutdown(kDrain) must not strand draining workers.
+  const StateVectorBackend backend;
+  ServiceOptions options;
+  options.workers = 1;
+  options.start_paused = true;
+  JobService service(backend, options);
+  JobHandle h = service.submit(JobSpec(qrc_circuit(0.7)).with_shots(4));
+  std::thread racer([&] { service.shutdown(ShutdownMode::kDrain); });
+  service.pause();  // may land before or after the drain flag; must not
+                    // stop the drain from finishing either way
+  racer.join();
+  EXPECT_EQ(h.status(), JobStatus::kDone);
+}
+
+TEST(JobService, QueueBoundRejectsOverflow) {
+  const StateVectorBackend backend;
+  ServiceOptions options;
+  options.workers = 1;
+  options.max_queued = 2;
+  options.start_paused = true;
+  JobService service(backend, options);
+  JobHandle a = service.submit(JobSpec(qrc_circuit(0.1)));
+  JobHandle b = service.submit(JobSpec(qrc_circuit(0.2)));
+  EXPECT_THROW(service.submit(JobSpec(qrc_circuit(0.3))),
+               std::runtime_error);
+  EXPECT_TRUE(a.cancel());  // frees a slot
+  JobHandle c = service.submit(JobSpec(qrc_circuit(0.4)));
+  service.shutdown(ShutdownMode::kDrain);
+  EXPECT_EQ(b.status(), JobStatus::kDone);
+  EXPECT_EQ(c.status(), JobStatus::kDone);
+}
+
+TEST(JobService, FailedJobsSurfaceTheErrorAndSpareBatchMates) {
+  // DensityMatrixBackend rejects oversized registers; a batch mixing a
+  // poisoned job (tiny max_dim) with healthy ones must fail only the
+  // poisoned one.
+  const DensityMatrixBackend backend;
+  ServiceOptions options;
+  options.workers = 1;
+  options.max_batch = 8;
+  options.start_paused = true;
+  JobService service(backend, options);
+  JobHandle good1 = service.submit(JobSpec(qrc_circuit(0.2)).with_shots(4));
+  JobHandle poisoned =
+      service.submit(JobSpec(qrc_circuit(0.2)).with_max_dim(2));
+  JobHandle good2 = service.submit(JobSpec(qrc_circuit(0.2)).with_shots(4));
+  service.resume();
+  EXPECT_EQ(good1.wait().status, JobStatus::kDone);
+  EXPECT_EQ(good2.wait().status, JobStatus::kDone);
+  const JobOutcome failure = poisoned.wait();
+  EXPECT_EQ(failure.status, JobStatus::kFailed);
+  EXPECT_FALSE(failure.error.empty());
+  EXPECT_THROW(poisoned.result(), std::runtime_error);
+  service.shutdown(ShutdownMode::kDrain);
+  EXPECT_EQ(service.telemetry().failed, 1u);
+  EXPECT_EQ(service.telemetry().completed, 2u);
+}
+
+TEST(JobService, FetchServesResultsAfterHandlesAreGone) {
+  const StateVectorBackend backend;
+  JobService service(backend, {});
+  JobId id = 0;
+  {
+    JobHandle h = service.submit(JobSpec(qrc_circuit(0.6)).with_shots(32));
+    id = h.id();
+    EXPECT_EQ(h.wait().status, JobStatus::kDone);
+  }
+  const auto fetched = service.fetch(id);
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(fetched->total_counts(), 32u);
+  EXPECT_FALSE(service.fetch(id + 999).has_value());
+  service.shutdown(ShutdownMode::kDrain);
+}
+
+// ---------------------------------------------------------------------
+// ResultStore bounds.
+// ---------------------------------------------------------------------
+
+ExecutionResult dummy_result(std::size_t shots) {
+  ExecutionResult r;
+  r.backend = "test";
+  r.shots = shots;
+  return r;
+}
+
+TEST(ResultStore, TtlEvictsOldEntries) {
+  using Clock = ResultStore::Clock;
+  ResultStore store(8, 10.0);  // 10 s TTL
+  const Clock::time_point t0 = Clock::now();
+  store.put(1, dummy_result(100), t0);
+  store.put(2, dummy_result(200), t0 + std::chrono::seconds(6));
+  ASSERT_TRUE(store.get(1, t0 + std::chrono::seconds(9)).has_value());
+  // At t0+11s entry 1 is past its TTL, entry 2 is not.
+  EXPECT_FALSE(store.get(1, t0 + std::chrono::seconds(11)).has_value());
+  const auto live = store.get(2, t0 + std::chrono::seconds(11));
+  ASSERT_TRUE(live.has_value());
+  EXPECT_EQ(live->shots, 200u);
+  EXPECT_EQ(store.expired(), 1u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ResultStore, CapacityEvictsOldestFirst) {
+  using Clock = ResultStore::Clock;
+  ResultStore store(3, 1000.0);
+  const Clock::time_point t0 = Clock::now();
+  for (JobId id = 1; id <= 5; ++id) store.put(id, dummy_result(id), t0);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.evicted(), 2u);
+  EXPECT_FALSE(store.get(1, t0).has_value());
+  EXPECT_FALSE(store.get(2, t0).has_value());
+  for (JobId id = 3; id <= 5; ++id)
+    EXPECT_TRUE(store.get(id, t0).has_value());
+  // Re-putting an id refreshes it instead of duplicating.
+  store.put(4, dummy_result(44), t0);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.get(4, t0)->shots, 44u);
+}
+
+}  // namespace
+}  // namespace qs
