@@ -56,23 +56,22 @@ int main() {
   const Hamiltonian h = gauge_ladder_2d(9, 2, {4, 1.0, 1.0});
   const Circuit step = native_trotter_circuit(h, {2, 0.1, 1});
   const Processor device = derate_for_levels(proc, 4);
-  CompileOptions aware;
-  CompileOptions naive;
+  TranspileOptions aware;
+  TranspileOptions naive;
   naive.use_noise_aware_mapping = false;
-  Rng r1(5), r2(5);
-  const CompileReport a = compile_circuit(step, device, r1, aware);
-  const CompileReport b = compile_circuit(step, device, r2, naive);
+  const auto a = transpile(step, device, aware);
+  const auto b = transpile(step, device, naive);
   std::printf("\n9x2 rotor Trotter step, noise-aware vs identity mapping:\n");
   ConsoleTable cmp({"mapping", "predicted cost", "swaps", "makespan (us)",
                     "fidelity"});
-  cmp.add_row({"noise-aware", fmt(a.mapping.cost, 4),
-               fmt_int(a.routing.swaps_inserted),
-               fmt(a.schedule.makespan * 1e6, 1),
-               fmt_sci(a.schedule.total_fidelity)});
-  cmp.add_row({"identity", fmt(b.mapping.cost, 4),
-               fmt_int(b.routing.swaps_inserted),
-               fmt(b.schedule.makespan * 1e6, 1),
-               fmt_sci(b.schedule.total_fidelity)});
+  cmp.add_row({"noise-aware", fmt(a->mapping.cost, 4),
+               fmt_int(a->swaps_inserted),
+               fmt(a->schedule.makespan * 1e6, 1),
+               fmt_sci(a->schedule.total_fidelity)});
+  cmp.add_row({"identity", fmt(b->mapping.cost, 4),
+               fmt_int(b->swaps_inserted),
+               fmt(b->schedule.makespan * 1e6, 1),
+               fmt_sci(b->schedule.total_fidelity)});
   cmp.print(std::cout);
   return 0;
 }

@@ -1,0 +1,111 @@
+// Transpile-pipeline microbenchmarks (google-benchmark): optimization
+// quality of the pass pipeline vs the greedy seed configuration on the
+// Table I rotor-2D workload, plus TranspileCache hit throughput.
+//
+// The CI perf-smoke job runs this binary with --benchmark_format=json and
+// archives BENCH_transpile.json. Quality is reported through counters on
+// the pipeline benchmarks -- swaps, makespan_us, forecast_fidelity -- so
+// the artifact tracks both compile speed (items_per_second) and compile
+// quality across commits. The seed-vs-lookahead pair is the headline:
+// the lookahead router places swaps against future gate demand and cuts
+// the swap network the greedy router builds under identity placement.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/quditsim.h"
+
+namespace {
+
+using namespace qs;
+
+/// The Table I 9x2 rotor-ladder Trotter step (d = 4), the paper's E3
+/// routing stress case.
+Circuit rotor2d_step() {
+  const Hamiltonian h = gauge_ladder_2d(9, 2, {4, 1.0, 1.0});
+  return native_trotter_circuit(h, {2, 0.1, 1});
+}
+
+Processor bench_device() {
+  Rng rng(3);
+  return derate_for_levels(Processor::forecast_device(&rng), 4);
+}
+
+void report_quality(benchmark::State& state,
+                    const TranspiledCircuit& artifact) {
+  state.counters["swaps"] = static_cast<double>(artifact.swaps_inserted);
+  state.counters["physical_ops"] =
+      static_cast<double>(artifact.physical.size());
+  state.counters["makespan_us"] = artifact.schedule.makespan * 1e6;
+  state.counters["forecast_fidelity"] = artifact.schedule.total_fidelity;
+}
+
+/// Full pipeline (commutation + lookahead routing) under identity
+/// placement: the routing-dominated regime.
+void BM_TranspileRotor2dPipeline(benchmark::State& state) {
+  const Circuit step = rotor2d_step();
+  const Processor device = bench_device();
+  TranspileOptions options;
+  options.use_noise_aware_mapping = false;
+  std::shared_ptr<const TranspiledCircuit> artifact;
+  for (auto _ : state) {
+    artifact = transpile(step, device, options);
+    benchmark::DoNotOptimize(artifact);
+  }
+  state.SetItemsProcessed(state.iterations());
+  report_quality(state, *artifact);
+}
+BENCHMARK(BM_TranspileRotor2dPipeline)->Unit(benchmark::kMillisecond);
+
+/// Greedy seed configuration (no commutation, seed router) on the same
+/// workload: the baseline the pipeline must beat on swap count.
+void BM_TranspileRotor2dSeedRouter(benchmark::State& state) {
+  const Circuit step = rotor2d_step();
+  const Processor device = bench_device();
+  TranspileOptions options;
+  options.use_noise_aware_mapping = false;
+  options.commute_gates = false;
+  options.lookahead_routing = false;
+  std::shared_ptr<const TranspiledCircuit> artifact;
+  for (auto _ : state) {
+    artifact = transpile(step, device, options);
+    benchmark::DoNotOptimize(artifact);
+  }
+  state.SetItemsProcessed(state.iterations());
+  report_quality(state, *artifact);
+}
+BENCHMARK(BM_TranspileRotor2dSeedRouter)->Unit(benchmark::kMillisecond);
+
+/// Noise-aware mapping + full pipeline: the configuration the estimator
+/// and the exec layer run by default (anneal included, so this tracks
+/// the end-to-end cost a cache miss pays).
+void BM_TranspileRotor2dNoiseAware(benchmark::State& state) {
+  const Circuit step = rotor2d_step();
+  const Processor device = bench_device();
+  std::shared_ptr<const TranspiledCircuit> artifact;
+  for (auto _ : state) {
+    artifact = transpile(step, device);
+    benchmark::DoNotOptimize(artifact);
+  }
+  state.SetItemsProcessed(state.iterations());
+  report_quality(state, *artifact);
+}
+BENCHMARK(BM_TranspileRotor2dNoiseAware)->Unit(benchmark::kMillisecond);
+
+/// Cache hit throughput: the per-request cost a warm TranspileCache adds
+/// to the serve layer's dispatch path (fingerprint + LRU bump).
+void BM_TranspileCacheHit(benchmark::State& state) {
+  const Circuit step = rotor2d_step();
+  const Processor device = bench_device();
+  TranspileCache cache(8);
+  cache.get_or_transpile(step, device);  // warm
+  for (auto _ : state) {
+    auto artifact = cache.get_or_transpile(step, device);
+    benchmark::DoNotOptimize(artifact);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["hits"] = static_cast<double>(cache.hits());
+}
+BENCHMARK(BM_TranspileCacheHit);
+
+}  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/fingerprint.h"
 #include "common/require.h"
 
 namespace qs {
@@ -128,6 +129,31 @@ std::string Circuit::to_string() const {
     os << "\n";
   }
   return os.str();
+}
+
+std::uint64_t fingerprint(const Circuit& circuit) {
+  std::uint64_t h = fnv::kOffset;
+  const QuditSpace& space = circuit.space();
+  h = fnv::u64(space.num_sites(), h);
+  for (std::size_t s = 0; s < space.num_sites(); ++s)
+    h = fnv::u64(static_cast<std::uint64_t>(space.dim(s)), h);
+  for (const Operation& op : circuit.operations()) {
+    // Length-prefix the variable-length name so records cannot alias by
+    // re-partitioning bytes across field boundaries.
+    h = fnv::u64(op.name.size(), h);
+    h = fnv::bytes(op.name.data(), op.name.size(), h);
+    h = fnv::u64(op.diagonal ? 1 : 0, h);
+    h = fnv::u64(op.sites.size(), h);
+    for (int s : op.sites) h = fnv::u64(static_cast<std::uint64_t>(s), h);
+    h = fnv::f64(op.duration, h);
+    h = fnv::u64(static_cast<std::uint64_t>(op.noise_multiplicity), h);
+    if (op.diagonal)
+      h = fnv::cplx_span(op.diag.data(), op.diag.size(), h);
+    else
+      h = fnv::cplx_span(op.matrix.data(),
+                         op.matrix.rows() * op.matrix.cols(), h);
+  }
+  return h;
 }
 
 }  // namespace qs

@@ -7,6 +7,7 @@
 #ifndef QS_CIRCUIT_CIRCUIT_H
 #define QS_CIRCUIT_CIRCUIT_H
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -93,6 +94,12 @@ class Circuit {
   QuditSpace space_;
   std::vector<Operation> ops_;
 };
+
+/// Order-sensitive 64-bit digest of a circuit: space dims plus every
+/// operation's name, kind, sites, duration, multiplicity, and exact matrix
+/// or diagonal payload bits. Used as a cache-key component by the plan
+/// cache, the transpile cache, and the serve layer's batching keys.
+std::uint64_t fingerprint(const Circuit& circuit);
 
 }  // namespace qs
 

@@ -1,0 +1,59 @@
+// Shared FNV-1a fingerprint helpers.
+//
+// Cache keys across the stack (plan cache, transpile cache, serve's
+// batching keys) are 64-bit digests of exact payload bits. Every layer
+// hashes through these helpers so digests compose consistently and a
+// field added to one fingerprint cannot silently alias another.
+#ifndef QS_COMMON_FINGERPRINT_H
+#define QS_COMMON_FINGERPRINT_H
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace qs {
+namespace fnv {
+
+inline constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+inline std::uint64_t bytes(const void* data, std::size_t len,
+                           std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t u64(std::uint64_t v, std::uint64_t h) {
+  return bytes(&v, sizeof(v), h);
+}
+
+inline std::uint64_t f64(double v, std::uint64_t h) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return u64(bits, h);
+}
+
+inline std::uint64_t cplx_span(const std::complex<double>* data,
+                               std::size_t count, std::uint64_t h) {
+  for (std::size_t i = 0; i < count; ++i) {
+    h = f64(data[i].real(), h);
+    h = f64(data[i].imag(), h);
+  }
+  return h;
+}
+
+/// Folds a finished sub-digest into an accumulator (boost-style mix, the
+/// same combiner PlanCache's KeyHash uses).
+inline std::uint64_t combine(std::uint64_t digest, std::uint64_t h) {
+  return h ^ (digest + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+}  // namespace fnv
+}  // namespace qs
+
+#endif  // QS_COMMON_FINGERPRINT_H

@@ -1,0 +1,121 @@
+// Thread-safe keyed LRU cache of immutable artifacts with in-flight
+// de-duplication: the one protocol behind PlanCache (exec/plan.h) and
+// TranspileCache (compiler/transpile_cache.h).
+//
+// One mutex guards lookup/insert/evict and the hit/miss counters.
+// Production happens OUTSIDE the lock: a miss installs an in-flight slot
+// and runs the producer unlocked, concurrent same-key callers wait on
+// that slot (each artifact is produced exactly once, and the wait counts
+// as a hit), and other keys -- including hits -- are never stalled by
+// someone else's slow producer. A producer that throws propagates to
+// every waiter and releases the slot. Entries pin their artifact via
+// shared_ptr, so eviction never invalidates one still in use. Capacity 0
+// disables storage (every call produces afresh, in-flight dedup still
+// applies).
+#ifndef QS_COMMON_KEYED_CACHE_H
+#define QS_COMMON_KEYED_CACHE_H
+
+#include <cstddef>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace qs {
+namespace detail {
+
+template <typename Key, typename KeyHash, typename Value>
+class KeyedArtifactCache {
+ public:
+  using Ptr = std::shared_ptr<const Value>;
+
+  explicit KeyedArtifactCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached artifact for the key, invoking `produce` (which
+  /// must return a Ptr) and inserting on miss.
+  template <typename Producer>
+  Ptr get_or_produce(const Key& key, Producer&& produce) {
+    std::promise<Ptr> promise;
+    std::shared_future<Ptr> waiter;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        ++hits_;
+        order_.splice(order_.end(), order_, it->second.position);
+        return it->second.artifact;
+      }
+      auto fit = inflight_.find(key);
+      if (fit != inflight_.end()) {
+        // Someone else is already producing this key: count the reuse as
+        // a hit and wait on their result outside the lock.
+        ++hits_;
+        waiter = fit->second;
+      } else {
+        ++misses_;
+        inflight_.emplace(key, promise.get_future().share());
+      }
+    }
+    if (waiter.valid()) return waiter.get();  // rethrows a failed produce
+
+    // This caller owns the production; the lock is NOT held, so hits and
+    // other-key misses proceed while a large artifact builds.
+    Ptr artifact;
+    try {
+      artifact = produce();
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_.erase(key);
+      throw;
+    }
+    promise.set_value(artifact);
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(key);
+    if (capacity_ == 0) return artifact;
+    while (entries_.size() >= capacity_) {
+      entries_.erase(order_.front());
+      order_.pop_front();
+    }
+    order_.push_back(key);
+    entries_.emplace(key, Entry{artifact, std::prev(order_.end())});
+    return artifact;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  std::size_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  /// Most-recently-used at the back.
+  std::list<Key> order_;
+  struct Entry {
+    Ptr artifact;
+    typename std::list<Key>::iterator position;
+  };
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  /// Keys currently producing (outside the lock); same-key callers wait
+  /// on the future instead of producing twice.
+  std::unordered_map<Key, std::shared_future<Ptr>, KeyHash> inflight_;
+};
+
+}  // namespace detail
+}  // namespace qs
+
+#endif  // QS_COMMON_KEYED_CACHE_H

@@ -1,6 +1,7 @@
 #include "compiler/compile.h"
 
 #include <sstream>
+#include <utility>
 
 #include "common/table.h"
 
@@ -19,15 +20,18 @@ std::string CompileReport::summary() const {
 
 CompileReport compile_circuit(const Circuit& logical, const Processor& proc,
                               Rng& rng, const CompileOptions& options) {
-  CompileReport report;
-  report.mapping = options.use_noise_aware_mapping
-                       ? map_qudits(logical, proc, rng, options.mapping)
-                       : trivial_mapping(logical, proc);
-  report.routing =
-      route_circuit(logical, proc, report.mapping.logical_to_mode);
-  report.schedule = schedule_asap(report.routing.physical, proc,
-                                  report.routing.final_logical_to_mode);
-  return report;
+  TranspileOptions opts = options;
+  // Preserve the legacy contract (the anneal follows the caller's Rng)
+  // unless the caller explicitly chose a seed, which then wins.
+  if (opts.seed == TranspileOptions{}.seed) opts.seed = rng.draw_seed();
+  const std::shared_ptr<const TranspiledCircuit> artifact =
+      transpile(logical, proc, opts);
+  RoutingResult routing(artifact->physical);
+  routing.initial_logical_to_mode = artifact->initial_logical_to_mode;
+  routing.final_logical_to_mode = artifact->final_logical_to_mode;
+  routing.swaps_inserted = artifact->swaps_inserted;
+  return CompileReport{artifact->mapping, std::move(routing),
+                       artifact->schedule};
 }
 
 }  // namespace qs

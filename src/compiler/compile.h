@@ -1,23 +1,25 @@
-// End-to-end compilation: noise-aware mapping -> swap routing -> ASAP
-// scheduling -> fidelity forecast.
+// Legacy end-to-end compilation entry point.
+//
+// compile_circuit predates the pass pipeline (compiler/pipeline.h) and
+// remains as a thin deprecated shim over the default pipeline for one
+// release: it draws the transpile seed from the caller's Rng (preserving
+// "same Rng seed, same result") and unpacks the TranspiledCircuit
+// artifact into the legacy CompileReport shape. New code calls
+// qs::transpile() (or runs a PassManager) and keeps the artifact.
 #ifndef QS_COMPILER_COMPILE_H
 #define QS_COMPILER_COMPILE_H
 
 #include <string>
 
-#include "compiler/mapping.h"
-#include "compiler/routing.h"
-#include "compiler/scheduler.h"
+#include "common/deprecation.h"
+#include "compiler/pipeline.h"
 
 namespace qs {
 
-/// Pipeline options.
-struct CompileOptions {
-  MappingOptions mapping;
-  bool use_noise_aware_mapping = true;  ///< false = identity placement
-};
+/// Legacy name of the pipeline options.
+using CompileOptions = TranspileOptions;
 
-/// Full compile artifact.
+/// Full compile artifact (legacy shape; TranspiledCircuit supersedes it).
 struct CompileReport {
   MappingResult mapping;
   RoutingResult routing;
@@ -25,7 +27,15 @@ struct CompileReport {
   std::string summary() const;
 };
 
-/// Compiles a logical circuit for the processor.
+/// Compiles a logical circuit for the processor through the default
+/// pipeline. The anneal seed is drawn from `rng` unless
+/// `options.seed` was explicitly changed from its default, which then
+/// wins. Deprecated: the drawn-from-`rng` seed defeats the transpile
+/// cache (every call re-transpiles); call qs::transpile() with a
+/// TranspileOptions::seed instead.
+QS_DEPRECATED(
+    "use qs::transpile(logical, proc, options) and the TranspiledCircuit "
+    "artifact instead")
 CompileReport compile_circuit(const Circuit& logical, const Processor& proc,
                               Rng& rng, const CompileOptions& options = {});
 

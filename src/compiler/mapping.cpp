@@ -168,4 +168,10 @@ MappingResult map_qudits(const Circuit& logical, const Processor& proc,
   return {best, best_cost};
 }
 
+MappingResult map_qudits(const Circuit& logical, const Processor& proc,
+                         std::uint64_t seed, const MappingOptions& options) {
+  Rng rng(seed);
+  return map_qudits(logical, proc, rng, options);
+}
+
 }  // namespace qs

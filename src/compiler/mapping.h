@@ -8,6 +8,7 @@
 #ifndef QS_COMPILER_MAPPING_H
 #define QS_COMPILER_MAPPING_H
 
+#include <cstdint>
 #include <vector>
 
 #include "circuit/circuit.h"
@@ -43,6 +44,14 @@ double mapping_cost(const Circuit& logical, const Processor& proc,
 /// Logical site dimensions must fit the modes they are placed on.
 MappingResult map_qudits(const Circuit& logical, const Processor& proc,
                          Rng& rng, const MappingOptions& options = {});
+
+/// Seeded variant: the anneal draws from a generator constructed from
+/// `seed`, so the result is a pure function of the arguments. This is
+/// the transpile pipeline's entry point (TranspileOptions::seed);
+/// callers never thread RNG state through the mapper.
+MappingResult map_qudits(const Circuit& logical, const Processor& proc,
+                         std::uint64_t seed,
+                         const MappingOptions& options = {});
 
 /// The identity-order baseline (logical i -> mode i); used by benches to
 /// quantify the mapper's benefit.

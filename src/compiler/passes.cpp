@@ -1,0 +1,231 @@
+#include "compiler/passes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/require.h"
+#include "common/rng.h"
+
+namespace qs {
+
+namespace {
+
+/// Operations commute when they touch disjoint sites, or when both are
+/// diagonal in the computational basis (diagonal matrices commute even on
+/// overlapping sites).
+bool commutes(const Operation& a, const Operation& b) {
+  if (a.diagonal && b.diagonal) return true;
+  for (int s : a.sites)
+    if (std::find(b.sites.begin(), b.sites.end(), s) != b.sites.end())
+      return false;
+  return true;
+}
+
+bool same_sites(const Operation& a, const Operation& b) {
+  return a.sites == b.sites;
+}
+
+/// True when running `first` then `second` is the identity (exactly, no
+/// global-phase tolerance: a leftover global phase on a sub-block is a
+/// relative phase on the full register).
+bool is_inverse_pair(const Operation& first, const Operation& second) {
+  constexpr double kTol = 1e-12;
+  if (first.diagonal != second.diagonal) return false;
+  if (first.diagonal) {
+    for (std::size_t k = 0; k < first.diag.size(); ++k)
+      if (std::abs(first.diag[k] * second.diag[k] - cplx(1.0, 0.0)) > kTol)
+        return false;
+    return true;
+  }
+  const Matrix product = second.matrix * first.matrix;
+  for (std::size_t r = 0; r < product.rows(); ++r)
+    for (std::size_t c = 0; c < product.cols(); ++c) {
+      const cplx want = r == c ? cplx(1.0, 0.0) : cplx(0.0, 0.0);
+      if (std::abs(product(r, c) - want) > kTol) return false;
+    }
+  return true;
+}
+
+/// Backward-scan bound of the cancellation peephole and of the
+/// same-site-preference search during clustering: keeps the pass linear
+/// on deep (e.g. multi-step Trotter) circuits, where a cache miss must
+/// not stall dispatch. Cancellation windows this deep are exhausted in
+/// practice -- inverse pairs sit near each other or not at all.
+constexpr std::size_t kPeepholeWindow = 64;
+
+/// Drops inverse pairs reachable through commuting gates: for each new
+/// op, scan backward (up to kPeepholeWindow ops) past everything it
+/// commutes with; on the first op with the identical site list, cancel
+/// if the pair multiplies to the identity (diagonal same-site gates
+/// commute, so the scan continues through them).
+std::vector<Operation> cancel_inverses(const std::vector<Operation>& ops) {
+  std::vector<Operation> kept;
+  kept.reserve(ops.size());
+  for (const Operation& op : ops) {
+    bool cancelled = false;
+    std::size_t scanned = 0;
+    for (auto it = kept.rbegin();
+         it != kept.rend() && scanned < kPeepholeWindow; ++it, ++scanned) {
+      if (same_sites(*it, op)) {
+        if (is_inverse_pair(*it, op)) {
+          kept.erase(std::next(it).base());
+          cancelled = true;
+          break;
+        }
+        if (!(it->diagonal && op.diagonal)) break;
+        continue;  // both diagonal: commute through, keep scanning
+      }
+      if (!commutes(*it, op)) break;
+    }
+    if (!cancelled) kept.push_back(op);
+  }
+  return kept;
+}
+
+/// Dependency-respecting reorder that pulls commuting multi-site gates
+/// with the identical site list next to each other (a routed pair stays
+/// adjacent for its whole gate run, and the plan compiler fuses the
+/// cluster). Gates are emitted in a greedy list order: among the ready
+/// ops (all non-commuting predecessors emitted), prefer the earliest one
+/// matching the last emitted op's multi-site list, falling back to plain
+/// program order -- single-site gates are never pulled forward, so the
+/// scheduler keeps their parallelism.
+std::vector<Operation> cluster_same_sites(std::vector<Operation> ops,
+                                          std::size_t num_sites) {
+  const std::size_t n = ops.size();
+  // Dependency DAG in amortized O(n * arity) via per-site chains. The
+  // conflict relation is "share a site and not both diagonal", so per
+  // site: a diagonal op orders after the latest dense op; a dense op
+  // orders after the latest dense op AND after every diagonal op seen
+  // since it (diagonals commute among themselves, so none of them
+  // orders the others -- each must be constrained individually). All
+  // older conflicts follow transitively through the dense chain.
+  std::vector<std::vector<std::size_t>> successors(n);
+  std::vector<std::size_t> blockers(n, 0);
+  std::vector<int> last_dense(num_sites, -1);
+  std::vector<std::vector<std::size_t>> diags_since_dense(num_sites);
+  auto add_edge = [&](std::size_t i, std::size_t j) {
+    successors[i].push_back(j);
+    ++blockers[j];
+  };
+  for (std::size_t j = 0; j < n; ++j) {
+    for (int site : ops[j].sites) {
+      const auto s = static_cast<std::size_t>(site);
+      if (ops[j].diagonal) {
+        if (last_dense[s] >= 0)
+          add_edge(static_cast<std::size_t>(last_dense[s]), j);
+        diags_since_dense[s].push_back(j);
+      } else {
+        if (last_dense[s] >= 0)
+          add_edge(static_cast<std::size_t>(last_dense[s]), j);
+        for (std::size_t d : diags_since_dense[s]) add_edge(d, j);
+        diags_since_dense[s].clear();
+        last_dense[s] = static_cast<int>(j);
+      }
+    }
+  }
+
+  std::vector<Operation> out;
+  out.reserve(n);
+  // Ready ops kept ordered by program index, so the fallback pick is
+  // always the earliest ready op (a no-op reorder on circuits with
+  // nothing to cluster) and the same-site search prefers the earliest
+  // match.
+  std::set<std::size_t> ready;
+  for (std::size_t j = 0; j < n; ++j)
+    if (blockers[j] == 0) ready.insert(j);
+  const std::vector<int>* last_sites = nullptr;
+  for (std::size_t count = 0; count < n; ++count) {
+    std::size_t pick = *ready.begin();
+    if (last_sites != nullptr && last_sites->size() >= 2) {
+      // Bounded same-site-preference search keeps the pass near-linear.
+      std::size_t scanned = 0;
+      for (auto it = ready.begin();
+           it != ready.end() && scanned < kPeepholeWindow; ++it, ++scanned) {
+        if (ops[*it].sites == *last_sites) {
+          pick = *it;
+          break;
+        }
+      }
+    }
+    ready.erase(pick);
+    for (std::size_t succ : successors[pick])
+      if (--blockers[succ] == 0) ready.insert(succ);
+    out.push_back(std::move(ops[pick]));
+    last_sites = &out.back().sites;
+  }
+  return out;
+}
+
+/// Rebuilds a circuit over the same space from an operation list.
+Circuit rebuild(const QuditSpace& space, const std::vector<Operation>& ops) {
+  Circuit c(space);
+  for (const Operation& op : ops) {
+    if (op.diagonal)
+      c.add_diagonal(op.name, op.diag, op.sites, op.duration);
+    else
+      c.add(op.name, op.matrix, op.sites, op.duration);
+    c.set_last_noise_multiplicity(op.noise_multiplicity);
+  }
+  return c;
+}
+
+void finish_routing(TranspileContext& ctx, RoutingResult r) {
+  ctx.initial_logical_to_mode = std::move(r.initial_logical_to_mode);
+  ctx.final_logical_to_mode = std::move(r.final_logical_to_mode);
+  ctx.swaps_inserted += r.swaps_inserted;
+  ctx.working = std::move(r.physical);
+  ctx.routed = true;
+}
+
+}  // namespace
+
+void CommutationPass::run(TranspileContext& ctx) const {
+  require(!ctx.routed, "CommutationPass: must run before routing");
+  std::vector<Operation> ops = cancel_inverses(ctx.working.operations());
+  ops = cluster_same_sites(std::move(ops), ctx.working.space().num_sites());
+  ctx.working = rebuild(ctx.working.space(), ops);
+}
+
+void MappingPass::run(TranspileContext& ctx) const {
+  require(!ctx.routed, "MappingPass: must run before routing");
+  if (ctx.options.use_noise_aware_mapping) {
+    // The anneal's randomness comes from the options seed, never from
+    // caller state: transpilation stays a pure function of its inputs.
+    ctx.mapping = map_qudits(ctx.working, ctx.proc, ctx.options.seed,
+                             ctx.options.mapping);
+  } else {
+    ctx.mapping = trivial_mapping(ctx.working, ctx.proc);
+  }
+  ctx.mapped = true;
+}
+
+void GreedyRoutingPass::run(TranspileContext& ctx) const {
+  require(ctx.mapped, "GreedyRoutingPass: mapping must run first");
+  require(!ctx.routed, "GreedyRoutingPass: circuit already routed");
+  finish_routing(
+      ctx, route_circuit(ctx.working, ctx.proc, ctx.mapping.logical_to_mode));
+}
+
+void LookaheadRoutingPass::run(TranspileContext& ctx) const {
+  require(ctx.mapped, "LookaheadRoutingPass: mapping must run first");
+  require(!ctx.routed, "LookaheadRoutingPass: circuit already routed");
+  finish_routing(ctx, route_circuit_lookahead(ctx.working, ctx.proc,
+                                              ctx.mapping.logical_to_mode,
+                                              ctx.options.lookahead));
+}
+
+void SchedulePass::run(TranspileContext& ctx) const {
+  require(ctx.routed, "SchedulePass: routing must run first");
+  ctx.schedule = ctx.options.schedule == ScheduleDirection::kAlap
+                     ? schedule_alap(ctx.working, ctx.proc,
+                                     ctx.final_logical_to_mode)
+                     : schedule_asap(ctx.working, ctx.proc,
+                                     ctx.final_logical_to_mode);
+  ctx.scheduled = true;
+}
+
+}  // namespace qs

@@ -1,0 +1,63 @@
+// The concrete passes of the default transpile pipeline.
+//
+// Every pass is deterministic and stateless with respect to run(), so a
+// single instance (or PassManager) may be shared across threads. Custom
+// pipelines can mix these with user-defined passes; the PassManager
+// enforces only the end-state contract (routed + scheduled).
+#ifndef QS_COMPILER_PASSES_H
+#define QS_COMPILER_PASSES_H
+
+#include <string>
+
+#include "compiler/pipeline.h"
+
+namespace qs {
+
+/// Logical-level peephole: cancels commutation-reachable inverse pairs
+/// (U followed by U^dagger on the same sites with only commuting gates in
+/// between) and clusters commuting gates acting on identical site sets
+/// next to each other. Clustering cuts routing churn (a pair brought
+/// adjacent stays adjacent for its whole gate run) and feeds the plan
+/// compiler's dense/diagonal fusion. Requires an unrouted context.
+class CommutationPass : public Pass {
+ public:
+  std::string name() const override { return "commute-cancel"; }
+  void run(TranspileContext& ctx) const override;
+};
+
+/// Places logical qudits on device modes: the noise-aware anneal seeded
+/// from TranspileOptions::seed, or the identity placement when
+/// use_noise_aware_mapping is off.
+class MappingPass : public Pass {
+ public:
+  std::string name() const override { return "noise-aware-mapping"; }
+  void run(TranspileContext& ctx) const override;
+};
+
+/// Greedy seed router: walks the second operand toward the first
+/// (route_circuit). Replaces the working circuit with the physical one.
+class GreedyRoutingPass : public Pass {
+ public:
+  std::string name() const override { return "greedy-routing"; }
+  void run(TranspileContext& ctx) const override;
+};
+
+/// Lookahead router: places each swap against the discounted demand of
+/// upcoming two-site gates (route_circuit_lookahead).
+class LookaheadRoutingPass : public Pass {
+ public:
+  std::string name() const override { return "lookahead-routing"; }
+  void run(TranspileContext& ctx) const override;
+};
+
+/// Schedules the routed circuit (ASAP or ALAP per
+/// TranspileOptions::schedule) and fills the fidelity forecast.
+class SchedulePass : public Pass {
+ public:
+  std::string name() const override { return "schedule"; }
+  void run(TranspileContext& ctx) const override;
+};
+
+}  // namespace qs
+
+#endif  // QS_COMPILER_PASSES_H

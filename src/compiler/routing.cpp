@@ -1,58 +1,94 @@
 #include "compiler/routing.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/require.h"
 #include "gates/two_qudit.h"
 
 namespace qs {
 
-RoutingResult route_circuit(const Circuit& logical, const Processor& proc,
-                            std::vector<int> logical_to_mode) {
-  const std::size_t n = logical.space().num_sites();
-  require(logical_to_mode.size() == n, "route_circuit: mapping size mismatch");
-  const int d = logical.space().dim(0);
-  for (std::size_t i = 0; i < n; ++i)
-    require(logical.space().dim(i) == d,
-            "route_circuit: uniform logical dimension required");
+namespace {
 
-  const GateDurations& dur = proc.durations();
-  const double default_1q = dur.snap;
-  const double default_2q = dur.cross_kerr_full * (d - 1.0) / d;
-  const double swap_duration = 2.0 * dur.beamsplitter + 2.0 * dur.snap;
+/// Shared routing state: occupancy bookkeeping, the growing physical
+/// circuit, and the swap emitter both routers use.
+struct RouterState {
+  RouterState(const Circuit& logical, const Processor& proc,
+              std::vector<int> logical_to_mode)
+      : proc(proc),
+        result(Circuit(QuditSpace::uniform(
+            static_cast<std::size_t>(proc.num_modes()),
+            logical.space().dim(0)))),
+        occupant(static_cast<std::size_t>(proc.num_modes()), -1) {
+    const std::size_t n = logical.space().num_sites();
+    require(logical_to_mode.size() == n, "route_circuit: mapping size mismatch");
+    const int d = logical.space().dim(0);
+    for (std::size_t i = 0; i < n; ++i)
+      require(logical.space().dim(i) == d,
+              "route_circuit: uniform logical dimension required");
+    for (std::size_t q = 0; q < n; ++q) {
+      require(logical_to_mode[q] >= 0 && logical_to_mode[q] < proc.num_modes(),
+              "route_circuit: mode index out of range");
+      require(occupant[static_cast<std::size_t>(logical_to_mode[q])] < 0,
+              "route_circuit: duplicate mode assignment");
+      occupant[static_cast<std::size_t>(logical_to_mode[q])] =
+          static_cast<int>(q);
+    }
+    result.initial_logical_to_mode = logical_to_mode;
+    result.final_logical_to_mode = std::move(logical_to_mode);
 
-  RoutingResult result{
-      Circuit(QuditSpace::uniform(static_cast<std::size_t>(proc.num_modes()),
-                                  d)),
-      logical_to_mode, logical_to_mode, 0};
-  Circuit& phys = result.physical;
-
-  // mode -> logical occupant (-1 when free).
-  std::vector<int> occupant(static_cast<std::size_t>(proc.num_modes()), -1);
-  for (std::size_t q = 0; q < n; ++q) {
-    require(logical_to_mode[q] >= 0 && logical_to_mode[q] < proc.num_modes(),
-            "route_circuit: mode index out of range");
-    require(occupant[static_cast<std::size_t>(logical_to_mode[q])] < 0,
-            "route_circuit: duplicate mode assignment");
-    occupant[static_cast<std::size_t>(logical_to_mode[q])] =
-        static_cast<int>(q);
+    const GateDurations& dur = proc.durations();
+    default_1q = dur.snap;
+    default_2q = dur.cross_kerr_full * (d - 1.0) / d;
+    swap_duration = 2.0 * dur.beamsplitter + 2.0 * dur.snap;
+    swap_matrix = swap_gate(d);
   }
-  std::vector<int>& l2m = result.final_logical_to_mode;
 
-  const Matrix swap_matrix = swap_gate(d);
+  const Processor& proc;
+  RoutingResult result;
+  /// mode -> logical occupant (-1 when free).
+  std::vector<int> occupant;
+  double default_1q = 0.0;
+  double default_2q = 0.0;
+  double swap_duration = 0.0;
+  Matrix swap_matrix;
 
-  // Swaps the contents of two (adjacent-cavity or co-located) modes and
-  // updates the permutation bookkeeping.
-  auto emit_swap = [&](int mode_a, int mode_b) {
-    phys.add("SWAP", swap_matrix, {mode_a, mode_b}, swap_duration);
+  std::vector<int>& l2m() { return result.final_logical_to_mode; }
+
+  /// Swaps the contents of two (adjacent-cavity or co-located) modes and
+  /// updates the permutation bookkeeping.
+  void emit_swap(int mode_a, int mode_b) {
+    result.physical.add("SWAP", swap_matrix, {mode_a, mode_b}, swap_duration);
     ++result.swaps_inserted;
     const int qa = occupant[static_cast<std::size_t>(mode_a)];
     const int qb = occupant[static_cast<std::size_t>(mode_b)];
     occupant[static_cast<std::size_t>(mode_a)] = qb;
     occupant[static_cast<std::size_t>(mode_b)] = qa;
-    if (qa >= 0) l2m[static_cast<std::size_t>(qa)] = mode_b;
-    if (qb >= 0) l2m[static_cast<std::size_t>(qb)] = mode_a;
-  };
+    if (qa >= 0) l2m()[static_cast<std::size_t>(qa)] = mode_b;
+    if (qb >= 0) l2m()[static_cast<std::size_t>(qb)] = mode_a;
+  }
+
+  double duration_of(const Operation& op) const {
+    if (op.duration > 0.0) return op.duration;
+    return op.sites.size() >= 2 ? default_2q : default_1q;
+  }
+
+  /// Emits the (already adjacent/co-located) gate on the given modes.
+  void emit_gate(const Operation& op, const std::vector<int>& modes) {
+    if (op.diagonal)
+      result.physical.add_diagonal(op.name, op.diag, modes, duration_of(op));
+    else
+      result.physical.add(op.name, op.matrix, modes, duration_of(op));
+    result.physical.set_last_noise_multiplicity(op.noise_multiplicity);
+  }
+};
+
+}  // namespace
+
+RoutingResult route_circuit(const Circuit& logical, const Processor& proc,
+                            std::vector<int> logical_to_mode) {
+  RouterState st(logical, proc, std::move(logical_to_mode));
+  std::vector<int>& l2m = st.l2m();
 
   // Moves the qudit in `from_mode` one cavity toward `target_cavity`;
   // returns the new mode. Prefers a free landing mode (lowest idle rate).
@@ -64,7 +100,7 @@ RoutingResult route_circuit(const Circuit& logical, const Processor& proc,
     double best_rate = 0.0;
     for (int m = 0; m < proc.num_modes(); ++m) {
       if (proc.cavity_of(m) != next_cav) continue;
-      const bool free = occupant[static_cast<std::size_t>(m)] < 0;
+      const bool free = st.occupant[static_cast<std::size_t>(m)] < 0;
       const double rate = proc.idle_rate(m);
       if (best < 0 || (free && !best_free) ||
           (free == best_free && rate < best_rate)) {
@@ -74,22 +110,13 @@ RoutingResult route_circuit(const Circuit& logical, const Processor& proc,
       }
     }
     require(best >= 0, "route_circuit: no mode in neighbouring cavity");
-    emit_swap(from_mode, best);
+    st.emit_swap(from_mode, best);
     return best;
   };
 
   for (const Operation& op : logical.operations()) {
-    const double duration =
-        op.duration > 0.0
-            ? op.duration
-            : (op.sites.size() >= 2 ? default_2q : default_1q);
     if (op.sites.size() == 1) {
-      const int m = l2m[static_cast<std::size_t>(op.sites[0])];
-      if (op.diagonal)
-        phys.add_diagonal(op.name, op.diag, {m}, duration);
-      else
-        phys.add(op.name, op.matrix, {m}, duration);
-      phys.set_last_noise_multiplicity(op.noise_multiplicity);
+      st.emit_gate(op, {l2m[static_cast<std::size_t>(op.sites[0])]});
       continue;
     }
     require(op.sites.size() == 2,
@@ -101,13 +128,111 @@ RoutingResult route_circuit(const Circuit& logical, const Processor& proc,
       mb = hop_toward(mb, proc.cavity_of(ma));
       ma = l2m[static_cast<std::size_t>(op.sites[0])];  // may have moved
     }
-    if (op.diagonal)
-      phys.add_diagonal(op.name, op.diag, {ma, mb}, duration);
-    else
-      phys.add(op.name, op.matrix, {ma, mb}, duration);
-    phys.set_last_noise_multiplicity(op.noise_multiplicity);
+    st.emit_gate(op, {ma, mb});
   }
-  return result;
+  return std::move(st.result);
+}
+
+RoutingResult route_circuit_lookahead(const Circuit& logical,
+                                      const Processor& proc,
+                                      std::vector<int> logical_to_mode,
+                                      const LookaheadOptions& options) {
+  RouterState st(logical, proc, std::move(logical_to_mode));
+  std::vector<int>& l2m = st.l2m();
+
+  // Two-site gates in program order; future demand is scored against the
+  // tail of this list.
+  std::vector<std::pair<int, int>> pairs;
+  for (const Operation& op : logical.operations())
+    if (op.sites.size() == 2) pairs.emplace_back(op.sites[0], op.sites[1]);
+
+  // Swaps still needed to bring a logical pair within native reach under
+  // an assignment (0 when co-located or adjacent).
+  auto swap_demand = [&](const std::vector<int>& assign, int qa, int qb) {
+    const int dist = proc.cavity_distance(assign[static_cast<std::size_t>(qa)],
+                                          assign[static_cast<std::size_t>(qb)]);
+    return dist > 1 ? static_cast<double>(dist - 1) : 0.0;
+  };
+
+  // Discounted swap demand of the gates following position `next_pair`
+  // under a hypothetical assignment.
+  auto future_cost = [&](const std::vector<int>& assign,
+                         std::size_t next_pair) {
+    double cost = 0.0;
+    double weight = 1.0;
+    const std::size_t stop = std::min(
+        pairs.size(), next_pair + static_cast<std::size_t>(
+                                      std::max(0, options.depth)));
+    for (std::size_t i = next_pair; i < stop; ++i) {
+      cost += weight * swap_demand(assign, pairs[i].first, pairs[i].second);
+      weight *= options.decay;
+    }
+    return cost;
+  };
+
+  std::size_t pair_index = 0;  // position of the current op in `pairs`
+  for (const Operation& op : logical.operations()) {
+    if (op.sites.size() == 1) {
+      st.emit_gate(op, {l2m[static_cast<std::size_t>(op.sites[0])]});
+      continue;
+    }
+    require(op.sites.size() == 2,
+            "route_circuit: >2-site gates must be decomposed first");
+    const int qa = op.sites[0];
+    const int qb = op.sites[1];
+    while (proc.cavity_distance(l2m[static_cast<std::size_t>(qa)],
+                                l2m[static_cast<std::size_t>(qb)]) > 1) {
+      // Candidates: hop either operand one cavity toward the other, onto
+      // any mode of that cavity. Every candidate shrinks the current
+      // gate's distance by one, so candidates are ranked purely by the
+      // discounted demand of upcoming gates (plus small deterministic
+      // tie-breaks: free landing first, then landing idle quality).
+      double best_score = std::numeric_limits<double>::infinity();
+      int best_from = -1;
+      int best_to = -1;
+      // One scratch assignment per hop; each candidate applies its (at
+      // most two) changed entries and undoes them after scoring.
+      std::vector<int> assign = l2m;
+      for (const auto& [mover, other] :
+           {std::pair<int, int>{qa, qb}, std::pair<int, int>{qb, qa}}) {
+        const int from = l2m[static_cast<std::size_t>(mover)];
+        const int cav = proc.cavity_of(from);
+        const int target_cav =
+            proc.cavity_of(l2m[static_cast<std::size_t>(other)]);
+        const int next_cav = cav + (target_cav > cav ? 1 : -1);
+        for (int to = 0; to < proc.num_modes(); ++to) {
+          if (proc.cavity_of(to) != next_cav) continue;
+          assign[static_cast<std::size_t>(mover)] = to;
+          const int displaced = st.occupant[static_cast<std::size_t>(to)];
+          if (displaced >= 0)
+            assign[static_cast<std::size_t>(displaced)] = from;
+          // The current gate still needs (dist - 1) more hops whichever
+          // candidate wins; charge the shared remainder once so the score
+          // stays comparable, then add the future tail.
+          double score =
+              swap_demand(assign, qa, qb) + future_cost(assign, pair_index + 1);
+          if (displaced >= 0) score += 0.25;  // churn penalty: displacing
+                                              // a qudit costs its owner
+          score += 1e-9 * proc.idle_rate(to);  // landing-quality tie-break
+          assign[static_cast<std::size_t>(mover)] = from;
+          if (displaced >= 0)
+            assign[static_cast<std::size_t>(displaced)] =
+                l2m[static_cast<std::size_t>(displaced)];
+          if (score + 1e-12 < best_score) {
+            best_score = score;
+            best_from = from;
+            best_to = to;
+          }
+        }
+      }
+      require(best_to >= 0, "route_circuit: no mode in neighbouring cavity");
+      st.emit_swap(best_from, best_to);
+    }
+    st.emit_gate(op, {l2m[static_cast<std::size_t>(qa)],
+                      l2m[static_cast<std::size_t>(qb)]});
+    ++pair_index;
+  }
+  return std::move(st.result);
 }
 
 }  // namespace qs

@@ -4,9 +4,18 @@
 // modes. For more distant pairs the router moves one operand along the
 // chain with beamsplitter swaps (the paper's "swap network", SS II-A),
 // updating the logical-to-mode permutation as it goes.
+//
+// Two routers are provided. `route_circuit` is the greedy seed router:
+// it always walks the second operand toward the first, preferring free,
+// low-idle landing modes. `route_circuit_lookahead` scores every legal
+// one-hop move (either operand, any landing mode in the next cavity)
+// against the swap demand of upcoming two-site gates, so a qudit that a
+// later gate needs on the far side of the chain is not dragged the wrong
+// way. Both are deterministic (no RNG).
 #ifndef QS_COMPILER_ROUTING_H
 #define QS_COMPILER_ROUTING_H
 
+#include <utility>
 #include <vector>
 
 #include "circuit/circuit.h"
@@ -16,21 +25,42 @@ namespace qs {
 
 /// Routing outcome. The physical circuit has one site per device mode
 /// (uniform local dimension = the logical dimension); sites holding no
-/// logical qudit are only touched by routing swaps.
+/// logical qudit are only touched by routing swaps. Constructible only
+/// from a real physical-register circuit -- there is deliberately no
+/// default constructor, so a placeholder space can never escape.
 struct RoutingResult {
-  /// Placeholder space until assigned by the router.
-  Circuit physical{QuditSpace({2, 2})};
+  explicit RoutingResult(Circuit physical_circuit)
+      : physical(std::move(physical_circuit)) {}
+
+  Circuit physical;
   std::vector<int> initial_logical_to_mode;
   std::vector<int> final_logical_to_mode;
   int swaps_inserted = 0;
 };
 
-/// Routes `logical` onto `proc` starting from `logical_to_mode`.
-/// Requires a uniform logical register (all sites the same dimension).
-/// Gate durations: pre-set durations are kept; otherwise single-site ops
-/// get the SNAP duration and two-site ops the cross-Kerr CZ duration.
+/// Lookahead-router knobs.
+struct LookaheadOptions {
+  /// Upcoming two-site gates scored when placing each swap.
+  int depth = 16;
+  /// Geometric weight of the i-th upcoming gate's swap demand.
+  double decay = 0.7;
+};
+
+/// Routes `logical` onto `proc` starting from `logical_to_mode` with the
+/// greedy seed strategy. Requires a uniform logical register (all sites
+/// the same dimension). Gate durations: pre-set durations are kept;
+/// otherwise single-site ops get the SNAP duration and two-site ops the
+/// cross-Kerr CZ duration.
 RoutingResult route_circuit(const Circuit& logical, const Processor& proc,
                             std::vector<int> logical_to_mode);
+
+/// Same contract as route_circuit, but each swap is chosen by scoring
+/// every legal one-hop move against the discounted swap demand of the
+/// next `options.depth` two-site gates.
+RoutingResult route_circuit_lookahead(const Circuit& logical,
+                                      const Processor& proc,
+                                      std::vector<int> logical_to_mode,
+                                      const LookaheadOptions& options = {});
 
 }  // namespace qs
 

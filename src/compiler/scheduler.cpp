@@ -62,4 +62,26 @@ ScheduleResult schedule_asap(const Circuit& physical, const Processor& proc,
   return result;
 }
 
+ScheduleResult schedule_alap(const Circuit& physical, const Processor& proc,
+                             const std::vector<int>& occupied_modes) {
+  // Fidelity, makespan, and busy/idle accounting are order-independent
+  // (they only depend on which gates run and for how long), so the ASAP
+  // pass computes them; ALAP then re-derives start times by scheduling
+  // the reversed program as-soon-as-possible and mirroring the time axis.
+  ScheduleResult result = schedule_asap(physical, proc, occupied_modes);
+  const std::size_t m = physical.space().num_sites();
+  const std::vector<Operation>& ops = physical.operations();
+  std::vector<double> free_at(m, 0.0);
+  for (std::size_t i = ops.size(); i > 0; --i) {
+    const Operation& op = ops[i - 1];
+    double start = 0.0;  // time-from-end of the mirrored schedule
+    for (int s : op.sites)
+      start = std::max(start, free_at[static_cast<std::size_t>(s)]);
+    const double finish = start + op.duration;
+    for (int s : op.sites) free_at[static_cast<std::size_t>(s)] = finish;
+    result.start_times[i - 1] = result.makespan - finish;
+  }
+  return result;
+}
+
 }  // namespace qs

@@ -31,6 +31,13 @@ struct ScheduleResult {
 ScheduleResult schedule_asap(const Circuit& physical, const Processor& proc,
                              const std::vector<int>& occupied_modes);
 
+/// ALAP variant: every gate starts as late as its successors allow, so
+/// state preparation sits as close to first use as possible. The makespan
+/// (critical path under the program order) and the per-mode busy/idle
+/// totals match schedule_asap; only start_times move.
+ScheduleResult schedule_alap(const Circuit& physical, const Processor& proc,
+                             const std::vector<int>& occupied_modes);
+
 }  // namespace qs
 
 #endif  // QS_COMPILER_SCHEDULER_H

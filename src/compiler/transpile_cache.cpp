@@ -1,0 +1,15 @@
+#include "compiler/transpile_cache.h"
+
+namespace qs {
+
+std::shared_ptr<const TranspiledCircuit> TranspileCache::get_or_transpile(
+    const Circuit& logical, const Processor& proc,
+    const TranspileOptions& options) {
+  // Fingerprinting walks the circuit payload; keep it outside the lock.
+  const Key key{fingerprint(logical), fingerprint(proc),
+                fingerprint(options)};
+  return cache_.get_or_produce(
+      key, [&] { return transpile(logical, proc, options); });
+}
+
+}  // namespace qs

@@ -45,6 +45,9 @@
 
 // Hardware platform and compilation.
 #include "compiler/compile.h"          // IWYU pragma: export
+#include "compiler/passes.h"           // IWYU pragma: export
+#include "compiler/pipeline.h"         // IWYU pragma: export
+#include "compiler/transpile_cache.h"  // IWYU pragma: export
 #include "compiler/mapping.h"          // IWYU pragma: export
 #include "compiler/routing.h"          // IWYU pragma: export
 #include "compiler/scheduler.h"        // IWYU pragma: export

@@ -6,12 +6,6 @@
 
 namespace qs {
 
-namespace {
-/// Stream index reserved for the compiler's RNG so it never collides with
-/// trajectory streams (which use 0, 1, 2, ...).
-constexpr std::uint64_t kCompileStream = ~std::uint64_t{0} - 1;
-}  // namespace
-
 std::vector<double> Backend::run_state(const Circuit& circuit,
                                        std::uint64_t seed) const {
   ExecutionRequest request(circuit);
@@ -38,21 +32,26 @@ double Backend::expectation(const Circuit& circuit,
   return execute(request).expectation("value");
 }
 
-Circuit Backend::routed_circuit(const ExecutionRequest& request,
-                                std::uint64_t seed, std::string* summary) {
-  if (request.processor == nullptr) return request.circuit;
-  Rng compile_rng(split_seed(seed, kCompileStream));
-  const CompileReport report =
-      compile_circuit(request.circuit, *request.processor, compile_rng,
-                      request.compile_options);
-  if (summary != nullptr) *summary = report.summary();
-  return report.routing.physical;
+std::shared_ptr<const TranspiledCircuit> Backend::resolve_transpiled(
+    const ExecutionRequest& request) {
+  if (request.processor == nullptr) return nullptr;
+  if (request.transpiled != nullptr) return request.transpiled;
+  return transpile(request.circuit, *request.processor,
+                   request.transpile_options);
 }
 
 std::shared_ptr<const CompiledCircuit> Backend::resolve_plan(
     const ExecutionRequest& request, const Circuit& routed,
     const NoiseModel& noise) {
-  if (request.plan != nullptr && request.processor == nullptr &&
+  // An attached plan is trusted only when it can have been lowered from
+  // `routed`: for a hardware-targeted request that requires the artifact
+  // the plan was paired with (the session attaches both together). A
+  // stray plan on a processor request with no artifact -- lowered from
+  // the unrouted logical circuit -- is ignored even when the spaces
+  // coincide.
+  const bool plan_trusted =
+      request.processor == nullptr || request.transpiled != nullptr;
+  if (plan_trusted && request.plan != nullptr &&
       request.plan->space() == routed.space())
     return request.plan;
   return std::make_shared<const CompiledCircuit>(routed, noise,

@@ -68,21 +68,26 @@ class Backend {
     return seed == kAutoSeed ? kDefaultSeed : seed;
   }
 
-  /// Compiles request.circuit for request.processor when one is set
-  /// (filling *summary), otherwise returns the logical circuit unchanged.
-  /// The compiler's stochastic passes draw from a stream derived from
-  /// `seed`, so compiled execution stays reproducible.
-  static Circuit routed_circuit(const ExecutionRequest& request,
-                                std::uint64_t seed, std::string* summary);
+  /// Resolves the transpile artifact for a hardware-targeted request:
+  /// the session-attached ExecutionRequest::transpiled when present,
+  /// otherwise a fresh run of the default pipeline (deterministic: the
+  /// pipeline seeds itself from request.transpile_options.seed, so the
+  /// same request transpiles identically with or without a cache).
+  /// Returns nullptr when the request has no processor; execute the
+  /// logical circuit directly in that case.
+  static std::shared_ptr<const TranspiledCircuit> resolve_transpiled(
+      const ExecutionRequest& request);
 
   /// Fills result.expectations from result.probabilities (every requested
   /// observable must match the executed circuit's space dimension).
   static void fill_expectations(const ExecutionRequest& request,
                                 ExecutionResult& result);
 
-  /// Returns the execution plan for `routed`: the request's session-cached
-  /// plan when applicable (no processor routing, matching space),
-  /// otherwise a freshly compiled plan for (routed, noise).
+  /// Returns the execution plan for `routed` (the logical circuit, or
+  /// the transpiled physical circuit): the request's session-cached plan
+  /// when its space matches, otherwise a freshly compiled plan for
+  /// (routed, noise). The session attaches plans lowered from the exact
+  /// circuit the backend will run -- logical or transpiled-physical.
   static std::shared_ptr<const CompiledCircuit> resolve_plan(
       const ExecutionRequest& request, const Circuit& routed,
       const NoiseModel& noise);

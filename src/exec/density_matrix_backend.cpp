@@ -48,8 +48,11 @@ ExecutionResult DensityMatrixBackend::execute(
   result.backend = name();
   result.seed = resolve_seed(request.seed);
 
-  const Circuit circuit =
-      routed_circuit(request, result.seed, &result.compile_summary);
+  const std::shared_ptr<const TranspiledCircuit> transpiled =
+      resolve_transpiled(request);
+  const Circuit& circuit =
+      transpiled != nullptr ? transpiled->physical : request.circuit;
+  if (transpiled != nullptr) result.compile_summary = transpiled->summary();
   check_dense_dim(circuit.space().dimension(), request.max_dim);
   const std::shared_ptr<const CompiledCircuit> plan =
       resolve_plan(request, circuit, noise_);

@@ -1,84 +1,22 @@
 #include "exec/plan.h"
 
-#include <cstring>
 #include <utility>
 
+#include "common/fingerprint.h"
 #include "common/require.h"
 
 namespace qs {
 
-namespace {
-
-// --- fingerprinting ------------------------------------------------------
-
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
-
-std::uint64_t fnv_bytes(const void* data, std::size_t len, std::uint64_t h) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-std::uint64_t fnv_u64(std::uint64_t v, std::uint64_t h) {
-  return fnv_bytes(&v, sizeof(v), h);
-}
-
-std::uint64_t fnv_double(double v, std::uint64_t h) {
-  std::uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  return fnv_u64(bits, h);
-}
-
-std::uint64_t fnv_cplx_span(const cplx* data, std::size_t count,
-                            std::uint64_t h) {
-  for (std::size_t i = 0; i < count; ++i) {
-    h = fnv_double(data[i].real(), h);
-    h = fnv_double(data[i].imag(), h);
-  }
-  return h;
-}
-
-}  // namespace
-
-std::uint64_t fingerprint(const Circuit& circuit) {
-  std::uint64_t h = kFnvOffset;
-  const QuditSpace& space = circuit.space();
-  h = fnv_u64(space.num_sites(), h);
-  for (std::size_t s = 0; s < space.num_sites(); ++s)
-    h = fnv_u64(static_cast<std::uint64_t>(space.dim(s)), h);
-  for (const Operation& op : circuit.operations()) {
-    // Length-prefix the variable-length name so records cannot alias by
-    // re-partitioning bytes across field boundaries.
-    h = fnv_u64(op.name.size(), h);
-    h = fnv_bytes(op.name.data(), op.name.size(), h);
-    h = fnv_u64(op.diagonal ? 1 : 0, h);
-    h = fnv_u64(op.sites.size(), h);
-    for (int s : op.sites) h = fnv_u64(static_cast<std::uint64_t>(s), h);
-    h = fnv_double(op.duration, h);
-    h = fnv_u64(static_cast<std::uint64_t>(op.noise_multiplicity), h);
-    if (op.diagonal)
-      h = fnv_cplx_span(op.diag.data(), op.diag.size(), h);
-    else
-      h = fnv_cplx_span(op.matrix.data(), op.matrix.rows() * op.matrix.cols(),
-                        h);
-  }
-  return h;
-}
-
 std::uint64_t fingerprint(const NoiseModel& noise) {
   const NoiseParams& p = noise.params();
-  std::uint64_t h = kFnvOffset;
-  h = fnv_double(p.depol_1q, h);
-  h = fnv_double(p.depol_2q, h);
-  h = fnv_double(p.dephase_1q, h);
-  h = fnv_double(p.dephase_2q, h);
-  h = fnv_double(p.loss_per_gate, h);
-  h = fnv_double(p.idle_loss_rate, h);
-  h = fnv_double(p.idle_dephase_rate, h);
+  std::uint64_t h = fnv::kOffset;
+  h = fnv::f64(p.depol_1q, h);
+  h = fnv::f64(p.depol_2q, h);
+  h = fnv::f64(p.dephase_1q, h);
+  h = fnv::f64(p.dephase_2q, h);
+  h = fnv::f64(p.loss_per_gate, h);
+  h = fnv::f64(p.idle_loss_rate, h);
+  h = fnv::f64(p.idle_dephase_rate, h);
   return h;
 }
 
@@ -207,58 +145,13 @@ void CompiledCircuit::run_density(DensityMatrix& rho,
 
 // --- PlanCache -----------------------------------------------------------
 
-PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {}
-
 std::shared_ptr<const CompiledCircuit> PlanCache::get_or_compile(
     const Circuit& circuit, const NoiseModel& noise, PlanOptions options) {
   // Fingerprinting walks the circuit payload; keep it outside the lock.
   const Key key{fingerprint(circuit), fingerprint(noise), options.bits()};
-
-  std::promise<std::shared_ptr<const CompiledCircuit>> promise;
-  std::shared_future<std::shared_ptr<const CompiledCircuit>> waiter;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      ++hits_;
-      order_.splice(order_.end(), order_, it->second.position);
-      return it->second.plan;
-    }
-    auto fit = inflight_.find(key);
-    if (fit != inflight_.end()) {
-      // Someone else is already lowering this key: count the reuse as a
-      // hit and wait on their result outside the lock.
-      ++hits_;
-      waiter = fit->second;
-    } else {
-      ++misses_;
-      inflight_.emplace(key, promise.get_future().share());
-    }
-  }
-  if (waiter.valid()) return waiter.get();  // rethrows a failed compile
-
-  // This caller owns the compile; the lock is NOT held, so hits and
-  // other-key misses proceed while a large circuit lowers.
-  std::shared_ptr<const CompiledCircuit> plan;
-  try {
-    plan = std::make_shared<const CompiledCircuit>(circuit, noise, options);
-  } catch (...) {
-    promise.set_exception(std::current_exception());
-    std::lock_guard<std::mutex> lock(mutex_);
-    inflight_.erase(key);
-    throw;
-  }
-  promise.set_value(plan);
-  std::lock_guard<std::mutex> lock(mutex_);
-  inflight_.erase(key);
-  if (capacity_ == 0) return plan;
-  while (entries_.size() >= capacity_) {
-    entries_.erase(order_.front());
-    order_.pop_front();
-  }
-  order_.push_back(key);
-  entries_.emplace(key, Entry{plan, std::prev(order_.end())});
-  return plan;
+  return cache_.get_or_produce(key, [&] {
+    return std::make_shared<const CompiledCircuit>(circuit, noise, options);
+  });
 }
 
 }  // namespace qs

@@ -25,16 +25,14 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <future>
-#include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "common/fingerprint.h"
+#include "common/keyed_cache.h"
 #include "common/rng.h"
 #include "noise/noise_model.h"
 #include "qudit/block_plan.h"
@@ -150,46 +148,28 @@ class CompiledCircuit {
   std::size_t max_block_ = 0;
 };
 
-/// Order-sensitive 64-bit digest of a circuit: space dims plus every
-/// operation's name, kind, sites, duration, multiplicity, and exact matrix
-/// or diagonal payload bits. Used as a plan-cache key component.
-std::uint64_t fingerprint(const Circuit& circuit);
-
-/// Digest of the noise parameters (exact double bits).
+/// Digest of the noise parameters (exact double bits). The circuit digest
+/// lives with the Circuit type (circuit/circuit.h).
 std::uint64_t fingerprint(const NoiseModel& noise);
 
 /// LRU cache of compiled plans keyed by (circuit, noise, options)
-/// fingerprints. Thread-safe: a single mutex guards lookup, insertion,
-/// eviction, and the hit/miss counters, so the cache may be shared across
-/// ExecutionSessions and the serve layer's worker threads. Compilation
-/// happens OUTSIDE the lock: a miss installs an in-flight slot and lowers
-/// the circuit unlocked, concurrent same-key callers wait on that slot
-/// (each plan still compiles exactly once), and callers for other keys --
-/// including cache hits -- are never stalled by someone else's slow
-/// compile. The cached plans themselves are immutable and freely shared
-/// across threads. Entries pin their plan via shared_ptr, so eviction
-/// never invalidates a plan still held by an in-flight request.
+/// fingerprints, built on the shared keyed-artifact protocol
+/// (common/keyed_cache.h): thread-safe, compilation outside the lock,
+/// in-flight de-duplication, so the cache may be shared across
+/// ExecutionSessions and the serve layer's worker threads. The cached
+/// plans themselves are immutable and freely shared across threads.
 class PlanCache {
  public:
-  explicit PlanCache(std::size_t capacity = 32);
+  explicit PlanCache(std::size_t capacity = 32) : cache_(capacity) {}
 
   /// Returns the cached plan for the key, compiling and inserting on miss.
   std::shared_ptr<const CompiledCircuit> get_or_compile(
       const Circuit& circuit, const NoiseModel& noise, PlanOptions options);
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return entries_.size();
-  }
-  std::size_t capacity() const { return capacity_; }
-  std::size_t hits() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return hits_;
-  }
-  std::size_t misses() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return misses_;
-  }
+  std::size_t size() const { return cache_.size(); }
+  std::size_t capacity() const { return cache_.capacity(); }
+  std::size_t hits() const { return cache_.hits(); }
+  std::size_t misses() const { return cache_.misses(); }
 
  private:
   struct Key {
@@ -204,29 +184,13 @@ class PlanCache {
   struct KeyHash {
     std::size_t operator()(const Key& k) const {
       std::uint64_t h = k.circuit_fp;
-      h ^= k.noise_fp + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-      h ^= k.option_bits + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h = fnv::combine(k.noise_fp, h);
+      h = fnv::combine(k.option_bits, h);
       return static_cast<std::size_t>(h);
     }
   };
 
-  mutable std::mutex mutex_;
-  std::size_t capacity_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  /// Most-recently-used at the back.
-  std::list<Key> order_;
-  struct Entry {
-    std::shared_ptr<const CompiledCircuit> plan;
-    std::list<Key>::iterator position;
-  };
-  std::unordered_map<Key, Entry, KeyHash> entries_;
-  /// Keys currently compiling (outside the lock); same-key callers wait
-  /// on the future instead of compiling twice.
-  std::unordered_map<Key,
-                     std::shared_future<std::shared_ptr<const CompiledCircuit>>,
-                     KeyHash>
-      inflight_;
+  detail::KeyedArtifactCache<Key, KeyHash, CompiledCircuit> cache_;
 };
 
 }  // namespace qs

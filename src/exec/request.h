@@ -3,7 +3,7 @@
 // One ExecutionRequest bundles everything a backend needs to run a circuit
 // reproducibly: the circuit itself, a shot budget, a deterministic seed,
 // named diagonal observables, an optional initial basis state, and an
-// optional hardware target (Processor + CompileOptions) for compiled
+// optional hardware target (Processor + TranspileOptions) for transpiled
 // execution. Backends answer with an ExecutionResult carrying a counts
 // histogram, final-state populations, per-observable expectation values,
 // and timing metadata.
@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "circuit/circuit.h"
-#include "compiler/compile.h"
+#include "compiler/pipeline.h"
 #include "exec/plan.h"
 #include "hardware/processor.h"
 
@@ -62,21 +62,31 @@ struct ExecutionRequest {
   /// Stochastic backends only: trajectories to average when shots == 0
   /// (when shots > 0 every shot is its own trajectory). 0 = 1 trajectory.
   std::size_t trajectories = 0;
-  /// When set, the circuit is compiled for this processor (mapping ->
-  /// routing -> scheduling) and the routed physical circuit is executed.
+  /// When set, the circuit is transpiled for this processor (pass
+  /// pipeline: commutation -> mapping -> routing -> scheduling) and the
+  /// routed physical circuit is executed.
   const Processor* processor = nullptr;
-  CompileOptions compile_options;
+  TranspileOptions transpile_options;
+  /// Precomputed transpile artifact for (circuit, processor,
+  /// transpile_options). Normally attached by ExecutionSession's
+  /// TranspileCache; backends honor it only when `processor` is set. Like
+  /// `plan`, the artifact MUST have been produced from this exact request
+  /// triple -- the session guarantees that pairing.
+  std::shared_ptr<const TranspiledCircuit> transpiled;
   /// Guard for dense dim^2 allocations (DensityMatrixBackend).
   std::size_t max_dim = kDefaultMaxDenseDim;
-  /// Precompiled execution plan for `circuit`. Normally attached by
-  /// ExecutionSession's plan cache; backends honor it only when
-  /// `processor` is unset (routed circuits are compiled per request). The
-  /// plan MUST have been lowered from this exact circuit and the executing
-  /// backend's noise model -- the session guarantees that pairing; set it
-  /// manually only with the same care.
+  /// Precompiled execution plan for the circuit the backend will run:
+  /// `circuit` itself, or -- when `processor` is set -- the transpiled
+  /// physical circuit. Normally attached by ExecutionSession's caches;
+  /// backends honor it only when the pairing is sound (no processor, or
+  /// `transpiled` attached alongside it; a plan on a hardware-targeted
+  /// request without its artifact is ignored). The plan MUST have been
+  /// lowered from that exact circuit and the executing backend's noise
+  /// model -- the session guarantees the pairing; set it manually only
+  /// with the same care.
   std::shared_ptr<const CompiledCircuit> plan;
   /// Lowering options used whenever the backend compiles a plan itself
-  /// (no `plan` attached, or a routed circuit). ExecutionSession
+  /// (no trusted `plan` attached -- see above). ExecutionSession
   /// propagates its SessionOptions::plan_options here so an opt-out of
   /// fusion holds on every path.
   PlanOptions plan_options;
@@ -103,9 +113,19 @@ struct ExecutionRequest {
     return *this;
   }
   ExecutionRequest& with_compilation(const Processor& proc,
-                                     CompileOptions options = {}) {
+                                     TranspileOptions options = {}) {
     processor = &proc;
-    compile_options = options;
+    transpile_options = options;
+    // Retargeting invalidates any previously attached artifact/plan pair;
+    // clearing both here makes the builder unable to produce a request
+    // whose artifact disagrees with its target.
+    transpiled = nullptr;
+    plan = nullptr;
+    return *this;
+  }
+  ExecutionRequest& with_transpiled(
+      std::shared_ptr<const TranspiledCircuit> t) {
+    transpiled = std::move(t);
     return *this;
   }
   ExecutionRequest& with_max_dim(std::size_t dim) {

@@ -12,7 +12,8 @@ ExecutionSession::ExecutionSession(const Backend& backend,
                                    SessionOptions options)
     : backend_(backend),
       options_(options),
-      plan_cache_(options.plan_cache_capacity) {
+      plan_cache_(options.plan_cache_capacity),
+      transpile_cache_(options.transpile_cache_capacity) {
   if (options_.threads == 0) options_.threads = default_thread_count();
 }
 
@@ -25,16 +26,46 @@ void ExecutionSession::attach_plan(ExecutionRequest& request) {
   // The session's lowering options hold on every path, including the
   // uncached ones where the backend compiles for itself.
   request.plan_options = options_.plan_options;
-  // Routed circuits are seed-dependent, and explicit plans are the
-  // caller's responsibility -- both bypass the cache.
-  if (request.plan != nullptr || request.processor != nullptr) return;
-  if (!options_.shared_plan_cache && options_.plan_cache_capacity == 0)
-    return;
+  const bool plan_caching =
+      options_.shared_plan_cache || options_.plan_cache_capacity > 0;
   static const NoiseModel kNoiseless;
-  const NoiseModel* noise = backend_.noise_model();
-  request.plan = cache().get_or_compile(
-      request.circuit, noise != nullptr ? *noise : kNoiseless,
-      options_.plan_options);
+  const NoiseModel* nm = backend_.noise_model();
+  const NoiseModel& noise = nm != nullptr ? *nm : kNoiseless;
+
+  if (request.processor != nullptr) {
+    // Hardware-targeted: transpilation is deterministic given the
+    // request triple, so the artifact -- and the plan lowered from its
+    // physical circuit -- are resolved through the caches and shared.
+    const bool transpile_caching = options_.shared_transpile_cache ||
+                                   options_.transpile_cache_capacity > 0;
+    if (request.transpiled == nullptr) {
+      // A caller plan without its artifact cannot have been lowered from
+      // the routed circuit (backends would rightly distrust it, and once
+      // the session attaches an artifact they could not): drop it before
+      // resolving, so the artifact is always paired with its own plan.
+      request.plan = nullptr;
+      // With transpile caching opted out the artifact is still resolved
+      // (uncached) here: transpilation is deterministic, so the physical
+      // circuit's plan remains cacheable either way.
+      request.transpiled =
+          transpile_caching
+              ? tcache().get_or_transpile(request.circuit,
+                                          *request.processor,
+                                          request.transpile_options)
+              : transpile(request.circuit, *request.processor,
+                          request.transpile_options);
+    }
+    if (request.transpiled != nullptr && request.plan == nullptr &&
+        plan_caching)
+      request.plan = cache().get_or_compile(request.transpiled->physical,
+                                            noise, options_.plan_options);
+    return;
+  }
+
+  // Explicit plans are the caller's responsibility -- bypass the cache.
+  if (request.plan != nullptr || !plan_caching) return;
+  request.plan =
+      cache().get_or_compile(request.circuit, noise, options_.plan_options);
 }
 
 ExecutionResult ExecutionSession::submit(ExecutionRequest request) {
@@ -48,19 +79,22 @@ ExecutionResult ExecutionSession::submit(ExecutionRequest request) {
 
 std::vector<ExecutionResult> ExecutionSession::submit_batch(
     std::vector<ExecutionRequest> requests) {
-  // Seeds and plans are fixed up front, in submission order, so the work
-  // below is free to run in any interleaving: plans are resolved on this
-  // thread and shared immutably with the workers.
-  for (ExecutionRequest& request : requests) {
-    assign_seed(request);
-    attach_plan(request);
-  }
+  // Seeds are fixed up front, in submission order (they are the only
+  // order-dependent state). Artifact and plan resolution rides inside
+  // the parallel region: the caches are thread-safe with in-flight
+  // de-duplication, so same-key requests still compile once while
+  // distinct keys -- e.g. a batch of different hardware-targeted
+  // circuits, each paying the mapping anneal -- resolve concurrently.
+  // Artifacts are pure functions of their request, so this does not
+  // affect the bitwise-reproducibility contract.
+  for (ExecutionRequest& request : requests) assign_seed(request);
 
   std::vector<ExecutionResult> results;
   results.reserve(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i)
     results.emplace_back();
   parallel_for(requests.size(), options_.threads, [&](std::size_t i) {
+    attach_plan(requests[i]);
     results[i] = backend_.execute(requests[i]);
   });
 

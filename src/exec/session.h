@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "compiler/transpile_cache.h"
 #include "exec/backend.h"
 #include "exec/plan.h"
 
@@ -38,6 +39,14 @@ struct SessionOptions {
   /// layer's worker pool) share compiled plans. PlanCache is thread-safe,
   /// so the sessions may live on different threads.
   std::shared_ptr<PlanCache> shared_plan_cache;
+  /// Transpile-artifact cache entries for hardware-targeted requests,
+  /// keyed by (circuit, processor, options) fingerprints. 0 disables
+  /// caching (every such request transpiles afresh). Ignored when
+  /// `shared_transpile_cache` is set.
+  std::size_t transpile_cache_capacity = 16;
+  /// Externally owned transpile cache shared across sessions (serve's
+  /// workers); same contract as shared_plan_cache.
+  std::shared_ptr<TranspileCache> shared_transpile_cache;
 };
 
 /// Submits requests to a Backend, in batches or one at a time. Not
@@ -73,16 +82,24 @@ class ExecutionSession {
 
   /// The plan cache in use -- the session's own, or the shared one from
   /// SessionOptions::shared_plan_cache (telemetry: hits/misses/size).
-  /// Plans are resolved on the submission thread, so repeated circuits --
-  /// e.g. the same ansatz re-run across a parameter sweep's shot batches
-  /// -- compile once and execute from the cached plan.
+  /// Batch submission resolves plans inside the worker fan-out (the
+  /// cache's in-flight slots keep each key compiled exactly once), so
+  /// repeated circuits -- e.g. the same ansatz re-run across a parameter
+  /// sweep's shot batches -- compile once and execute from the cached
+  /// plan, while distinct circuits compile concurrently.
   const PlanCache& plan_cache() const { return cache(); }
+
+  /// The transpile cache in use (telemetry: hits/misses/size). A repeated
+  /// hardware-targeted request transpiles exactly once; later submissions
+  /// hit this cache and reuse the artifact (and its compiled plan).
+  const TranspileCache& transpile_cache() const { return tcache(); }
 
  private:
   /// Replaces kAutoSeed with the next derived stream seed.
   void assign_seed(ExecutionRequest& request);
 
-  /// Attaches a cached compiled plan to an unplanned, unrouted request.
+  /// Attaches the cached transpile artifact (hardware-targeted requests)
+  /// and/or the cached compiled plan to the request.
   void attach_plan(ExecutionRequest& request);
 
   /// The shared cache when configured, the private one otherwise.
@@ -90,10 +107,15 @@ class ExecutionSession {
     return options_.shared_plan_cache ? *options_.shared_plan_cache
                                       : plan_cache_;
   }
+  TranspileCache& tcache() const {
+    return options_.shared_transpile_cache ? *options_.shared_transpile_cache
+                                           : transpile_cache_;
+  }
 
   const Backend& backend_;
   SessionOptions options_;
   mutable PlanCache plan_cache_;
+  mutable TranspileCache transpile_cache_;
   std::uint64_t next_stream_ = 0;
   std::size_t requests_executed_ = 0;
   double total_backend_seconds_ = 0.0;

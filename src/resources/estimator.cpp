@@ -5,7 +5,7 @@
 
 #include "common/require.h"
 #include "common/table.h"
-#include "compiler/compile.h"
+#include "compiler/pipeline.h"
 #include "qaoa/coloring_qaoa.h"
 #include "qaoa/qrac.h"
 #include "sqed/encodings.h"
@@ -23,9 +23,10 @@ Processor derate_for_levels(const Processor& proc, int levels) {
 
 namespace {
 
-/// Compiles a logical circuit and fills the schedule-derived fields.
+/// Transpiles a logical circuit and fills the schedule-derived fields.
 /// The device is derated to the logical dimension so idle decay reflects
-/// the occupied Fock levels.
+/// the occupied Fock levels. The mapping-anneal seed is drawn from `rng`
+/// (the estimator API remains Rng-driven; the pipeline itself is pure).
 void fill_from_compile(AppEstimate& est, const Circuit& logical,
                        const Processor& proc, Rng& rng) {
   est.unit_gates = logical.size();
@@ -34,11 +35,14 @@ void fill_from_compile(AppEstimate& est, const Circuit& logical,
       static_cast<double>(logical.space().num_sites());
   est.modes_needed = static_cast<int>(logical.space().num_sites());
   const Processor device = derate_for_levels(proc, logical.space().dim(0));
-  const CompileReport report = compile_circuit(logical, device, rng);
-  est.routed_gates = report.routing.physical.size();
-  est.swaps = report.routing.swaps_inserted;
-  est.unit_duration = report.schedule.makespan;
-  est.unit_fidelity = report.schedule.total_fidelity;
+  TranspileOptions options;
+  options.seed = rng.draw_seed();
+  const std::shared_ptr<const TranspiledCircuit> artifact =
+      transpile(logical, device, options);
+  est.routed_gates = artifact->physical.size();
+  est.swaps = artifact->swaps_inserted;
+  est.unit_duration = artifact->schedule.makespan;
+  est.unit_fidelity = artifact->schedule.total_fidelity;
 }
 
 }  // namespace

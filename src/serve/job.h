@@ -75,6 +75,13 @@ struct JobSpec {
   double deadline_seconds = 0.0;
   /// Guard for dense dim^2 allocations (DensityMatrixBackend jobs).
   std::size_t max_dim = kDefaultMaxDenseDim;
+  /// When set, the job's circuit is transpiled for this processor (the
+  /// device must outlive the service). Jobs sharing the same
+  /// (circuit, processor, transpile options) fingerprints share one
+  /// TranspiledCircuit through the service's TranspileCache and may be
+  /// batched together.
+  const Processor* processor = nullptr;
+  TranspileOptions transpile_options;
 
   JobSpec& with_tenant(std::string t) {
     tenant = std::move(t);
@@ -110,6 +117,12 @@ struct JobSpec {
   }
   JobSpec& with_max_dim(std::size_t dim) {
     max_dim = dim;
+    return *this;
+  }
+  JobSpec& with_compilation(const Processor& proc,
+                            TranspileOptions options = {}) {
+    processor = &proc;
+    transpile_options = options;
     return *this;
   }
 };

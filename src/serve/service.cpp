@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/fingerprint.h"
 #include "common/require.h"
 #include "common/rng.h"
 #include "noise/noise_model.h"
@@ -58,6 +59,8 @@ struct ServiceCore {
       : backend(b),
         opts(o),
         plan_cache(std::make_shared<PlanCache>(o.plan_cache_capacity)),
+        transpile_cache(
+            std::make_shared<TranspileCache>(o.transpile_cache_capacity)),
         store(o.result_store_capacity, o.result_ttl_seconds),
         paused(o.start_paused) {
     plan_key_suffix = fingerprint(noise()) +
@@ -72,6 +75,7 @@ struct ServiceCore {
   const Backend& backend;  ///< used only while workers run (see shutdown)
   const ServiceOptions opts;
   const std::shared_ptr<PlanCache> plan_cache;
+  const std::shared_ptr<TranspileCache> transpile_cache;
   ResultStore store;
   /// Constant (noise, options) contribution to every job's plan key,
   /// folded once so submit only fingerprints the circuit.
@@ -126,22 +130,29 @@ struct ServiceCore {
   }
 
   /// Runs one batch on the worker's session. All jobs share `plan_key`,
-  /// so the compiled plan is resolved once and attached to every request.
-  /// On a batch-level exception the jobs are retried one at a time --
-  /// seeds are already frozen, so the retry is bitwise the run the batch
-  /// would have produced -- isolating the failing job(s) instead of
-  /// failing innocent batch-mates.
+  /// so the transpile artifact (hardware-targeted jobs) and the compiled
+  /// plan are resolved once and attached to every request. On a
+  /// batch-level exception the jobs are retried one at a time -- seeds
+  /// are already frozen, so the retry is bitwise the run the batch would
+  /// have produced -- isolating the failing job(s) instead of failing
+  /// innocent batch-mates.
   void execute_batch(ExecutionSession& session,
                      const std::vector<Record>& batch) {
+    std::shared_ptr<const TranspiledCircuit> transpiled;
     std::shared_ptr<const CompiledCircuit> plan;
     std::size_t done = 0;
     std::size_t bad = 0;
     try {
-      plan = plan_cache->get_or_compile(batch[0]->request.circuit, noise(),
-                                        opts.plan_options);
+      const ExecutionRequest& first = batch[0]->request;
+      if (first.processor != nullptr)
+        transpiled = transpile_cache->get_or_transpile(
+            first.circuit, *first.processor, first.transpile_options);
+      plan = plan_cache->get_or_compile(
+          transpiled != nullptr ? transpiled->physical : first.circuit,
+          noise(), opts.plan_options);
     } catch (...) {
-      // Compilation failure (e.g. malformed circuit): leave plan empty;
-      // the per-job path below reports the error per job.
+      // Compilation failure (e.g. malformed circuit): leave the plan and
+      // artifact empty; the per-job path below reports the error per job.
     }
 
     // Outcomes are collected first and records signalled last, so by the
@@ -155,6 +166,7 @@ struct ServiceCore {
       for (const Record& r : batch) {
         ExecutionRequest request = r->request;  // keep the original for
         request.plan = plan;                    // the isolation retry
+        request.transpiled = transpiled;
         requests.push_back(std::move(request));
       }
       try {
@@ -171,6 +183,7 @@ struct ServiceCore {
         try {
           ExecutionRequest request = batch[i]->request;
           request.plan = plan;  // may be empty: backend compiles for itself
+          request.transpiled = transpiled;
           outcomes[i] = {JobStatus::kDone,
                          session.submit(std::move(request)), {}};
         } catch (const std::exception& e) {
@@ -205,6 +218,7 @@ struct ServiceCore {
     session_options.threads = opts.threads_per_worker;
     session_options.plan_options = opts.plan_options;
     session_options.shared_plan_cache = plan_cache;
+    session_options.shared_transpile_cache = transpile_cache;
     ExecutionSession session(backend, session_options);
 
     for (;;) {
@@ -298,8 +312,14 @@ JobHandle JobService::submit(JobSpec spec) {
   // walks the circuit payload, so it happens outside the service lock;
   // the constant (noise, options) term was folded at construction.
   std::uint64_t key = fingerprint(spec.circuit);
-  key ^= core_->plan_key_suffix + 0x9e3779b97f4a7c15ull + (key << 6) +
-         (key >> 2);
+  key = fnv::combine(core_->plan_key_suffix, key);
+  if (spec.processor != nullptr) {
+    // Hardware-targeted jobs only batch with jobs transpiling to the
+    // same physical circuit: fold the device and transpile options into
+    // the plan-sharing key.
+    key = fnv::combine(fingerprint(*spec.processor), key);
+    key = fnv::combine(fingerprint(spec.transpile_options), key);
+  }
 
   ExecutionRequest request(std::move(spec.circuit));
   request.shots = spec.shots;
@@ -308,6 +328,8 @@ JobHandle JobService::submit(JobSpec spec) {
   request.initial_digits = std::move(spec.initial_digits);
   request.max_dim = spec.max_dim;
   request.plan_options = options_.plan_options;
+  request.processor = spec.processor;
+  request.transpile_options = spec.transpile_options;
   request.seed = spec.seed;
 
   const auto now = std::chrono::steady_clock::now();
@@ -395,6 +417,9 @@ ServiceTelemetry JobService::telemetry() const {
   t.plan_cache_hits = core_->plan_cache->hits();
   t.plan_cache_misses = core_->plan_cache->misses();
   t.plan_cache_size = core_->plan_cache->size();
+  t.transpile_cache_hits = core_->transpile_cache->hits();
+  t.transpile_cache_misses = core_->transpile_cache->misses();
+  t.transpile_cache_size = core_->transpile_cache->size();
   t.results_stored = core_->store.size();
   return t;
 }

@@ -58,6 +58,9 @@ struct ServiceOptions {
   std::uint64_t seed = 0x5e4ce5eedf005e4cull;
   /// Capacity of the shared compiled-plan cache.
   std::size_t plan_cache_capacity = 64;
+  /// Capacity of the shared transpile-artifact cache (hardware-targeted
+  /// jobs transpile once per (circuit, processor, options) shape).
+  std::size_t transpile_cache_capacity = 32;
   /// Lowering options for every job's plan.
   PlanOptions plan_options;
   /// ResultStore bounds (see result_store.h).
@@ -93,6 +96,9 @@ struct ServiceTelemetry {
   std::size_t plan_cache_hits = 0;
   std::size_t plan_cache_misses = 0;
   std::size_t plan_cache_size = 0;
+  std::size_t transpile_cache_hits = 0;
+  std::size_t transpile_cache_misses = 0;
+  std::size_t transpile_cache_size = 0;
   std::size_t results_stored = 0;  ///< gauge: ResultStore entries
 
   /// Mean dispatched batch size (0 when nothing dispatched yet).

@@ -161,6 +161,47 @@ TEST(ExecutionRequest, CompiledExecutionReportsSummary) {
   EXPECT_EQ(r.probabilities, r2.probabilities);
 }
 
+TEST(ExecutionSession, RepeatedCompiledRequestTranspilesExactlyOnce) {
+  // The acceptance contract of the transpile cache: a repeated
+  // ExecutionRequest with `processor` set transpiles once; the second
+  // submission is a cache hit and reuses the artifact (and its plan).
+  ProcessorConfig cfg;
+  cfg.num_cavities = 3;
+  cfg.modes_per_cavity = 1;
+  cfg.levels_per_mode = 3;
+  const Processor proc(cfg);
+  const StateVectorBackend backend;
+  ExecutionSession session(backend);
+  const ExecutionResult a = session.submit(
+      ExecutionRequest(bell_circuit()).with_compilation(proc).with_seed(5));
+  const ExecutionResult b = session.submit(
+      ExecutionRequest(bell_circuit()).with_compilation(proc).with_seed(5));
+  EXPECT_EQ(session.transpile_cache().misses(), 1u);
+  EXPECT_EQ(session.transpile_cache().hits(), 1u);
+  EXPECT_EQ(session.transpile_cache().size(), 1u);
+  // Identical seeds => bitwise-identical simulation results.
+  EXPECT_EQ(a.probabilities, b.probabilities);
+  EXPECT_FALSE(a.compile_summary.empty());
+  // The physical-circuit plan is cached too: one miss, one hit.
+  EXPECT_EQ(session.plan_cache().misses(), 1u);
+  EXPECT_EQ(session.plan_cache().hits(), 1u);
+
+  // Sessions can share one transpile cache (the serve layer's workers):
+  // a third session resolving the same request hits, never misses.
+  auto shared = std::make_shared<TranspileCache>(8);
+  SessionOptions opts;
+  opts.shared_transpile_cache = shared;
+  ExecutionSession warm(backend, opts);
+  warm.submit(
+      ExecutionRequest(bell_circuit()).with_compilation(proc).with_seed(5));
+  EXPECT_EQ(shared->misses(), 1u);
+  ExecutionSession reuse(backend, opts);
+  reuse.submit(
+      ExecutionRequest(bell_circuit()).with_compilation(proc).with_seed(5));
+  EXPECT_EQ(shared->misses(), 1u);
+  EXPECT_EQ(shared->hits(), 1u);
+}
+
 TEST(DensityMatrixBackendGuard, RejectsOversizedDenseAllocation) {
   const Circuit c = bell_circuit();  // dim 9
   EXPECT_THROW(

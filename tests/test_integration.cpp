@@ -7,7 +7,7 @@
 #include "exec/state_vector_backend.h"
 #include "test_support.h"
 #include "common/rng.h"
-#include "compiler/compile.h"
+#include "compiler/pipeline.h"
 #include "gates/qudit_gates.h"
 #include "gates/two_qudit.h"
 #include "linalg/metrics.h"
@@ -60,18 +60,21 @@ TEST(Integration, SynthesizedCsumRunsInsideQaoaStyleCircuit) {
 }
 
 TEST(Integration, CompiledSqedStepSurvivesOnForecastDevice) {
-  // Build the 2x2 rotor-ladder Trotter step, compile it end-to-end, and
-  // check the fidelity forecast is meaningful (0 < F < 1) and the routed
-  // circuit still has every logical gate.
+  // Build the 2x2 rotor-ladder Trotter step, transpile it end-to-end,
+  // and check the fidelity forecast is meaningful (0 < F < 1) and the
+  // routed circuit still has every logical gate.
   Rng rng(31);
   const Hamiltonian h = gauge_ladder_2d(2, 2, {3, 1.0, 1.0});
   const Circuit step = native_trotter_circuit(h, {2, 0.1, 1});
   const Processor proc = Processor::forecast_device(&rng);
-  const CompileReport report = compile_circuit(step, proc, rng);
-  EXPECT_GE(report.routing.physical.size(), step.size());
-  EXPECT_GT(report.schedule.total_fidelity, 0.0);
-  EXPECT_LT(report.schedule.total_fidelity, 1.0);
-  EXPECT_GT(report.schedule.makespan, 0.0);
+  const auto artifact = transpile(step, proc);
+  // Every logical gate survives (modulo commutation-cancelled inverse
+  // pairs, which this Trotter step does not contain) plus the swaps.
+  EXPECT_EQ(artifact->physical.size(),
+            step.size() + static_cast<std::size_t>(artifact->swaps_inserted));
+  EXPECT_GT(artifact->schedule.total_fidelity, 0.0);
+  EXPECT_LT(artifact->schedule.total_fidelity, 1.0);
+  EXPECT_GT(artifact->schedule.makespan, 0.0);
 }
 
 TEST(Integration, NoisyGapExtractionEndToEnd) {

@@ -360,6 +360,69 @@ TEST(JobService, BurstOfIdenticalCircuitsBatchesAndCompilesOnce) {
   EXPECT_EQ(t.results_stored, 12u);
 }
 
+TEST(JobService, HardwareTargetedBurstTranspilesOnceAndBatches) {
+  // A burst of same-shape hardware-targeted jobs across tenants: the
+  // (circuit, processor, transpile options) triple is folded into the
+  // plan-sharing key, so the burst batches together, transpiles exactly
+  // once through the shared TranspileCache, and compiles one plan from
+  // the physical circuit.
+  ProcessorConfig cfg;
+  cfg.num_cavities = 3;
+  cfg.modes_per_cavity = 1;
+  cfg.levels_per_mode = 3;
+  const Processor proc(cfg);
+  const StateVectorBackend backend;
+  ServiceOptions options;
+  options.workers = 2;
+  options.max_batch = 16;
+  options.start_paused = true;
+  JobService service(backend, options);
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 10; ++i)
+    handles.push_back(service.submit(JobSpec(qaoa_circuit(0.5))
+                                         .with_tenant(i % 2 ? "a" : "b")
+                                         .with_compilation(proc)
+                                         .with_shots(16)));
+  service.resume();
+  std::vector<ExecutionResult> results;
+  for (const JobHandle& h : handles) results.push_back(h.result());
+  service.shutdown(ShutdownMode::kDrain);
+
+  const ServiceTelemetry t = service.telemetry();
+  EXPECT_EQ(t.completed, 10u);
+  EXPECT_GT(t.largest_batch, 1u);
+  EXPECT_EQ(t.transpile_cache_misses, 1u);
+  EXPECT_GE(t.transpile_cache_hits, t.batches - 1);
+  EXPECT_EQ(t.plan_cache_misses, 1u);
+  // Every result ran the routed physical register (one site per mode)
+  // and reports the transpile summary.
+  for (const ExecutionResult& r : results) {
+    EXPECT_EQ(r.probabilities.size(), 27u);  // 3 modes x d = 3
+    EXPECT_FALSE(r.compile_summary.empty());
+  }
+
+  // Jobs targeting a different device must NOT share the batch key: the
+  // key folds the processor fingerprint.
+  ProcessorConfig other = cfg;
+  other.mode_t1 = 2e-3;
+  const Processor proc2(other);
+  ServiceOptions opts2;
+  opts2.workers = 1;
+  opts2.start_paused = true;
+  JobService split(backend, opts2);
+  const JobHandle x =
+      split.submit(JobSpec(qaoa_circuit(0.5)).with_compilation(proc));
+  const JobHandle y =
+      split.submit(JobSpec(qaoa_circuit(0.5)).with_compilation(proc2));
+  split.resume();
+  x.wait();
+  y.wait();
+  split.shutdown(ShutdownMode::kDrain);
+  const ServiceTelemetry t2 = split.telemetry();
+  EXPECT_EQ(t2.transpile_cache_misses, 2u);
+  EXPECT_EQ(t2.largest_batch, 1u);
+}
+
 TEST(JobService, CancelBeforeDispatchWinsAfterDispatchLoses) {
   const StateVectorBackend backend;
   ServiceOptions options;
