@@ -1,0 +1,118 @@
+// Calibration-subsystem microbenchmarks (google-benchmark): snapshot
+// construction, seeded drift replay, mitigation throughput (dense
+// inversion vs the factorized per-site product path), and the
+// recalibration-driven transpile-cache churn.
+//
+// The CI perf-smoke job runs this binary with --benchmark_format=json and
+// archives BENCH_calibration.json, so snapshot/drift/mitigation costs --
+// the per-recalibration overhead a serving deployment pays -- are tracked
+// across commits alongside the simulator and serve benchmarks.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/quditsim.h"
+
+namespace {
+
+using namespace qs;
+
+/// Snapshot build for the paper's 40-mode forecast device.
+void BM_SnapshotNominalForecastDevice(benchmark::State& state) {
+  const Processor device = Processor::forecast_device();
+  for (auto _ : state) {
+    CalibrationSnapshot snap = CalibrationSnapshot::nominal(device, 0.02);
+    benchmark::DoNotOptimize(snap);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotNominalForecastDevice)->Unit(benchmark::kMicrosecond);
+
+/// One seeded drift step of the forecast device's snapshot (validate()
+/// runs inside, as in production).
+void BM_DriftAdvanceForecastDevice(benchmark::State& state) {
+  const Processor device = Processor::forecast_device();
+  const CalibrationSnapshot base =
+      CalibrationSnapshot::nominal(device, 0.02);
+  const DriftModel drift(17);
+  CalibrationSnapshot current = base;
+  for (auto _ : state) {
+    current = drift.advance(current, 1800.0);
+    benchmark::DoNotOptimize(current);
+    if (current.epoch > 4096) current = base;  // bound the replayed history
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DriftAdvanceForecastDevice)->Unit(benchmark::kMicrosecond);
+
+/// Dense-matrix mitigation on an n-site d=4 register: builds the full
+/// d^n x d^n tensor confusion once, inverts per histogram.
+void BM_MitigateDense(benchmark::State& state) {
+  const int sites = static_cast<int>(state.range(0));
+  const auto site = adjacent_confusion_matrix(4, 0.08);
+  const auto dense = register_confusion_matrix(site, sites);
+  std::vector<double> observed(dense.size());
+  for (std::size_t i = 0; i < observed.size(); ++i)
+    observed[i] = static_cast<double>((13 * i + 5) % 97) + 1.0;
+  for (auto _ : state) {
+    auto out = mitigate_readout(dense, observed);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MitigateDense)->Arg(2)->Arg(3)->Unit(benchmark::kMicrosecond);
+
+/// Factorized per-site mitigation on the same registers (plus one the
+/// dense path cannot touch without a 16M-entry matrix): the serve-layer
+/// production path.
+void BM_MitigateFactorized(benchmark::State& state) {
+  const int sites = static_cast<int>(state.range(0));
+  const auto site = adjacent_confusion_matrix(4, 0.08);
+  std::vector<std::vector<std::vector<double>>> site_matrices(
+      static_cast<std::size_t>(sites), site);
+  std::vector<int> dims(static_cast<std::size_t>(sites), 4);
+  std::size_t dim = 1;
+  for (int s = 0; s < sites; ++s) dim *= 4;
+  std::vector<double> observed(dim);
+  for (std::size_t i = 0; i < dim; ++i)
+    observed[i] = static_cast<double>((13 * i + 5) % 97) + 1.0;
+  for (auto _ : state) {
+    auto out = mitigate_readout_product(site_matrices, dims, observed);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MitigateFactorized)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(6)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The cost a recalibration imposes on the compile layer: every epoch is
+/// a fresh transpile-cache key, so the workload re-transpiles once per
+/// epoch (measures transpile-under-calibration, the serve layer's
+/// post-recalibration hiccup).
+void BM_RecalibrationTranspileChurn(benchmark::State& state) {
+  const Processor device = Processor::testbed_device();
+  Circuit logical(QuditSpace({8, 8}));
+  logical.add("F", fourier(8), {0});
+  logical.add("CSUM", csum(8, 8), {0, 1});
+  logical.add("F2", fourier(8), {1});
+  const DriftModel drift(23);
+  CalibrationSnapshot snap = CalibrationSnapshot::nominal(device, 0.02);
+  TranspileCache cache(64);
+  for (auto _ : state) {
+    state.PauseTiming();
+    snap = drift.advance(snap, 1800.0);  // new epoch = new cache key
+    const Processor view = device.with_calibration(
+        std::make_shared<const CalibrationSnapshot>(snap));
+    state.ResumeTiming();
+    auto artifact = cache.get_or_transpile(logical, view);
+    benchmark::DoNotOptimize(artifact);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecalibrationTranspileChurn)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,16 @@
+// Umbrella header for the calibration & characterization subsystem.
+//
+// CalibrationSnapshot (versioned device observations) -> produced by
+// characterize() (exec-layer experiment drivers) or DriftModel (seeded
+// drift replay) -> published into a CalibrationStore -> consumed as
+// Processor::with_calibration views by the transpiler, the exec layer's
+// readout mitigation, and the serve layer's recalibration trigger.
+#ifndef QS_CALIB_CALIB_H
+#define QS_CALIB_CALIB_H
+
+#include "calib/drift.h"        // IWYU pragma: export
+#include "calib/experiments.h"  // IWYU pragma: export
+#include "calib/snapshot.h"     // IWYU pragma: export
+#include "calib/store.h"        // IWYU pragma: export
+
+#endif  // QS_CALIB_CALIB_H

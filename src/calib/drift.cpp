@@ -1,0 +1,104 @@
+#include "calib/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+#include "common/rng.h"
+
+namespace qs {
+
+DriftModel::DriftModel(std::uint64_t seed, DriftOptions options)
+    : seed_(seed), options_(options) {
+  require(options_.reference_interval_seconds > 0.0,
+          "DriftModel: reference interval must be positive");
+  require(options_.degradation_rate >= 0.0 && options_.degradation_rate < 1.0,
+          "DriftModel: degradation_rate outside [0, 1)");
+}
+
+CalibrationSnapshot DriftModel::advance(const CalibrationSnapshot& from,
+                                        double dt_seconds) const {
+  require(dt_seconds > 0.0, "DriftModel::advance: dt must be positive");
+  from.validate();
+  // The step stream depends only on (model seed, source epoch): advancing
+  // the same snapshot twice -- from any thread, after any call history --
+  // is bitwise identical.
+  Rng rng(split_seed(seed_, from.epoch));
+  const double intervals = dt_seconds / options_.reference_interval_seconds;
+  const double scale = std::sqrt(intervals);
+  const double decay =
+      1.0 - std::pow(1.0 - options_.degradation_rate, intervals);
+
+  CalibrationSnapshot out = from;
+  out.epoch = from.epoch + 1;
+  out.wall_time_seconds = from.wall_time_seconds + dt_seconds;
+  out.source = "drift";
+
+  for (std::size_t m = 0; m < out.modes.size(); ++m) {
+    ModeCalibration& mode = out.modes[m];
+    mode.t1 *= std::exp(options_.t1_sigma * scale * rng.normal());
+    // Cavities stay T1-limited: T2 walks independently but never exceeds
+    // the 2*T1 physical bound.
+    mode.t2 = std::min(
+        mode.t2 * std::exp(options_.t1_sigma * scale * rng.normal()),
+        2.0 * mode.t1);
+    mode.thermal_population = std::clamp(
+        std::max(mode.thermal_population, 1e-4) *
+            std::exp(options_.thermal_sigma * scale * rng.normal()),
+        0.0, 0.5);
+
+    for (OpCalibration& oc : out.ops[m]) {
+      // Walk the *error* in log space (fidelity walks would need
+      // asymmetric clamping); add the systematic degradation bias.
+      double err = std::max(1.0 - oc.fidelity, 1e-9);
+      err *= std::exp(options_.fidelity_sigma * scale * rng.normal());
+      err += decay * (1.0 - err);
+      oc.fidelity = std::clamp(1.0 - err, 0.0, 1.0);
+    }
+
+    // Scale each column's off-diagonal leakage mass; the diagonal absorbs
+    // the difference so columns stay stochastic.
+    auto& c = out.confusion[m];
+    const std::size_t d = c.size();
+    for (std::size_t j = 0; j < d; ++j) {
+      const double factor =
+          std::exp(options_.readout_sigma * scale * rng.normal());
+      double off = 0.0;
+      for (std::size_t i = 0; i < d; ++i)
+        if (i != j) off += c[i][j];
+      // An identity column cannot grow multiplicatively: seed it with a
+      // small leakage floor first so readout drift reaches ideal setups.
+      if (off == 0.0 && d > 1) {
+        const double floor_leak = 1e-4;
+        c[j == 0 ? 1 : j - 1][j] = floor_leak;
+        off = floor_leak;
+      }
+      const double target = std::min(off * factor, 0.5);
+      const double rescale = off > 0.0 ? target / off : 1.0;
+      double col_off = 0.0;
+      for (std::size_t i = 0; i < d; ++i) {
+        if (i == j) continue;
+        c[i][j] *= rescale;
+        col_off += c[i][j];
+      }
+      c[j][j] = 1.0 - col_off;
+    }
+  }
+  out.validate();
+  return out;
+}
+
+std::vector<CalibrationSnapshot> DriftModel::replay(
+    const CalibrationSnapshot& from, double dt_seconds, int steps) const {
+  require(steps >= 1, "DriftModel::replay: need at least one step");
+  std::vector<CalibrationSnapshot> history;
+  history.reserve(static_cast<std::size_t>(steps));
+  const CalibrationSnapshot* prev = &from;
+  for (int s = 0; s < steps; ++s) {
+    history.push_back(advance(*prev, dt_seconds));
+    prev = &history.back();
+  }
+  return history;
+}
+
+}  // namespace qs

@@ -1,0 +1,65 @@
+// Deterministic seeded drift of calibration snapshots.
+//
+// Between recalibrations a real device wanders: T1 jumps with TLS
+// defects, gate fidelities degrade, readout confusion grows. The
+// DriftModel replays that wandering as a seeded geometric random walk
+// over simulated wall-clock, so tests and benches can exercise
+// recalibration, cache-invalidation, and staleness scenarios with
+// bitwise-reproducible device histories: advance() is a pure function of
+// (model seed, input snapshot, dt) -- the step RNG derives from
+// split_seed(seed, input epoch), never from call history.
+#ifndef QS_CALIB_DRIFT_H
+#define QS_CALIB_DRIFT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "calib/snapshot.h"
+
+namespace qs {
+
+/// Random-walk strengths, expressed per `reference_interval_seconds` of
+/// simulated wall-clock; a step of dt scales every sigma by
+/// sqrt(dt / reference interval) (standard Brownian scaling).
+struct DriftOptions {
+  double t1_sigma = 0.10;       ///< log-normal walk on per-mode T1/T2
+  double fidelity_sigma = 0.25; ///< log-normal walk on per-op *error*
+  double readout_sigma = 0.20;  ///< log-normal walk on confusion leakage
+  double thermal_sigma = 0.15;  ///< log-normal walk on thermal population
+  /// Systematic decay: fraction of each op's fidelity headroom lost per
+  /// reference interval (drift is biased toward degradation, as on real
+  /// devices between recalibrations).
+  double degradation_rate = 0.05;
+  double reference_interval_seconds = 3600.0;
+};
+
+/// Seeded drift generator. Stateless with respect to advance(): one
+/// instance may be shared across threads, and replaying the same
+/// (snapshot, dt) pair always yields the same successor.
+class DriftModel {
+ public:
+  explicit DriftModel(std::uint64_t seed, DriftOptions options = {});
+
+  const DriftOptions& options() const { return options_; }
+
+  /// Returns `from` evolved by `dt_seconds` of simulated wall-clock:
+  /// epoch + 1, wall time advanced, every calibrated quantity stepped by
+  /// the seeded walk. Validates the result.
+  CalibrationSnapshot advance(const CalibrationSnapshot& from,
+                              double dt_seconds) const;
+
+  /// Convenience: `steps` successive advance() calls of `dt_seconds`
+  /// each, returning every intermediate snapshot (from's successors,
+  /// oldest first).
+  std::vector<CalibrationSnapshot> replay(const CalibrationSnapshot& from,
+                                          double dt_seconds,
+                                          int steps) const;
+
+ private:
+  std::uint64_t seed_;
+  DriftOptions options_;
+};
+
+}  // namespace qs
+
+#endif  // QS_CALIB_DRIFT_H

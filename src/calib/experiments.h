@@ -1,0 +1,63 @@
+// Characterization experiment drivers: measure a device, produce a
+// CalibrationSnapshot.
+//
+// Everything here runs *through the exec layer* -- circuits are built,
+// batched into one ExecutionSession::submit_batch, and estimated from
+// sampled counts -- so the same drivers characterize any Backend (a
+// noisy trajectory forecast today, a hardware adapter later), and the
+// whole run is bitwise reproducible for a fixed seed:
+//
+//   * per-native-op fidelities: level-resolved randomized-benchmarking
+//     style identity sequences (op/op^dagger pairs carrying the op's
+//     nominal duration) of increasing length; the survival of the
+//     prepared Fock level decays exponentially and the per-gate fidelity
+//     is the fitted decay base;
+//   * per-mode T1: idle-decay survival of |1> over two idle windows;
+//   * per-site readout confusion: prepare each basis level, hold for the
+//     measurement duration, histogram the outcomes (column j of the
+//     confusion matrix).
+#ifndef QS_CALIB_EXPERIMENTS_H
+#define QS_CALIB_EXPERIMENTS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "calib/snapshot.h"
+#include "exec/backend.h"
+
+namespace qs {
+
+struct CharacterizationOptions {
+  /// Identity-sequence repetition counts (each repetition is an
+  /// op/op^dagger pair, i.e. two noisy gates).
+  std::vector<int> sequence_lengths = {1, 4, 12};
+  /// Measurement shots per sequence and per confusion column.
+  std::size_t shots = 400;
+  /// Fock levels probed per mode (clipped to the mode dimension): level 0,
+  /// then evenly spaced up to d-1.
+  int probe_levels = 3;
+  /// T1-probe idle windows, as a fraction of each mode's nominal T1:
+  /// the two probes idle for scale * T1 and 3 * scale * T1 seconds.
+  double idle_window_scale = 0.02;
+  /// Root seed: every request's seed is split_seed(seed, request index),
+  /// so the snapshot is a pure function of (backend, processor, options).
+  std::uint64_t seed = 0xca11b5a7e5eed001ull;
+  /// Worker threads of the characterization session (determinism is
+  /// independent of this; it only changes wall time).
+  std::size_t threads = 1;
+};
+
+/// Runs the characterization suite for every mode of `proc` on `backend`
+/// and assembles a validated snapshot with the given epoch. Fidelities
+/// the experiments cannot resolve (no decay observed) report as 1; T1/T2
+/// fall back to the processor's nominal values when the backend shows no
+/// idle decay.
+CalibrationSnapshot characterize(const Backend& backend,
+                                 const Processor& proc,
+                                 const CharacterizationOptions& options = {},
+                                 std::uint64_t epoch = 1);
+
+}  // namespace qs
+
+#endif  // QS_CALIB_EXPERIMENTS_H

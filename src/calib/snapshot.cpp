@@ -1,0 +1,146 @@
+#include "calib/snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/fingerprint.h"
+#include "common/require.h"
+#include "noise/channels.h"
+
+namespace qs {
+
+namespace {
+
+int op_index(NativeOp o) {
+  const int i = static_cast<int>(o);
+  require(i >= 0 && i < kNumNativeOps,
+          "CalibrationSnapshot: unknown NativeOp");
+  return i;
+}
+
+}  // namespace
+
+const OpCalibration& CalibrationSnapshot::op(NativeOp o, int m) const {
+  require(m >= 0 && m < num_modes(),
+          "CalibrationSnapshot::op: mode index out of range");
+  return ops[static_cast<std::size_t>(m)]
+            [static_cast<std::size_t>(op_index(o))];
+}
+
+OpCalibration& CalibrationSnapshot::op(NativeOp o, int m) {
+  require(m >= 0 && m < num_modes(),
+          "CalibrationSnapshot::op: mode index out of range");
+  return ops[static_cast<std::size_t>(m)]
+            [static_cast<std::size_t>(op_index(o))];
+}
+
+void CalibrationSnapshot::validate() const {
+  require(epoch > 0, "CalibrationSnapshot: epoch 0 is reserved");
+  const std::size_t n = modes.size();
+  require(n > 0, "CalibrationSnapshot: no modes");
+  require(ops.size() == n,
+          "CalibrationSnapshot: ops table does not cover every mode");
+  require(confusion.size() == n,
+          "CalibrationSnapshot: confusion table does not cover every mode");
+  for (std::size_t m = 0; m < n; ++m) {
+    require(modes[m].t1 > 0.0 && modes[m].t2 > 0.0,
+            "CalibrationSnapshot: coherence times must be positive");
+    require(modes[m].thermal_population >= 0.0 &&
+                modes[m].thermal_population <= 1.0,
+            "CalibrationSnapshot: thermal population outside [0, 1]");
+    require(ops[m].size() == static_cast<std::size_t>(kNumNativeOps),
+            "CalibrationSnapshot: per-mode op table has wrong arity");
+    for (const OpCalibration& oc : ops[m]) {
+      require(oc.fidelity >= 0.0 && oc.fidelity <= 1.0,
+              "CalibrationSnapshot: fidelity outside [0, 1]");
+      require(oc.duration >= 0.0,
+              "CalibrationSnapshot: negative gate duration");
+    }
+    const auto& c = confusion[m];
+    const std::size_t d = c.size();
+    require(d >= 1, "CalibrationSnapshot: empty confusion matrix");
+    for (const auto& row : c)
+      require(row.size() == d,
+              "CalibrationSnapshot: confusion matrix is not square");
+    for (std::size_t j = 0; j < d; ++j) {
+      double col = 0.0;
+      for (std::size_t i = 0; i < d; ++i) {
+        require(c[i][j] >= -1e-12,
+                "CalibrationSnapshot: negative confusion entry");
+        col += c[i][j];
+      }
+      require(std::abs(col - 1.0) < 1e-6,
+              "CalibrationSnapshot: confusion column does not sum to 1");
+    }
+  }
+}
+
+std::uint64_t CalibrationSnapshot::fingerprint() const {
+  std::uint64_t h = fnv::kOffset;
+  h = fnv::u64(epoch, h);
+  h = fnv::f64(wall_time_seconds, h);
+  h = fnv::bytes(source.data(), source.size(), h);
+  for (const ModeCalibration& m : modes) {
+    h = fnv::f64(m.t1, h);
+    h = fnv::f64(m.t2, h);
+    h = fnv::f64(m.thermal_population, h);
+  }
+  for (const auto& per_mode : ops)
+    for (const OpCalibration& oc : per_mode) {
+      h = fnv::f64(oc.fidelity, h);
+      h = fnv::f64(oc.duration, h);
+    }
+  for (const auto& site : confusion)
+    for (const auto& row : site)
+      for (double v : row) h = fnv::f64(v, h);
+  return h;
+}
+
+CalibrationSnapshot CalibrationSnapshot::nominal(const Processor& proc,
+                                                 double readout_error) {
+  require(readout_error >= 0.0 && readout_error < 1.0,
+          "CalibrationSnapshot::nominal: readout_error outside [0, 1)");
+  CalibrationSnapshot snap;
+  snap.epoch = 1;
+  snap.source = "nominal";
+  const int n = proc.num_modes();
+  snap.modes.reserve(static_cast<std::size_t>(n));
+  snap.ops.reserve(static_cast<std::size_t>(n));
+  snap.confusion.reserve(static_cast<std::size_t>(n));
+  for (int m = 0; m < n; ++m) {
+    const ModeInfo& info = proc.mode(m);
+    snap.modes.push_back({info.t1, info.t2, 0.0});
+    std::vector<OpCalibration> per_mode(
+        static_cast<std::size_t>(kNumNativeOps));
+    for (int o = 0; o < kNumNativeOps; ++o) {
+      const NativeOp native = static_cast<NativeOp>(o);
+      per_mode[static_cast<std::size_t>(o)] = {
+          std::max(0.0, 1.0 - proc.native_op_error(native, m)),
+          proc.durations().of(native)};
+    }
+    snap.ops.push_back(std::move(per_mode));
+    snap.confusion.push_back(
+        adjacent_confusion_matrix(info.dim, readout_error));
+  }
+  snap.validate();
+  return snap;
+}
+
+CalibrationSnapshot degrade_mode(const CalibrationSnapshot& snap, int mode,
+                                 double error_scale) {
+  require(mode >= 0 && mode < snap.num_modes(),
+          "degrade_mode: mode index out of range");
+  require(error_scale > 0.0, "degrade_mode: error_scale must be positive");
+  CalibrationSnapshot out = snap;
+  const auto m = static_cast<std::size_t>(mode);
+  out.epoch = snap.epoch + 1;
+  out.source = "degraded";
+  out.modes[m].t1 /= error_scale;
+  out.modes[m].t2 /= error_scale;
+  for (OpCalibration& oc : out.ops[m])
+    oc.fidelity = std::max(0.0, 1.0 - error_scale * (1.0 - oc.fidelity));
+  out.validate();
+  return out;
+}
+
+}  // namespace qs

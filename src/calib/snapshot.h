@@ -1,0 +1,99 @@
+// Versioned calibration snapshots of a qudit processor.
+//
+// The paper's central operational reality (SS I, SS III) is that device
+// parameters are *time-varying*: cavity T1/T2 drift between cooldowns,
+// transmon-mediated gate fidelities wander with TLS defects, and readout
+// confusion is level-dependent and recalibrated daily. A
+// CalibrationSnapshot is one immutable, fingerprinted observation of that
+// reality: per-mode coherence, per-(mode, native-op) fidelity and
+// duration, and per-site d x d readout confusion matrices, all stamped
+// with a monotonically increasing epoch. Snapshots flow from the
+// characterization drivers (calib/experiments.h) or the seeded drift
+// replays (calib/drift.h) into the CalibrationStore (calib/store.h), and
+// from there into Processor::with_calibration views that the transpiler,
+// the exec layer, and the serve layer consume.
+#ifndef QS_CALIB_SNAPSHOT_H
+#define QS_CALIB_SNAPSHOT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hardware/processor.h"
+
+namespace qs {
+
+/// Number of NativeOp enumerators (alias of hardware/processor.h's
+/// kNativeOpCount, which lives next to the enum it mirrors).
+inline constexpr int kNumNativeOps = kNativeOpCount;
+
+/// Measured coherence of one cavity mode.
+struct ModeCalibration {
+  double t1 = 1e-3;                 ///< photon lifetime (s)
+  double t2 = 2e-3;                 ///< dephasing time (s)
+  double thermal_population = 0.0;  ///< residual excited population
+};
+
+/// Measured quality of one native op on one mode.
+struct OpCalibration {
+  double fidelity = 1.0;  ///< average gate fidelity in [0, 1]
+  double duration = 0.0;  ///< calibrated gate time (s)
+};
+
+/// One immutable, versioned observation of the device. Plain data: build
+/// it, validate() it, then share it as shared_ptr<const CalibrationSnapshot>
+/// (Processor views, the store, and execution requests all hold it that
+/// way; nothing mutates a published snapshot).
+struct CalibrationSnapshot {
+  /// Monotonically increasing version; the CalibrationStore rejects
+  /// publishes that do not advance it, and fingerprint(Processor) folds
+  /// it in so every cache keyed on the device invalidates on
+  /// recalibration. Epoch 0 is reserved for "uncalibrated".
+  std::uint64_t epoch = 1;
+  /// Simulated wall-clock the snapshot was taken at (seconds; drives the
+  /// DriftModel's random-walk scaling).
+  double wall_time_seconds = 0.0;
+  /// Producer tag ("nominal", "drift", "characterization", ...).
+  std::string source;
+  std::vector<ModeCalibration> modes;         ///< one per device mode
+  /// ops[m][static_cast<int>(op)] for device mode m.
+  std::vector<std::vector<OpCalibration>> ops;
+  /// Per-site column-stochastic d x d readout confusion matrices:
+  /// confusion[m][i][j] = P(read i | prepared j) on mode m.
+  std::vector<std::vector<std::vector<double>>> confusion;
+
+  int num_modes() const { return static_cast<int>(modes.size()); }
+
+  /// Calibration of `op` on mode `m` (bounds-checked).
+  const OpCalibration& op(NativeOp o, int m) const;
+  OpCalibration& op(NativeOp o, int m);
+
+  /// Throws unless every table covers the same mode count, fidelities are
+  /// in [0, 1], coherence times are positive, and every confusion matrix
+  /// is square and column-stochastic.
+  void validate() const;
+
+  /// Order-sensitive 64-bit digest of every payload bit (epoch, modes,
+  /// ops, confusion). Cache-key component: fingerprint(Processor) folds
+  /// it in for calibrated views.
+  std::uint64_t fingerprint() const;
+
+  /// Snapshot reproducing the processor's analytic error model at epoch 1:
+  /// per-mode T1/T2 from the device, per-op fidelity = 1 - native_op_error,
+  /// nominal durations, and adjacent-level readout confusion at rate
+  /// `readout_error` (0 = ideal readout).
+  static CalibrationSnapshot nominal(const Processor& proc,
+                                     double readout_error = 0.0);
+};
+
+/// Copy of `snap` with one mode's calibration degraded: every native-op
+/// error on the mode scaled by `error_scale` (> 1 degrades, capped at
+/// fidelity 0) and its T1/T2 divided by the same factor. The epoch is
+/// advanced by one so the degraded snapshot is publishable. Used by tests
+/// and benches to model a single decohering mode between recalibrations.
+CalibrationSnapshot degrade_mode(const CalibrationSnapshot& snap, int mode,
+                                 double error_scale);
+
+}  // namespace qs
+
+#endif  // QS_CALIB_SNAPSHOT_H

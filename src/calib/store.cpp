@@ -1,0 +1,56 @@
+#include "calib/store.h"
+
+#include <utility>
+
+#include "common/require.h"
+
+namespace qs {
+
+CalibrationStore::CalibrationStore(std::size_t history_capacity)
+    : capacity_(history_capacity) {
+  require(capacity_ >= 1, "CalibrationStore: capacity must be >= 1");
+}
+
+CalibrationStore::Ptr CalibrationStore::publish(
+    CalibrationSnapshot snapshot) {
+  snapshot.validate();
+  auto stored =
+      std::make_shared<const CalibrationSnapshot>(std::move(snapshot));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!history_.empty())
+    require(stored->epoch > history_.back()->epoch,
+            "CalibrationStore::publish: epoch must strictly increase");
+  history_.push_back(stored);
+  ++published_;
+  while (history_.size() > capacity_) history_.pop_front();
+  return stored;
+}
+
+CalibrationStore::Ptr CalibrationStore::latest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return history_.empty() ? nullptr : history_.back();
+}
+
+CalibrationStore::Ptr CalibrationStore::at_epoch(std::uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Ptr& snap : history_)
+    if (snap->epoch == epoch) return snap;
+  return nullptr;
+}
+
+std::uint64_t CalibrationStore::latest_epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return history_.empty() ? 0 : history_.back()->epoch;
+}
+
+std::size_t CalibrationStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return history_.size();
+}
+
+std::size_t CalibrationStore::published() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return published_;
+}
+
+}  // namespace qs

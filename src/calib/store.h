@@ -1,0 +1,60 @@
+// Thread-safe versioned store of calibration snapshots.
+//
+// The store is the single source of truth for "what does the device look
+// like right now": characterization runs and drift replays publish
+// snapshots with strictly increasing epochs, and every consumer -- the
+// serve layer's recalibration trigger, sessions pinning a snapshot for
+// mitigation, tests replaying a device history -- reads latest() or a
+// specific epoch. Mirrors the common/keyed_cache.h idioms: one mutex,
+// shared_ptr-pinned immutable artifacts (eviction never invalidates a
+// snapshot still in use), monotonic telemetry counters.
+#ifndef QS_CALIB_STORE_H
+#define QS_CALIB_STORE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "calib/snapshot.h"
+
+namespace qs {
+
+class CalibrationStore {
+ public:
+  using Ptr = std::shared_ptr<const CalibrationSnapshot>;
+
+  /// `history_capacity` bounds retained epochs (oldest evicted first);
+  /// must be >= 1 so latest() always survives.
+  explicit CalibrationStore(std::size_t history_capacity = 64);
+
+  /// Publishes a snapshot as the new latest. Validates it and requires
+  /// its epoch to strictly exceed the current latest epoch (versioned
+  /// store: time only moves forward). Returns the stored pointer.
+  Ptr publish(CalibrationSnapshot snapshot);
+
+  /// The most recent snapshot, or nullptr when nothing was published.
+  Ptr latest() const;
+
+  /// The retained snapshot with the given epoch, or nullptr when it was
+  /// never published or already evicted.
+  Ptr at_epoch(std::uint64_t epoch) const;
+
+  /// Epoch of latest(), or 0 when the store is empty ("uncalibrated").
+  std::uint64_t latest_epoch() const;
+
+  std::size_t size() const;          ///< retained snapshots
+  std::size_t capacity() const { return capacity_; }
+  std::size_t published() const;     ///< lifetime publish count
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<Ptr> history_;  ///< oldest at the front
+  std::size_t published_ = 0;
+};
+
+}  // namespace qs
+
+#endif  // QS_CALIB_STORE_H

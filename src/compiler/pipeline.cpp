@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "calib/snapshot.h"
 #include "common/fingerprint.h"
 #include "common/require.h"
 #include "common/stopwatch.h"
@@ -130,6 +131,14 @@ std::uint64_t fingerprint(const Processor& proc) {
     const TransmonInfo& t = proc.transmon(c);
     h = fnv::f64(t.t1, h);
     h = fnv::f64(t.t2, h);
+  }
+  // A calibrated view is a different device: fold in the snapshot's epoch
+  // and payload digest, so the TranspileCache, the plan keys built on
+  // this fingerprint, and serve's batching keys all invalidate
+  // automatically on recalibration.
+  if (proc.has_calibration()) {
+    h = fnv::u64(proc.calibration_epoch(), h);
+    h = fnv::combine(proc.calibration()->fingerprint(), h);
   }
   return h;
 }

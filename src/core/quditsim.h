@@ -43,6 +43,9 @@
 // Serve subsystem (multi-tenant job service over exec).
 #include "serve/serve.h"           // IWYU pragma: export
 
+// Calibration & characterization subsystem.
+#include "calib/calib.h"           // IWYU pragma: export
+
 // Hardware platform and compilation.
 #include "compiler/compile.h"          // IWYU pragma: export
 #include "compiler/passes.h"           // IWYU pragma: export

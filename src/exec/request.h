@@ -24,6 +24,8 @@
 
 namespace qs {
 
+struct CalibrationSnapshot;  // calib/snapshot.h
+
 /// Sentinel seed: "derive one for me". ExecutionSession replaces it with a
 /// per-request stream seed (split_seed of the session seed and the request
 /// index); backends called directly replace it with their default seed.
@@ -90,6 +92,18 @@ struct ExecutionRequest {
   /// propagates its SessionOptions::plan_options here so an opt-out of
   /// fusion holds on every path.
   PlanOptions plan_options;
+  /// When set and the request samples shots, ExecutionSession applies
+  /// calibrated per-site confusion-matrix readout mitigation to the
+  /// returned histogram (factorized product inversion -- never the dense
+  /// d^n x d^n matrix) and fills ExecutionResult::mitigated +
+  /// calib_epoch. Site i of the executed circuit uses the snapshot's
+  /// confusion matrix for mode i: for hardware-targeted requests the
+  /// physical circuit has one site per device mode, so the alignment is
+  /// exact; for logical requests the snapshot must cover the register's
+  /// leading sites with matching dimensions. Mitigation is deterministic
+  /// (pure linear algebra), so results stay bitwise reproducible for a
+  /// fixed (snapshot, seed) pair.
+  std::shared_ptr<const CalibrationSnapshot> readout_calibration;
 
   ExecutionRequest& with_shots(std::size_t n) {
     shots = n;
@@ -136,6 +150,11 @@ struct ExecutionRequest {
     plan = std::move(p);
     return *this;
   }
+  ExecutionRequest& with_readout_mitigation(
+      std::shared_ptr<const CalibrationSnapshot> snapshot) {
+    readout_calibration = std::move(snapshot);
+    return *this;
+  }
 };
 
 /// Structured outcome of one executed request.
@@ -156,6 +175,12 @@ struct ExecutionResult {
   std::map<std::string, double> expectations;  ///< one per observable
   double wall_seconds = 0.0;          ///< backend execution wall time
   std::string compile_summary;        ///< nonempty for compiled execution
+  /// Readout-mitigated histogram (same total as `counts`); empty unless
+  /// the request carried a readout calibration and sampled shots.
+  std::vector<double> mitigated;
+  /// Epoch of the calibration snapshot whose confusion matrices produced
+  /// `mitigated` (0 = no mitigation applied).
+  std::uint64_t calib_epoch = 0;
 
   /// Expectation of the named observable; throws if it was not requested.
   double expectation(const std::string& name) const;

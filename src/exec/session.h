@@ -3,9 +3,11 @@
 // An ExecutionSession owns the concerns that sit above a single request:
 // fanning a batch out over worker threads, deriving a deterministic RNG
 // stream per request (seed-splitting, so results are bitwise reproducible
-// for any thread count), and aggregating telemetry. The backend is an
-// injection point: the same session code drives exact simulation and
-// noisy hardware forecasts.
+// for any thread count), aggregating telemetry, and -- when a request
+// carries a calibration snapshot (with_readout_mitigation) -- applying
+// calibrated per-site confusion-matrix readout mitigation to the sampled
+// histogram. The backend is an injection point: the same session code
+// drives exact simulation and noisy hardware forecasts.
 #ifndef QS_EXEC_SESSION_H
 #define QS_EXEC_SESSION_H
 

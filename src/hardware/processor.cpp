@@ -3,7 +3,9 @@
 #include <cmath>
 #include <cstdlib>
 #include <sstream>
+#include <utility>
 
+#include "calib/snapshot.h"
 #include "common/require.h"
 
 namespace qs {
@@ -87,12 +89,61 @@ int Processor::cavity_distance(int a, int b) const {
   return std::abs(cavity_of(a) - cavity_of(b));
 }
 
+Processor Processor::with_calibration(
+    std::shared_ptr<const CalibrationSnapshot> snapshot) const {
+  Processor view = *this;
+  if (snapshot != nullptr) {
+    // Only the cheap shape checks here: this runs on the serve
+    // submission hot path (every hardware-targeted job builds a view).
+    // Value-range validation (fidelity bounds, stochastic columns) is
+    // the producers' contract -- nominal()/characterize()/DriftModel
+    // validate what they build and CalibrationStore::publish validates
+    // what it stores, and snapshots are immutable once shared.
+    require(snapshot->num_modes() == num_modes() &&
+                snapshot->ops.size() == snapshot->modes.size() &&
+                snapshot->confusion.size() == snapshot->modes.size(),
+            "Processor::with_calibration: snapshot mode count does not "
+            "match the device");
+    for (int m = 0; m < num_modes(); ++m) {
+      require(snapshot->ops[static_cast<std::size_t>(m)].size() ==
+                  static_cast<std::size_t>(kNativeOpCount),
+              "Processor::with_calibration: per-mode op table has wrong "
+              "arity");
+      require(snapshot->confusion[static_cast<std::size_t>(m)].size() ==
+                  static_cast<std::size_t>(mode(m).dim),
+              "Processor::with_calibration: confusion dimension does not "
+              "match the mode dimension");
+    }
+  }
+  view.calibration_ = std::move(snapshot);
+  return view;
+}
+
+std::uint64_t Processor::calibration_epoch() const {
+  return calibration_ == nullptr ? 0 : calibration_->epoch;
+}
+
+double Processor::mode_t1(int m) const {
+  const ModeInfo& mi = mode(m);  // bounds check
+  if (calibration_ != nullptr)
+    return calibration_->modes[static_cast<std::size_t>(m)].t1;
+  return mi.t1;
+}
+
+double Processor::mode_t2(int m) const {
+  const ModeInfo& mi = mode(m);  // bounds check
+  if (calibration_ != nullptr)
+    return calibration_->modes[static_cast<std::size_t>(m)].t2;
+  return mi.t2;
+}
+
 double Processor::idle_rate(int m) const {
   const ModeInfo& mi = mode(m);
   // Photon loss at Fock-averaged enhancement <n> ~ (d-1)/2 over a busy
-  // register, plus pure dephasing 1/T2 contribution.
+  // register, plus pure dephasing 1/T2 contribution. A calibrated view
+  // answers from the measured coherence.
   const double nbar = 0.5 * (mi.dim - 1);
-  return nbar / mi.t1 + 1.0 / mi.t2;
+  return nbar / mode_t1(m) + 1.0 / mode_t2(m);
 }
 
 namespace {
@@ -115,6 +166,10 @@ double transmon_participation(NativeOp op) {
 
 double Processor::native_op_error(NativeOp op, int m) const {
   const ModeInfo& mi = mode(m);
+  if (calibration_ != nullptr) {
+    // The measured fidelity subsumes decoherence during the op.
+    return 1.0 - calibration_->op(op, m).fidelity;
+  }
   const TransmonInfo& tr = transmon(mi.cavity);
   const double t = config_.durations.of(op);
   const double cavity_rate = idle_rate(m);
@@ -125,6 +180,23 @@ double Processor::native_op_error(NativeOp op, int m) const {
 
 double Processor::two_mode_error(int a, int b) const {
   require(a != b, "two_mode_error: identical modes");
+  if (calibration_ != nullptr) {
+    // Compose the measured per-op fidelities along the same gate
+    // decomposition the analytic model charges: cross-Kerr when
+    // co-located; plus 2 full beamsplitter swaps (2 ops each) when
+    // bridged through adjacent cavities; plus 2 swaps per intermediate
+    // hop each way when distant (the router's proxy cost).
+    const double f_ck =
+        calibration_->op(NativeOp::kCrossKerr, a).fidelity *
+        calibration_->op(NativeOp::kCrossKerr, b).fidelity;
+    if (co_located(a, b)) return 1.0 - f_ck;
+    const double f_bs_pair =
+        calibration_->op(NativeOp::kBeamsplitter, a).fidelity *
+        calibration_->op(NativeOp::kBeamsplitter, b).fidelity;
+    const int hops = cavity_distance(a, b);
+    const double swaps = adjacent_cavities(a, b) ? 2.0 : 2.0 * hops;
+    return 1.0 - f_ck * std::pow(f_bs_pair, 2.0 * swaps);
+  }
   if (co_located(a, b)) {
     // Cross-Kerr CZ_d: duration (d-1)/d of the full revolution; both modes
     // decay during the gate; transmon participates dispersively.
@@ -171,6 +243,9 @@ std::string Processor::to_string() const {
      << ", mode T1=" << config_.mode_t1 * 1e3 << " ms"
      << ", transmon T1=" << config_.transmon_t1 * 1e6 << " us"
      << ", Hilbert dim = 2^" << equivalent_qubits();
+  if (calibration_ != nullptr)
+    os << ", calibration epoch " << calibration_->epoch << " ("
+       << calibration_->source << ")";
   return os.str();
 }
 

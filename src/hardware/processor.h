@@ -10,12 +10,16 @@
 #ifndef QS_HARDWARE_PROCESSOR_H
 #define QS_HARDWARE_PROCESSOR_H
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 
 namespace qs {
+
+struct CalibrationSnapshot;  // calib/snapshot.h
 
 /// Kinds of native operations the device executes.
 enum class NativeOp {
@@ -26,6 +30,12 @@ enum class NativeOp {
   kBeamsplitter,   ///< photon-exchange coupling (inter- or intra-cavity)
   kMeasurement,    ///< transmon-mediated readout
 };
+
+/// Number of NativeOp enumerators. Kept adjacent to the enum so a new
+/// native op cannot silently leave per-op tables (calibration snapshots,
+/// duration switches) undersized.
+inline constexpr int kNativeOpCount =
+    static_cast<int>(NativeOp::kMeasurement) + 1;
 
 /// Durations of the native operations in seconds.
 struct GateDurations {
@@ -68,6 +78,15 @@ struct ProcessorConfig {
 };
 
 /// Immutable device description with an analytic gate-error model.
+///
+/// The analytic model (config-derived T1/T2 and durations) is the
+/// compile-time *forecast*; a Processor may additionally carry a measured
+/// CalibrationSnapshot (see with_calibration), in which case every error
+/// query -- idle_rate, native_op_error, two_mode_error, and everything
+/// built on them (mapping cost, routing scores, fidelity forecasts) --
+/// answers from the calibrated values instead, and fingerprint(Processor)
+/// folds in the snapshot's epoch so transpile/plan caches invalidate on
+/// recalibration.
 class Processor {
  public:
   /// Builds from a config; `rng` (if provided) samples coherence disorder.
@@ -97,6 +116,30 @@ class Processor {
   /// Modes in cavities that are neighbours on the chain.
   bool adjacent_cavities(int a, int b) const;
 
+  // --- calibration view --------------------------------------------------
+
+  /// Returns a copy of this device carrying `snapshot` as its measured
+  /// state: error queries answer from the snapshot, and
+  /// fingerprint(Processor) folds in its epoch + digest. The snapshot
+  /// must cover every mode (validated); nullptr detaches calibration
+  /// (back to the analytic model).
+  Processor with_calibration(
+      std::shared_ptr<const CalibrationSnapshot> snapshot) const;
+
+  /// The attached snapshot, or nullptr for the bare analytic model.
+  const std::shared_ptr<const CalibrationSnapshot>& calibration() const {
+    return calibration_;
+  }
+  bool has_calibration() const { return calibration_ != nullptr; }
+
+  /// Calibration epoch of the attached snapshot (0 = uncalibrated).
+  std::uint64_t calibration_epoch() const;
+
+  /// Effective coherence of mode m: calibrated when a snapshot is
+  /// attached, the static ModeInfo values otherwise.
+  double mode_t1(int m) const;
+  double mode_t2(int m) const;
+
   /// |cavity(a) - cavity(b)|.
   int cavity_distance(int a, int b) const;
 
@@ -125,6 +168,9 @@ class Processor {
   ProcessorConfig config_;
   std::vector<ModeInfo> modes_;
   std::vector<TransmonInfo> transmons_;
+  /// Measured device state (nullptr = analytic model only). Shared and
+  /// immutable, so calibrated views are cheap copies.
+  std::shared_ptr<const CalibrationSnapshot> calibration_;
 };
 
 }  // namespace qs

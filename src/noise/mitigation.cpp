@@ -1,52 +1,153 @@
 #include "noise/mitigation.h"
 
 #include <cmath>
+#include <string>
 
 #include "common/require.h"
 #include "linalg/real_matrix.h"
 
 namespace qs {
+namespace {
+
+/// Clips negatives (unphysical quasi-probabilities) and renormalizes to
+/// `total` -- the shared simplex projection of both mitigation paths.
+std::vector<double> project_to_simplex(std::vector<double> x, double total) {
+  double clipped_total = 0.0;
+  for (double& v : x) {
+    if (v < 0.0) v = 0.0;
+    clipped_total += v;
+  }
+  require(clipped_total > 0.0, "mitigate_readout: degenerate inversion");
+  for (double& v : x) v *= total / clipped_total;
+  return x;
+}
+
+/// Copies a confusion matrix into an RMatrix, checking squareness.
+RMatrix to_rmatrix(const std::vector<std::vector<double>>& m, std::size_t n,
+                   const char* who) {
+  RMatrix mat(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    require(m[r].size() == n,
+            std::string(who) + ": confusion matrix is not square (row " +
+                std::to_string(r) + " has " + std::to_string(m[r].size()) +
+                " entries, expected " + std::to_string(n) + ")");
+    for (std::size_t c = 0; c < n; ++c) mat(r, c) = m[r][c];
+  }
+  return mat;
+}
+
+/// Ridge-regularized inverse of a (small, per-site) confusion matrix:
+/// solves M X = I once so the inverse can sweep many tensor fibers.
+RMatrix ridge_inverse(const std::vector<std::vector<double>>& m,
+                      std::size_t n, const char* who) {
+  RMatrix eye(n, n);
+  for (std::size_t i = 0; i < n; ++i) eye(i, i) = 1.0;
+  return ridge_fit(to_rmatrix(m, n, who), eye, 1e-12);
+}
+
+}  // namespace
 
 std::vector<double> mitigate_readout(
     const std::vector<std::vector<double>>& confusion,
     const std::vector<double>& observed) {
   const std::size_t n = observed.size();
-  require(confusion.size() == n, "mitigate_readout: shape mismatch");
-  // Solve M x = y in the least-squares sense (ridge with tiny jitter),
-  // which tolerates mildly ill-conditioned confusion matrices.
-  RMatrix m(n, n);
-  for (std::size_t r = 0; r < n; ++r) {
-    require(confusion[r].size() == n, "mitigate_readout: ragged matrix");
-    for (std::size_t c = 0; c < n; ++c) m(r, c) = confusion[r][c];
-  }
-  RMatrix y(n, 1);
+  require(n > 0, "mitigate_readout: empty histogram");
+  require(confusion.size() == n,
+          "mitigate_readout: confusion matrix size (" +
+              std::to_string(confusion.size()) +
+              ") does not match observed histogram size (" +
+              std::to_string(n) + ")");
   double total = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    y(i, 0) = observed[i];
-    total += observed[i];
-  }
-  const RMatrix x = ridge_fit(m, y, 1e-12);
-  // Clip negatives (unphysical quasi-probabilities) and renormalize to
-  // the observed total.
+  for (double v : observed) total += v;
+  // A zero-count histogram carries no information to invert; mitigating
+  // it is the zero histogram (total is preserved trivially).
+  if (total == 0.0) return std::vector<double>(n, 0.0);
+
+  // Solve M x = y in the least-squares sense (ridge with tiny jitter),
+  // which tolerates mildly ill-conditioned confusion matrices. Single
+  // right-hand side: never the full n x n inverse (that is only worth
+  // precomputing on the factorized path, where a d x d inverse sweeps
+  // many tensor fibers).
+  RMatrix y(n, 1);
+  for (std::size_t i = 0; i < n; ++i) y(i, 0) = observed[i];
+  const RMatrix x =
+      ridge_fit(to_rmatrix(confusion, n, "mitigate_readout"), y, 1e-12);
   std::vector<double> out(n, 0.0);
-  double clipped_total = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    out[i] = std::max(x(i, 0), 0.0);
-    clipped_total += out[i];
+  for (std::size_t i = 0; i < n; ++i) out[i] = x(i, 0);
+  return project_to_simplex(std::move(out), total);
+}
+
+std::vector<double> mitigate_readout_product(
+    const std::vector<std::vector<std::vector<double>>>& site_matrices,
+    const std::vector<int>& dims, const std::vector<double>& observed) {
+  require(!dims.empty(), "mitigate_readout_product: empty register");
+  require(site_matrices.size() == dims.size(),
+          "mitigate_readout_product: " + std::to_string(dims.size()) +
+              " sites but " + std::to_string(site_matrices.size()) +
+              " site matrices");
+  std::size_t dim = 1;
+  for (int d : dims) {
+    require(d >= 1, "mitigate_readout_product: site dimension must be >= 1");
+    dim *= static_cast<std::size_t>(d);
   }
-  require(clipped_total > 0.0, "mitigate_readout: degenerate inversion");
-  for (double& v : out) v *= total / clipped_total;
-  return out;
+  require(observed.size() == dim,
+          "mitigate_readout_product: histogram size (" +
+              std::to_string(observed.size()) +
+              ") does not match the register dimension (" +
+              std::to_string(dim) + ")");
+  double total = 0.0;
+  for (double v : observed) total += v;
+  if (total == 0.0) return std::vector<double>(dim, 0.0);
+
+  // (tensor_s M_s)^-1 = tensor_s M_s^-1: invert each site matrix once and
+  // sweep its inverse along the site's tensor axis.
+  std::vector<double> x = observed;
+  std::vector<double> fiber;
+  std::size_t stride = 1;
+  for (std::size_t s = 0; s < dims.size(); ++s) {
+    const auto d = static_cast<std::size_t>(dims[s]);
+    require(site_matrices[s].size() == d,
+            "mitigate_readout_product: site " + std::to_string(s) +
+                " matrix size (" + std::to_string(site_matrices[s].size()) +
+                ") does not match its dimension (" + std::to_string(d) +
+                ")");
+    const RMatrix inv =
+        ridge_inverse(site_matrices[s], d, "mitigate_readout_product");
+    fiber.assign(d, 0.0);
+    const std::size_t block = stride * d;
+    for (std::size_t base = 0; base < dim; base += block) {
+      for (std::size_t off = 0; off < stride; ++off) {
+        const std::size_t origin = base + off;
+        for (std::size_t i = 0; i < d; ++i) {
+          double acc = 0.0;
+          for (std::size_t j = 0; j < d; ++j)
+            acc += inv(i, j) * x[origin + j * stride];
+          fiber[i] = acc;
+        }
+        for (std::size_t i = 0; i < d; ++i) x[origin + i * stride] = fiber[i];
+      }
+    }
+    stride = block;
+  }
+  return project_to_simplex(std::move(x), total);
 }
 
 std::vector<std::vector<double>> register_confusion_matrix(
-    const std::vector<std::vector<double>>& site_matrix, int sites) {
+    const std::vector<std::vector<double>>& site_matrix, int sites,
+    std::size_t max_dim) {
   require(sites >= 1, "register_confusion_matrix: sites >= 1 required");
   const std::size_t d = site_matrix.size();
+  require(d >= 1, "register_confusion_matrix: empty site matrix");
+  for (std::size_t r = 0; r < d; ++r)
+    require(site_matrix[r].size() == d,
+            "register_confusion_matrix: site matrix is not square");
   std::size_t dim = 1;
   for (int s = 0; s < sites; ++s) {
-    require(dim <= (std::size_t{1} << 20) / d,
-            "register_confusion_matrix: register too large");
+    require(dim <= max_dim / d,
+            "register_confusion_matrix: register dimension d^n exceeds "
+            "max_dim (" +
+                std::to_string(max_dim) +
+                "); use mitigate_readout_product for large registers");
     dim *= d;
   }
   std::vector<std::vector<double>> full(dim, std::vector<double>(dim, 1.0));

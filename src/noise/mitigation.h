@@ -3,26 +3,52 @@
 // Standard confusion-matrix inversion for readout errors: given the
 // column-stochastic confusion matrix M (measured[i] = sum_j M[i][j]
 // true[j]), recover the true outcome distribution by solving the linear
-// system and projecting back onto the probability simplex.
+// system and projecting back onto the probability simplex. For product
+// (per-site) confusion the factorized path inverts each d x d site matrix
+// independently and applies it along the corresponding tensor axis, so a
+// register never materializes the d^n x d^n matrix.
 #ifndef QS_NOISE_MITIGATION_H
 #define QS_NOISE_MITIGATION_H
 
+#include <cstddef>
 #include <vector>
 
 namespace qs {
 
+/// Default cap on the full-space dimension of dense mitigation matrices,
+/// mirroring exec's kDefaultMaxDenseDim guard on dim^2 allocations.
+inline constexpr std::size_t kDefaultMaxMitigationDim = 4096;
+
 /// Inverts a confusion matrix on an observed histogram. `observed` may be
 /// raw counts or frequencies; the result is a nonnegative vector with the
-/// same total. Throws if the matrix is singular beyond repair.
+/// same total (an all-zero histogram mitigates to all zeros). Throws with
+/// a descriptive message when the matrix is not square, when its size
+/// does not match observed.size(), or when the inversion is singular
+/// beyond repair.
 std::vector<double> mitigate_readout(
     const std::vector<std::vector<double>>& confusion,
     const std::vector<double>& observed);
 
+/// Factorized mitigation for product confusion: site s of a mixed-radix
+/// register (dims[s]-level, site 0 least significant) suffers the
+/// dims[s] x dims[s] confusion site_matrices[s]. Each site matrix is
+/// ridge-inverted once and applied along its tensor axis -- O(dim * sum_s
+/// dims[s]) work and no d^n x d^n allocation -- then the result is
+/// clipped to the simplex and renormalized to the observed total exactly
+/// like mitigate_readout.
+std::vector<double> mitigate_readout_product(
+    const std::vector<std::vector<std::vector<double>>>& site_matrices,
+    const std::vector<int>& dims, const std::vector<double>& observed);
+
 /// Builds the per-site tensor confusion matrix for a register of
 /// identical d-level sites each suffering `adjacent_confusion_matrix`
-/// style leakage (small registers only; the matrix is d^n x d^n).
+/// style leakage. The full matrix is d^n x d^n: `max_dim` caps d^n
+/// (throws beyond it, mirroring the density-matrix guard in exec) so an
+/// oversized register fails fast instead of exhausting memory -- use
+/// mitigate_readout_product for large registers instead.
 std::vector<std::vector<double>> register_confusion_matrix(
-    const std::vector<std::vector<double>>& site_matrix, int sites);
+    const std::vector<std::vector<double>>& site_matrix, int sites,
+    std::size_t max_dim = kDefaultMaxMitigationDim);
 
 }  // namespace qs
 

@@ -13,7 +13,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -79,9 +81,15 @@ struct JobSpec {
   /// device must outlive the service). Jobs sharing the same
   /// (circuit, processor, transpile options) fingerprints share one
   /// TranspiledCircuit through the service's TranspileCache and may be
-  /// batched together.
+  /// batched together. When the service has a published calibration, the
+  /// job is pinned to a calibrated view of this device at submission
+  /// (see ServiceOptions::calibration and Service::recalibrate).
   const Processor* processor = nullptr;
   TranspileOptions transpile_options;
+  /// Apply calibrated per-site readout mitigation to the job's sampled
+  /// histogram (ExecutionResult::mitigated). Requires the service to
+  /// have a published calibration snapshot at submission.
+  bool mitigate_readout = false;
 
   JobSpec& with_tenant(std::string t) {
     tenant = std::move(t);
@@ -123,6 +131,10 @@ struct JobSpec {
                             TranspileOptions options = {}) {
     processor = &proc;
     transpile_options = options;
+    return *this;
+  }
+  JobSpec& with_readout_mitigation(bool on = true) {
+    mitigate_readout = on;
     return *this;
   }
 };
@@ -169,6 +181,14 @@ struct JobRecord {
   const std::chrono::steady_clock::time_point deadline;
   /// Fully seeded request; the job's result is a pure function of it.
   ExecutionRequest request;
+  /// Calibration pinned at submission: the snapshot the job's processor
+  /// view and/or readout mitigation consumed (nullptr = uncalibrated),
+  /// and the service-owned calibrated device copy `request.processor`
+  /// points into (spec.processor stays untouched). Written at submission
+  /// before the record enters the queue; under the kRefreshAtDispatch
+  /// staleness policy the owning worker rebinds both at dispatch.
+  std::shared_ptr<const CalibrationSnapshot> calibration;
+  std::optional<Processor> calibrated_proc;
 
   // --- guarded by `mutex` ------------------------------------------------
   mutable std::mutex mutex;

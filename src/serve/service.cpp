@@ -61,6 +61,9 @@ struct ServiceCore {
         plan_cache(std::make_shared<PlanCache>(o.plan_cache_capacity)),
         transpile_cache(
             std::make_shared<TranspileCache>(o.transpile_cache_capacity)),
+        calib_store(o.calibration_store != nullptr
+                        ? o.calibration_store
+                        : std::make_shared<CalibrationStore>()),
         store(o.result_store_capacity, o.result_ttl_seconds),
         paused(o.start_paused) {
     plan_key_suffix = fingerprint(noise()) +
@@ -76,6 +79,7 @@ struct ServiceCore {
   const ServiceOptions opts;
   const std::shared_ptr<PlanCache> plan_cache;
   const std::shared_ptr<TranspileCache> transpile_cache;
+  const std::shared_ptr<CalibrationStore> calib_store;
   ResultStore store;
   /// Constant (noise, options) contribution to every job's plan key,
   /// folded once so submit only fingerprints the circuit.
@@ -103,6 +107,8 @@ struct ServiceCore {
   std::size_t batched_jobs = 0;
   std::size_t largest_batch = 0;
   double queue_seconds_total = 0.0;
+  std::size_t recalibrations = 0;
+  std::size_t stale_hits = 0;
 
   const NoiseModel& noise() const {
     static const NoiseModel kNoiseless;
@@ -129,6 +135,50 @@ struct ServiceCore {
     return true;
   }
 
+  /// Counts -- and under kRefreshAtDispatch rebinds -- batch members
+  /// whose pinned calibration fell behind the store's latest epoch
+  /// (a recalibration landed while they were queued). The popped records
+  /// are exclusively owned by this worker, so the rebind does not race
+  /// with handles (which only read the frozen seed/id fields).
+  void handle_staleness(const std::vector<Record>& batch) {
+    const std::uint64_t current = calib_store->latest_epoch();
+    if (current == 0) return;
+    CalibrationStore::Ptr latest;
+    std::size_t stale = 0;
+    for (const Record& r : batch) {
+      const bool uses_calibration =
+          r->request.processor != nullptr ||
+          r->request.readout_calibration != nullptr;
+      if (!uses_calibration) continue;
+      const std::uint64_t pinned =
+          r->calibration != nullptr ? r->calibration->epoch : 0;
+      if (pinned >= current) continue;
+      ++stale;
+      if (opts.staleness != CalibrationStalenessPolicy::kRefreshAtDispatch)
+        continue;
+      if (latest == nullptr) latest = calib_store->latest();
+      try {
+        if (r->request.processor != nullptr) {
+          r->calibrated_proc =
+              r->request.processor->with_calibration(latest);
+          r->request.processor = &*r->calibrated_proc;
+        }
+        if (r->request.readout_calibration != nullptr)
+          r->request.readout_calibration = latest;
+        r->calibration = latest;
+      } catch (...) {
+        // The latest snapshot does not fit this job's device (e.g. a
+        // shared store fed by a different processor). Execute with the
+        // frozen view instead of letting the exception escape the
+        // worker thread and terminate the process.
+      }
+    }
+    if (stale > 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      stale_hits += stale;
+    }
+  }
+
   /// Runs one batch on the worker's session. All jobs share `plan_key`,
   /// so the transpile artifact (hardware-targeted jobs) and the compiled
   /// plan are resolved once and attached to every request. On a
@@ -138,6 +188,7 @@ struct ServiceCore {
   /// innocent batch-mates.
   void execute_batch(ExecutionSession& session,
                      const std::vector<Record>& batch) {
+    handle_staleness(batch);
     std::shared_ptr<const TranspiledCircuit> transpiled;
     std::shared_ptr<const CompiledCircuit> plan;
     std::size_t done = 0;
@@ -307,17 +358,33 @@ JobService::JobService(const Backend& backend, ServiceOptions options)
 JobService::~JobService() { shutdown(ShutdownMode::kAbort); }
 
 JobHandle JobService::submit(JobSpec spec) {
+  // Pin the device's current calibration at the submission door: the
+  // calibrated view's fingerprint folds in the snapshot epoch, so after
+  // a recalibration new jobs land in fresh transpile/plan/batching
+  // groups while queued jobs keep their frozen view.
+  std::shared_ptr<const CalibrationSnapshot> calib =
+      core_->calib_store->latest();
+  std::optional<Processor> calibrated;
+  if (spec.processor != nullptr && calib != nullptr)
+    calibrated = spec.processor->with_calibration(calib);
+  const Processor* target =
+      calibrated.has_value() ? &*calibrated : spec.processor;
+  if (spec.mitigate_readout)
+    require(calib != nullptr,
+            "JobService::submit: readout mitigation requested but no "
+            "calibration snapshot has been published (recalibrate() first)");
+
   // The plan key is the plan-cache identity of the job: jobs with equal
   // keys share one CompiledCircuit and may be batched. Fingerprinting
   // walks the circuit payload, so it happens outside the service lock;
   // the constant (noise, options) term was folded at construction.
   std::uint64_t key = fingerprint(spec.circuit);
   key = fnv::combine(core_->plan_key_suffix, key);
-  if (spec.processor != nullptr) {
+  if (target != nullptr) {
     // Hardware-targeted jobs only batch with jobs transpiling to the
-    // same physical circuit: fold the device and transpile options into
-    // the plan-sharing key.
-    key = fnv::combine(fingerprint(*spec.processor), key);
+    // same physical circuit: fold the (calibrated) device and transpile
+    // options into the plan-sharing key.
+    key = fnv::combine(fingerprint(*target), key);
     key = fnv::combine(fingerprint(spec.transpile_options), key);
   }
 
@@ -353,6 +420,16 @@ JobHandle JobService::submit(JobSpec spec) {
   auto record = std::make_shared<detail::JobRecord>(
       id, std::move(spec.tenant), spec.priority, key, std::move(request),
       now, spec.deadline_seconds);
+  // Attach the pinned calibration before the record becomes visible to
+  // workers: the record owns the calibrated device copy, so the raw
+  // spec.processor pointer is never aged by a recalibration.
+  if (calibrated.has_value() || spec.mitigate_readout)
+    record->calibration = calib;
+  if (calibrated.has_value()) {
+    record->calibrated_proc = std::move(calibrated);
+    record->request.processor = &*record->calibrated_proc;
+  }
+  if (spec.mitigate_readout) record->request.readout_calibration = calib;
   core_->queue.push(record);
   ++core_->queued;
   ++core_->submitted;
@@ -362,6 +439,23 @@ JobHandle JobService::submit(JobSpec spec) {
 
 std::optional<ExecutionResult> JobService::fetch(JobId id) const {
   return core_->store.get(id);
+}
+
+std::uint64_t JobService::recalibrate(CalibrationSnapshot snapshot) {
+  // The epoch fix-up and the publish ride under the service mutex so two
+  // concurrent recalibrations serialize instead of racing the "strictly
+  // increasing epoch" contract of the store. (A store shared with
+  // external publishers can still conflict; the store then throws.)
+  std::lock_guard<std::mutex> lock(core_->mutex);
+  const std::uint64_t latest = core_->calib_store->latest_epoch();
+  if (snapshot.epoch <= latest) snapshot.epoch = latest + 1;
+  const auto stored = core_->calib_store->publish(std::move(snapshot));
+  ++core_->recalibrations;
+  return stored->epoch;
+}
+
+const CalibrationStore& JobService::calibration_store() const {
+  return *core_->calib_store;
 }
 
 void JobService::pause() {
@@ -413,7 +507,10 @@ ServiceTelemetry JobService::telemetry() const {
     t.batched_jobs = core_->batched_jobs;
     t.largest_batch = core_->largest_batch;
     t.queue_seconds_total = core_->queue_seconds_total;
+    t.recalibrations = core_->recalibrations;
+    t.stale_hits = core_->stale_hits;
   }
+  t.calib_epoch = core_->calib_store->latest_epoch();
   t.plan_cache_hits = core_->plan_cache->hits();
   t.plan_cache_misses = core_->plan_cache->misses();
   t.plan_cache_size = core_->plan_cache->size();

@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "calib/store.h"
 #include "exec/backend.h"
 #include "exec/plan.h"
 #include "exec/session.h"
@@ -40,6 +41,22 @@ namespace qs {
 namespace detail {
 struct ServiceCore;
 }
+
+/// What a worker does when it dispatches a job whose pinned calibration
+/// epoch is older than the store's latest (a recalibration landed while
+/// the job sat in the queue). Every such dispatch counts as a stale hit
+/// either way.
+enum class CalibrationStalenessPolicy {
+  /// Execute with the calibration frozen at submission (default): the
+  /// job's result stays a pure function of its submitted request, so the
+  /// serve determinism contract is unconditional.
+  kUseSubmitted,
+  /// Rebind the job to the latest snapshot at dispatch: fresher device
+  /// model, but the result then depends on when recalibrations land
+  /// relative to dispatch (reproducible only when recalibration timing
+  /// is controlled, e.g. paused bursts in tests).
+  kRefreshAtDispatch,
+};
 
 /// Service-level knobs.
 struct ServiceOptions {
@@ -69,6 +86,17 @@ struct ServiceOptions {
   /// Start with dispatch paused (jobs queue up until resume()); useful for
   /// deterministic tests and for accumulating bursts into full batches.
   bool start_paused = false;
+  /// Versioned calibration store behind Service::recalibrate(). When
+  /// null the service creates a private one; share an external store to
+  /// feed several services (or a background characterization loop) from
+  /// one device history. While the store is empty jobs run uncalibrated;
+  /// once a snapshot is published, hardware-targeted jobs are pinned to
+  /// a calibrated device view at submission (their transpile/plan keys
+  /// fold in the epoch, so caches invalidate on recalibration).
+  std::shared_ptr<CalibrationStore> calibration_store;
+  /// Staleness policy for jobs dispatched after a recalibration.
+  CalibrationStalenessPolicy staleness =
+      CalibrationStalenessPolicy::kUseSubmitted;
 };
 
 /// How shutdown treats queued jobs.
@@ -100,6 +128,11 @@ struct ServiceTelemetry {
   std::size_t transpile_cache_misses = 0;
   std::size_t transpile_cache_size = 0;
   std::size_t results_stored = 0;  ///< gauge: ResultStore entries
+  std::uint64_t calib_epoch = 0;   ///< gauge: latest published epoch
+  std::size_t recalibrations = 0;  ///< successful recalibrate() calls
+  /// Jobs dispatched with a calibration older than the store's latest
+  /// (recalibration landed while they were queued).
+  std::size_t stale_hits = 0;
 
   /// Mean dispatched batch size (0 when nothing dispatched yet).
   double mean_batch_size() const {
@@ -172,6 +205,20 @@ class JobService {
   void pause();
   /// Resumes dispatch.
   void resume();
+
+  /// Publishes `snapshot` as the device's current calibration and
+  /// returns its epoch. The epoch is advanced to latest + 1 when the
+  /// snapshot does not already exceed it, so drift replays and repeated
+  /// characterization runs publish without manual epoch bookkeeping.
+  /// Jobs submitted afterwards pin the new snapshot; their processor
+  /// fingerprints change, so the shared transpile/plan caches miss once
+  /// and recompile against the recalibrated device. Thread-safe; allowed
+  /// after shutdown (publishes, affects nothing).
+  std::uint64_t recalibrate(CalibrationSnapshot snapshot);
+
+  /// The calibration store in use (the shared one from ServiceOptions,
+  /// or the service's private store).
+  const CalibrationStore& calibration_store() const;
 
   /// Stops the service: no further submissions; queued jobs run (kDrain)
   /// or are cancelled (kAbort); blocks until every worker exited.

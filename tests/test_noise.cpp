@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "circuit/circuit.h"
 #include "exec/density_matrix_backend.h"
@@ -10,6 +11,7 @@
 #include "gates/two_qudit.h"
 #include "linalg/metrics.h"
 #include "noise/channels.h"
+#include "noise/mitigation.h"
 #include "noise/noise_model.h"
 
 namespace qs {
@@ -105,6 +107,99 @@ TEST(Channels, ConfusionMatrixConservesCounts) {
   for (double x : counts) in_total += x;
   for (double x : out) out_total += x;
   EXPECT_NEAR(in_total, out_total, 1e-9);
+}
+
+TEST(Mitigation, ZeroCountHistogramMitigatesToZeros) {
+  const auto m = adjacent_confusion_matrix(4, 0.1);
+  const std::vector<double> zeros(4, 0.0);
+  const auto out = mitigate_readout(m, zeros);
+  ASSERT_EQ(out.size(), 4u);
+  for (double v : out) EXPECT_EQ(v, 0.0);
+  // The factorized path agrees.
+  const auto prod = mitigate_readout_product(
+      {m, m}, {4, 4}, std::vector<double>(16, 0.0));
+  for (double v : prod) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Mitigation, DimensionMismatchThrowsDescriptively) {
+  const auto m = adjacent_confusion_matrix(3, 0.1);
+  // Histogram length does not match the (square) matrix.
+  EXPECT_THROW(mitigate_readout(m, std::vector<double>(4, 1.0)),
+               std::invalid_argument);
+  // Non-square (ragged) matrix.
+  auto ragged = m;
+  ragged[1].pop_back();
+  EXPECT_THROW(mitigate_readout(ragged, std::vector<double>(3, 1.0)),
+               std::invalid_argument);
+  // Product path: site count / dims / histogram inconsistencies.
+  EXPECT_THROW(mitigate_readout_product({m}, {3, 3},
+                                        std::vector<double>(9, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(mitigate_readout_product({m, m}, {3, 3},
+                                        std::vector<double>(8, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(mitigate_readout_product({m, m}, {3, 4},
+                                        std::vector<double>(12, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(Mitigation, NearSingularConfusionStaysFiniteAndOnSimplex) {
+  // Two nearly identical columns: direct inversion would explode; the
+  // ridge solve keeps the output a valid (nonnegative, total-preserving)
+  // histogram.
+  const std::vector<std::vector<double>> near_singular{
+      {0.50, 0.50 + 1e-9, 0.10},
+      {0.30, 0.30 - 1e-9, 0.20},
+      {0.20, 0.20, 0.70}};
+  const std::vector<double> observed{400.0, 350.0, 250.0};
+  const auto out = mitigate_readout(near_singular, observed);
+  double total = 0.0;
+  for (double v : out) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1000.0, 1e-6);
+}
+
+TEST(Mitigation, SimplexProjectionPreservesTotal) {
+  // Statistically noisy counts push the raw inversion off the simplex
+  // (negative quasi-probabilities); the projection must clip them and
+  // return exactly the observed total.
+  const auto m = adjacent_confusion_matrix(5, 0.4);
+  const std::vector<double> observed{0.0, 513.0, 1.0, 77.0, 409.0};
+  const auto out = mitigate_readout(m, observed);
+  double total = 0.0;
+  for (double v : out) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1000.0, 1e-9);
+}
+
+TEST(Mitigation, FactorizedProductMatchesDenseTensorInversion) {
+  const auto site = adjacent_confusion_matrix(3, 0.15);
+  const auto dense = register_confusion_matrix(site, 2);
+  std::vector<double> observed(9);
+  for (std::size_t i = 0; i < 9; ++i)
+    observed[i] = static_cast<double>((7 * i + 3) % 11) + 1.0;
+  const auto via_dense = mitigate_readout(dense, observed);
+  const auto via_product =
+      mitigate_readout_product({site, site}, {3, 3}, observed);
+  ASSERT_EQ(via_dense.size(), via_product.size());
+  for (std::size_t i = 0; i < 9; ++i)
+    EXPECT_NEAR(via_dense[i], via_product[i], 1e-8) << "i=" << i;
+}
+
+TEST(Mitigation, RegisterConfusionMatrixGuardsMaxDim) {
+  const auto site = adjacent_confusion_matrix(4, 0.1);
+  // 4^7 exceeds the default cap of 4096 (the guard throws before any
+  // d^n allocation happens).
+  EXPECT_THROW(register_confusion_matrix(site, 7), std::invalid_argument);
+  // An explicit cap overrides the default (both directions).
+  EXPECT_THROW(register_confusion_matrix(site, 3, 63),
+               std::invalid_argument);
+  EXPECT_NO_THROW(register_confusion_matrix(site, 3, 64));
 }
 
 TEST(NoiseModel, TrivialByDefault) {
