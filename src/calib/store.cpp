@@ -16,7 +16,7 @@ CalibrationStore::Ptr CalibrationStore::publish(
   snapshot.validate();
   auto stored =
       std::make_shared<const CalibrationSnapshot>(std::move(snapshot));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!history_.empty())
     require(stored->epoch > history_.back()->epoch,
             "CalibrationStore::publish: epoch must strictly increase");
@@ -27,29 +27,29 @@ CalibrationStore::Ptr CalibrationStore::publish(
 }
 
 CalibrationStore::Ptr CalibrationStore::latest() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return history_.empty() ? nullptr : history_.back();
 }
 
 CalibrationStore::Ptr CalibrationStore::at_epoch(std::uint64_t epoch) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const Ptr& snap : history_)
     if (snap->epoch == epoch) return snap;
   return nullptr;
 }
 
 std::uint64_t CalibrationStore::latest_epoch() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return history_.empty() ? 0 : history_.back()->epoch;
 }
 
 std::size_t CalibrationStore::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return history_.size();
 }
 
 std::size_t CalibrationStore::published() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return published_;
 }
 

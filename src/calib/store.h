@@ -15,9 +15,9 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 
 #include "calib/snapshot.h"
+#include "common/thread_annotations.h"
 
 namespace qs {
 
@@ -50,9 +50,11 @@ class CalibrationStore {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::deque<Ptr> history_;  ///< oldest at the front
-  std::size_t published_ = 0;
+  /// Leaf lock: snapshot validation and allocation happen before it is
+  /// taken, so publishers never hold it across heavy work.
+  mutable Mutex mutex_;
+  std::deque<Ptr> history_ QS_GUARDED_BY(mutex_);  ///< oldest at the front
+  std::size_t published_ QS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace qs

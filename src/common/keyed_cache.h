@@ -19,9 +19,10 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
+
+#include "common/thread_annotations.h"
 
 namespace qs {
 namespace detail {
@@ -40,7 +41,7 @@ class KeyedArtifactCache {
     std::promise<Ptr> promise;
     std::shared_future<Ptr> waiter;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       auto it = entries_.find(key);
       if (it != entries_.end()) {
         ++hits_;
@@ -67,12 +68,12 @@ class KeyedArtifactCache {
       artifact = produce();
     } catch (...) {
       promise.set_exception(std::current_exception());
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       inflight_.erase(key);
       throw;
     }
     promise.set_value(artifact);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     inflight_.erase(key);
     if (capacity_ == 0) return artifact;
     while (entries_.size() >= capacity_) {
@@ -85,34 +86,37 @@ class KeyedArtifactCache {
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return entries_.size();
   }
   std::size_t capacity() const { return capacity_; }
   std::size_t hits() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return hits_;
   }
   std::size_t misses() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return misses_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::size_t capacity_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  /// Leaf lock: producers run outside it by construction, so nothing is
+  /// ever acquired under it.
+  mutable Mutex mutex_;
+  const std::size_t capacity_;
+  std::size_t hits_ QS_GUARDED_BY(mutex_) = 0;
+  std::size_t misses_ QS_GUARDED_BY(mutex_) = 0;
   /// Most-recently-used at the back.
-  std::list<Key> order_;
+  std::list<Key> order_ QS_GUARDED_BY(mutex_);
   struct Entry {
     Ptr artifact;
     typename std::list<Key>::iterator position;
   };
-  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::unordered_map<Key, Entry, KeyHash> entries_ QS_GUARDED_BY(mutex_);
   /// Keys currently producing (outside the lock); same-key callers wait
   /// on the future instead of producing twice.
-  std::unordered_map<Key, std::shared_future<Ptr>, KeyHash> inflight_;
+  std::unordered_map<Key, std::shared_future<Ptr>, KeyHash> inflight_
+      QS_GUARDED_BY(mutex_);
 };
 
 }  // namespace detail

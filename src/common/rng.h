@@ -90,7 +90,7 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
-  std::mt19937_64 engine_;
+  std::mt19937_64 engine_;  // lint:allow(nondeterminism): ctor-seeded
   std::uniform_real_distribution<double> unit_{0.0, 1.0};
   std::normal_distribution<double> normal_{0.0, 1.0};
 };

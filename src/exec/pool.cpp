@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace qs {
 
@@ -26,8 +27,8 @@ void parallel_for(std::size_t count, std::size_t threads,
   }
 
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  std::exception_ptr first_error;  // guarded by error_mutex (locals are
+  Mutex error_mutex;               // invisible to the static analysis)
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -35,7 +36,7 @@ void parallel_for(std::size_t count, std::size_t threads,
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     }

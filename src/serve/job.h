@@ -11,15 +11,14 @@
 #define QS_SERVE_JOB_H
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "exec/request.h"
 
 namespace qs {
@@ -154,6 +153,10 @@ namespace detail {
 /// mutable tail (status/result/error) and `cv` signals terminal
 /// transitions. Everything above the mutex is frozen at submission and
 /// may be read without locking.
+///
+/// Lock order: ServiceCore::mutex -> JobRecord::mutex (core -> record).
+/// Code holding a record mutex must never reach back into the service
+/// core; see thread_annotations.h's registry.
 struct JobRecord {
   JobRecord(JobId job_id, std::string tenant_name, int prio,
             std::uint64_t key, ExecutionRequest req,
@@ -191,22 +194,23 @@ struct JobRecord {
   std::optional<Processor> calibrated_proc;
 
   // --- guarded by `mutex` ------------------------------------------------
-  mutable std::mutex mutex;
-  std::condition_variable cv;
-  JobStatus status = JobStatus::kQueued;
-  ExecutionResult result;
-  std::string error;
+  mutable Mutex mutex;
+  CondVar cv;
+  JobStatus status QS_GUARDED_BY(mutex) = JobStatus::kQueued;
+  ExecutionResult result QS_GUARDED_BY(mutex);
+  std::string error QS_GUARDED_BY(mutex);
 
   /// Locked status read.
-  JobStatus current_status() const {
-    std::lock_guard<std::mutex> lock(mutex);
+  JobStatus current_status() const QS_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
     return status;
   }
 
   /// Moves to a terminal state and wakes waiters. No-op when already
   /// terminal (first terminal transition wins).
-  void finish(JobStatus terminal, ExecutionResult r, std::string err) {
-    std::lock_guard<std::mutex> lock(mutex);
+  void finish(JobStatus terminal, ExecutionResult r, std::string err)
+      QS_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
     if (is_terminal(status)) return;
     status = terminal;
     result = std::move(r);

@@ -55,7 +55,7 @@ FairShareQueue::Record FairShareQueue::take_live(
   while (!lane.empty()) {
     Record r = lane.front();
     lane.pop_front();
-    std::lock_guard<std::mutex> lock(r->mutex);
+    MutexLock lock(r->mutex);
     if (r->status != JobStatus::kQueued) continue;  // stale: cancelled or
                                                     // dispatched elsewhere
     if (r->has_deadline && now >= r->deadline) {
@@ -162,7 +162,7 @@ std::size_t FairShareQueue::cancel_all() {
   for (auto& [key, lane] : by_key_) {
     (void)key;
     for (Record& r : lane) {
-      std::lock_guard<std::mutex> lock(r->mutex);
+      MutexLock lock(r->mutex);
       if (r->status != JobStatus::kQueued) continue;
       r->status = JobStatus::kCancelled;
       r->error = "service shut down (abort) before dispatch";

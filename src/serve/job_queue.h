@@ -16,7 +16,10 @@
 //
 // The queue is NOT internally synchronized: the JobService serializes all
 // queue calls under its own mutex (records' mutexes are taken briefly
-// inside, service-mutex-then-record-mutex order everywhere).
+// inside, service-mutex-then-record-mutex order everywhere). That
+// external contract is machine-checked: the queue lives in ServiceCore
+// as a QS_GUARDED_BY(mutex) member, so a clang -Wthread-safety build
+// rejects any call made without the service mutex held.
 //
 // Every record is indexed twice (its tenant lane and its plan-key lane);
 // whenever a job leaves the queue -- dispatched, expired, or cancelled --

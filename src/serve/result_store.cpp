@@ -26,7 +26,7 @@ void ResultStore::sweep_locked(Clock::time_point now) {
 
 void ResultStore::put(JobId id, ExecutionResult result,
                       Clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sweep_locked(now);
   auto it = entries_.find(id);
   if (it != entries_.end()) {  // replace in place, refresh age
@@ -45,7 +45,7 @@ void ResultStore::put(JobId id, ExecutionResult result,
 
 std::optional<ExecutionResult> ResultStore::get(JobId id,
                                                 Clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sweep_locked(now);
   auto it = entries_.find(id);
   if (it == entries_.end() || it->second.expires_at <= now)
@@ -54,22 +54,22 @@ std::optional<ExecutionResult> ResultStore::get(JobId id,
 }
 
 void ResultStore::sweep(Clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sweep_locked(now);
 }
 
 std::size_t ResultStore::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 std::size_t ResultStore::evicted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return evicted_;
 }
 
 std::size_t ResultStore::expired() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return expired_;
 }
 

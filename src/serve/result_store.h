@@ -15,10 +15,10 @@
 #include <chrono>
 #include <cstddef>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
+#include "common/thread_annotations.h"
 #include "exec/request.h"
 #include "serve/job.h"
 
@@ -52,7 +52,7 @@ class ResultStore {
   std::size_t expired() const;
 
  private:
-  void sweep_locked(Clock::time_point now);
+  void sweep_locked(Clock::time_point now) QS_REQUIRES(mutex_);
 
   struct Entry {
     ExecutionResult result;
@@ -60,14 +60,15 @@ class ResultStore {
     std::list<JobId>::iterator position;
   };
 
-  mutable std::mutex mutex_;
+  /// Leaf lock (nothing else is acquired under it).
+  mutable Mutex mutex_;
   const std::size_t capacity_;
   const Clock::duration ttl_;
   /// Insertion order, oldest first.
-  std::list<JobId> order_;
-  std::unordered_map<JobId, Entry> entries_;
-  std::size_t evicted_ = 0;
-  std::size_t expired_ = 0;
+  std::list<JobId> order_ QS_GUARDED_BY(mutex_);
+  std::unordered_map<JobId, Entry> entries_ QS_GUARDED_BY(mutex_);
+  std::size_t evicted_ QS_GUARDED_BY(mutex_) = 0;
+  std::size_t expired_ QS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace qs

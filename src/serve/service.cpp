@@ -1,12 +1,11 @@
 #include "serve/service.h"
 
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
 #include "common/fingerprint.h"
+#include "common/thread_annotations.h"
 #include "common/require.h"
 #include "common/rng.h"
 #include "noise/noise_model.h"
@@ -85,30 +84,34 @@ struct ServiceCore {
   /// folded once so submit only fingerprints the circuit.
   std::uint64_t plan_key_suffix = 0;
 
-  std::mutex mutex;            ///< guards everything below + the queue
-  std::condition_variable cv;  ///< wakes workers (work ready / shutdown)
-  FairShareQueue queue;
-  bool accepting = true;
-  bool paused = false;
-  bool draining = false;  ///< workers exit once the queue is empty
-  JobId next_id = 0;
+  /// Guards every member annotated with it (scheduler state + counters);
+  /// acquired before any JobRecord::mutex, never after one (the core ->
+  /// record lock order, see thread_annotations.h).
+  Mutex mutex;
+  CondVar cv;  ///< wakes workers (work ready / shutdown)
+  FairShareQueue queue QS_GUARDED_BY(mutex);
+  bool accepting QS_GUARDED_BY(mutex) = true;
+  bool paused QS_GUARDED_BY(mutex) = false;
+  /// Workers exit once the queue is empty.
+  bool draining QS_GUARDED_BY(mutex) = false;
+  JobId next_id QS_GUARDED_BY(mutex) = 0;
   /// Next auto-seed stream index per tenant.
-  std::map<std::string, std::uint64_t> tenant_streams;
+  std::map<std::string, std::uint64_t> tenant_streams QS_GUARDED_BY(mutex);
 
   // Counters (see ServiceTelemetry).
-  std::size_t submitted = 0;
-  std::size_t completed = 0;
-  std::size_t failed = 0;
-  std::size_t cancelled = 0;
-  std::size_t expired = 0;
-  std::size_t queued = 0;
-  std::size_t running = 0;
-  std::size_t batches = 0;
-  std::size_t batched_jobs = 0;
-  std::size_t largest_batch = 0;
-  double queue_seconds_total = 0.0;
-  std::size_t recalibrations = 0;
-  std::size_t stale_hits = 0;
+  std::size_t submitted QS_GUARDED_BY(mutex) = 0;
+  std::size_t completed QS_GUARDED_BY(mutex) = 0;
+  std::size_t failed QS_GUARDED_BY(mutex) = 0;
+  std::size_t cancelled QS_GUARDED_BY(mutex) = 0;
+  std::size_t expired QS_GUARDED_BY(mutex) = 0;
+  std::size_t queued QS_GUARDED_BY(mutex) = 0;
+  std::size_t running QS_GUARDED_BY(mutex) = 0;
+  std::size_t batches QS_GUARDED_BY(mutex) = 0;
+  std::size_t batched_jobs QS_GUARDED_BY(mutex) = 0;
+  std::size_t largest_batch QS_GUARDED_BY(mutex) = 0;
+  double queue_seconds_total QS_GUARDED_BY(mutex) = 0.0;
+  std::size_t recalibrations QS_GUARDED_BY(mutex) = 0;
+  std::size_t stale_hits QS_GUARDED_BY(mutex) = 0;
 
   const NoiseModel& noise() const {
     static const NoiseModel kNoiseless;
@@ -116,10 +119,11 @@ struct ServiceCore {
     return nm != nullptr ? *nm : kNoiseless;
   }
 
-  bool cancel_job(const Record& record) {
-    std::lock_guard<std::mutex> lock(mutex);
+  bool cancel_job(const Record& record) QS_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
     {
-      std::lock_guard<std::mutex> record_lock(record->mutex);
+      // core -> record nesting: the one place both locks are held.
+      MutexLock record_lock(record->mutex);
       if (record->status != JobStatus::kQueued) return false;
       record->status = JobStatus::kCancelled;
       record->error = "cancelled by client";
@@ -140,7 +144,8 @@ struct ServiceCore {
   /// (a recalibration landed while they were queued). The popped records
   /// are exclusively owned by this worker, so the rebind does not race
   /// with handles (which only read the frozen seed/id fields).
-  void handle_staleness(const std::vector<Record>& batch) {
+  void handle_staleness(const std::vector<Record>& batch)
+      QS_EXCLUDES(mutex) {
     const std::uint64_t current = calib_store->latest_epoch();
     if (current == 0) return;
     CalibrationStore::Ptr latest;
@@ -174,7 +179,7 @@ struct ServiceCore {
       }
     }
     if (stale > 0) {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       stale_hits += stale;
     }
   }
@@ -187,7 +192,7 @@ struct ServiceCore {
   /// have produced -- isolating the failing job(s) instead of failing
   /// innocent batch-mates.
   void execute_batch(ExecutionSession& session,
-                     const std::vector<Record>& batch) {
+                     const std::vector<Record>& batch) QS_EXCLUDES(mutex) {
     handle_staleness(batch);
     std::shared_ptr<const TranspiledCircuit> transpiled;
     std::shared_ptr<const CompiledCircuit> plan;
@@ -254,7 +259,7 @@ struct ServiceCore {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       completed += done;
       failed += bad;
       running -= batch.size();
@@ -264,7 +269,7 @@ struct ServiceCore {
                        std::move(outcomes[i].error));
   }
 
-  void worker_loop() {
+  void worker_loop() QS_EXCLUDES(mutex) {
     SessionOptions session_options;
     session_options.threads = opts.threads_per_worker;
     session_options.plan_options = opts.plan_options;
@@ -275,10 +280,11 @@ struct ServiceCore {
     for (;;) {
       FairShareQueue::Pop pop;
       {
-        std::unique_lock<std::mutex> lock(mutex);
-        cv.wait(lock, [&] {
-          return (draining && queued == 0) || (!paused && queued > 0);
-        });
+        MutexLock lock(mutex);
+        // Inline predicate loop (not a lambda) so the analysis sees the
+        // guarded reads under the held lock; see CondVar's header note.
+        while (!((draining && queued == 0) || (!paused && queued > 0)))
+          cv.wait(mutex);
         if (queued == 0) return;  // draining and nothing left
         const Clock::time_point now = Clock::now();
         pop = queue.pop_batch(opts.max_batch, now);
@@ -322,8 +328,8 @@ JobStatus JobHandle::status() const {
 
 JobOutcome JobHandle::wait() const {
   require(valid(), "JobHandle::wait: invalid handle");
-  std::unique_lock<std::mutex> lock(record_->mutex);
-  record_->cv.wait(lock, [&] { return is_terminal(record_->status); });
+  MutexLock lock(record_->mutex);
+  while (!is_terminal(record_->status)) record_->cv.wait(record_->mutex);
   return {record_->status, record_->result, record_->error};
 }
 
@@ -400,7 +406,7 @@ JobHandle JobService::submit(JobSpec spec) {
   request.seed = spec.seed;
 
   const auto now = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(core_->mutex);
+  MutexLock lock(core_->mutex);
   if (!core_->accepting)
     throw std::runtime_error("JobService::submit: service is shut down");
   if (options_.max_queued != 0 && core_->queued >= options_.max_queued)
@@ -446,7 +452,7 @@ std::uint64_t JobService::recalibrate(CalibrationSnapshot snapshot) {
   // concurrent recalibrations serialize instead of racing the "strictly
   // increasing epoch" contract of the store. (A store shared with
   // external publishers can still conflict; the store then throws.)
-  std::lock_guard<std::mutex> lock(core_->mutex);
+  MutexLock lock(core_->mutex);
   const std::uint64_t latest = core_->calib_store->latest_epoch();
   if (snapshot.epoch <= latest) snapshot.epoch = latest + 1;
   const auto stored = core_->calib_store->publish(std::move(snapshot));
@@ -459,7 +465,7 @@ const CalibrationStore& JobService::calibration_store() const {
 }
 
 void JobService::pause() {
-  std::lock_guard<std::mutex> lock(core_->mutex);
+  MutexLock lock(core_->mutex);
   // No-op once shutdown started: re-pausing a draining service would
   // strand its workers (they must keep popping until the queue is empty).
   if (core_->draining) return;
@@ -467,14 +473,14 @@ void JobService::pause() {
 }
 
 void JobService::resume() {
-  std::lock_guard<std::mutex> lock(core_->mutex);
+  MutexLock lock(core_->mutex);
   core_->paused = false;
   core_->cv.notify_all();
 }
 
 void JobService::shutdown(ShutdownMode mode) {
   {
-    std::lock_guard<std::mutex> lock(core_->mutex);
+    MutexLock lock(core_->mutex);
     core_->accepting = false;
     core_->draining = true;
     core_->paused = false;  // a paused drain would never finish
@@ -495,7 +501,7 @@ void JobService::shutdown(ShutdownMode mode) {
 ServiceTelemetry JobService::telemetry() const {
   ServiceTelemetry t;
   {
-    std::lock_guard<std::mutex> lock(core_->mutex);
+    MutexLock lock(core_->mutex);
     t.submitted = core_->submitted;
     t.completed = core_->completed;
     t.failed = core_->failed;

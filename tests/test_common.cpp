@@ -2,10 +2,13 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "common/thread_annotations.h"
 
 namespace qs {
 namespace {
@@ -130,6 +133,59 @@ TEST(Table, FormatHelpers) {
   EXPECT_EQ(fmt(1.23456, 2), "1.23");
   EXPECT_EQ(fmt_int(42), "42");
   EXPECT_EQ(join({"a", "b", "c"}, ","), "a,b,c");
+}
+
+// ---------------------------------------------------------------------
+// Annotated synchronization primitives (thread_annotations.h). The
+// compile-time contract is checked by clang -Wthread-safety in CI; these
+// pin the runtime behavior of the wrappers themselves.
+// ---------------------------------------------------------------------
+
+TEST(ThreadAnnotations, MutexExcludesConcurrentCriticalSections) {
+  Mutex mu;
+  long counter = 0;  // guarded by mu (local: invisible to the analysis)
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(ThreadAnnotations, TryLockReflectsOwnership) {
+  Mutex mu;
+  mu.lock();
+  std::thread other([&] {
+    EXPECT_FALSE(mu.try_lock());  // held by the main thread
+  });
+  other.join();
+  mu.unlock();
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(ThreadAnnotations, CondVarHandshake) {
+  // The documented usage shape: inline predicate loop around wait().
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = -1;
+  std::thread consumer([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+    observed = 7;
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+    cv.notify_all();
+  }
+  consumer.join();
+  EXPECT_EQ(observed, 7);
 }
 
 }  // namespace

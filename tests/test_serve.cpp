@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <stdexcept>
@@ -289,7 +290,7 @@ TEST(FairShareQueue, NoRecordOutlivesItsQueueLifetime) {
   EXPECT_EQ(queue.indexed_records(), 5u);
 
   {
-    std::lock_guard<std::mutex> lock(dropped->mutex);
+    qs::MutexLock lock(dropped->mutex);
     dropped->status = JobStatus::kCancelled;
   }
   queue.remove(dropped);
@@ -569,6 +570,82 @@ TEST(JobService, FetchServesResultsAfterHandlesAreGone) {
   EXPECT_EQ(fetched->total_counts(), 32u);
   EXPECT_FALSE(service.fetch(id + 999).has_value());
   service.shutdown(ShutdownMode::kDrain);
+}
+
+// ---------------------------------------------------------------------
+// Lock-order contract hammer (core -> record, see thread_annotations.h).
+// ---------------------------------------------------------------------
+
+TEST(JobService, LockOrderHammerWaitCancelAbortRecalibrate) {
+  // Stresses the documented core -> record lock order from every side at
+  // once: client threads block in JobHandle::wait (record mutex), others
+  // race cancel() (core -> record nesting), a recalibration storm churns
+  // the core mutex + calibration store, telemetry polls the core mutex,
+  // and shutdown(kAbort) lands mid-flight, cancelling whatever is still
+  // queued (core mutex, then every queued record's mutex). Under TSan
+  // (full-suite CI job) and the clang -Wthread-safety build, an order
+  // violation or unlocked guarded access here fails the build or the
+  // run -- this test pins the contract, not a particular schedule.
+  ProcessorConfig cfg;
+  cfg.num_cavities = 3;
+  cfg.modes_per_cavity = 1;
+  cfg.levels_per_mode = 3;
+  const Processor proc(cfg);
+  const StateVectorBackend backend;
+  ServiceOptions options;
+  options.workers = 3;
+  options.max_batch = 4;
+  options.start_paused = true;  // build a backlog for abort to hit
+  JobService service(backend, options);
+
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 60; ++i)
+    handles.push_back(service.submit(JobSpec(qaoa_circuit(0.5))
+                                         .with_tenant(i % 2 ? "a" : "b")
+                                         .with_compilation(proc)
+                                         .with_shots(8)));
+
+  std::atomic<bool> stop{false};
+  std::thread canceller([&] {
+    for (std::size_t i = 0; i < handles.size(); i += 3)
+      handles[i].cancel();
+  });
+  std::thread recalibrator([&] {
+    for (int e = 0; e < 8; ++e)
+      service.recalibrate(CalibrationSnapshot::nominal(proc));
+  });
+  std::thread poller([&] {
+    while (!stop.load()) (void)service.telemetry();
+  });
+  std::vector<std::thread> waiters;
+  for (std::size_t t = 0; t < 4; ++t)
+    waiters.emplace_back([&, t] {
+      for (std::size_t i = t; i < handles.size(); i += 4)
+        (void)handles[i].wait();
+    });
+
+  service.resume();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  service.shutdown(ShutdownMode::kAbort);  // races in-flight batches
+
+  canceller.join();
+  recalibrator.join();
+  for (std::thread& w : waiters) w.join();
+  stop = true;
+  poller.join();
+
+  // Every job is terminal and the books balance exactly.
+  for (const JobHandle& h : handles) EXPECT_TRUE(is_terminal(h.status()));
+  const ServiceTelemetry t = service.telemetry();
+  EXPECT_EQ(t.submitted, handles.size());
+  EXPECT_EQ(t.completed + t.failed + t.cancelled + t.expired,
+            handles.size());
+  EXPECT_EQ(t.failed, 0u);
+  EXPECT_EQ(t.queued, 0u);
+  EXPECT_EQ(t.running, 0u);
+  EXPECT_EQ(t.recalibrations, 8u);
+  // Submission raced no recalibration epochs backwards.
+  EXPECT_EQ(t.calib_epoch, 8u);
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Repo invariant linter: determinism and lock-discipline contracts.
+
+The stack's two implicit contracts -- bitwise seed-split determinism and
+annotated lock discipline -- are cheap to break with one innocent line
+(`std::random_device` in a router, a wall-clock timestamp in a result
+path, a bare `std::mutex` invisible to -Wthread-safety). This linter
+turns those into CI failures. Rules (see docs/ARCHITECTURE.md
+"Concurrency & determinism contract" for the rationale of each):
+
+  nondeterminism   Bans nondeterminism escapes in src/: std::random_device,
+                   rand()/srand(), time()/clock(), std::chrono::system_clock
+                   (wall clock; steady_clock is fine), and mt19937 engines
+                   constructed without an explicit seed. All randomness
+                   must flow through qs::Rng / split_seed so results are a
+                   pure function of (inputs, seed).
+
+  unordered-iter   Flags iteration over std::unordered_map/set in files
+                   that define fingerprint() digests (and any file listed
+                   in FINGERPRINT_FILES). Unordered iteration order is
+                   implementation-defined, so a digest fed from it would
+                   differ across stdlibs/runs and silently poison every
+                   cache key derived from it.
+
+  raw-sync         Bans std::mutex / std::condition_variable / std::lock_*
+                   in src/ outside common/thread_annotations.h: locks must
+                   use the annotated qs::Mutex family so clang's
+                   -Wthread-safety analysis sees every acquisition.
+
+Suppression: append `// lint:allow(<rule>): <why>` to the offending line.
+The reason is mandatory; a bare allow is itself a finding.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+# Files whose whole job is to wrap the raw primitives.
+RAW_SYNC_HOME = "src/common/thread_annotations.h"
+
+# Files holding order-sensitive digest/serialization code, in addition to
+# any file that *defines* a fingerprint() function (detected below).
+FINGERPRINT_FILES = {
+    "src/common/fingerprint.h",
+}
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)(:\s*\S.*)?")
+
+NONDETERMINISM_PATTERNS = [
+    (re.compile(r"\bstd::random_device\b|\brandom_device\b"),
+     "std::random_device draws entropy from the OS; derive seeds via "
+     "split_seed instead"),
+    (re.compile(r"\bstd::rand\b|\brand\s*\(|\bsrand\s*\("),
+     "C rand()/srand() is hidden global state; use qs::Rng"),
+    (re.compile(r"\btime\s*\(|\bstd::time\b|\bgettimeofday\b|\blocaltime\b"),
+     "wall-clock reads make results depend on when they ran"),
+    (re.compile(r"\bclock\s*\("),
+     "processor-clock reads are nondeterministic; use Stopwatch for "
+     "telemetry, never in result paths"),
+    (re.compile(r"\bsystem_clock\b"),
+     "std::chrono::system_clock is the wall clock; steady_clock is the "
+     "only clock allowed in src/"),
+    # An mt19937 declared/constructed with no seed argument silently uses
+    # the fixed default seed -- usually a copy-paste away from "every
+    # worker draws the same stream". Engines must take an explicit seed.
+    (re.compile(r"\bmt19937(?:_64)?\s+\w+\s*(?:;|\{\s*\}|\(\s*\))"),
+     "mt19937 without an explicit seed; thread a split_seed-derived seed "
+     "through qs::Rng"),
+    (re.compile(r"\bmt19937(?:_64)?\s*(?:\(\s*\)|\{\s*\})"),
+     "temporary mt19937 without an explicit seed"),
+]
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+
+# A line that *defines* a fingerprint digest function (not a call site):
+# a uint64 return type directly followed by a fingerprint name.
+FINGERPRINT_DEF_RE = re.compile(
+    r"(?:std::)?uint64_t\s+[\w:]*fingerprint\s*\(")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;(){]*>\s+(\w+)\s*[;{=]")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure, so rule regexes never fire on prose or log messages."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            out.append(" " * 0)
+            out.extend(ch if ch == "\n" else " " for ch in text[i:j + 2])
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                i += 2 if text[i] == "\\" else 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: pathlib.Path, line: int, rule: str, msg: str):
+        self.path, self.line, self.rule, self.msg = path, line, rule, msg
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO_ROOT)
+        return f"{rel}:{self.line}: [{self.rule}] {self.msg}"
+
+
+def collect_allows(raw_lines: list[str], findings: list[Finding],
+                   path: pathlib.Path) -> dict[int, set[str]]:
+    """Maps line number -> rules suppressed there. Reason-less allows are
+    findings themselves (the narrow-suppression contract)."""
+    allows: dict[int, set[str]] = {}
+    for lineno, line in enumerate(raw_lines, 1):
+        m = ALLOW_RE.search(line)
+        if not m:
+            continue
+        if m.group(2) is None:
+            findings.append(Finding(
+                path, lineno, "allow-without-reason",
+                "lint:allow needs a ': <why>' justification"))
+            continue
+        allows.setdefault(lineno, set()).add(m.group(1))
+    return allows
+
+
+def lint_file(path: pathlib.Path, findings: list[Finding]) -> None:
+    raw = path.read_text()
+    raw_lines = raw.splitlines()
+    allows = collect_allows(raw_lines, findings, path)
+    clean_lines = strip_comments_and_strings(raw).splitlines()
+    rel = str(path.relative_to(REPO_ROOT))
+
+    def report(lineno: int, rule: str, msg: str) -> None:
+        if rule not in allows.get(lineno, set()):
+            findings.append(Finding(path, lineno, rule, msg))
+
+    # -- nondeterminism ----------------------------------------------------
+    for lineno, line in enumerate(clean_lines, 1):
+        for pattern, msg in NONDETERMINISM_PATTERNS:
+            if pattern.search(line):
+                report(lineno, "nondeterminism", msg)
+
+    # -- unordered-iter ----------------------------------------------------
+    clean = "\n".join(clean_lines)
+    if rel in FINGERPRINT_FILES or FINGERPRINT_DEF_RE.search(clean):
+        unordered_names = set(UNORDERED_DECL_RE.findall(clean))
+        for lineno, line in enumerate(clean_lines, 1):
+            if not RANGE_FOR_RE.search(line):
+                continue
+            if "unordered_" in line:
+                report(lineno, "unordered-iter",
+                       "iterating an unordered container in a fingerprint "
+                       "file; order is implementation-defined")
+                continue
+            for name in unordered_names:
+                if re.search(rf":\s*(?:\w+(?:\.|->))*{name}\s*\)", line):
+                    report(lineno, "unordered-iter",
+                           f"range-for over unordered container '{name}' "
+                           "in a fingerprint file")
+
+    # -- raw-sync ----------------------------------------------------------
+    if rel != RAW_SYNC_HOME:
+        for lineno, line in enumerate(clean_lines, 1):
+            m = RAW_SYNC_RE.search(line)
+            if m:
+                report(lineno, "raw-sync",
+                       f"std::{m.group(1)} bypasses the annotated "
+                       "qs::Mutex/CondVar/MutexLock wrappers "
+                       "(common/thread_annotations.h)")
+    else:
+        # Even the wrapper home allowlists each raw use individually.
+        for lineno, line in enumerate(clean_lines, 1):
+            m = RAW_SYNC_RE.search(line)
+            if m:
+                report(lineno, "raw-sync",
+                       f"unannotated std::{m.group(1)} in the wrapper "
+                       "header itself")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=pathlib.Path,
+                        help="files to lint (default: all of src/)")
+    args = parser.parse_args()
+
+    if args.paths:
+        files = [p.resolve() for p in args.paths]
+    else:
+        files = sorted(p for ext in ("*.h", "*.cpp")
+                       for p in SRC.rglob(ext))
+    findings: list[Finding] = []
+    for path in files:
+        lint_file(path, findings)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_invariants: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print(f"lint_invariants: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
