@@ -53,7 +53,34 @@ inline std::uint64_t combine(std::uint64_t digest, std::uint64_t h) {
   return h ^ (digest + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
 }
 
+/// Folds one parametric operand slot: a nonzero marker (so a parametric
+/// record can never alias a plain record, whose walk folds a 0 marker in
+/// this position), the affine expression `scale * p[index] + offset`, and
+/// the generator's identity tag. Shared by both circuit digests so the
+/// structural and value walks agree on everything except bound payload
+/// bits.
+inline std::uint64_t param_slot(std::uint64_t index, double scale,
+                                double offset, std::uint64_t generator_tag,
+                                std::uint64_t h) {
+  h = u64(1, h);
+  h = u64(index, h);
+  h = f64(scale, h);
+  h = f64(offset, h);
+  return u64(generator_tag, h);
+}
+
 }  // namespace fnv
+
+class Circuit;
+
+/// Unbound-structure digest of a circuit: ignores the bound values of
+/// parametric operations, so every binding of one symbolic circuit keys
+/// the same cache slot. Defined in circuit/circuit.cpp next to the
+/// value-sensitive fingerprint(Circuit); declared here because this is
+/// the digest every cache-key path must use (tools/lint_invariants.py
+/// bans fingerprint(Circuit) in those files).
+std::uint64_t structural_fingerprint(const Circuit& circuit);
+
 }  // namespace qs
 
 #endif  // QS_COMMON_FINGERPRINT_H

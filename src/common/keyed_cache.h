@@ -27,6 +27,19 @@
 namespace qs {
 namespace detail {
 
+/// Uniform counter snapshot of one KeyedArtifactCache: monotonic
+/// hit/miss/eviction counters plus the stored-entry and in-flight
+/// gauges, read atomically under the cache lock. Surfaced unchanged by
+/// PlanCache/TranspileCache and rolled into ServiceTelemetry and the
+/// bench JSON, so every layer reports cache behavior identically.
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::size_t size = 0;       ///< gauge: entries stored now
+  std::size_t in_flight = 0;  ///< gauge: keys producing right now
+};
+
 template <typename Key, typename KeyHash, typename Value>
 class KeyedArtifactCache {
  public:
@@ -79,6 +92,7 @@ class KeyedArtifactCache {
     while (entries_.size() >= capacity_) {
       entries_.erase(order_.front());
       order_.pop_front();
+      ++evictions_;
     }
     order_.push_back(key);
     entries_.emplace(key, Entry{artifact, std::prev(order_.end())});
@@ -98,6 +112,16 @@ class KeyedArtifactCache {
     MutexLock lock(mutex_);
     return misses_;
   }
+  std::size_t evictions() const {
+    MutexLock lock(mutex_);
+    return evictions_;
+  }
+
+  /// One consistent snapshot of every counter and gauge.
+  CacheStats stats() const {
+    MutexLock lock(mutex_);
+    return {hits_, misses_, evictions_, entries_.size(), inflight_.size()};
+  }
 
  private:
   /// Leaf lock: producers run outside it by construction, so nothing is
@@ -106,6 +130,7 @@ class KeyedArtifactCache {
   const std::size_t capacity_;
   std::size_t hits_ QS_GUARDED_BY(mutex_) = 0;
   std::size_t misses_ QS_GUARDED_BY(mutex_) = 0;
+  std::size_t evictions_ QS_GUARDED_BY(mutex_) = 0;
   /// Most-recently-used at the back.
   std::list<Key> order_ QS_GUARDED_BY(mutex_);
   struct Entry {

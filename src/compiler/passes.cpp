@@ -33,6 +33,11 @@ bool same_sites(const Operation& a, const Operation& b) {
 /// relative phase on the full register).
 bool is_inverse_pair(const Operation& first, const Operation& second) {
   constexpr double kTol = 1e-12;
+  // Parametric payloads are bound values (or placeholders): cancelling on
+  // them would make the transpiled *structure* depend on the binding, and
+  // the structural artifact shared across a sweep must be the artifact
+  // every per-point compilation would produce. Treat them as opaque.
+  if (first.parametric() || second.parametric()) return false;
   if (first.diagonal != second.diagonal) return false;
   if (first.diagonal) {
     for (std::size_t k = 0; k < first.diag.size(); ++k)
@@ -160,16 +165,11 @@ std::vector<Operation> cluster_same_sites(std::vector<Operation> ops,
   return out;
 }
 
-/// Rebuilds a circuit over the same space from an operation list.
-Circuit rebuild(const QuditSpace& space, const std::vector<Operation>& ops) {
+/// Rebuilds a circuit over the same space from an operation list
+/// (wholesale, so parametric metadata survives the pass).
+Circuit rebuild(const QuditSpace& space, std::vector<Operation> ops) {
   Circuit c(space);
-  for (const Operation& op : ops) {
-    if (op.diagonal)
-      c.add_diagonal(op.name, op.diag, op.sites, op.duration);
-    else
-      c.add(op.name, op.matrix, op.sites, op.duration);
-    c.set_last_noise_multiplicity(op.noise_multiplicity);
-  }
+  for (Operation& op : ops) c.add_operation(std::move(op));
   return c;
 }
 
@@ -187,7 +187,7 @@ void CommutationPass::run(TranspileContext& ctx) const {
   require(!ctx.routed, "CommutationPass: must run before routing");
   std::vector<Operation> ops = cancel_inverses(ctx.working.operations());
   ops = cluster_same_sites(std::move(ops), ctx.working.space().num_sites());
-  ctx.working = rebuild(ctx.working.space(), ops);
+  ctx.working = rebuild(ctx.working.space(), std::move(ops));
 }
 
 void MappingPass::run(TranspileContext& ctx) const {

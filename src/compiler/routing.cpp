@@ -74,12 +74,13 @@ struct RouterState {
   }
 
   /// Emits the (already adjacent/co-located) gate on the given modes.
+  /// The operation is transferred wholesale so parametric metadata
+  /// survives routing into the physical circuit.
   void emit_gate(const Operation& op, const std::vector<int>& modes) {
-    if (op.diagonal)
-      result.physical.add_diagonal(op.name, op.diag, modes, duration_of(op));
-    else
-      result.physical.add(op.name, op.matrix, modes, duration_of(op));
-    result.physical.set_last_noise_multiplicity(op.noise_multiplicity);
+    Operation routed = op;
+    routed.sites = modes;
+    routed.duration = duration_of(op);
+    result.physical.add_operation(std::move(routed));
   }
 };
 

@@ -5,8 +5,12 @@ namespace qs {
 std::shared_ptr<const TranspiledCircuit> TranspileCache::get_or_transpile(
     const Circuit& logical, const Processor& proc,
     const TranspileOptions& options) {
-  // Fingerprinting walks the circuit payload; keep it outside the lock.
-  const Key key{fingerprint(logical), fingerprint(proc),
+  // Fingerprinting walks the circuit; keep it outside the lock. The
+  // structural digest ignores bound parameter values: mapping, routing,
+  // and scheduling are value-independent (parametric ops are opaque to
+  // cancellation), so every binding of one parametric circuit shares a
+  // single transpile artifact.
+  const Key key{structural_fingerprint(logical), fingerprint(proc),
                 fingerprint(options)};
   return cache_.get_or_produce(
       key, [&] { return transpile(logical, proc, options); });

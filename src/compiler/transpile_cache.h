@@ -20,11 +20,14 @@
 
 namespace qs {
 
-/// LRU cache keyed by (circuit, processor, options) fingerprints, built
-/// on the shared keyed-artifact protocol (common/keyed_cache.h):
-/// thread-safe, transpilation outside the lock, in-flight
-/// de-duplication. Entries pin their artifact via shared_ptr, so
-/// eviction never invalidates one still in use.
+/// LRU cache keyed by (structural circuit, processor, options)
+/// fingerprints, built on the shared keyed-artifact protocol
+/// (common/keyed_cache.h): thread-safe, transpilation outside the lock,
+/// in-flight de-duplication. Entries pin their artifact via shared_ptr,
+/// so eviction never invalidates one still in use. The structural key
+/// means every binding of a parametric circuit resolves to one artifact;
+/// the artifact's physical circuit retains the parametric metadata, so
+/// plans lowered from it re-bind per request.
 class TranspileCache {
  public:
   explicit TranspileCache(std::size_t capacity = 16) : cache_(capacity) {}
@@ -39,6 +42,8 @@ class TranspileCache {
   std::size_t capacity() const { return cache_.capacity(); }
   std::size_t hits() const { return cache_.hits(); }
   std::size_t misses() const { return cache_.misses(); }
+  std::size_t evictions() const { return cache_.evictions(); }
+  detail::CacheStats stats() const { return cache_.stats(); }
 
  private:
   struct Key {

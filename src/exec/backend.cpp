@@ -43,6 +43,9 @@ std::shared_ptr<const TranspiledCircuit> Backend::resolve_transpiled(
 std::shared_ptr<const CompiledCircuit> Backend::resolve_plan(
     const ExecutionRequest& request, const Circuit& routed,
     const NoiseModel& noise) {
+  // Validated binding of this request (empty for non-parametric work).
+  const std::vector<double>& params = effective_parameters(request);
+
   // An attached plan is trusted only when it can have been lowered from
   // `routed`: for a hardware-targeted request that requires the artifact
   // the plan was paired with (the session attaches both together). A
@@ -51,11 +54,21 @@ std::shared_ptr<const CompiledCircuit> Backend::resolve_plan(
   // coincide.
   const bool plan_trusted =
       request.processor == nullptr || request.transpiled != nullptr;
+  std::shared_ptr<const CompiledCircuit> plan;
   if (plan_trusted && request.plan != nullptr &&
       request.plan->space() == routed.space())
-    return request.plan;
-  return std::make_shared<const CompiledCircuit>(routed, noise,
-                                                 request.plan_options);
+    plan = request.plan;
+  else
+    plan = std::make_shared<const CompiledCircuit>(routed, noise,
+                                                   request.plan_options);
+  // A parametric plan executes at this request's binding. The shared
+  // structural artifact (or one bound for a different request) re-binds
+  // here: bind() re-derives every parametric step from value-independent
+  // factors, so the result is bitwise the plan of the fully-bound
+  // circuit no matter which binding populated the cache.
+  if (plan->parametric() && plan->bound_parameters() != params)
+    plan = plan->bind(params);
+  return plan;
 }
 
 void Backend::fill_expectations(const ExecutionRequest& request,

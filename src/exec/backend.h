@@ -88,6 +88,10 @@ class Backend {
   /// when its space matches, otherwise a freshly compiled plan for
   /// (routed, noise). The session attaches plans lowered from the exact
   /// circuit the backend will run -- logical or transpiled-physical.
+  /// Parametric plans are returned bound at the request's effective
+  /// binding (see effective_parameters in exec/request.h): the shared
+  /// structural artifact is re-bound per request, which only
+  /// re-materializes parameter-dependent steps.
   static std::shared_ptr<const CompiledCircuit> resolve_plan(
       const ExecutionRequest& request, const Circuit& routed,
       const NoiseModel& noise);

@@ -22,11 +22,35 @@ std::uint64_t fingerprint(const NoiseModel& noise) {
 
 // --- CompiledCircuit -----------------------------------------------------
 
+namespace {
+
+StepFactor constant_dense_factor(Matrix m) {
+  StepFactor f;
+  f.dense = std::move(m);
+  return f;
+}
+
+StepFactor constant_diag_factor(std::vector<cplx> d) {
+  StepFactor f;
+  f.diag = std::move(d);
+  return f;
+}
+
+StepFactor parametric_factor(const Operation& op) {
+  StepFactor f;
+  f.parametric = true;
+  f.expr = op.param;
+  f.generator = op.generator;
+  return f;
+}
+
+}  // namespace
+
 const detail::BlockPlan* CompiledCircuit::pooled_plan(
     const std::vector<int>& sites) {
-  auto it = plan_pool_.find(sites);
-  if (it == plan_pool_.end())
-    it = plan_pool_.emplace(sites, detail::make_block_plan(space_, sites))
+  auto it = plan_pool_->find(sites);
+  if (it == plan_pool_->end())
+    it = plan_pool_->emplace(sites, detail::make_block_plan(space_, sites))
              .first;
   if (it->second.block > max_block_) max_block_ = it->second.block;
   return &it->second;
@@ -34,10 +58,35 @@ const detail::BlockPlan* CompiledCircuit::pooled_plan(
 
 CompiledCircuit::CompiledCircuit(const Circuit& circuit,
                                  const NoiseModel& noise, PlanOptions options)
-    : space_(circuit.space()), options_(options) {
+    : space_(circuit.space()),
+      options_(options),
+      plan_pool_(
+          std::make_shared<std::map<std::vector<int>, detail::BlockPlan>>()),
+      num_parameters_(circuit.num_parameters()),
+      bound_parameters_(circuit.parameter_values()) {
   const bool trivial_noise = noise.is_trivial();
   source_operations_ = circuit.size();
   steps_.reserve(circuit.size());
+
+  // Rebind recipes, built alongside the steps. A step gets a recipe the
+  // moment a parametric op reaches it; `chain_of` maps a step index to
+  // its recipe (or npos). Factor chains are folded at bind() exactly as
+  // the fusion below folds payloads, so a bound plan is bitwise the plan
+  // of the fully-bound circuit.
+  std::vector<StepBinding> bindings;
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> chain_of;
+  auto chain_for_last = [&]() -> std::vector<StepFactor>* {
+    if (chain_of.back() == npos) return nullptr;
+    return &bindings[chain_of.back()].factors;
+  };
+  auto start_chain = [&](StepFactor first) {
+    chain_of.back() = bindings.size();
+    StepBinding b;
+    b.step = steps_.size() - 1;
+    b.factors.push_back(std::move(first));
+    bindings.push_back(std::move(b));
+  };
 
   for (const Operation& op : circuit.operations()) {
     std::vector<ChannelOp> raw_channels;
@@ -50,11 +99,29 @@ CompiledCircuit::CompiledCircuit(const Circuit& circuit,
         last != nullptr && last->channels.empty() && last->sites == op.sites;
     if (fusible && !op.diagonal && last->kind == CompiledStep::Kind::kDense &&
         options_.fuse_dense) {
+      // Chain bookkeeping before the fold: when the first parametric op
+      // lands on a constant step, the accumulated product so far becomes
+      // the chain's constant prefix (non-parametric ops only, so the
+      // snapshot is independent of any binding).
+      if (std::vector<StepFactor>* chain = chain_for_last()) {
+        chain->push_back(op.parametric() ? parametric_factor(op)
+                                         : constant_dense_factor(op.matrix));
+      } else if (op.parametric()) {
+        start_chain(constant_dense_factor(last->op.dense));
+        bindings.back().factors.push_back(parametric_factor(op));
+      }
       last->op = kernels::OpKernel::analyze(op.matrix * last->op.dense);
       ++last->source_ops;
     } else if (fusible && op.diagonal &&
                last->kind == CompiledStep::Kind::kDiagonal &&
                options_.merge_diagonals) {
+      if (std::vector<StepFactor>* chain = chain_for_last()) {
+        chain->push_back(op.parametric() ? parametric_factor(op)
+                                         : constant_diag_factor(op.diag));
+      } else if (op.parametric()) {
+        start_chain(constant_diag_factor(last->diag));
+        bindings.back().factors.push_back(parametric_factor(op));
+      }
       for (std::size_t i = 0; i < last->diag.size(); ++i)
         last->diag[i] *= op.diag[i];
       ++last->source_ops;
@@ -68,6 +135,8 @@ CompiledCircuit::CompiledCircuit(const Circuit& circuit,
       step.plan = pooled_plan(op.sites);
       steps_.push_back(std::move(step));
       last = &steps_.back();
+      chain_of.push_back(npos);
+      if (op.parametric()) start_chain(parametric_factor(op));
     }
 
     for (ChannelOp& ch : raw_channels) {
@@ -81,6 +150,66 @@ CompiledCircuit::CompiledCircuit(const Circuit& circuit,
       ++total_channels_;
     }
   }
+
+  if (!bindings.empty())
+    bindings_ = std::make_shared<const std::vector<StepBinding>>(
+        std::move(bindings));
+}
+
+std::shared_ptr<const CompiledCircuit> CompiledCircuit::bind(
+    const std::vector<double>& params) const {
+  require(parametric(), "CompiledCircuit::bind: plan has no parametric steps");
+  require(params.size() == num_parameters_,
+          "CompiledCircuit::bind: expected " +
+              std::to_string(num_parameters_) + " parameter(s), got " +
+              std::to_string(params.size()));
+  // Shell copy: shares the plan pool, channel kernels, and every
+  // parameter-independent step; only the recipes below touch payloads.
+  std::shared_ptr<CompiledCircuit> bound(new CompiledCircuit());
+  bound->space_ = space_;
+  bound->options_ = options_;
+  bound->steps_ = steps_;
+  bound->plan_pool_ = plan_pool_;
+  bound->bindings_ = bindings_;
+  bound->num_parameters_ = num_parameters_;
+  bound->bound_parameters_ = params;
+  bound->source_operations_ = source_operations_;
+  bound->total_channels_ = total_channels_;
+  bound->max_block_ = max_block_;
+
+  for (const StepBinding& b : *bindings_) {
+    CompiledStep& step = bound->steps_[b.step];
+    if (step.kind == CompiledStep::Kind::kDense) {
+      // Refold with the ctor's association: dense = factor * dense.
+      Matrix dense;
+      bool first = true;
+      for (const StepFactor& f : b.factors) {
+        Matrix payload =
+            f.parametric ? f.generator->dense(f.expr.evaluate(params))
+                         : f.dense;
+        dense = first ? std::move(payload) : payload * dense;
+        first = false;
+      }
+      step.op = kernels::OpKernel::analyze(dense);
+    } else {
+      std::vector<cplx> diag;
+      bool first = true;
+      for (const StepFactor& f : b.factors) {
+        std::vector<cplx> payload =
+            f.parametric ? f.generator->diagonal(f.expr.evaluate(params))
+                         : f.diag;
+        if (first) {
+          diag = std::move(payload);
+          first = false;
+        } else {
+          for (std::size_t i = 0; i < diag.size(); ++i)
+            diag[i] *= payload[i];
+        }
+      }
+      step.diag = std::move(diag);
+    }
+  }
+  return bound;
 }
 
 std::string CompiledCircuit::summary() const {
@@ -147,8 +276,12 @@ void CompiledCircuit::run_density(DensityMatrix& rho,
 
 std::shared_ptr<const CompiledCircuit> PlanCache::get_or_compile(
     const Circuit& circuit, const NoiseModel& noise, PlanOptions options) {
-  // Fingerprinting walks the circuit payload; keep it outside the lock.
-  const Key key{fingerprint(circuit), fingerprint(noise), options.bits()};
+  // Fingerprinting walks the circuit; keep it outside the lock. The
+  // structural digest ignores bound parameter values, so a thousand-point
+  // sweep of one parametric circuit compiles exactly once and every later
+  // point binds the cached artifact.
+  const Key key{structural_fingerprint(circuit), fingerprint(noise),
+                options.bits()};
   return cache_.get_or_produce(key, [&] {
     return std::make_shared<const CompiledCircuit>(circuit, noise, options);
   });

@@ -84,10 +84,42 @@ struct CompiledStep {
   std::size_t source_ops = 1;  ///< circuit operations this step stands for
 };
 
+/// One source operation of a parametric step, in application order: a
+/// constant factor (snapshot of non-parametric payload, possibly an
+/// already-fused prefix product) or a parametric one re-evaluated at bind
+/// time from its generator.
+struct StepFactor {
+  bool parametric = false;
+  // Parametric factors:
+  ParamExpr expr;
+  std::shared_ptr<const ParamGenerator> generator;
+  // Constant factors (payload snapshot at lowering time):
+  Matrix dense;
+  std::vector<cplx> diag;
+};
+
+/// Rebind recipe of one parametric step: re-evaluate the parametric
+/// factors and refold the chain exactly as lowering folded it, so a bound
+/// plan is bitwise the plan of the fully-bound circuit.
+struct StepBinding {
+  std::size_t step = 0;  ///< index into steps()
+  std::vector<StepFactor> factors;
+};
+
 /// Immutable lowered form of (Circuit, NoiseModel) under PlanOptions.
 /// Thread-compatible by construction: run_* methods only read the plan and
 /// write through the caller's state + scratch, so one instance may be
 /// shared across any number of worker threads.
+///
+/// Parametric circuits lower to parametric plans: structure, BlockPlans,
+/// fused-step layout, and pre-resolved noise channels are computed once
+/// against the symbolic circuit, and bind(params) re-materializes only the
+/// steps that depend on parameters (diagonal steps refold their diagonal
+/// product closed-form; dense steps re-evaluate the parametric factors of
+/// their fusion chain and re-analyze). Noise channels never depend on
+/// payload values (only sites/duration/multiplicity), so a bound plan
+/// consumes the RNG stream identically to a from-scratch lowering of the
+/// bound circuit -- bound execution is bitwise the from-scratch result.
 class CompiledCircuit {
  public:
   CompiledCircuit(const Circuit& circuit, const NoiseModel& noise = {},
@@ -99,6 +131,29 @@ class CompiledCircuit {
   const QuditSpace& space() const { return space_; }
   const std::vector<CompiledStep>& steps() const { return steps_; }
   const PlanOptions& options() const { return options_; }
+
+  // --- parameters ---------------------------------------------------------
+
+  /// True when any step re-materializes under bind().
+  bool parametric() const { return bindings_ != nullptr; }
+
+  /// Parameter-vector size the source circuit expects.
+  std::size_t num_parameters() const { return num_parameters_; }
+
+  /// The parameter vector this plan was bound with (empty for the shared
+  /// structural plan and for plans of circuits without parameters).
+  const std::vector<double>& bound_parameters() const {
+    return bound_parameters_;
+  }
+
+  /// A plan executing this structure at `params`: shares the BlockPlans,
+  /// channel set, and every parameter-independent step with this plan;
+  /// only parametric steps are re-materialized. O(steps) + the parametric
+  /// payload evaluations -- no circuit walk, no re-fusion, no channel
+  /// resolution. Requires parametric(); non-parametric plans are shared
+  /// as-is by callers.
+  std::shared_ptr<const CompiledCircuit> bind(
+      const std::vector<double>& params) const;
 
   /// True when any step carries noise channels.
   bool noisy() const { return total_channels_ > 0; }
@@ -135,14 +190,23 @@ class CompiledCircuit {
   void run_density(DensityMatrix& rho, kernels::Scratch& scratch) const;
 
  private:
+  /// Shell for bind(): fields are filled by hand from the source plan.
+  CompiledCircuit() = default;
+
   const detail::BlockPlan* pooled_plan(const std::vector<int>& sites);
 
   QuditSpace space_;
   PlanOptions options_;
   std::vector<CompiledStep> steps_;
   /// Plans deduplicated by site list; node-based map keeps them at stable
-  /// addresses for the steps' raw pointers.
-  std::map<std::vector<int>, detail::BlockPlan> plan_pool_;
+  /// addresses for the steps' raw pointers, and the shared_ptr keeps them
+  /// alive (and shared, not re-derived) across every bound copy.
+  std::shared_ptr<std::map<std::vector<int>, detail::BlockPlan>> plan_pool_;
+  /// Rebind recipes, shared across bound copies (value-independent by
+  /// construction: constant factors snapshot only non-parametric payload).
+  std::shared_ptr<const std::vector<StepBinding>> bindings_;
+  std::size_t num_parameters_ = 0;
+  std::vector<double> bound_parameters_;
   std::size_t source_operations_ = 0;
   std::size_t total_channels_ = 0;
   std::size_t max_block_ = 0;
@@ -152,12 +216,18 @@ class CompiledCircuit {
 /// lives with the Circuit type (circuit/circuit.h).
 std::uint64_t fingerprint(const NoiseModel& noise);
 
-/// LRU cache of compiled plans keyed by (circuit, noise, options)
-/// fingerprints, built on the shared keyed-artifact protocol
+/// LRU cache of compiled plans keyed by (structural circuit, noise,
+/// options) fingerprints, built on the shared keyed-artifact protocol
 /// (common/keyed_cache.h): thread-safe, compilation outside the lock,
 /// in-flight de-duplication, so the cache may be shared across
 /// ExecutionSessions and the serve layer's worker threads. The cached
 /// plans themselves are immutable and freely shared across threads.
+///
+/// The circuit key is structural_fingerprint, so every binding of one
+/// parametric circuit maps to a single cached plan; callers needing a
+/// specific binding call plan->bind(params) on the shared artifact
+/// (correct whichever binding populated the slot -- bind() re-derives
+/// every parametric step from value-independent factors).
 class PlanCache {
  public:
   explicit PlanCache(std::size_t capacity = 32) : cache_(capacity) {}
@@ -170,6 +240,8 @@ class PlanCache {
   std::size_t capacity() const { return cache_.capacity(); }
   std::size_t hits() const { return cache_.hits(); }
   std::size_t misses() const { return cache_.misses(); }
+  std::size_t evictions() const { return cache_.evictions(); }
+  detail::CacheStats stats() const { return cache_.stats(); }
 
  private:
   struct Key {

@@ -64,6 +64,14 @@ struct ExecutionRequest {
   /// Stochastic backends only: trajectories to average when shots == 0
   /// (when shots > 0 every shot is its own trajectory). 0 = 1 trajectory.
   std::size_t trajectories = 0;
+  /// Binding for a parametric circuit: values for the circuit's parameter
+  /// symbols, applied at plan-bind time (the structural transpile/plan
+  /// artifacts are shared across bindings; only parameter-dependent gate
+  /// payloads are re-materialized per request). When empty, the values
+  /// the circuit was bound with (Circuit::bind) apply; a request whose
+  /// circuit is parametric must carry a binding one way or the other.
+  /// Supplying parameters for a non-parametric circuit is an error.
+  std::vector<double> parameters;
   /// When set, the circuit is transpiled for this processor (pass
   /// pipeline: commutation -> mapping -> routing -> scheduling) and the
   /// routed physical circuit is executed.
@@ -126,6 +134,10 @@ struct ExecutionRequest {
     trajectories = n;
     return *this;
   }
+  ExecutionRequest& with_parameters(std::vector<double> values) {
+    parameters = std::move(values);
+    return *this;
+  }
   ExecutionRequest& with_compilation(const Processor& proc,
                                      TranspileOptions options = {}) {
     processor = &proc;
@@ -156,6 +168,16 @@ struct ExecutionRequest {
     return *this;
   }
 };
+
+/// The binding a request executes under: request.parameters when
+/// supplied, else the values its circuit was bound with (empty for
+/// non-parametric circuits). Validates the pairing -- a parametric
+/// circuit must end up bound, a non-parametric circuit must not carry
+/// explicit parameters, and the count must match the circuit's
+/// parameter-vector size. Shared by Backend::resolve_plan and the serve
+/// layer so every execution path normalizes identically.
+const std::vector<double>& effective_parameters(
+    const ExecutionRequest& request);
 
 /// Structured outcome of one executed request.
 struct ExecutionResult {

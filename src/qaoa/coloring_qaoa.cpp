@@ -1,7 +1,9 @@
 #include "qaoa/coloring_qaoa.h"
 
 #include <cmath>
+#include <cstdint>
 
+#include "common/fingerprint.h"
 #include "common/require.h"
 #include "exec/state_vector_backend.h"
 #include "exec/trajectory_backend.h"
@@ -10,6 +12,50 @@
 #include "linalg/types.h"
 
 namespace qs {
+
+namespace {
+
+/// Phase-separator payload of one edge: e^{-i gamma} on equal effective
+/// colors. Single source for build_circuit and the parametric
+/// generators, so both produce bitwise-identical diagonals.
+std::vector<cplx> ck_diagonal(int colors, int off_a, int off_b,
+                              double gamma) {
+  std::vector<cplx> diag(static_cast<std::size_t>(colors) *
+                         static_cast<std::size_t>(colors));
+  for (int za = 0; za < colors; ++za)
+    for (int zb = 0; zb < colors; ++zb) {
+      const int ca = (za + off_a) % colors;
+      const int cb = (zb + off_b) % colors;
+      diag[static_cast<std::size_t>(za + colors * zb)] =
+          (ca == cb) ? std::exp(cplx{0.0, -gamma}) : cplx{1.0, 0.0};
+    }
+  return diag;
+}
+
+/// Mixer payload shared by build_circuit and the parametric generators.
+Matrix mixer_matrix(const Matrix& mix_h, double beta) {
+  return expm_hermitian(mix_h, cplx{0.0, -beta});
+}
+
+/// Generator identity tags: a family name plus everything the closure
+/// captures, so two generators digest alike exactly when they evaluate
+/// alike.
+std::uint64_t ck_tag(int colors, int off_a, int off_b) {
+  std::uint64_t h = fnv::kOffset;
+  h = fnv::bytes("qaoa-ck", 7, h);
+  h = fnv::u64(static_cast<std::uint64_t>(colors), h);
+  h = fnv::u64(static_cast<std::uint64_t>(off_a), h);
+  return fnv::u64(static_cast<std::uint64_t>(off_b), h);
+}
+
+std::uint64_t mix_tag(MixerKind mixer, int colors) {
+  std::uint64_t h = fnv::kOffset;
+  h = fnv::bytes("qaoa-mix", 8, h);
+  h = fnv::u64(mixer == MixerKind::kFull ? 1 : 0, h);
+  return fnv::u64(static_cast<std::uint64_t>(colors), h);
+}
+
+}  // namespace
 
 ColoringQaoa::ColoringQaoa(Graph graph, int colors)
     : graph_(std::move(graph)),
@@ -61,21 +107,59 @@ Circuit ColoringQaoa::build_circuit(const std::vector<double>& gammas,
     // Phase separator: per edge, phase e^{-i gamma} on equal effective
     // colors (penalizing conflicts == rewarding colored edges globally).
     const double gamma = gammas[layer];
-    for (const auto& [a, b] : graph_.edges) {
-      std::vector<cplx> diag(
-          static_cast<std::size_t>(colors_) * static_cast<std::size_t>(colors_));
-      for (int za = 0; za < colors_; ++za)
-        for (int zb = 0; zb < colors_; ++zb) {
-          const int ca = (za + offsets[static_cast<std::size_t>(a)]) % colors_;
-          const int cb = (zb + offsets[static_cast<std::size_t>(b)]) % colors_;
-          diag[static_cast<std::size_t>(za + colors_ * zb)] =
-              (ca == cb) ? std::exp(cplx{0.0, -gamma}) : cplx{1.0, 0.0};
-        }
-      circuit.add_diagonal("CK", std::move(diag), {a, b});
-    }
+    for (const auto& [a, b] : graph_.edges)
+      circuit.add_diagonal(
+          "CK",
+          ck_diagonal(colors_, offsets[static_cast<std::size_t>(a)],
+                      offsets[static_cast<std::size_t>(b)], gamma),
+          {a, b});
     // Mixer per node.
-    const Matrix mix = expm_hermitian(mix_h, cplx{0.0, -betas[layer]});
+    const Matrix mix = mixer_matrix(mix_h, betas[layer]);
     for (int v = 0; v < graph_.n; ++v) circuit.add("MIX", mix, {v});
+  }
+  return circuit;
+}
+
+Circuit ColoringQaoa::parametric_circuit(std::size_t layers,
+                                         const std::vector<int>& offsets,
+                                         MixerKind mixer) const {
+  require(layers >= 1, "parametric_circuit: need at least one layer");
+  require(offsets.size() == static_cast<std::size_t>(graph_.n),
+          "parametric_circuit: offsets size mismatch");
+  Circuit circuit(space_);
+  const Matrix f = fourier(colors_);
+  for (int v = 0; v < graph_.n; ++v) circuit.add("F", f, {v});
+
+  // One generator per edge (reused across layers: the payload depends
+  // only on the edge's gauge offsets and the angle) and one per mixer.
+  std::vector<std::shared_ptr<const ParamGenerator>> edge_gens;
+  edge_gens.reserve(graph_.edges.size());
+  for (const auto& [a, b] : graph_.edges) {
+    const int oa = offsets[static_cast<std::size_t>(a)];
+    const int ob = offsets[static_cast<std::size_t>(b)];
+    edge_gens.push_back(make_diagonal_generator(
+        ck_tag(colors_, oa, ob), [colors = colors_, oa, ob](double gamma) {
+          return ck_diagonal(colors, oa, ob, gamma);
+        }));
+  }
+  const Matrix mix_h = (mixer == MixerKind::kFull)
+                           ? full_mixer_hamiltonian(colors_)
+                           : shift_mixer_hamiltonian(colors_);
+  auto mix_gen = make_dense_generator(
+      mix_tag(mixer, colors_),
+      [mix_h](double beta) { return mixer_matrix(mix_h, beta); });
+
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    ParamExpr gamma;
+    gamma.index = static_cast<int>(layer);
+    for (std::size_t e = 0; e < graph_.edges.size(); ++e)
+      circuit.add_parametric("CK", edge_gens[e], gamma,
+                             {graph_.edges[e].first,
+                              graph_.edges[e].second});
+    ParamExpr beta;
+    beta.index = static_cast<int>(layers + layer);
+    for (int v = 0; v < graph_.n; ++v)
+      circuit.add_parametric("MIX", mix_gen, beta, {v});
   }
   return circuit;
 }

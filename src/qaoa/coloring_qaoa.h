@@ -45,6 +45,16 @@ class ColoringQaoa {
                         const std::vector<int>& offsets,
                         MixerKind mixer = MixerKind::kFull) const;
 
+  /// The same circuit with the angles left symbolic: parameter layout is
+  /// [gamma_0..gamma_{p-1}, beta_0..beta_{p-1}] (size 2*layers). The
+  /// generators evaluate through the identical code paths as
+  /// build_circuit, so binding the symbolic circuit (or a plan compiled
+  /// from it) at (gammas, betas) reproduces build_circuit's payloads
+  /// bitwise -- a sweep transpiles and lowers once and binds per point.
+  Circuit parametric_circuit(std::size_t layers,
+                             const std::vector<int>& offsets,
+                             MixerKind mixer = MixerKind::kFull) const;
+
   /// Noiseless expectation of the cost for the given parameters.
   double expected_cost(const std::vector<double>& gammas,
                        const std::vector<double>& betas,

@@ -61,6 +61,11 @@ struct JobSpec {
   std::size_t shots = 0;
   /// Stochastic-backend trajectories when shots == 0.
   std::size_t trajectories = 0;
+  /// Binding for a parametric circuit (see ExecutionRequest::parameters).
+  /// Jobs over one parametric circuit batch together whatever their
+  /// bindings: the plan-sharing key digests the unbound structure, the
+  /// shared compiled plan is bound per job at dispatch.
+  std::vector<double> parameters;
   /// Diagonal observables to evaluate on the final state.
   std::vector<Observable> observables;
   /// Initial computational-basis state; empty = vacuum.
@@ -104,6 +109,10 @@ struct JobSpec {
   }
   JobSpec& with_trajectories(std::size_t n) {
     trajectories = n;
+    return *this;
+  }
+  JobSpec& with_parameters(std::vector<double> values) {
+    parameters = std::move(values);
     return *this;
   }
   JobSpec& with_observable(std::string name, std::vector<double> diagonal) {
@@ -177,7 +186,8 @@ struct JobRecord {
   const std::string tenant;
   const int priority;
   /// Plan-sharing group: jobs with equal keys execute the same
-  /// (circuit, noise, options) compiled plan and may be batched together.
+  /// (structural circuit, noise, options) compiled plan -- possibly under
+  /// different parameter bindings -- and may be batched together.
   const std::uint64_t plan_key;
   const std::chrono::steady_clock::time_point submitted_at;
   const bool has_deadline;

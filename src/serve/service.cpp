@@ -381,10 +381,13 @@ JobHandle JobService::submit(JobSpec spec) {
             "calibration snapshot has been published (recalibrate() first)");
 
   // The plan key is the plan-cache identity of the job: jobs with equal
-  // keys share one CompiledCircuit and may be batched. Fingerprinting
-  // walks the circuit payload, so it happens outside the service lock;
-  // the constant (noise, options) term was folded at construction.
-  std::uint64_t key = fingerprint(spec.circuit);
+  // keys share one CompiledCircuit and may be batched. The digest is
+  // structural -- parametric sweep points differ only in bound values, so
+  // they share one key, one transpile, one plan, and one batch group,
+  // each point binding the shared plan at dispatch. Fingerprinting walks
+  // the circuit, so it happens outside the service lock; the constant
+  // (noise, options) term was folded at construction.
+  std::uint64_t key = structural_fingerprint(spec.circuit);
   key = fnv::combine(core_->plan_key_suffix, key);
   if (target != nullptr) {
     // Hardware-targeted jobs only batch with jobs transpiling to the
@@ -397,6 +400,7 @@ JobHandle JobService::submit(JobSpec spec) {
   ExecutionRequest request(std::move(spec.circuit));
   request.shots = spec.shots;
   request.trajectories = spec.trajectories;
+  request.parameters = std::move(spec.parameters);
   request.observables = std::move(spec.observables);
   request.initial_digits = std::move(spec.initial_digits);
   request.max_dim = spec.max_dim;
@@ -404,6 +408,9 @@ JobHandle JobService::submit(JobSpec spec) {
   request.processor = spec.processor;
   request.transpile_options = spec.transpile_options;
   request.seed = spec.seed;
+  // Malformed bindings fail at the submission door (no handle is ever
+  // issued), not as a job failure at dispatch.
+  (void)effective_parameters(request);
 
   const auto now = std::chrono::steady_clock::now();
   MutexLock lock(core_->mutex);
@@ -517,12 +524,18 @@ ServiceTelemetry JobService::telemetry() const {
     t.stale_hits = core_->stale_hits;
   }
   t.calib_epoch = core_->calib_store->latest_epoch();
-  t.plan_cache_hits = core_->plan_cache->hits();
-  t.plan_cache_misses = core_->plan_cache->misses();
-  t.plan_cache_size = core_->plan_cache->size();
-  t.transpile_cache_hits = core_->transpile_cache->hits();
-  t.transpile_cache_misses = core_->transpile_cache->misses();
-  t.transpile_cache_size = core_->transpile_cache->size();
+  const detail::CacheStats plan_stats = core_->plan_cache->stats();
+  t.plan_cache_hits = plan_stats.hits;
+  t.plan_cache_misses = plan_stats.misses;
+  t.plan_cache_evictions = plan_stats.evictions;
+  t.plan_cache_size = plan_stats.size;
+  t.plan_cache_in_flight = plan_stats.in_flight;
+  const detail::CacheStats transpile_stats = core_->transpile_cache->stats();
+  t.transpile_cache_hits = transpile_stats.hits;
+  t.transpile_cache_misses = transpile_stats.misses;
+  t.transpile_cache_evictions = transpile_stats.evictions;
+  t.transpile_cache_size = transpile_stats.size;
+  t.transpile_cache_in_flight = transpile_stats.in_flight;
   t.results_stored = core_->store.size();
   return t;
 }

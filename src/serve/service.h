@@ -9,8 +9,9 @@
 // while a fixed pool of workers -- one ExecutionSession each, all sharing
 // one thread-safe PlanCache -- drains a priority queue with fair-share
 // tenant interleaving and plan-aware batching (jobs with equal
-// (circuit, noise, options) fingerprints dispatch as a single
-// submit_batch over one CompiledCircuit).
+// (structural circuit, noise, options) fingerprints dispatch as a single
+// submit_batch over one CompiledCircuit; parametric sweep points share
+// the group and bind the plan per job).
 //
 // Determinism contract (the headline guarantee): every job's seed is
 // fixed at submission -- explicitly, or from its tenant's stream (the
@@ -123,10 +124,14 @@ struct ServiceTelemetry {
   double queue_seconds_total = 0.0;  ///< sum of per-job submit->dispatch
   std::size_t plan_cache_hits = 0;
   std::size_t plan_cache_misses = 0;
+  std::size_t plan_cache_evictions = 0;
   std::size_t plan_cache_size = 0;
+  std::size_t plan_cache_in_flight = 0;  ///< gauge: keys compiling now
   std::size_t transpile_cache_hits = 0;
   std::size_t transpile_cache_misses = 0;
+  std::size_t transpile_cache_evictions = 0;
   std::size_t transpile_cache_size = 0;
+  std::size_t transpile_cache_in_flight = 0;
   std::size_t results_stored = 0;  ///< gauge: ResultStore entries
   std::uint64_t calib_epoch = 0;   ///< gauge: latest published epoch
   std::size_t recalibrations = 0;  ///< successful recalibrate() calls

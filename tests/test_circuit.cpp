@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
 #include "circuit/circuit.h"
 #include "circuit/executor.h"
 #include "common/rng.h"
@@ -135,6 +141,81 @@ TEST(Circuit, ToStringListsGates) {
   const std::string s = c.to_string();
   EXPECT_NE(s.find("CSUM"), std::string::npos);
   EXPECT_NE(s.find("depth"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Parametric circuits: symbolic slots, binding, structural digests.
+// ---------------------------------------------------------------------
+
+/// Qutrit phase family diag(1, e^{i a}, e^{2 i a}).
+std::shared_ptr<const ParamGenerator> phase_generator(std::uint64_t tag) {
+  return make_diagonal_generator(tag, [](double angle) {
+    return std::vector<cplx>{cplx{1.0, 0.0}, std::exp(cplx{0.0, angle}),
+                             std::exp(cplx{0.0, 2.0 * angle})};
+  });
+}
+
+Circuit parametric_pair() {
+  Circuit c(QuditSpace({3, 3}));
+  c.add("F", fourier(3), {0});
+  c.add_parametric("RZ", phase_generator(0xa1), ParamExpr{0, 2.0, 0.5}, {1});
+  return c;
+}
+
+TEST(ParametricCircuit, BindEvaluatesAffineSlotBitwise) {
+  const Circuit c = parametric_pair();
+  EXPECT_TRUE(c.parametric());
+  EXPECT_EQ(c.num_parameters(), 1u);
+  EXPECT_TRUE(c.parameter_values().empty());  // symbolic until bound
+
+  const Circuit bound = c.bind({0.3});
+  EXPECT_EQ(bound.parameter_values(), std::vector<double>{0.3});
+  // The bound payload is the generator at scale*p + offset, computed by
+  // the one fused expression in ParamExpr::evaluate -- bitwise.
+  const double angle = 2.0 * 0.3 + 0.5;
+  const Operation& op = bound.operations()[1];
+  EXPECT_TRUE(op.parametric());  // metadata survives binding
+  EXPECT_EQ(op.diag[1], std::exp(cplx{0.0, angle}));
+  EXPECT_EQ(op.diag[2], std::exp(cplx{0.0, 2.0 * angle}));
+  EXPECT_THROW(c.bind({0.1, 0.2}), std::invalid_argument);
+}
+
+TEST(ParametricCircuit, StructuralFingerprintIgnoresBindings) {
+  const Circuit c = parametric_pair();
+  const Circuit b1 = c.bind({0.3});
+  const Circuit b2 = c.bind({0.9});
+  // Value digests separate bindings; the structural digest unifies them
+  // with each other and with the symbolic circuit (the cache-key
+  // contract of the transpile and plan caches).
+  EXPECT_NE(fingerprint(b1), fingerprint(b2));
+  EXPECT_EQ(structural_fingerprint(b1), structural_fingerprint(b2));
+  EXPECT_EQ(structural_fingerprint(b1), structural_fingerprint(c));
+  // A different generator family (tag) is a different structure.
+  Circuit other(QuditSpace({3, 3}));
+  other.add("F", fourier(3), {0});
+  other.add_parametric("RZ", phase_generator(0xa2), ParamExpr{0, 2.0, 0.5},
+                       {1});
+  EXPECT_NE(structural_fingerprint(other), structural_fingerprint(c));
+  // A different slot (scale/offset) is a different structure too.
+  Circuit scaled(QuditSpace({3, 3}));
+  scaled.add("F", fourier(3), {0});
+  scaled.add_parametric("RZ", phase_generator(0xa1), ParamExpr{0, 1.0, 0.5},
+                        {1});
+  EXPECT_NE(structural_fingerprint(scaled), structural_fingerprint(c));
+  // Non-parametric circuits: both digests coincide.
+  const Circuit plain = bell_circuit(3);
+  EXPECT_EQ(structural_fingerprint(plain), fingerprint(plain));
+}
+
+TEST(ParametricCircuit, InverseRequiresABinding) {
+  const Circuit c = parametric_pair();
+  EXPECT_THROW(c.inverse(), std::invalid_argument);
+  // Bound circuits invert through their materialized payloads.
+  const Circuit bound = c.bind({0.7});
+  Circuit round_trip = bound;
+  round_trip.append(bound.inverse());
+  const StateVector psi = final_state(round_trip);
+  EXPECT_NEAR(std::abs(psi.amplitude(0)), 1.0, 1e-10);
 }
 
 }  // namespace

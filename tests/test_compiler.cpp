@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "exec/plan.h"
 #include "exec/state_vector_backend.h"
 #include "test_support.h"
 #include "common/rng.h"
@@ -16,7 +17,10 @@
 #include "compiler/transpile_cache.h"
 #include "gates/qudit_gates.h"
 #include "gates/two_qudit.h"
+#include "linalg/expm.h"
 #include "linalg/metrics.h"
+#include "noise/noise_model.h"
+#include "qudit/kernels.h"
 #include "sqed/encodings.h"
 #include "sqed/gauge_model.h"
 
@@ -458,6 +462,95 @@ TEST(TranspileCacheTest, ConcurrentSameKeyTranspilesOnce) {
   for (int t = 1; t < kThreads; ++t) EXPECT_EQ(got[t].get(), got[0].get());
   EXPECT_EQ(cache.misses(), 1u);
   EXPECT_EQ(cache.hits(), static_cast<std::size_t>(kThreads - 1));
+}
+
+// ---------------------------------------------------------------------
+// Parametric transpilation: structure-only passes, shared artifacts.
+// ---------------------------------------------------------------------
+
+/// Uniform-qutrit chain with Fouriers, CSUM entanglers, and parametric
+/// phase + rotation layers over two parameter slots.
+Circuit parametric_chain(int n, int d) {
+  Circuit c(QuditSpace::uniform(static_cast<std::size_t>(n), d));
+  const auto phase = make_diagonal_generator(0x70aa, [d](double angle) {
+    std::vector<cplx> diag(static_cast<std::size_t>(d));
+    for (int k = 0; k < d; ++k)
+      diag[static_cast<std::size_t>(k)] = std::exp(cplx{0.0, angle * k});
+    return diag;
+  });
+  const Matrix h = fourier(d) + fourier(d).adjoint();
+  const auto rot = make_dense_generator(0x70bb, [h](double angle) {
+    return expm_hermitian(h, cplx{0.0, -angle});
+  });
+  for (int i = 0; i < n; ++i) c.add("F", fourier(d), {i});
+  for (int i = 0; i + 1 < n; ++i) c.add("CSUM", csum(d, d), {i, i + 1});
+  for (int i = 0; i < n; ++i)
+    c.add_parametric("PH", phase, ParamExpr{i % 2, 1.0, 0.1 * i}, {i});
+  for (int i = 0; i + 1 < n; ++i) c.add("CSUM", csum(d, d), {i, i + 1});
+  for (int i = 0; i < n; ++i)
+    c.add_parametric("ROT", rot, ParamExpr{i % 2, 0.5, 0.0}, {i});
+  return c;
+}
+
+TEST(TranspileParametric, CacheSharesOneArtifactAcrossBindings) {
+  Rng rng(97);
+  const Processor proc = Processor::forecast_device(&rng);
+  const Circuit symbolic = parametric_chain(4, 3);
+  TranspileCache cache(8);
+  const auto art = cache.get_or_transpile(symbolic, proc);
+  const auto art1 = cache.get_or_transpile(symbolic.bind({0.3, -0.7}), proc);
+  const auto art2 = cache.get_or_transpile(symbolic.bind({1.1, 0.2}), proc);
+  // One structural key: the symbolic circuit and every binding share the
+  // same transpiled artifact (a sweep transpiles exactly once).
+  EXPECT_EQ(art.get(), art1.get());
+  EXPECT_EQ(art.get(), art2.get());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(TranspileParametric, BindCommutesWithTranspilationBothRouters) {
+  // The hard contract end to end: transpiling the symbolic circuit and
+  // binding the lowered plan equals transpiling the bound circuit and
+  // lowering it -- bitwise -- for both routers. Passes may only read
+  // structure, so the physical circuits differ solely in parametric
+  // payload bits (equal structural digests).
+  // Small 4-mode qutrit device: the routed physical register stays
+  // state-vector simulable (3^4 amplitudes).
+  ProcessorConfig cfg;
+  cfg.num_cavities = 4;
+  cfg.modes_per_cavity = 1;
+  cfg.levels_per_mode = 3;
+  const Processor proc(cfg);
+  const Circuit symbolic = parametric_chain(4, 3);
+  const std::vector<double> params = {0.37, -1.2};
+  const Circuit bound = symbolic.bind(params);
+
+  for (const bool lookahead : {false, true}) {
+    TranspileOptions opts;
+    opts.lookahead_routing = lookahead;
+    const auto sym_art = transpile(symbolic, proc, opts);
+    const auto bound_art = transpile(bound, proc, opts);
+    EXPECT_EQ(structural_fingerprint(sym_art->physical),
+              structural_fingerprint(bound_art->physical));
+    EXPECT_EQ(sym_art->final_logical_to_mode, bound_art->final_logical_to_mode);
+
+    const CompiledCircuit sym_plan(sym_art->physical, NoiseModel(),
+                                   PlanOptions{});
+    ASSERT_TRUE(sym_plan.parametric());
+    EXPECT_EQ(sym_plan.num_parameters(), 2u);
+    const auto bound_plan = sym_plan.bind(params);
+    const CompiledCircuit rebuilt(bound_art->physical, NoiseModel(),
+                                  PlanOptions{});
+    StateVector via_bind(sym_art->physical.space());
+    StateVector via_rebuild(bound_art->physical.space());
+    kernels::Scratch scratch;
+    bound_plan->run_pure(via_bind, scratch);
+    rebuilt.run_pure(via_rebuild, scratch);
+    ASSERT_EQ(via_bind.dimension(), via_rebuild.dimension());
+    for (std::size_t i = 0; i < via_bind.dimension(); ++i)
+      EXPECT_EQ(via_rebuild.amplitude(i), via_bind.amplitude(i))
+          << "lookahead " << lookahead << " amplitude " << i;
+  }
 }
 
 // The deprecated compile_circuit shim must keep matching the pipeline it

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <complex>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "circuit/circuit.h"
@@ -200,6 +202,82 @@ TEST(ExecutionSession, RepeatedCompiledRequestTranspilesExactlyOnce) {
       ExecutionRequest(bell_circuit()).with_compilation(proc).with_seed(5));
   EXPECT_EQ(shared->misses(), 1u);
   EXPECT_EQ(shared->hits(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Parametric requests: binding resolution and the sweep fast path.
+// ---------------------------------------------------------------------
+
+/// Bell pair followed by a parametric phase layer (one parameter slot).
+Circuit parametric_bell() {
+  Circuit c = bell_circuit();
+  c.add_parametric("PH",
+                   make_diagonal_generator(0xbe11,
+                                           [](double angle) {
+                                             return std::vector<cplx>{
+                                                 cplx{1.0, 0.0},
+                                                 std::exp(cplx{0.0, angle}),
+                                                 std::exp(cplx{0.0,
+                                                               2.0 * angle})};
+                                           }),
+                   ParamExpr{0, 1.0, 0.0}, {1});
+  return c;
+}
+
+TEST(ParametricRequests, BindingResolutionIsValidatedAtTheDoor) {
+  // Parameters on a non-parametric circuit are a caller bug.
+  ExecutionRequest plain(bell_circuit());
+  plain.with_parameters({0.1});
+  EXPECT_THROW(effective_parameters(plain), std::invalid_argument);
+  // A symbolic circuit cannot execute without a binding.
+  EXPECT_THROW(effective_parameters(ExecutionRequest(parametric_bell())),
+               std::invalid_argument);
+  EXPECT_THROW(
+      StateVectorBackend().execute(ExecutionRequest(parametric_bell())),
+      std::invalid_argument);
+  // Arity must match.
+  ExecutionRequest wrong(parametric_bell());
+  wrong.with_parameters({0.1, 0.2});
+  EXPECT_THROW(effective_parameters(wrong), std::invalid_argument);
+  // Request-level binding and bound-circuit fallback both resolve.
+  ExecutionRequest by_request(parametric_bell());
+  by_request.with_parameters({0.4});
+  EXPECT_EQ(effective_parameters(by_request), std::vector<double>{0.4});
+  const ExecutionRequest by_circuit(parametric_bell().bind({0.4}));
+  EXPECT_EQ(effective_parameters(by_circuit), std::vector<double>{0.4});
+}
+
+TEST(ExecutionSession, ParametricSweepLowersOnceAndMatchesRebuild) {
+  // A sweep of distinct bindings over one symbolic circuit compiles one
+  // plan (1 miss, N-1 hits) and every point is bitwise identical to
+  // executing the bound circuit from scratch.
+  const StateVectorBackend backend;
+  ExecutionSession session(backend);
+  const Circuit symbolic = parametric_bell();
+  constexpr std::size_t kPoints = 16;
+  auto angle_of = [](std::size_t k) { return 0.1 + 0.37 * k; };
+
+  std::vector<ExecutionRequest> sweep;
+  for (std::size_t k = 0; k < kPoints; ++k) {
+    ExecutionRequest request(symbolic);
+    request.with_parameters({angle_of(k)}).with_shots(32).with_seed(7);
+    sweep.push_back(std::move(request));
+  }
+  const auto results = session.submit_batch(std::move(sweep));
+  EXPECT_EQ(session.plan_cache().misses(), 1u);
+  EXPECT_EQ(session.plan_cache().hits(), kPoints - 1);
+
+  ASSERT_EQ(results.size(), kPoints);
+  for (std::size_t k = 0; k < kPoints; ++k) {
+    ExecutionRequest rebuilt(symbolic.bind({angle_of(k)}));
+    rebuilt.with_shots(32).with_seed(7);
+    const ExecutionResult direct = backend.execute(rebuilt);
+    EXPECT_EQ(results[k].counts, direct.counts);
+    ASSERT_EQ(results[k].probabilities.size(), direct.probabilities.size());
+    for (std::size_t i = 0; i < direct.probabilities.size(); ++i)
+      EXPECT_EQ(results[k].probabilities[i], direct.probabilities[i])
+          << "point " << k << " index " << i;
+  }
 }
 
 TEST(DensityMatrixBackendGuard, RejectsOversizedDenseAllocation) {

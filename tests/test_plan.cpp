@@ -21,6 +21,7 @@
 #include "exec/exec.h"
 #include "gates/qudit_gates.h"
 #include "gates/two_qudit.h"
+#include "linalg/expm.h"
 #include "noise/noise_model.h"
 #include "qudit/kernels.h"
 
@@ -207,8 +208,184 @@ TEST(CompiledCircuit, DensityMatrixPathMatchesGateByGateExactly) {
 }
 
 // ---------------------------------------------------------------------
-// Backend execute() over compiled plans.
+// Parametric plans: bind() == compile-the-bound-circuit, bitwise.
 // ---------------------------------------------------------------------
+
+/// Random parametric circuit: the random_circuit gate mix interleaved
+/// with dense rotation families exp(-i angle H) and diagonal phase
+/// families, plus same-site dense follow-ups so fusion chains cross
+/// parametric operations. Every parameter index 0..num_params-1 is used.
+Circuit random_parametric_circuit(const QuditSpace& space, Rng& rng,
+                                  int gates, int num_params) {
+  Circuit c(space);
+  const int n = static_cast<int>(space.num_sites());
+  std::uint64_t tag = 0xfeed0000 + 1000 * rng.integer(1, 9);
+  int added_params = 0;
+  for (int g = 0; g < gates; ++g) {
+    const int s = rng.integer(0, n - 1);
+    const int d = space.dim(static_cast<std::size_t>(s));
+    if (g % 2 == 1) {  // alternate plain / parametric
+      // Cycle through the slots so index num_params-1 is always used.
+      const ParamExpr expr{added_params % num_params,
+                           rng.uniform(0.5, 2.0), rng.uniform(-0.5, 0.5)};
+      ++added_params;
+      if (rng.bernoulli(0.5)) {
+        const Matrix u = random_unitary(d, rng);
+        const Matrix h = u + u.adjoint();  // hermitian generator
+        c.add_parametric(
+            "ROT",
+            make_dense_generator(++tag,
+                                 [h](double angle) {
+                                   return expm_hermitian(h,
+                                                         cplx{0.0, -angle});
+                                 }),
+            expr, {s});
+      } else {
+        c.add_parametric(
+            "PH",
+            make_diagonal_generator(++tag,
+                                    [d](double angle) {
+                                      std::vector<cplx> diag(
+                                          static_cast<std::size_t>(d));
+                                      for (int k = 0; k < d; ++k)
+                                        diag[static_cast<std::size_t>(k)] =
+                                            std::exp(cplx{0.0, angle * k});
+                                      return diag;
+                                    }),
+            expr, {s});
+      }
+      if (rng.bernoulli(0.5)) {
+        // Same-site dense follow-up: fuses into the parametric chain.
+        c.add("U'", random_unitary(d, rng), {s});
+      }
+    } else {
+      switch (rng.integer(0, 2)) {
+        case 0:
+          c.add("U1", random_unitary(d, rng), {s});
+          break;
+        case 1:
+          c.add_diagonal("P",
+                         random_phase_diag(static_cast<std::size_t>(d), rng),
+                         {s});
+          break;
+        default: {
+          const int t = (s + 1) % n;
+          const int dt = space.dim(static_cast<std::size_t>(t));
+          c.add("U2", random_unitary(d * dt, rng), {s, t});
+          break;
+        }
+      }
+    }
+  }
+  return c;
+}
+
+std::vector<double> random_binding(std::size_t count, Rng& rng) {
+  std::vector<double> params(count);
+  for (double& p : params) p = rng.uniform(-3.0, 3.0);
+  return params;
+}
+
+TEST(ParametricPlan, BindMatchesCompilingBoundCircuitBitwise) {
+  // The parametric correctness contract: plan(symbolic).bind(p) performs
+  // the same arithmetic in the same order as plan(symbolic.bind(p)) --
+  // amplitudes agree with EXPECT_EQ, fused or not, on random mixed-radix
+  // circuits.
+  for (std::uint64_t trial = 0; trial < 6; ++trial) {
+    Rng rng(11000 + trial);
+    const QuditSpace space = random_space(rng);
+    const Circuit symbolic =
+        random_parametric_circuit(space, rng, 10, 2);
+    const std::vector<double> params = random_binding(2, rng);
+
+    for (const bool fuse : {false, true}) {
+      const PlanOptions options = fuse ? PlanOptions{} : PlanOptions::none();
+      const CompiledCircuit plan(symbolic, NoiseModel(), options);
+      ASSERT_TRUE(plan.parametric());
+      EXPECT_EQ(plan.num_parameters(), 2u);
+      const auto bound = plan.bind(params);
+      EXPECT_EQ(bound->bound_parameters(), params);
+      EXPECT_EQ(bound->steps().size(), plan.steps().size());
+
+      const CompiledCircuit rebuilt(symbolic.bind(params), NoiseModel(),
+                                    options);
+      ASSERT_EQ(bound->steps().size(), rebuilt.steps().size());
+      StateVector via_bind(space);
+      StateVector via_rebuild(space);
+      kernels::Scratch scratch;
+      bound->run_pure(via_bind, scratch);
+      rebuilt.run_pure(via_rebuild, scratch);
+      expect_amplitudes_eq(via_rebuild, via_bind);
+    }
+  }
+}
+
+TEST(ParametricPlan, NoisyTrajectoryBindMatchesRebuildExactly) {
+  // Channel resolution reads only structure (sites, duration,
+  // multiplicity), so the bound plan consumes the identical RNG stream
+  // and lands on bitwise the same trajectory.
+  const NoiseModel noise = mixed_noise();
+  for (std::uint64_t trial = 0; trial < 4; ++trial) {
+    Rng rng(12000 + trial);
+    const QuditSpace space = random_space(rng);
+    const Circuit symbolic = random_parametric_circuit(space, rng, 8, 3);
+    const std::vector<double> params = random_binding(3, rng);
+
+    const CompiledCircuit plan(symbolic, noise, PlanOptions::none());
+    const auto bound = plan.bind(params);
+    const CompiledCircuit rebuilt(symbolic.bind(params), noise,
+                                  PlanOptions::none());
+
+    Rng bind_rng(500 + trial), rebuild_rng(500 + trial);
+    StateVector via_bind(space);
+    StateVector via_rebuild(space);
+    kernels::Scratch scratch;
+    bound->run_trajectory(via_bind, bind_rng, scratch);
+    rebuilt.run_trajectory(via_rebuild, rebuild_rng, scratch);
+    expect_amplitudes_eq(via_rebuild, via_bind);
+    EXPECT_EQ(bind_rng.draw_seed(), rebuild_rng.draw_seed());
+  }
+}
+
+TEST(ParametricPlan, RebindRecipesAreValueIndependent) {
+  // Any cached plan binds correctly no matter which binding populated
+  // it: bind(p2) from a plan compiled at p1 equals compiling at p2.
+  Rng rng(13000);
+  const QuditSpace space = random_space(rng);
+  const Circuit symbolic = random_parametric_circuit(space, rng, 10, 2);
+  const std::vector<double> p1 = random_binding(2, rng);
+  const std::vector<double> p2 = random_binding(2, rng);
+
+  const CompiledCircuit from_p1(symbolic.bind(p1), NoiseModel(),
+                                PlanOptions{});
+  const auto rebound = from_p1.bind(p2);
+  const CompiledCircuit fresh(symbolic.bind(p2), NoiseModel(), PlanOptions{});
+  StateVector a(space), b(space);
+  kernels::Scratch scratch;
+  rebound->run_pure(a, scratch);
+  fresh.run_pure(b, scratch);
+  expect_amplitudes_eq(b, a);
+}
+
+TEST(ParametricPlanCache, StructuralKeySharesPlansAcrossBindings) {
+  Rng rng(14000);
+  const QuditSpace space = random_space(rng);
+  const Circuit symbolic = random_parametric_circuit(space, rng, 8, 2);
+  const std::vector<double> p1 = random_binding(2, rng);
+  const std::vector<double> p2 = random_binding(2, rng);
+
+  PlanCache cache(8);
+  const auto plan1 =
+      cache.get_or_compile(symbolic.bind(p1), NoiseModel(), PlanOptions{});
+  const auto plan2 =
+      cache.get_or_compile(symbolic.bind(p2), NoiseModel(), PlanOptions{});
+  const auto plan3 =
+      cache.get_or_compile(symbolic, NoiseModel(), PlanOptions{});
+  EXPECT_EQ(plan1, plan2);  // one structural key, one artifact
+  EXPECT_EQ(plan1, plan3);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
 
 TEST(CompiledExecution, TrajectoryBackendMatchesHandRolledReference) {
   Rng rng(5001);

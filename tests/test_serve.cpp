@@ -424,6 +424,92 @@ TEST(JobService, HardwareTargetedBurstTranspilesOnceAndBatches) {
   EXPECT_EQ(t2.largest_batch, 1u);
 }
 
+TEST(JobService, ParametricSweepTranspilesAndLowersExactlyOnce) {
+  // The parametric-compilation acceptance pin: a 100-point two-tenant
+  // QAOA angle sweep over one symbolic circuit, hardware-targeted,
+  // transpiles exactly once and lowers exactly one plan -- the telemetry
+  // counters say so -- and every point's result is bitwise identical to
+  // submitting the fully-bound circuit built from scratch.
+  Graph triangle;
+  triangle.n = 3;
+  triangle.edges = {{0, 1}, {1, 2}, {0, 2}};
+  const ColoringQaoa qaoa(triangle, 3);
+  const std::vector<int> offsets = {0, 0, 0};
+  const Circuit symbolic = qaoa.parametric_circuit(1, offsets);
+  const std::vector<double> cost = qaoa.cost_diagonal(offsets);
+
+  ProcessorConfig cfg;
+  cfg.num_cavities = 3;
+  cfg.modes_per_cavity = 1;
+  cfg.levels_per_mode = 3;
+  const Processor proc(cfg);
+  const StateVectorBackend backend;
+
+  constexpr std::size_t kPoints = 100;
+  auto angles_of = [](std::size_t k) {
+    const double t = static_cast<double>(k) / kPoints;
+    return std::vector<double>{4.0 * t, 2.0 * (1.0 - t)};
+  };
+
+  ServiceOptions options;
+  options.workers = 2;
+  options.max_batch = 16;
+  options.start_paused = true;  // accumulate the full sweep, then release
+  JobService service(backend, options);
+  std::vector<JobHandle> handles;
+  for (std::size_t k = 0; k < kPoints; ++k)
+    handles.push_back(service.submit(JobSpec(symbolic)
+                                         .with_tenant(k % 2 ? "qaoa-a"
+                                                            : "qaoa-b")
+                                         .with_parameters(angles_of(k))
+                                         .with_compilation(proc)
+                                         .with_shots(16)
+                                         .with_seed(1000 + k)
+                                         .with_observable("cost", cost)));
+  service.resume();
+  std::vector<ExecutionResult> swept;
+  for (const JobHandle& h : handles) swept.push_back(h.result());
+  service.shutdown(ShutdownMode::kDrain);
+
+  const ServiceTelemetry t = service.telemetry();
+  EXPECT_EQ(t.completed, kPoints);
+  // The whole sweep shares one structural plan key: one transpile, one
+  // lowering, everything else hits -- regardless of bindings or tenants.
+  EXPECT_EQ(t.transpile_cache_misses, 1u);
+  EXPECT_EQ(t.plan_cache_misses, 1u);
+  EXPECT_GT(t.largest_batch, 1u);  // bindings batch together
+
+  // From-scratch reference: the same points as concrete bound circuits
+  // (distinct fingerprints, so this service recompiles per point).
+  ServiceOptions ref_options;
+  ref_options.workers = 1;
+  ref_options.max_batch = 1;
+  JobService reference(backend, ref_options);
+  std::vector<JobHandle> ref_handles;
+  for (std::size_t k = 0; k < kPoints; ++k) {
+    const std::vector<double> angles = angles_of(k);
+    ref_handles.push_back(
+        reference.submit(JobSpec(qaoa.build_circuit({angles[0]}, {angles[1]},
+                                                    offsets))
+                             .with_compilation(proc)
+                             .with_shots(16)
+                             .with_seed(1000 + k)
+                             .with_observable("cost", cost)));
+  }
+  for (std::size_t k = 0; k < kPoints; ++k) {
+    const JobOutcome ref = ref_handles[k].wait();
+    ASSERT_EQ(ref.status, JobStatus::kDone);
+    EXPECT_EQ(swept[k].counts, ref.result.counts);
+    EXPECT_EQ(swept[k].expectation("cost"), ref.result.expectation("cost"));
+    ASSERT_EQ(swept[k].probabilities.size(), ref.result.probabilities.size());
+    for (std::size_t i = 0; i < ref.result.probabilities.size(); ++i)
+      EXPECT_EQ(swept[k].probabilities[i], ref.result.probabilities[i])
+          << "point " << k << " index " << i;
+  }
+  reference.shutdown(ShutdownMode::kDrain);
+  EXPECT_EQ(reference.telemetry().transpile_cache_misses, kPoints);
+}
+
 TEST(JobService, CancelBeforeDispatchWinsAfterDispatchLoses) {
   const StateVectorBackend backend;
   ServiceOptions options;

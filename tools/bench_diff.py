@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over google-benchmark JSON artifacts.
+
+Compares the BENCH_*.json files of a baseline directory (the previous
+successful CI run's `benchmarks` artifact) against the current run's,
+benchmark by benchmark, and fails when any benchmark regressed beyond the
+threshold: items_per_second lower than baseline (higher is better) or --
+when a benchmark reports no throughput -- real_time higher than baseline
+(lower is better).
+
+Bootstrap rule: a missing baseline directory, a baseline file absent for
+a current file, or a baseline entry absent for a benchmark passes with a
+note instead of failing -- the first run on a branch (or a newly added
+benchmark) establishes the baseline rather than gating against nothing.
+
+Usage:
+  bench_diff.py [--threshold 0.15] BASELINE_DIR CURRENT_DIR
+  bench_diff.py --self-test
+
+The self-test synthesizes a baseline/current pair with an injected 40%
+slowdown and asserts the gate fails on it (and passes on the unchanged
+pair and on a missing baseline), so CI demonstrates the gate's failure
+mode on every run instead of trusting it untested.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+PASS, FAIL = 0, 1
+
+
+def load_entries(path):
+    """name -> metrics dict for one google-benchmark JSON file.
+
+    Prefers the `mean` aggregate when repetitions produced one; otherwise
+    uses the plain iteration entry.
+    """
+    with open(path) as f:
+        data = json.load(f)
+    entries = {}
+    for bench in data.get("benchmarks", []):
+        run_type = bench.get("run_type", "iteration")
+        if run_type == "aggregate" and bench.get("aggregate_name") != "mean":
+            continue
+        name = bench.get("run_name", bench.get("name"))
+        if name is None:
+            continue
+        if run_type == "aggregate" or name not in entries:
+            entries[name] = bench
+    return entries
+
+
+def compare_entry(name, base, cur, threshold):
+    """Returns (ok, message) for one benchmark present in both runs."""
+    base_ips = base.get("items_per_second")
+    cur_ips = cur.get("items_per_second")
+    if base_ips and cur_ips:
+        ratio = cur_ips / base_ips
+        ok = ratio >= 1.0 - threshold
+        verdict = "ok" if ok else "REGRESSION"
+        return ok, (
+            f"{verdict}: {name}: items_per_second {base_ips:.4g} -> "
+            f"{cur_ips:.4g} ({(ratio - 1.0) * 100.0:+.1f}%)")
+    base_t = base.get("real_time")
+    cur_t = cur.get("real_time")
+    if not base_t or not cur_t:
+        return True, f"skip: {name}: no comparable metric"
+    ratio = cur_t / base_t
+    ok = ratio <= 1.0 + threshold
+    verdict = "ok" if ok else "REGRESSION"
+    return ok, (
+        f"{verdict}: {name}: real_time {base_t:.4g} -> {cur_t:.4g} "
+        f"{cur.get('time_unit', 'ns')} ({(ratio - 1.0) * 100.0:+.1f}%)")
+
+
+def diff_dirs(baseline_dir, current_dir, threshold):
+    """Compares every BENCH_*.json under current against baseline."""
+    current_files = sorted(
+        f for f in os.listdir(current_dir)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not current_files:
+        print(f"bench_diff: no BENCH_*.json under {current_dir}")
+        return FAIL
+    if not os.path.isdir(baseline_dir):
+        print(f"bench_diff: no baseline at {baseline_dir}; "
+              "bootstrapping (this run becomes the baseline)")
+        return PASS
+
+    failures = 0
+    for fname in current_files:
+        base_path = os.path.join(baseline_dir, fname)
+        if not os.path.exists(base_path):
+            print(f"bootstrap: {fname}: no baseline file")
+            continue
+        base_entries = load_entries(base_path)
+        cur_entries = load_entries(os.path.join(current_dir, fname))
+        for name, cur in sorted(cur_entries.items()):
+            base = base_entries.get(name)
+            if base is None:
+                print(f"bootstrap: {name}: not in baseline")
+                continue
+            ok, message = compare_entry(name, base, cur, threshold)
+            print(message)
+            if not ok:
+                failures += 1
+    if failures:
+        print(f"bench_diff: {failures} benchmark(s) regressed more than "
+              f"{threshold * 100.0:.0f}%")
+        return FAIL
+    print("bench_diff: no regressions beyond threshold")
+    return PASS
+
+
+def synthetic(path, time_ns, items_per_second):
+    payload = {
+        "benchmarks": [{
+            "name": "BM_Synthetic/1000",
+            "run_name": "BM_Synthetic/1000",
+            "run_type": "iteration",
+            "real_time": time_ns,
+            "cpu_time": time_ns,
+            "time_unit": "ns",
+            "items_per_second": items_per_second,
+        }]
+    }
+    with open(path, "w") as f:
+        json.dump(payload, f)
+
+
+def self_test():
+    """Asserts the gate's three behaviors: pass, bootstrap, and fail."""
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = os.path.join(tmp, "baseline")
+        current = os.path.join(tmp, "current")
+        os.makedirs(baseline)
+        os.makedirs(current)
+        synthetic(os.path.join(baseline, "BENCH_synth.json"), 100.0, 1e6)
+
+        # Unchanged performance passes.
+        synthetic(os.path.join(current, "BENCH_synth.json"), 101.0, 0.99e6)
+        assert diff_dirs(baseline, current, 0.15) == PASS, \
+            "unchanged run must pass the gate"
+
+        # Missing baseline bootstraps instead of failing.
+        assert diff_dirs(os.path.join(tmp, "absent"), current, 0.15) == PASS, \
+            "missing baseline must bootstrap-pass"
+
+        # An injected 40% slowdown must trip the gate.
+        synthetic(os.path.join(current, "BENCH_synth.json"), 140.0, 1e6 / 1.4)
+        assert diff_dirs(baseline, current, 0.15) == FAIL, \
+            "injected slowdown must fail the gate"
+    print("bench_diff: self-test passed "
+          "(gate demonstrated to fail on injected slowdown)")
+    return PASS
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional regression (default 0.15)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate trips on an injected slowdown")
+    parser.add_argument("dirs", nargs="*",
+                        metavar="BASELINE_DIR CURRENT_DIR")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if len(args.dirs) != 2:
+        parser.error("expected BASELINE_DIR CURRENT_DIR (or --self-test)")
+    return diff_dirs(args.dirs[0], args.dirs[1], args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,14 @@ turns those into CI failures. Rules (see docs/ARCHITECTURE.md
                    use the annotated qs::Mutex family so clang's
                    -Wthread-safety analysis sees every acquisition.
 
+  value-fingerprint  In cache-key code paths (CACHE_KEY_FILES), bans
+                   value-sensitive fingerprint(<circuit>) -- cache keys
+                   must use structural_fingerprint so a parametric sweep's
+                   bindings all hash to one artifact. A value-sensitive
+                   key silently degrades every sweep point to a miss
+                   (recompiles per binding), undoing the bind fast path
+                   without failing any correctness test.
+
 Suppression: append `// lint:allow(<rule>): <why>` to the offending line.
 The reason is mandatory; a bare allow is itself a finding.
 
@@ -50,6 +58,15 @@ RAW_SYNC_HOME = "src/common/thread_annotations.h"
 # any file that *defines* a fingerprint() function (detected below).
 FINGERPRINT_FILES = {
     "src/common/fingerprint.h",
+}
+
+# Files that derive cache keys from circuits. Keys here must hash the
+# circuit's *structure* (structural_fingerprint), never its bound
+# parameter values, or parametric sweeps stop sharing artifacts.
+CACHE_KEY_FILES = {
+    "src/exec/plan.cpp",
+    "src/compiler/transpile_cache.cpp",
+    "src/serve/service.cpp",
 }
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)(:\s*\S.*)?")
@@ -87,6 +104,13 @@ RAW_SYNC_RE = re.compile(
 # a uint64 return type directly followed by a fingerprint name.
 FINGERPRINT_DEF_RE = re.compile(
     r"(?:std::)?uint64_t\s+[\w:]*fingerprint\s*\(")
+
+# A value-sensitive circuit digest call: fingerprint( -- not preceded by
+# structural_ -- whose argument names a circuit (circuit/circ/logical/
+# physical, possibly behind a member or pointer access).
+VALUE_FP_RE = re.compile(
+    r"(?<!structural_)\bfingerprint\s*\(\s*[\w.>&*-]*"
+    r"(?:circuit|circ\b|logical|physical)")
 
 UNORDERED_DECL_RE = re.compile(
     r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;(){]*>\s+(\w+)\s*[;{=]")
@@ -185,6 +209,15 @@ def lint_file(path: pathlib.Path, findings: list[Finding]) -> None:
                     report(lineno, "unordered-iter",
                            f"range-for over unordered container '{name}' "
                            "in a fingerprint file")
+
+    # -- value-fingerprint -------------------------------------------------
+    if rel in CACHE_KEY_FILES:
+        for lineno, line in enumerate(clean_lines, 1):
+            if VALUE_FP_RE.search(line):
+                report(lineno, "value-fingerprint",
+                       "value-sensitive fingerprint() of a circuit in a "
+                       "cache-key path; use structural_fingerprint so "
+                       "parametric bindings share one cached artifact")
 
     # -- raw-sync ----------------------------------------------------------
     if rel != RAW_SYNC_HOME:
