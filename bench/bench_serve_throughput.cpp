@@ -40,21 +40,30 @@ Circuit burst_circuit(int layers) {
 }
 
 /// Pushes `jobs` identical-circuit jobs through a service and drains it.
-void run_burst(benchmark::State& state, std::size_t max_batch) {
+/// With `traced`, every job records its full span timeline into a
+/// tracer sized so nothing is ring-dropped mid-iteration.
+void run_burst(benchmark::State& state, std::size_t max_batch,
+               bool traced = false) {
   const std::size_t jobs = static_cast<std::size_t>(state.range(0));
   const TrajectoryBackend backend{device_noise()};
   const Circuit circuit = burst_circuit(4);
+  obs::TracerOptions tracer_options;
+  tracer_options.shards = 4;
+  tracer_options.capacity_per_shard = 16384;
+  obs::Tracer tracer(tracer_options);
   for (auto _ : state) {
     ServiceOptions options;
     options.workers = 4;
     options.max_batch = max_batch;
     options.start_paused = true;  // accumulate the burst, then release
+    if (traced) options.tracer = &tracer;
     JobService service(backend, options);
     for (std::size_t j = 0; j < jobs; ++j)
       service.submit(JobSpec(circuit).with_shots(8));
     service.resume();
     service.shutdown(ShutdownMode::kDrain);
     benchmark::DoNotOptimize(service.telemetry().completed);
+    tracer.clear();  // fresh ring per iteration (no-op when untraced)
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(jobs));
 }
@@ -68,6 +77,14 @@ void BM_ServeSameCircuitBurst_Naive(benchmark::State& state) {
   run_burst(state, 1);  // one job per dispatch: no fingerprint batching
 }
 BENCHMARK(BM_ServeSameCircuitBurst_Naive)->Arg(64)->Arg(256);
+
+/// The batched burst with full span tracing + metrics enabled: the
+/// tracing-overhead budget pair for tools/bench_diff.py, which fails CI
+/// if this falls more than 5% below _Batched in the same run.
+void BM_ServeSameCircuitBurst_Traced(benchmark::State& state) {
+  run_burst(state, 16, /*traced=*/true);
+}
+BENCHMARK(BM_ServeSameCircuitBurst_Traced)->Arg(64)->Arg(256);
 
 /// Mixed 3-tenant workload: distinct circuit families and priorities,
 /// submitted round-robin so the scheduler interleaves, batches, and

@@ -8,8 +8,14 @@
 // bitwise deterministic: the whole run is replayed afterwards and every
 // expectation value must match exactly.
 //
+// The first (verbose) run records the full span timeline of every job
+// and writes it as Chrome trace_event JSON to TRACE_serve_daemon.json
+// (load it in chrome://tracing or https://ui.perfetto.dev); CI's
+// perf-smoke job archives that file as an artifact.
+//
 //   ./examples/example_serve_daemon
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
@@ -95,10 +101,11 @@ std::vector<JobSpec> sqed_jobs() {
 /// Submits every tenant from its own thread and waits for all results.
 /// Returns expectation values keyed by (tenant, job index).
 std::map<std::string, std::vector<double>> run_workload(
-    const Backend& backend, bool verbose) {
+    const Backend& backend, bool verbose, obs::Tracer* tracer = nullptr) {
   ServiceOptions options;
   options.workers = 4;
   options.max_batch = 8;
+  options.tracer = tracer;
   JobService service(backend, options);
 
   std::vector<std::vector<JobSpec>> tenants;
@@ -140,6 +147,15 @@ std::map<std::string, std::vector<double>> run_workload(
         "%zu results stored\n",
         tl.plan_cache_misses, tl.plan_cache_hits,
         1e3 * tl.queue_seconds_total, tl.results_stored);
+    std::printf("\nper-tenant submit->finish latency (ms):\n");
+    for (const char* tenant : names) {
+      const TenantLatency lat = service.tenant_latency(tenant);
+      std::printf("  %-5s n=%-3zu mean %7.2f  p50 %7.2f  p95 %7.2f  "
+                  "p99 %7.2f\n",
+                  tenant, static_cast<std::size_t>(lat.count),
+                  1e3 * lat.mean, 1e3 * lat.p50, 1e3 * lat.p95,
+                  1e3 * lat.p99);
+    }
   }
   service.shutdown(ShutdownMode::kDrain);
   return expectations;
@@ -152,7 +168,24 @@ int main() {
 
   std::printf("mixed 3-tenant workload on backend '%s'\n\n",
               device.name().c_str());
-  const auto first = run_workload(device, true);
+
+  // Trace the verbose run end to end: every job's
+  // submit->queue->batch->...->store timeline lands in the ring.
+  obs::TracerOptions tracer_options;
+  tracer_options.shards = 4;
+  tracer_options.capacity_per_shard = 16384;
+  obs::Tracer tracer(tracer_options);
+  const auto first = run_workload(device, true, &tracer);
+
+  const char* trace_path = "TRACE_serve_daemon.json";
+  {
+    std::ofstream trace_file(trace_path);
+    tracer.export_chrome_json(trace_file);
+  }
+  std::printf("\ntrace: %llu spans (%llu dropped) -> %s "
+              "(chrome://tracing)\n",
+              static_cast<unsigned long long>(tracer.recorded()),
+              static_cast<unsigned long long>(tracer.dropped()), trace_path);
 
   // The determinism contract: replaying the same per-tenant submissions
   // -- new service, new thread interleavings, same tenant streams --

@@ -11,18 +11,43 @@ CalibrationStore::CalibrationStore(std::size_t history_capacity)
   require(capacity_ >= 1, "CalibrationStore: capacity must be >= 1");
 }
 
+void CalibrationStore::attach_observability(obs::MetricsRegistry* registry,
+                                            obs::Tracer* tracer) {
+  registry_ = registry;
+  tracer_ = tracer;
+  if (registry_ != nullptr) {
+    published_id_ = registry_->counter("calib.store.published");
+    retained_id_ = registry_->gauge("calib.store.retained");
+  }
+}
+
 CalibrationStore::Ptr CalibrationStore::publish(
     CalibrationSnapshot snapshot) {
+  // Service-level span (job 0) covering validation + store insert.
+  obs::SpanTimer span =
+      tracer_ ? tracer_->span(obs::Phase::kRecalibrate) : obs::SpanTimer();
+  span.set_epoch(snapshot.epoch);
   snapshot.validate();
   auto stored =
       std::make_shared<const CalibrationSnapshot>(std::move(snapshot));
-  MutexLock lock(mutex_);
-  if (!history_.empty())
-    require(stored->epoch > history_.back()->epoch,
-            "CalibrationStore::publish: epoch must strictly increase");
-  history_.push_back(stored);
-  ++published_;
-  while (history_.size() > capacity_) history_.pop_front();
+  std::int64_t retained_delta = 1;
+  {
+    MutexLock lock(mutex_);
+    if (!history_.empty())
+      require(stored->epoch > history_.back()->epoch,
+              "CalibrationStore::publish: epoch must strictly increase");
+    history_.push_back(stored);
+    ++published_;
+    while (history_.size() > capacity_) {
+      history_.pop_front();
+      --retained_delta;
+    }
+  }
+  if (registry_ != nullptr) {
+    obs::MetricsTxn txn(*registry_);
+    txn.add(published_id_);
+    txn.gauge_add(retained_id_, retained_delta);
+  }
   return stored;
 }
 

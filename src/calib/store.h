@@ -18,6 +18,8 @@
 
 #include "calib/snapshot.h"
 #include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qs {
 
@@ -48,8 +50,22 @@ class CalibrationStore {
   std::size_t capacity() const { return capacity_; }
   std::size_t published() const;     ///< lifetime publish count
 
+  /// Wires this store into a subsystem's observability: publishes bump
+  /// `calib.store.published` in `registry` and record a service-level
+  /// kRecalibrate span (epoch attribute) in `tracer`. Either may be
+  /// null. Call before concurrent publishing starts (the serve layer
+  /// attaches at construction); counters count publishes since attach.
+  void attach_observability(obs::MetricsRegistry* registry,
+                            obs::Tracer* tracer);
+
  private:
   const std::size_t capacity_;
+  /// Observability sinks; written once by attach_observability before
+  /// concurrent use, then read-only on the publish path.
+  obs::Tracer* tracer_ = nullptr;
+  obs::CounterId published_id_;
+  obs::GaugeId retained_id_;
+  obs::MetricsRegistry* registry_ = nullptr;
   /// Leaf lock: snapshot validation and allocation happen before it is
   /// taken, so publishers never hold it across heavy work.
   mutable Mutex mutex_;

@@ -2,16 +2,28 @@
 // de-duplication: the one protocol behind PlanCache (exec/plan.h) and
 // TranspileCache (compiler/transpile_cache.h).
 //
-// One mutex guards lookup/insert/evict and the hit/miss counters.
-// Production happens OUTSIDE the lock: a miss installs an in-flight slot
-// and runs the producer unlocked, concurrent same-key callers wait on
-// that slot (each artifact is produced exactly once, and the wait counts
-// as a hit), and other keys -- including hits -- are never stalled by
-// someone else's slow producer. A producer that throws propagates to
-// every waiter and releases the slot. Entries pin their artifact via
-// shared_ptr, so eviction never invalidates one still in use. Capacity 0
-// disables storage (every call produces afresh, in-flight dedup still
-// applies).
+// One mutex guards lookup/insert/evict. Production happens OUTSIDE the
+// lock: a miss installs an in-flight slot and runs the producer
+// unlocked, concurrent same-key callers wait on that slot (each
+// artifact is produced exactly once, and the wait counts as a hit),
+// and other keys -- including hits -- are never stalled by someone
+// else's slow producer. A producer that throws propagates to every
+// waiter and releases the slot. Entries pin their artifact via
+// shared_ptr, so eviction never invalidates one still in use. Capacity
+// 0 disables storage (every call produces afresh, in-flight dedup
+// still applies).
+//
+// Telemetry lives in an obs::MetricsRegistry (`<prefix>.hits` etc.),
+// not in ad-hoc fields: when the cache is shared across serve workers,
+// `stats()` reads ONE registry snapshot, so every counter and gauge in
+// a CacheStats is from the same consistent cut -- the old per-field
+// accessors could interleave with concurrent updates and report e.g.
+// hits+misses != lookups. Pass the owning subsystem's registry to
+// surface the counters in its unified snapshot; with no registry the
+// cache runs a private one (same code path, stats() still consistent).
+// Counter updates buffer lock-free inside the critical section and
+// commit atomically after the cache mutex releases, so the cache mutex
+// stays a leaf lock.
 #ifndef QS_COMMON_KEYED_CACHE_H
 #define QS_COMMON_KEYED_CACHE_H
 
@@ -19,19 +31,22 @@
 #include <future>
 #include <list>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "common/thread_annotations.h"
+#include "obs/metrics.h"
 
 namespace qs {
 namespace detail {
 
 /// Uniform counter snapshot of one KeyedArtifactCache: monotonic
 /// hit/miss/eviction counters plus the stored-entry and in-flight
-/// gauges, read atomically under the cache lock. Surfaced unchanged by
-/// PlanCache/TranspileCache and rolled into ServiceTelemetry and the
-/// bench JSON, so every layer reports cache behavior identically.
+/// gauges, all read from one registry snapshot so the fields are
+/// mutually consistent. Surfaced unchanged by PlanCache/TranspileCache
+/// and rolled into ServiceTelemetry and the bench JSON, so every layer
+/// reports cache behavior identically.
 struct CacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
@@ -45,19 +60,46 @@ class KeyedArtifactCache {
  public:
   using Ptr = std::shared_ptr<const Value>;
 
-  explicit KeyedArtifactCache(std::size_t capacity) : capacity_(capacity) {}
+  /// `registry` is non-owning and may be null (the cache then runs a
+  /// private registry). `prefix` namespaces this cache's metrics
+  /// (`<prefix>.hits`, `.misses`, `.evictions`, `.size`,
+  /// `.in_flight`); two caches sharing a registry AND a prefix merge
+  /// their counters.
+  explicit KeyedArtifactCache(std::size_t capacity,
+                              obs::MetricsRegistry* registry = nullptr,
+                              const std::string& prefix = "common.keyed_cache")
+      : capacity_(capacity), prefix_(prefix) {
+    if (registry == nullptr) {
+      owned_registry_ = std::make_unique<obs::MetricsRegistry>(4);
+      registry = owned_registry_.get();
+    }
+    registry_ = registry;
+    hits_id_ = registry_->counter(prefix + ".hits");
+    misses_id_ = registry_->counter(prefix + ".misses");
+    evictions_id_ = registry_->counter(prefix + ".evictions");
+    size_id_ = registry_->gauge(prefix + ".size");
+    in_flight_id_ = registry_->gauge(prefix + ".in_flight");
+  }
 
   /// Returns the cached artifact for the key, invoking `produce` (which
-  /// must return a Ptr) and inserting on miss.
+  /// must return a Ptr) and inserting on miss. When `cache_hit` is
+  /// non-null it is set to whether this call was served from cache
+  /// (waiting on another caller's in-flight production counts as a
+  /// hit, matching the counters).
   template <typename Producer>
-  Ptr get_or_produce(const Key& key, Producer&& produce) {
+  Ptr get_or_produce(const Key& key, Producer&& produce,
+                     bool* cache_hit = nullptr) {
     std::promise<Ptr> promise;
     std::shared_future<Ptr> waiter;
     {
+      // txn outlives the lock scope: updates buffer lock-free here and
+      // commit (one registry shard acquisition) after mutex_ releases.
+      obs::MetricsTxn txn(*registry_);
       MutexLock lock(mutex_);
       auto it = entries_.find(key);
       if (it != entries_.end()) {
-        ++hits_;
+        txn.add(hits_id_);
+        if (cache_hit) *cache_hit = true;
         order_.splice(order_.end(), order_, it->second.position);
         return it->second.artifact;
       }
@@ -65,10 +107,13 @@ class KeyedArtifactCache {
       if (fit != inflight_.end()) {
         // Someone else is already producing this key: count the reuse as
         // a hit and wait on their result outside the lock.
-        ++hits_;
+        txn.add(hits_id_);
+        if (cache_hit) *cache_hit = true;
         waiter = fit->second;
       } else {
-        ++misses_;
+        txn.add(misses_id_);
+        txn.gauge_add(in_flight_id_, +1);
+        if (cache_hit) *cache_hit = false;
         inflight_.emplace(key, promise.get_future().share());
       }
     }
@@ -81,21 +126,29 @@ class KeyedArtifactCache {
       artifact = produce();
     } catch (...) {
       promise.set_exception(std::current_exception());
-      MutexLock lock(mutex_);
-      inflight_.erase(key);
+      obs::MetricsTxn txn(*registry_);
+      {
+        MutexLock lock(mutex_);
+        inflight_.erase(key);
+      }
+      txn.gauge_add(in_flight_id_, -1);
       throw;
     }
     promise.set_value(artifact);
+    obs::MetricsTxn txn(*registry_);
+    txn.gauge_add(in_flight_id_, -1);
     MutexLock lock(mutex_);
     inflight_.erase(key);
     if (capacity_ == 0) return artifact;
     while (entries_.size() >= capacity_) {
       entries_.erase(order_.front());
       order_.pop_front();
-      ++evictions_;
+      txn.add(evictions_id_);
+      txn.gauge_add(size_id_, -1);
     }
     order_.push_back(key);
     entries_.emplace(key, Entry{artifact, std::prev(order_.end())});
+    txn.gauge_add(size_id_, +1);
     return artifact;
   }
 
@@ -104,33 +157,32 @@ class KeyedArtifactCache {
     return entries_.size();
   }
   std::size_t capacity() const { return capacity_; }
-  std::size_t hits() const {
-    MutexLock lock(mutex_);
-    return hits_;
-  }
-  std::size_t misses() const {
-    MutexLock lock(mutex_);
-    return misses_;
-  }
-  std::size_t evictions() const {
-    MutexLock lock(mutex_);
-    return evictions_;
+  std::size_t hits() const { return stats().hits; }
+  std::size_t misses() const { return stats().misses; }
+  std::size_t evictions() const { return stats().evictions; }
+
+  /// One consistent snapshot of every counter and gauge (single
+  /// registry cut; see class comment).
+  CacheStats stats() const {
+    const obs::MetricsSnapshot snap = registry_->snapshot();
+    CacheStats out;
+    out.hits = snap.counter(prefix_ + ".hits");
+    out.misses = snap.counter(prefix_ + ".misses");
+    out.evictions = snap.counter(prefix_ + ".evictions");
+    out.size = std::size_t(snap.gauge(prefix_ + ".size"));
+    out.in_flight = std::size_t(snap.gauge(prefix_ + ".in_flight"));
+    return out;
   }
 
-  /// One consistent snapshot of every counter and gauge.
-  CacheStats stats() const {
-    MutexLock lock(mutex_);
-    return {hits_, misses_, evictions_, entries_.size(), inflight_.size()};
-  }
+  /// The registry this cache reports into (shared or private).
+  obs::MetricsRegistry& registry() const { return *registry_; }
 
  private:
-  /// Leaf lock: producers run outside it by construction, so nothing is
-  /// ever acquired under it.
+  /// Leaf lock: producers run outside it and metric commits happen
+  /// after it releases, so nothing is ever acquired under it.
   mutable Mutex mutex_;
   const std::size_t capacity_;
-  std::size_t hits_ QS_GUARDED_BY(mutex_) = 0;
-  std::size_t misses_ QS_GUARDED_BY(mutex_) = 0;
-  std::size_t evictions_ QS_GUARDED_BY(mutex_) = 0;
+  const std::string prefix_;
   /// Most-recently-used at the back.
   std::list<Key> order_ QS_GUARDED_BY(mutex_);
   struct Entry {
@@ -142,6 +194,11 @@ class KeyedArtifactCache {
   /// on the future instead of producing twice.
   std::unordered_map<Key, std::shared_future<Ptr>, KeyHash> inflight_
       QS_GUARDED_BY(mutex_);
+
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::CounterId hits_id_, misses_id_, evictions_id_;
+  obs::GaugeId size_id_, in_flight_id_;
 };
 
 }  // namespace detail

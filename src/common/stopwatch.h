@@ -1,31 +1,35 @@
-// Wall-clock stopwatch for coarse timing in benches and examples.
+// Monotonic stopwatch for coarse timing in benches, examples, and
+// telemetry, built on the sanctioned qs::obs::Clock time source so
+// timed code is virtual-time-ready (inject a ManualClock in tests).
 #ifndef QS_COMMON_STOPWATCH_H
 #define QS_COMMON_STOPWATCH_H
 
-#include <chrono>
+#include "obs/clock.h"
 
 namespace qs {
 
 /// Starts timing on construction; `seconds()`/`millis()` report elapsed
-/// wall time; `reset()` restarts.
+/// time on the injected clock; `reset()` restarts. Default-constructed
+/// stopwatches run on the real steady clock.
 class Stopwatch {
  public:
-  Stopwatch() : start_(clock::now()) {}
+  explicit Stopwatch(const obs::Clock& clock = obs::SteadyClock::instance())
+      : clock_(&clock), start_(clock_->now()) {}
 
   /// Restarts the stopwatch.
-  void reset() { start_ = clock::now(); }
+  void reset() { start_ = clock_->now(); }
 
   /// Elapsed seconds since construction or last reset.
   double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
+    return obs::seconds_between(start_, clock_->now());
   }
 
   /// Elapsed milliseconds.
   double millis() const { return seconds() * 1e3; }
 
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  const obs::Clock* clock_;  ///< non-owning; must outlive the stopwatch
+  obs::TimePoint start_;
 };
 
 }  // namespace qs

@@ -9,6 +9,7 @@
 #include "common/stopwatch.h"
 #include "common/table.h"
 #include "compiler/passes.h"
+#include "obs/trace.h"
 
 namespace qs {
 
@@ -44,9 +45,15 @@ std::vector<std::string> PassManager::pass_names() const {
 std::shared_ptr<const TranspiledCircuit> PassManager::run(
     const Circuit& logical, const Processor& proc) const {
   TranspileContext ctx(logical, proc, options_);
+  // PassManager has no request parameter; the executing job's trace
+  // identity (if any) arrives via the thread-local context installed by
+  // ExecutionSession, attributing per-pass spans to that job.
+  const obs::TraceContext& trace = obs::ScopedTraceContext::current();
   std::vector<PassStats> stats;
   stats.reserve(passes_.size());
   for (const auto& pass : passes_) {
+    obs::SpanTimer span = trace.span(obs::Phase::kPass);
+    span.set_detail(pass->name().c_str());
     const Stopwatch timer;
     PassStats s;
     s.pass = pass->name();

@@ -4,7 +4,7 @@ namespace qs {
 
 std::shared_ptr<const TranspiledCircuit> TranspileCache::get_or_transpile(
     const Circuit& logical, const Processor& proc,
-    const TranspileOptions& options) {
+    const TranspileOptions& options, bool* cache_hit) {
   // Fingerprinting walks the circuit; keep it outside the lock. The
   // structural digest ignores bound parameter values: mapping, routing,
   // and scheduling are value-independent (parametric ops are opaque to
@@ -13,7 +13,7 @@ std::shared_ptr<const TranspiledCircuit> TranspileCache::get_or_transpile(
   const Key key{structural_fingerprint(logical), fingerprint(proc),
                 fingerprint(options)};
   return cache_.get_or_produce(
-      key, [&] { return transpile(logical, proc, options); });
+      key, [&] { return transpile(logical, proc, options); }, cache_hit);
 }
 
 }  // namespace qs

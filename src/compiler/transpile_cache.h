@@ -30,13 +30,18 @@ namespace qs {
 /// plans lowered from it re-bind per request.
 class TranspileCache {
  public:
-  explicit TranspileCache(std::size_t capacity = 16) : cache_(capacity) {}
+  /// `registry` (non-owning, nullable) surfaces the cache's counters
+  /// in the caller's unified metrics under `compiler.transpile_cache.*`.
+  explicit TranspileCache(std::size_t capacity = 16,
+                          obs::MetricsRegistry* registry = nullptr)
+      : cache_(capacity, registry, "compiler.transpile_cache") {}
 
   /// Returns the cached artifact for the key, transpiling through the
-  /// default pipeline and inserting on miss.
+  /// default pipeline and inserting on miss. `cache_hit` (optional)
+  /// reports whether this call was served from cache.
   std::shared_ptr<const TranspiledCircuit> get_or_transpile(
       const Circuit& logical, const Processor& proc,
-      const TranspileOptions& options = {});
+      const TranspileOptions& options = {}, bool* cache_hit = nullptr);
 
   std::size_t size() const { return cache_.size(); }
   std::size_t capacity() const { return cache_.capacity(); }

@@ -56,18 +56,24 @@ std::shared_ptr<const CompiledCircuit> Backend::resolve_plan(
       request.processor == nullptr || request.transpiled != nullptr;
   std::shared_ptr<const CompiledCircuit> plan;
   if (plan_trusted && request.plan != nullptr &&
-      request.plan->space() == routed.space())
+      request.plan->space() == routed.space()) {
     plan = request.plan;
-  else
+  } else {
+    // Self-compile fallback: no trusted cached plan, lower here.
+    obs::SpanTimer span = request.trace.span(obs::Phase::kLower);
+    span.set_detail("self-compile");
     plan = std::make_shared<const CompiledCircuit>(routed, noise,
                                                    request.plan_options);
+  }
   // A parametric plan executes at this request's binding. The shared
   // structural artifact (or one bound for a different request) re-binds
   // here: bind() re-derives every parametric step from value-independent
   // factors, so the result is bitwise the plan of the fully-bound
   // circuit no matter which binding populated the cache.
-  if (plan->parametric() && plan->bound_parameters() != params)
+  if (plan->parametric() && plan->bound_parameters() != params) {
+    obs::SpanTimer span = request.trace.span(obs::Phase::kBind);
     plan = plan->bind(params);
+  }
   return plan;
 }
 

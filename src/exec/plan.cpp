@@ -275,16 +275,21 @@ void CompiledCircuit::run_density(DensityMatrix& rho,
 // --- PlanCache -----------------------------------------------------------
 
 std::shared_ptr<const CompiledCircuit> PlanCache::get_or_compile(
-    const Circuit& circuit, const NoiseModel& noise, PlanOptions options) {
+    const Circuit& circuit, const NoiseModel& noise, PlanOptions options,
+    bool* cache_hit) {
   // Fingerprinting walks the circuit; keep it outside the lock. The
   // structural digest ignores bound parameter values, so a thousand-point
   // sweep of one parametric circuit compiles exactly once and every later
   // point binds the cached artifact.
   const Key key{structural_fingerprint(circuit), fingerprint(noise),
                 options.bits()};
-  return cache_.get_or_produce(key, [&] {
-    return std::make_shared<const CompiledCircuit>(circuit, noise, options);
-  });
+  return cache_.get_or_produce(
+      key,
+      [&] {
+        return std::make_shared<const CompiledCircuit>(circuit, noise,
+                                                       options);
+      },
+      cache_hit);
 }
 
 }  // namespace qs

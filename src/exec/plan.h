@@ -230,11 +230,18 @@ std::uint64_t fingerprint(const NoiseModel& noise);
 /// every parametric step from value-independent factors).
 class PlanCache {
  public:
-  explicit PlanCache(std::size_t capacity = 32) : cache_(capacity) {}
+  /// `registry` (non-owning, nullable) surfaces the cache's counters
+  /// in the caller's unified metrics under `exec.plan_cache.*`.
+  explicit PlanCache(std::size_t capacity = 32,
+                     obs::MetricsRegistry* registry = nullptr)
+      : cache_(capacity, registry, "exec.plan_cache") {}
 
-  /// Returns the cached plan for the key, compiling and inserting on miss.
+  /// Returns the cached plan for the key, compiling and inserting on
+  /// miss. `cache_hit` (optional) reports whether this call was served
+  /// from cache.
   std::shared_ptr<const CompiledCircuit> get_or_compile(
-      const Circuit& circuit, const NoiseModel& noise, PlanOptions options);
+      const Circuit& circuit, const NoiseModel& noise, PlanOptions options,
+      bool* cache_hit = nullptr);
 
   std::size_t size() const { return cache_.size(); }
   std::size_t capacity() const { return cache_.capacity(); }

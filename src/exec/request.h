@@ -21,6 +21,7 @@
 #include "compiler/pipeline.h"
 #include "exec/plan.h"
 #include "hardware/processor.h"
+#include "obs/trace.h"
 
 namespace qs {
 
@@ -112,6 +113,11 @@ struct ExecutionRequest {
   /// (pure linear algebra), so results stay bitwise reproducible for a
   /// fixed (snapshot, seed) pair.
   std::shared_ptr<const CalibrationSnapshot> readout_calibration;
+  /// Trace identity (tracer + job id + tenant) attributing the spans
+  /// this request generates in the exec/compiler layers to its
+  /// serve-layer job. Inactive by default: standalone exec users pay
+  /// nothing (POD copy, no allocation, one relaxed load per site).
+  obs::TraceContext trace;
 
   ExecutionRequest& with_shots(std::size_t n) {
     shots = n;
@@ -165,6 +171,13 @@ struct ExecutionRequest {
   ExecutionRequest& with_readout_mitigation(
       std::shared_ptr<const CalibrationSnapshot> snapshot) {
     readout_calibration = std::move(snapshot);
+    return *this;
+  }
+  ExecutionRequest& with_trace(obs::Tracer* tracer, std::uint64_t job = 0,
+                               const char* tenant = nullptr) {
+    trace.tracer = tracer;
+    trace.job = job;
+    trace.set_tenant(tenant);
     return *this;
   }
 };

@@ -47,6 +47,8 @@ void apply_readout_mitigation(const ExecutionRequest& request,
     site_matrices.push_back(snap.confusion[s]);
   }
   std::vector<double> observed(result.counts.begin(), result.counts.end());
+  obs::SpanTimer span = request.trace.span(obs::Phase::kMitigate);
+  span.set_epoch(snap.epoch);
   result.mitigated =
       mitigate_readout_product(site_matrices, space.dims(), observed);
   result.calib_epoch = snap.epoch;
@@ -93,31 +95,50 @@ void ExecutionSession::attach_plan(ExecutionRequest& request) {
       // With transpile caching opted out the artifact is still resolved
       // (uncached) here: transpilation is deterministic, so the physical
       // circuit's plan remains cacheable either way.
+      obs::SpanTimer span = request.trace.span(obs::Phase::kTranspile);
+      bool hit = false;
       request.transpiled =
           transpile_caching
               ? tcache().get_or_transpile(request.circuit,
                                           *request.processor,
-                                          request.transpile_options)
+                                          request.transpile_options, &hit)
               : transpile(request.circuit, *request.processor,
                           request.transpile_options);
+      if (transpile_caching) span.set_cache_hit(hit);
     }
     if (request.transpiled != nullptr && request.plan == nullptr &&
-        plan_caching)
+        plan_caching) {
+      obs::SpanTimer span = request.trace.span(obs::Phase::kLower);
+      bool hit = false;
       request.plan = cache().get_or_compile(request.transpiled->physical,
-                                            noise, options_.plan_options);
+                                            noise, options_.plan_options,
+                                            &hit);
+      span.set_cache_hit(hit);
+    }
     return;
   }
 
   // Explicit plans are the caller's responsibility -- bypass the cache.
   if (request.plan != nullptr || !plan_caching) return;
-  request.plan =
-      cache().get_or_compile(request.circuit, noise, options_.plan_options);
+  obs::SpanTimer span = request.trace.span(obs::Phase::kLower);
+  bool hit = false;
+  request.plan = cache().get_or_compile(request.circuit, noise,
+                                        options_.plan_options, &hit);
+  span.set_cache_hit(hit);
 }
 
 ExecutionResult ExecutionSession::submit(ExecutionRequest request) {
   assign_seed(request);
+  // Installs the request's trace identity on this thread so layers with
+  // no request parameter (the pass pipeline, cache producers) can
+  // attribute their spans to this job.
+  obs::ScopedTraceContext trace_scope(request.trace);
   attach_plan(request);
-  ExecutionResult result = backend_.execute(request);
+  ExecutionResult result;
+  {
+    obs::SpanTimer span = request.trace.span(obs::Phase::kExecute);
+    result = backend_.execute(request);
+  }
   apply_readout_mitigation(request, result);
   ++requests_executed_;
   total_backend_seconds_ += result.wall_seconds;
@@ -141,8 +162,12 @@ std::vector<ExecutionResult> ExecutionSession::submit_batch(
   for (std::size_t i = 0; i < requests.size(); ++i)
     results.emplace_back();
   parallel_for(requests.size(), options_.threads, [&](std::size_t i) {
+    obs::ScopedTraceContext trace_scope(requests[i].trace);
     attach_plan(requests[i]);
-    results[i] = backend_.execute(requests[i]);
+    {
+      obs::SpanTimer span = requests[i].trace.span(obs::Phase::kExecute);
+      results[i] = backend_.execute(requests[i]);
+    }
     apply_readout_mitigation(requests[i], results[i]);
   });
 

@@ -1,0 +1,236 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+namespace qs {
+namespace obs {
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Target rank in [1, count]; ceil so q=0.5 over 2 samples picks the
+  // first, matching the nearest-rank convention.
+  const std::uint64_t target =
+      std::max<std::uint64_t>(1, std::uint64_t(q * double(count) + 0.999999));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    if (cumulative + in_bucket < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Overflow bucket: no upper bound, report the observed max.
+    if (i >= bounds.size()) return max;
+    const double hi = bounds[i];
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    // Linear interpolation by rank inside the bucket.
+    const double frac = in_bucket == 0
+                            ? 1.0
+                            : double(target - cumulative) / double(in_bucket);
+    const double est = lo + (hi - lo) * frac;
+    // Never report beyond the observed max (tight upper bound when the
+    // top bucket is sparsely filled).
+    return std::min(est, max);
+  }
+  return max;
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::int64_t MetricsSnapshot::gauge(const std::string& name) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? 0 : it->second;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  auto it = histograms.find(name);
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t shards) {
+  shards = std::min<std::size_t>(16, std::max<std::size_t>(1, shards));
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+CounterId MetricsRegistry::counter(const std::string& name) {
+  MutexLock lock(names_mutex_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    if (it->second.kind != OpKind::kCounter)
+      throw std::logic_error("metric '" + name +
+                             "' already registered with another kind");
+    return CounterId{it->second.index};
+  }
+  const auto index = std::uint32_t(counter_names_.size());
+  counter_names_.push_back(name);
+  by_name_.emplace(name, NameRef{OpKind::kCounter, index});
+  return CounterId{index};
+}
+
+GaugeId MetricsRegistry::gauge(const std::string& name) {
+  MutexLock lock(names_mutex_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    if (it->second.kind != OpKind::kGauge)
+      throw std::logic_error("metric '" + name +
+                             "' already registered with another kind");
+    return GaugeId{it->second.index};
+  }
+  const auto index = std::uint32_t(gauge_names_.size());
+  gauge_names_.push_back(name);
+  by_name_.emplace(name, NameRef{OpKind::kGauge, index});
+  return GaugeId{index};
+}
+
+HistogramId MetricsRegistry::histogram(const std::string& name,
+                                       std::vector<double> bounds) {
+  if (!std::is_sorted(bounds.begin(), bounds.end()))
+    throw std::logic_error("histogram '" + name + "' bounds not ascending");
+  MutexLock lock(names_mutex_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    if (it->second.kind != OpKind::kHistogram)
+      throw std::logic_error("metric '" + name +
+                             "' already registered with another kind");
+    // Re-resolution keeps the original bounds (merging two bucket
+    // layouts is undefined); callers re-resolving must pass the same
+    // layout or just reuse the handle.
+    return HistogramId{it->second.index, &hist_meta_[it->second.index].bounds};
+  }
+  const auto index = std::uint32_t(hist_meta_.size());
+  hist_meta_.push_back(HistMeta{name, std::move(bounds)});
+  by_name_.emplace(name, NameRef{OpKind::kHistogram, index});
+  return HistogramId{index, &hist_meta_[index].bounds};
+}
+
+void MetricsRegistry::add(CounterId id, std::uint64_t delta) {
+  if (!id.valid()) return;
+  const Op op{OpKind::kCounter, id.index, nullptr, double(delta)};
+  apply_ops(shard_for_current_thread(), &op, 1);
+}
+
+void MetricsRegistry::gauge_add(GaugeId id, std::int64_t delta) {
+  if (!id.valid()) return;
+  const Op op{OpKind::kGauge, id.index, nullptr, double(delta)};
+  apply_ops(shard_for_current_thread(), &op, 1);
+}
+
+void MetricsRegistry::observe(HistogramId id, double value) {
+  if (!id.valid()) return;
+  const Op op{OpKind::kHistogram, id.index, id.bounds, value};
+  apply_ops(shard_for_current_thread(), &op, 1);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for_current_thread() const {
+  // Threads are assigned shard slots round-robin at first touch; the
+  // slot is process-global, so a thread keeps one slot across every
+  // registry (good locality, no hashing on the hot path).
+  static std::atomic<std::uint32_t> next_slot{0};
+  thread_local const std::uint32_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return *shards_[slot % shards_.size()];
+}
+
+void MetricsRegistry::apply_op_locked(Shard& shard, const Op& op) {
+  switch (op.kind) {
+    case OpKind::kCounter: {
+      if (op.index >= shard.counters.size())
+        shard.counters.resize(op.index + 1, 0);
+      shard.counters[op.index] += std::uint64_t(op.value);
+      break;
+    }
+    case OpKind::kGauge: {
+      if (op.index >= shard.gauges.size()) shard.gauges.resize(op.index + 1, 0);
+      shard.gauges[op.index] += std::int64_t(op.value);
+      break;
+    }
+    case OpKind::kHistogram: {
+      if (op.index >= shard.hists.size()) shard.hists.resize(op.index + 1);
+      HistCell& cell = shard.hists[op.index];
+      const std::vector<double>& bounds = *op.bounds;
+      if (cell.buckets.empty()) cell.buckets.assign(bounds.size() + 1, 0);
+      // First bound >= value, else the overflow bucket.
+      const std::size_t bucket =
+          std::size_t(std::lower_bound(bounds.begin(), bounds.end(), op.value) -
+                      bounds.begin());
+      ++cell.buckets[bucket];
+      ++cell.count;
+      cell.sum += op.value;
+      cell.max = std::max(cell.max, op.value);
+      break;
+    }
+  }
+}
+
+void MetricsRegistry::apply_ops(Shard& shard, const Op* ops, std::size_t n) {
+  MutexLock lock(shard.mutex);
+  for (std::size_t i = 0; i < n; ++i) apply_op_locked(shard, ops[i]);
+}
+
+// The analysis cannot model locking a runtime-sized set of shard
+// mutexes held together across the merge, which is exactly the
+// consistent-cut contract; order is names_mutex_ first, then shards in
+// index order, matching the header's lock-order note.
+MetricsSnapshot MetricsRegistry::snapshot() const
+    QS_NO_THREAD_SAFETY_ANALYSIS {
+  MetricsSnapshot out;
+  MutexLock names(names_mutex_);
+  for (auto& shard : shards_) shard->mutex.lock();
+
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    std::uint64_t total = 0;
+    for (auto& shard : shards_)
+      if (i < shard->counters.size()) total += shard->counters[i];
+    out.counters.emplace(counter_names_[i], total);
+  }
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    std::int64_t total = 0;
+    for (auto& shard : shards_)
+      if (i < shard->gauges.size()) total += shard->gauges[i];
+    out.gauges.emplace(gauge_names_[i], total);
+  }
+  for (std::size_t i = 0; i < hist_meta_.size(); ++i) {
+    HistogramSnapshot merged;
+    merged.bounds = hist_meta_[i].bounds;
+    merged.counts.assign(merged.bounds.size() + 1, 0);
+    for (auto& shard : shards_) {
+      if (i >= shard->hists.size()) continue;
+      const HistCell& cell = shard->hists[i];
+      if (cell.buckets.empty()) continue;
+      for (std::size_t b = 0; b < merged.counts.size(); ++b)
+        merged.counts[b] += cell.buckets[b];
+      merged.count += cell.count;
+      merged.sum += cell.sum;
+      merged.max = std::max(merged.max, cell.max);
+    }
+    out.histograms.emplace(hist_meta_[i].name, std::move(merged));
+  }
+
+  for (auto it = shards_.rbegin(); it != shards_.rend(); ++it)
+    (*it)->mutex.unlock();
+  return out;
+}
+
+std::vector<double> MetricsRegistry::latency_bounds_seconds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 1e2 * 1.5; decade *= 10.0)
+    for (double step : {1.0, 2.0, 5.0}) bounds.push_back(decade * step);
+  return bounds;  // 1us, 2us, 5us, ... 100s, 200s, 500s (+overflow)
+}
+
+std::vector<double> MetricsRegistry::pow2_bounds(double max_pow2) {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= max_pow2; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+}  // namespace obs
+}  // namespace qs

@@ -1,0 +1,250 @@
+// Unified MetricsRegistry: named counters, gauges, and fixed-bucket
+// histograms behind typed handles, mutex-sharded per worker thread and
+// merged on snapshot.
+//
+// This is the one home for every counter in the stack (ServiceTelemetry,
+// PlanCache/TranspileCache hit/miss, CalibrationStore publishes, ...).
+// Three properties drive the design:
+//
+//   1. Sharding. Each worker thread lands on one shard (assigned round-
+//      robin at first use), so hot-path increments contend only with
+//      snapshot readers, never with each other. A metric's value is the
+//      sum of its per-shard cells.
+//   2. Atomic update groups. MetricsTxn buffers a group of updates
+//      lock-free and applies them under ONE shard-lock acquisition at
+//      commit. Because `snapshot()` holds every shard lock at once, a
+//      snapshot can never observe half of a committed group -- this is
+//      what fixes the documented Service::telemetry() torn-read caveat.
+//   3. Consistent cuts. `snapshot()` locks all shards simultaneously
+//      (names lock first, then shards in index order), so cross-thread
+//      invariants like completed <= submitted hold in every snapshot.
+//
+// Naming convention: `layer.component.metric`, e.g.
+// `serve.jobs.submitted`, `exec.plan_cache.hits`,
+// `serve.tenant.<tenant>.latency_seconds` (see docs/ARCHITECTURE.md,
+// "Observability layer").
+//
+// Lock order: names_mutex_ -> shard mutexes (index order). Shard
+// mutexes are leaves; callers may commit a txn while holding their own
+// subsystem lock (e.g. ServiceCore::mutex or a cache mutex), which adds
+// the documented edge <subsystem lock> -> <shard mutex>.
+#ifndef QS_OBS_METRICS_H
+#define QS_OBS_METRICS_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace qs {
+namespace obs {
+
+/// Merged view of one histogram: bucket counts over fixed upper
+/// bounds, plus count/sum/max aggregates.
+struct HistogramSnapshot {
+  /// Inclusive upper bounds, ascending; an implicit overflow bucket
+  /// follows the last bound.
+  std::vector<double> bounds;
+  /// Per-bucket counts; size() == bounds.size() + 1 (last = overflow).
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;  ///< total observations
+  double sum = 0.0;         ///< sum of observed values
+  double max = 0.0;         ///< largest observed value (0 if count == 0)
+
+  /// Bucket-interpolated quantile estimate, q in [0, 1]. Walks the
+  /// cumulative counts to the target rank and interpolates linearly
+  /// inside the bucket; the overflow bucket reports `max`. Returns 0
+  /// when empty. Deterministic: a pure function of the snapshot.
+  double quantile(double q) const;
+
+  double mean() const { return count == 0 ? 0.0 : sum / double(count); }
+};
+
+/// One consistent cut of every metric in a registry. Ordered maps keep
+/// iteration (and therefore any rendering) deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Value lookups; absent names read as zero/null rather than
+  /// throwing, so telemetry assembly needs no existence checks.
+  std::uint64_t counter(const std::string& name) const;
+  std::int64_t gauge(const std::string& name) const;
+  const HistogramSnapshot* histogram(const std::string& name) const;
+};
+
+/// Typed metric handles. Resolved once at wiring time (registration
+/// takes the names lock); hot-path updates use only the handle, so no
+/// name hashing or global lock on the fast path. A default-constructed
+/// handle is invalid and must not be passed to update calls.
+struct CounterId {
+  std::uint32_t index = kInvalid;
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  bool valid() const { return index != kInvalid; }
+};
+struct GaugeId {
+  std::uint32_t index = CounterId::kInvalid;
+  bool valid() const { return index != CounterId::kInvalid; }
+};
+struct HistogramId {
+  std::uint32_t index = CounterId::kInvalid;
+  /// Stable pointer into the registry's bound table (std::deque gives
+  /// pointer stability), so observe() can bucket without any lock.
+  const std::vector<double>* bounds = nullptr;
+  bool valid() const { return index != CounterId::kInvalid; }
+};
+
+class MetricsTxn;
+
+class MetricsRegistry {
+ public:
+  /// `shards` caps update-path contention; size it near the worker
+  /// count. Clamped to [1, 16].
+  explicit MetricsRegistry(std::size_t shards = 8);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or re-resolves) a metric by name. Idempotent: the same
+  /// name always returns the same handle. Registering one name as two
+  /// different kinds throws std::logic_error. For histograms the
+  /// bounds must be ascending; a re-registration keeps the original
+  /// bounds.
+  CounterId counter(const std::string& name) QS_EXCLUDES(names_mutex_);
+  GaugeId gauge(const std::string& name) QS_EXCLUDES(names_mutex_);
+  HistogramId histogram(const std::string& name, std::vector<double> bounds)
+      QS_EXCLUDES(names_mutex_);
+
+  /// Single-metric updates; each takes this thread's shard lock once.
+  /// For multi-metric groups that must appear atomically in snapshots,
+  /// use MetricsTxn instead.
+  void add(CounterId id, std::uint64_t delta = 1);
+  void gauge_add(GaugeId id, std::int64_t delta);
+  void observe(HistogramId id, double value);
+
+  /// One consistent cut across all shards: holds the names lock and
+  /// every shard lock simultaneously while merging, so no committed
+  /// txn is ever observed half-applied and cross-thread counter
+  /// invariants hold. O(metrics x shards); intended for telemetry
+  /// polls, not hot paths.
+  MetricsSnapshot snapshot() const;
+
+  /// 1-2-5 ladder from 1us to 100s: the default bounds for latency
+  /// histograms (`*_seconds` metrics).
+  static std::vector<double> latency_bounds_seconds();
+  /// Powers of two 1..max_pow2: the default bounds for size-ish
+  /// histograms (batch sizes, queue depths).
+  static std::vector<double> pow2_bounds(double max_pow2);
+
+ private:
+  friend class MetricsTxn;
+
+  struct HistCell {
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1 once touched
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+  };
+  struct Shard {
+    mutable Mutex mutex;
+    std::vector<std::uint64_t> counters QS_GUARDED_BY(mutex);
+    std::vector<std::int64_t> gauges QS_GUARDED_BY(mutex);
+    std::vector<HistCell> hists QS_GUARDED_BY(mutex);
+  };
+
+  enum class OpKind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Op {
+    OpKind kind;
+    std::uint32_t index;
+    const std::vector<double>* bounds;  // histogram ops only
+    double value;  // counter delta / gauge delta / observed value
+  };
+
+  Shard& shard_for_current_thread() const;
+  /// Applies `n` buffered ops under one acquisition of `shard`'s lock.
+  void apply_ops(Shard& shard, const Op* ops, std::size_t n);
+  static void apply_op_locked(Shard& shard, const Op& op)
+      QS_REQUIRES(shard.mutex);
+
+  mutable Mutex names_mutex_;
+  struct HistMeta {
+    std::string name;
+    std::vector<double> bounds;
+  };
+  // deques: handles hold pointers into bounds, so no reallocation-moves.
+  std::deque<std::string> counter_names_ QS_GUARDED_BY(names_mutex_);
+  std::deque<std::string> gauge_names_ QS_GUARDED_BY(names_mutex_);
+  std::deque<HistMeta> hist_meta_ QS_GUARDED_BY(names_mutex_);
+  struct NameRef {
+    OpKind kind;
+    std::uint32_t index;
+  };
+  std::map<std::string, NameRef> by_name_ QS_GUARDED_BY(names_mutex_);
+
+  /// Fixed at construction; shards themselves are heap-stable.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Deferred atomic update group. Buffers updates with no lock held and
+/// applies them all under a single shard-lock acquisition on commit()
+/// (or destruction), so `MetricsRegistry::snapshot()` -- which holds
+/// every shard lock -- sees the whole group or none of it.
+///
+/// The buffer is a fixed inline array (no allocation). A group larger
+/// than kMaxOps commits eagerly in kMaxOps-sized chunks; real update
+/// groups in this codebase are <= ~12 ops, so the cap is headroom, not
+/// a working limit.
+class MetricsTxn {
+ public:
+  explicit MetricsTxn(MetricsRegistry& registry) : registry_(registry) {}
+  ~MetricsTxn() { commit(); }
+
+  MetricsTxn(const MetricsTxn&) = delete;
+  MetricsTxn& operator=(const MetricsTxn&) = delete;
+
+  void add(CounterId id, std::uint64_t delta = 1) {
+    if (id.valid())
+      push({MetricsRegistry::OpKind::kCounter, id.index, nullptr,
+            double(delta)});
+  }
+  void gauge_add(GaugeId id, std::int64_t delta) {
+    if (id.valid())
+      push({MetricsRegistry::OpKind::kGauge, id.index, nullptr,
+            double(delta)});
+  }
+  void observe(HistogramId id, double value) {
+    if (id.valid())
+      push({MetricsRegistry::OpKind::kHistogram, id.index, id.bounds, value});
+  }
+
+  /// Applies all buffered updates under one shard-lock acquisition.
+  void commit() {
+    if (count_ == 0) return;
+    registry_.apply_ops(registry_.shard_for_current_thread(), ops_.data(),
+                        count_);
+    count_ = 0;
+  }
+
+ private:
+  void push(MetricsRegistry::Op op) {
+    if (count_ == kMaxOps) commit();
+    ops_[count_++] = op;
+  }
+
+  static constexpr std::size_t kMaxOps = 24;
+  MetricsRegistry& registry_;
+  std::array<MetricsRegistry::Op, kMaxOps> ops_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace obs
+}  // namespace qs
+
+#endif  // QS_OBS_METRICS_H

@@ -20,6 +20,8 @@
 
 #include "common/thread_annotations.h"
 #include "exec/request.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 
 namespace qs {
 
@@ -168,16 +170,15 @@ namespace detail {
 /// core; see thread_annotations.h's registry.
 struct JobRecord {
   JobRecord(JobId job_id, std::string tenant_name, int prio,
-            std::uint64_t key, ExecutionRequest req,
-            std::chrono::steady_clock::time_point now, double deadline_s)
+            std::uint64_t key, ExecutionRequest req, obs::TimePoint now,
+            double deadline_s)
       : id(job_id),
         tenant(std::move(tenant_name)),
         priority(prio),
         plan_key(key),
         submitted_at(now),
         has_deadline(deadline_s > 0.0),
-        deadline(now + std::chrono::duration_cast<
-                           std::chrono::steady_clock::duration>(
+        deadline(now + std::chrono::duration_cast<obs::Duration>(
                            std::chrono::duration<double>(deadline_s))),
         request(std::move(req)) {}
 
@@ -189,9 +190,13 @@ struct JobRecord {
   /// (structural circuit, noise, options) compiled plan -- possibly under
   /// different parameter bindings -- and may be batched together.
   const std::uint64_t plan_key;
-  const std::chrono::steady_clock::time_point submitted_at;
+  /// Timestamps on the service's injected obs::Clock (real or virtual).
+  const obs::TimePoint submitted_at;
   const bool has_deadline;
-  const std::chrono::steady_clock::time_point deadline;
+  const obs::TimePoint deadline;
+  /// The tenant's latency histogram in the service registry, resolved
+  /// once at submission so workers record without a name lookup.
+  obs::HistogramId tenant_latency_id;
   /// Fully seeded request; the job's result is a pure function of it.
   ExecutionRequest request;
   /// Calibration pinned at submission: the snapshot the job's processor

@@ -37,6 +37,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/clock.h"
 #include "serve/job.h"
 
 namespace qs {
@@ -44,7 +45,9 @@ namespace qs {
 class FairShareQueue {
  public:
   using Record = std::shared_ptr<detail::JobRecord>;
-  using Clock = std::chrono::steady_clock;
+  /// Time base of the dispatch timestamps handed to pop_batch; the
+  /// caller reads them from the service's injected obs::Clock.
+  using Clock = obs::TimeBase;
 
   /// One scheduling decision.
   struct Pop {

@@ -43,11 +43,6 @@ std::uint64_t tenant_hash(const std::string& tenant) {
   return h;
 }
 
-double seconds_between(std::chrono::steady_clock::time_point a,
-                       std::chrono::steady_clock::time_point b) {
-  return std::chrono::duration<double>(b - a).count();
-}
-
 }  // namespace
 
 /// Shared state of one service. Kept alive by the JobService and by every
@@ -57,25 +52,60 @@ struct ServiceCore {
   ServiceCore(const Backend& b, const ServiceOptions& o)
       : backend(b),
         opts(o),
-        plan_cache(std::make_shared<PlanCache>(o.plan_cache_capacity)),
-        transpile_cache(
-            std::make_shared<TranspileCache>(o.transpile_cache_capacity)),
+        owned_registry(o.registry == nullptr
+                           ? std::make_unique<obs::MetricsRegistry>(
+                                 o.workers + 2)
+                           : nullptr),
+        registry(o.registry != nullptr ? o.registry : owned_registry.get()),
+        tracer(o.tracer),
+        time_source(o.clock != nullptr
+                        ? o.clock
+                  : o.tracer != nullptr ? &o.tracer->time_source()
+                                        : &obs::SteadyClock::instance()),
+        plan_cache(
+            std::make_shared<PlanCache>(o.plan_cache_capacity, registry)),
+        transpile_cache(std::make_shared<TranspileCache>(
+            o.transpile_cache_capacity, registry)),
         calib_store(o.calibration_store != nullptr
                         ? o.calibration_store
                         : std::make_shared<CalibrationStore>()),
-        store(o.result_store_capacity, o.result_ttl_seconds),
+        store(o.result_store_capacity, o.result_ttl_seconds, time_source,
+              registry),
         paused(o.start_paused) {
     plan_key_suffix = fingerprint(noise()) +
                       0x9e3779b97f4a7c15ull *
                           static_cast<std::uint64_t>(
                               opts.plan_options.bits() + 1);
+    submitted_id = registry->counter("serve.jobs.submitted");
+    completed_id = registry->counter("serve.jobs.completed");
+    failed_id = registry->counter("serve.jobs.failed");
+    cancelled_id = registry->counter("serve.jobs.cancelled");
+    expired_id = registry->counter("serve.jobs.expired");
+    recalibrations_id = registry->counter("serve.recalibrations");
+    stale_hits_id = registry->counter("serve.calib.stale_hits");
+    queued_id = registry->gauge("serve.jobs.queued");
+    running_id = registry->gauge("serve.jobs.running");
+    batch_hist_id = registry->histogram(
+        "serve.batch.jobs", obs::MetricsRegistry::pow2_bounds(1024.0));
+    queue_wait_id =
+        registry->histogram("serve.queue.wait_seconds",
+                            obs::MetricsRegistry::latency_bounds_seconds());
+    latency_id =
+        registry->histogram("serve.job.latency_seconds",
+                            obs::MetricsRegistry::latency_bounds_seconds());
+    calib_store->attach_observability(registry, tracer);
   }
 
   using Record = std::shared_ptr<JobRecord>;
-  using Clock = std::chrono::steady_clock;
 
   const Backend& backend;  ///< used only while workers run (see shutdown)
   const ServiceOptions opts;
+  /// Private registry when ServiceOptions did not inject one; sized to
+  /// the thread population (workers + client threads).
+  const std::unique_ptr<obs::MetricsRegistry> owned_registry;
+  obs::MetricsRegistry* const registry;  ///< never null
+  obs::Tracer* const tracer;             ///< null = tracing off
+  const obs::Clock* const time_source;  ///< never null
   const std::shared_ptr<PlanCache> plan_cache;
   const std::shared_ptr<TranspileCache> transpile_cache;
   const std::shared_ptr<CalibrationStore> calib_store;
@@ -83,6 +113,13 @@ struct ServiceCore {
   /// Constant (noise, options) contribution to every job's plan key,
   /// folded once so submit only fingerprints the circuit.
   std::uint64_t plan_key_suffix = 0;
+
+  // Metric handles, resolved once at construction (plain fields: written
+  // only in the ctor, read-only afterwards).
+  obs::CounterId submitted_id, completed_id, failed_id, cancelled_id,
+      expired_id, recalibrations_id, stale_hits_id;
+  obs::GaugeId queued_id, running_id;
+  obs::HistogramId batch_hist_id, queue_wait_id, latency_id;
 
   /// Guards every member annotated with it (scheduler state + counters);
   /// acquired before any JobRecord::mutex, never after one (the core ->
@@ -98,20 +135,20 @@ struct ServiceCore {
   /// Next auto-seed stream index per tenant.
   std::map<std::string, std::uint64_t> tenant_streams QS_GUARDED_BY(mutex);
 
-  // Counters (see ServiceTelemetry).
-  std::size_t submitted QS_GUARDED_BY(mutex) = 0;
-  std::size_t completed QS_GUARDED_BY(mutex) = 0;
-  std::size_t failed QS_GUARDED_BY(mutex) = 0;
-  std::size_t cancelled QS_GUARDED_BY(mutex) = 0;
-  std::size_t expired QS_GUARDED_BY(mutex) = 0;
+  /// The one scheduler count kept as a guarded field: the worker cv
+  /// predicate reads it under the mutex. Every other counter lives in
+  /// the registry (see ServiceTelemetry); its `serve.jobs.queued` gauge
+  /// mirrors this field, committed in the same critical sections.
   std::size_t queued QS_GUARDED_BY(mutex) = 0;
-  std::size_t running QS_GUARDED_BY(mutex) = 0;
-  std::size_t batches QS_GUARDED_BY(mutex) = 0;
-  std::size_t batched_jobs QS_GUARDED_BY(mutex) = 0;
-  std::size_t largest_batch QS_GUARDED_BY(mutex) = 0;
-  double queue_seconds_total QS_GUARDED_BY(mutex) = 0.0;
-  std::size_t recalibrations QS_GUARDED_BY(mutex) = 0;
-  std::size_t stale_hits QS_GUARDED_BY(mutex) = 0;
+  /// Per-tenant latency histograms, registered lazily at first submit.
+  std::map<std::string, obs::HistogramId> tenant_hists QS_GUARDED_BY(mutex);
+
+  /// Balance-invariant discipline: every lifecycle transition commits
+  /// its counter/gauge group as ONE MetricsTxn while holding `mutex`,
+  /// so commits are ordered like the transitions themselves and any
+  /// registry snapshot satisfies completed + failed + cancelled +
+  /// expired + queued + running == submitted. (Txn commit under the
+  /// core mutex is the documented core -> metrics-shard leaf edge.)
 
   const NoiseModel& noise() const {
     static const NoiseModel kNoiseless;
@@ -120,22 +157,40 @@ struct ServiceCore {
   }
 
   bool cancel_job(const Record& record) QS_EXCLUDES(mutex) {
-    MutexLock lock(mutex);
     {
-      // core -> record nesting: the one place both locks are held.
-      MutexLock record_lock(record->mutex);
-      if (record->status != JobStatus::kQueued) return false;
-      record->status = JobStatus::kCancelled;
-      record->error = "cancelled by client";
-      record->cv.notify_all();
+      MutexLock lock(mutex);
+      {
+        // core -> record nesting: the one place both locks are held.
+        MutexLock record_lock(record->mutex);
+        if (record->status != JobStatus::kQueued) return false;
+        record->status = JobStatus::kCancelled;
+        record->error = "cancelled by client";
+        record->cv.notify_all();
+      }
+      // Eagerly drop the queue's entries (and with them the circuit
+      // copy): a cancelled job in a lane no pop ever revisits must not
+      // pin its record for the service's lifetime.
+      queue.remove(record);
+      --queued;
+      obs::MetricsTxn txn(*registry);
+      txn.add(cancelled_id);
+      txn.gauge_add(queued_id, -1);
+      txn.commit();
+      cv.notify_all();  // a drain waiting on an emptying queue may finish
     }
-    // Eagerly drop the queue's entries (and with them the circuit copy):
-    // a cancelled job in a lane no pop ever revisits must not pin its
-    // record for the service's lifetime.
-    queue.remove(record);
-    --queued;
-    ++cancelled;
-    cv.notify_all();  // a drain waiting on an emptying queue may finish
+    if (tracer != nullptr) {
+      const obs::TimePoint now = time_source->now();
+      obs::Span queue_span = obs::Tracer::make(
+          obs::Phase::kQueue, record->id, record->tenant.c_str(),
+          record->submitted_at, now);
+      queue_span.set_detail("cancelled");
+      tracer->record(queue_span);
+      obs::Span job_span = obs::Tracer::make(
+          obs::Phase::kJob, record->id, record->tenant.c_str(),
+          record->submitted_at, now);
+      job_span.set_detail("cancelled");
+      tracer->record(job_span);
+    }
     return true;
   }
 
@@ -178,10 +233,7 @@ struct ServiceCore {
         // worker thread and terminate the process.
       }
     }
-    if (stale > 0) {
-      MutexLock lock(mutex);
-      stale_hits += stale;
-    }
+    if (stale > 0) registry->add(stale_hits_id, stale);
   }
 
   /// Runs one batch on the worker's session. All jobs share `plan_key`,
@@ -193,6 +245,14 @@ struct ServiceCore {
   /// innocent batch-mates.
   void execute_batch(ExecutionSession& session,
                      const std::vector<Record>& batch) QS_EXCLUDES(mutex) {
+    obs::SpanTimer batch_span = tracer != nullptr
+                                    ? tracer->span(obs::Phase::kBatch)
+                                    : obs::SpanTimer();
+    std::string batch_detail;
+    if (batch_span.armed()) {
+      batch_detail = "n=" + std::to_string(batch.size());
+      batch_span.set_detail(batch_detail.c_str());
+    }
     handle_staleness(batch);
     std::shared_ptr<const TranspiledCircuit> transpiled;
     std::shared_ptr<const CompiledCircuit> plan;
@@ -200,12 +260,25 @@ struct ServiceCore {
     std::size_t bad = 0;
     try {
       const ExecutionRequest& first = batch[0]->request;
-      if (first.processor != nullptr)
+      // The batch-level resolution is attributed to the seed job; the
+      // scoped context lets the pass pipeline's kPass spans nest under
+      // it even though PassManager has no request parameter.
+      obs::ScopedTraceContext trace_scope(first.trace);
+      if (first.processor != nullptr) {
+        obs::SpanTimer span = first.trace.span(obs::Phase::kTranspile);
+        bool hit = false;
         transpiled = transpile_cache->get_or_transpile(
-            first.circuit, *first.processor, first.transpile_options);
-      plan = plan_cache->get_or_compile(
-          transpiled != nullptr ? transpiled->physical : first.circuit,
-          noise(), opts.plan_options);
+            first.circuit, *first.processor, first.transpile_options, &hit);
+        span.set_cache_hit(hit);
+      }
+      {
+        obs::SpanTimer span = first.trace.span(obs::Phase::kLower);
+        bool hit = false;
+        plan = plan_cache->get_or_compile(
+            transpiled != nullptr ? transpiled->physical : first.circuit,
+            noise(), opts.plan_options, &hit);
+        span.set_cache_hit(hit);
+      }
     } catch (...) {
       // Compilation failure (e.g. malformed circuit): leave the plan and
       // artifact empty; the per-job path below reports the error per job.
@@ -226,6 +299,10 @@ struct ServiceCore {
         requests.push_back(std::move(request));
       }
       try {
+        obs::SpanTimer dispatch_span =
+            tracer != nullptr ? tracer->span(obs::Phase::kDispatch)
+                              : obs::SpanTimer();
+        dispatch_span.set_detail(batch_detail.c_str());
         std::vector<ExecutionResult> results =
             session.submit_batch(std::move(requests));
         for (std::size_t i = 0; i < batch.size(); ++i)
@@ -252,17 +329,47 @@ struct ServiceCore {
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (outcomes[i].status == JobStatus::kDone) {
+        obs::SpanTimer span =
+            batch[i]->request.trace.span(obs::Phase::kStore);
         store.put(batch[i]->id, outcomes[i].result);
+        span.finish();
         ++done;
       } else {
         ++bad;
       }
     }
+
+    // One finish timestamp for the whole batch: latency histograms and
+    // the kJob root spans close on it.
+    const obs::TimePoint finished_at = time_source->now();
+    {
+      obs::MetricsTxn txn(*registry);
+      for (const Record& r : batch) {
+        const double latency =
+            obs::seconds_between(r->submitted_at, finished_at);
+        txn.observe(latency_id, latency);
+        txn.observe(r->tenant_latency_id, latency);
+      }
+    }
+    if (tracer != nullptr) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        obs::Span job_span = obs::Tracer::make(
+            obs::Phase::kJob, batch[i]->id, batch[i]->tenant.c_str(),
+            batch[i]->submitted_at, finished_at);
+        if (batch[i]->calibration != nullptr)
+          job_span.epoch = batch[i]->calibration->epoch;
+        if (outcomes[i].status == JobStatus::kFailed)
+          job_span.set_detail("failed");
+        tracer->record(job_span);
+      }
+    }
     {
       MutexLock lock(mutex);
-      completed += done;
-      failed += bad;
-      running -= batch.size();
+      obs::MetricsTxn txn(*registry);
+      txn.add(completed_id, done);
+      txn.add(failed_id, bad);
+      txn.gauge_add(running_id, -static_cast<std::int64_t>(batch.size()));
+      txn.commit();  // under the mutex: transitions commit in order
     }
     for (std::size_t i = 0; i < batch.size(); ++i)
       batch[i]->finish(outcomes[i].status, std::move(outcomes[i].result),
@@ -279,6 +386,7 @@ struct ServiceCore {
 
     for (;;) {
       FairShareQueue::Pop pop;
+      obs::TimePoint pop_time;
       {
         MutexLock lock(mutex);
         // Inline predicate loop (not a lambda) so the analysis sees the
@@ -286,21 +394,50 @@ struct ServiceCore {
         while (!((draining && queued == 0) || (!paused && queued > 0)))
           cv.wait(mutex);
         if (queued == 0) return;  // draining and nothing left
-        const Clock::time_point now = Clock::now();
-        pop = queue.pop_batch(opts.max_batch, now);
+        pop_time = time_source->now();
+        pop = queue.pop_batch(opts.max_batch, pop_time);
         queued -= pop.batch.size() + pop.expired.size();
-        expired += pop.expired.size();
-        running += pop.batch.size();
-        if (!pop.batch.empty()) {
-          ++batches;
-          batched_jobs += pop.batch.size();
-          if (pop.batch.size() > largest_batch)
-            largest_batch = pop.batch.size();
-          for (const Record& r : pop.batch)
-            queue_seconds_total += seconds_between(r->submitted_at, now);
+        {
+          // Balance ops first: an oversized group chunk-commits in
+          // order, so they land in the first (atomic) chunk even when
+          // the per-job queue-wait observations overflow the buffer.
+          obs::MetricsTxn txn(*registry);
+          txn.gauge_add(queued_id,
+                        -static_cast<std::int64_t>(pop.batch.size() +
+                                                   pop.expired.size()));
+          if (!pop.expired.empty()) txn.add(expired_id, pop.expired.size());
+          if (!pop.batch.empty()) {
+            txn.gauge_add(running_id,
+                          static_cast<std::int64_t>(pop.batch.size()));
+            txn.observe(batch_hist_id,
+                        static_cast<double>(pop.batch.size()));
+            for (const Record& r : pop.batch)
+              txn.observe(queue_wait_id,
+                          obs::seconds_between(r->submitted_at, pop_time));
+          }
         }
         if (queued > 0) cv.notify_one();  // more work for idle workers
         if (draining && queued == 0) cv.notify_all();
+      }
+      if (tracer != nullptr) {
+        for (const Record& r : pop.expired) {
+          obs::Span queue_span = obs::Tracer::make(
+              obs::Phase::kQueue, r->id, r->tenant.c_str(), r->submitted_at,
+              pop_time);
+          queue_span.set_detail("expired");
+          tracer->record(queue_span);
+          obs::Span job_span = obs::Tracer::make(
+              obs::Phase::kJob, r->id, r->tenant.c_str(), r->submitted_at,
+              pop_time);
+          job_span.set_detail("expired");
+          tracer->record(job_span);
+        }
+        // The cross-thread kQueue interval: stamped at submission,
+        // recorded here at scheduler pop.
+        for (const Record& r : pop.batch)
+          tracer->record(obs::Tracer::make(obs::Phase::kQueue, r->id,
+                                           r->tenant.c_str(),
+                                           r->submitted_at, pop_time));
       }
       if (!pop.batch.empty()) execute_batch(session, pop.batch);
     }
@@ -364,6 +501,11 @@ JobService::JobService(const Backend& backend, ServiceOptions options)
 JobService::~JobService() { shutdown(ShutdownMode::kAbort); }
 
 JobHandle JobService::submit(JobSpec spec) {
+  // kSubmit covers the whole admission path; the job id and tenant are
+  // attached once allocated below.
+  obs::SpanTimer submit_span = core_->tracer != nullptr
+                                   ? core_->tracer->span(obs::Phase::kSubmit)
+                                   : obs::SpanTimer();
   // Pin the device's current calibration at the submission door: the
   // calibrated view's fingerprint folds in the snapshot epoch, so after
   // a recalibration new jobs land in fresh transpile/plan/batching
@@ -412,7 +554,7 @@ JobHandle JobService::submit(JobSpec spec) {
   // issued), not as a job failure at dispatch.
   (void)effective_parameters(request);
 
-  const auto now = std::chrono::steady_clock::now();
+  const obs::TimePoint now = core_->time_source->now();
   MutexLock lock(core_->mutex);
   if (!core_->accepting)
     throw std::runtime_error("JobService::submit: service is shut down");
@@ -443,9 +585,33 @@ JobHandle JobService::submit(JobSpec spec) {
     record->request.processor = &*record->calibrated_proc;
   }
   if (spec.mitigate_readout) record->request.readout_calibration = calib;
+
+  // Observability identity, attached before the record becomes visible
+  // to workers: the tenant's latency histogram handle (registered on
+  // the tenant's first submit) and the job's trace context.
+  obs::HistogramId& tenant_hist = core_->tenant_hists[record->tenant];
+  if (!tenant_hist.valid())
+    tenant_hist = core_->registry->histogram(
+        "serve.tenant." + record->tenant + ".latency_seconds",
+        obs::MetricsRegistry::latency_bounds_seconds());
+  record->tenant_latency_id = tenant_hist;
+  if (core_->tracer != nullptr) {
+    record->request.with_trace(core_->tracer, id, record->tenant.c_str());
+    submit_span.set_job(id);
+    submit_span.set_tenant(record->tenant.c_str());
+    if (record->calibration != nullptr)
+      submit_span.set_epoch(record->calibration->epoch);
+  }
+
   core_->queue.push(record);
   ++core_->queued;
-  ++core_->submitted;
+  {
+    // Committed before the mutex is released so no worker transition
+    // can outrun it in a registry snapshot (see the balance note).
+    obs::MetricsTxn txn(*core_->registry);
+    txn.add(core_->submitted_id);
+    txn.gauge_add(core_->queued_id, 1);
+  }
   core_->cv.notify_one();
   return JobHandle(core_, std::move(record));
 }
@@ -463,7 +629,7 @@ std::uint64_t JobService::recalibrate(CalibrationSnapshot snapshot) {
   const std::uint64_t latest = core_->calib_store->latest_epoch();
   if (snapshot.epoch <= latest) snapshot.epoch = latest + 1;
   const auto stored = core_->calib_store->publish(std::move(snapshot));
-  ++core_->recalibrations;
+  core_->registry->add(core_->recalibrations_id);
   return stored->epoch;
 }
 
@@ -493,8 +659,12 @@ void JobService::shutdown(ShutdownMode mode) {
     core_->paused = false;  // a paused drain would never finish
     if (mode == ShutdownMode::kAbort) {
       const std::size_t n = core_->queue.cancel_all();
-      core_->cancelled += n;
       core_->queued -= n;
+      if (n > 0) {
+        obs::MetricsTxn txn(*core_->registry);
+        txn.add(core_->cancelled_id, n);
+        txn.gauge_add(core_->queued_id, -static_cast<std::int64_t>(n));
+      }
     }
     core_->cv.notify_all();
   }
@@ -506,38 +676,70 @@ void JobService::shutdown(ShutdownMode mode) {
 }
 
 ServiceTelemetry JobService::telemetry() const {
+  // ONE consistent cut: every field except calib_epoch comes from the
+  // same registry snapshot (the registry holds all shard locks while
+  // merging), fixing the historical torn read between the scheduler
+  // counters and the cache/store gauges.
+  const obs::MetricsSnapshot snap = core_->registry->snapshot();
   ServiceTelemetry t;
-  {
-    MutexLock lock(core_->mutex);
-    t.submitted = core_->submitted;
-    t.completed = core_->completed;
-    t.failed = core_->failed;
-    t.cancelled = core_->cancelled;
-    t.expired = core_->expired;
-    t.queued = core_->queued;
-    t.running = core_->running;
-    t.batches = core_->batches;
-    t.batched_jobs = core_->batched_jobs;
-    t.largest_batch = core_->largest_batch;
-    t.queue_seconds_total = core_->queue_seconds_total;
-    t.recalibrations = core_->recalibrations;
-    t.stale_hits = core_->stale_hits;
+  t.submitted = snap.counter("serve.jobs.submitted");
+  t.completed = snap.counter("serve.jobs.completed");
+  t.failed = snap.counter("serve.jobs.failed");
+  t.cancelled = snap.counter("serve.jobs.cancelled");
+  t.expired = snap.counter("serve.jobs.expired");
+  t.queued = static_cast<std::size_t>(snap.gauge("serve.jobs.queued"));
+  t.running = static_cast<std::size_t>(snap.gauge("serve.jobs.running"));
+  if (const obs::HistogramSnapshot* h = snap.histogram("serve.batch.jobs")) {
+    t.batches = h->count;
+    t.batched_jobs = static_cast<std::size_t>(h->sum);
+    t.largest_batch = static_cast<std::size_t>(h->max);
   }
+  if (const obs::HistogramSnapshot* h =
+          snap.histogram("serve.queue.wait_seconds"))
+    t.queue_seconds_total = h->sum;
+  t.plan_cache_hits = snap.counter("exec.plan_cache.hits");
+  t.plan_cache_misses = snap.counter("exec.plan_cache.misses");
+  t.plan_cache_evictions = snap.counter("exec.plan_cache.evictions");
+  t.plan_cache_size =
+      static_cast<std::size_t>(snap.gauge("exec.plan_cache.size"));
+  t.plan_cache_in_flight =
+      static_cast<std::size_t>(snap.gauge("exec.plan_cache.in_flight"));
+  t.transpile_cache_hits = snap.counter("compiler.transpile_cache.hits");
+  t.transpile_cache_misses = snap.counter("compiler.transpile_cache.misses");
+  t.transpile_cache_evictions =
+      snap.counter("compiler.transpile_cache.evictions");
+  t.transpile_cache_size =
+      static_cast<std::size_t>(snap.gauge("compiler.transpile_cache.size"));
+  t.transpile_cache_in_flight = static_cast<std::size_t>(
+      snap.gauge("compiler.transpile_cache.in_flight"));
+  t.results_stored =
+      static_cast<std::size_t>(snap.gauge("serve.result_store.size"));
+  t.recalibrations = snap.counter("serve.recalibrations");
+  t.stale_hits = snap.counter("serve.calib.stale_hits");
   t.calib_epoch = core_->calib_store->latest_epoch();
-  const detail::CacheStats plan_stats = core_->plan_cache->stats();
-  t.plan_cache_hits = plan_stats.hits;
-  t.plan_cache_misses = plan_stats.misses;
-  t.plan_cache_evictions = plan_stats.evictions;
-  t.plan_cache_size = plan_stats.size;
-  t.plan_cache_in_flight = plan_stats.in_flight;
-  const detail::CacheStats transpile_stats = core_->transpile_cache->stats();
-  t.transpile_cache_hits = transpile_stats.hits;
-  t.transpile_cache_misses = transpile_stats.misses;
-  t.transpile_cache_evictions = transpile_stats.evictions;
-  t.transpile_cache_size = transpile_stats.size;
-  t.transpile_cache_in_flight = transpile_stats.in_flight;
-  t.results_stored = core_->store.size();
   return t;
+}
+
+TenantLatency JobService::tenant_latency(const std::string& tenant) const {
+  TenantLatency out;
+  const obs::MetricsSnapshot snap = core_->registry->snapshot();
+  const obs::HistogramSnapshot* h =
+      snap.histogram("serve.tenant." + tenant + ".latency_seconds");
+  if (h == nullptr) return out;
+  out.count = h->count;
+  out.mean = h->mean();
+  out.p50 = h->quantile(0.50);
+  out.p95 = h->quantile(0.95);
+  out.p99 = h->quantile(0.99);
+  return out;
+}
+
+obs::MetricsSnapshot JobService::metrics() const {
+  return core_->registry->snapshot();
+}
+
+obs::MetricsRegistry& JobService::metrics_registry() const {
+  return *core_->registry;
 }
 
 }  // namespace qs

@@ -33,6 +33,9 @@
 #include "exec/backend.h"
 #include "exec/plan.h"
 #include "exec/session.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/job.h"
 #include "serve/job_queue.h"
 #include "serve/result_store.h"
@@ -98,6 +101,25 @@ struct ServiceOptions {
   /// Staleness policy for jobs dispatched after a recalibration.
   CalibrationStalenessPolicy staleness =
       CalibrationStalenessPolicy::kUseSubmitted;
+
+  // --- observability (all optional, non-owning; must outlive the
+  // service) ---------------------------------------------------------
+
+  /// Metrics sink. Null = the service keeps a private registry (still
+  /// reachable through JobService::metrics()). The service registers
+  /// `serve.*` metrics and shares the registry with its plan/transpile
+  /// caches and result store, so one snapshot covers the whole stack.
+  /// Sharing one registry between two services aggregates them.
+  obs::MetricsRegistry* registry = nullptr;
+  /// Span sink for the job lifecycle (kSubmit/kQueue/kBatch/...). Null =
+  /// tracing disabled; instrumentation then costs one relaxed load per
+  /// site (see obs/trace.h).
+  obs::Tracer* tracer = nullptr;
+  /// Time source for every service timestamp (submission, deadlines,
+  /// queue waits, result TTL). Null = the tracer's clock when a tracer
+  /// is given, else the real steady clock. Inject a ManualClock to
+  /// drive deadlines and TTLs in virtual time.
+  const obs::Clock* clock = nullptr;
 };
 
 /// How shutdown treats queued jobs.
@@ -106,10 +128,13 @@ enum class ShutdownMode {
   kAbort,  ///< stop accepting, cancel everything queued, finish in-flight
 };
 
-/// Monotonic counters + gauges describing the service. The core
-/// scheduler counters form one consistent snapshot; the plan-cache and
-/// result-store gauges are read adjacently and may run momentarily ahead
-/// of `completed` (a worker stores results before bumping the counter).
+/// Monotonic counters + gauges describing the service, assembled from
+/// ONE MetricsRegistry snapshot: scheduler counters, cache counters, and
+/// store gauges all come from the same consistent cut (the registry
+/// holds every shard lock while merging), so invariants like
+/// completed + failed + cancelled + expired + queued + running ==
+/// submitted hold in every snapshot. Only `calib_epoch` is read
+/// adjacently (a single value from the calibration store).
 struct ServiceTelemetry {
   std::size_t submitted = 0;   ///< jobs accepted
   std::size_t completed = 0;   ///< jobs finished with a result
@@ -145,6 +170,17 @@ struct ServiceTelemetry {
                         : static_cast<double>(batched_jobs) /
                               static_cast<double>(batches);
   }
+};
+
+/// Summary of one tenant's submit->finish latency distribution,
+/// estimated from the tenant's `serve.tenant.<tenant>.latency_seconds`
+/// histogram (bucket-interpolated quantiles; see obs/metrics.h).
+struct TenantLatency {
+  std::uint64_t count = 0;  ///< finished jobs observed
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
 };
 
 /// Future-style view of one submitted job. Copyable; all copies observe
@@ -232,6 +268,22 @@ class JobService {
 
   /// Counter snapshot (see ServiceTelemetry's consistency note).
   ServiceTelemetry telemetry() const;
+
+  /// Latency percentiles of one tenant's finished jobs (zeros when the
+  /// tenant never submitted). Reads one registry snapshot.
+  TenantLatency tenant_latency(const std::string& tenant) const;
+
+  /// One consistent cut of every metric in the service's registry
+  /// (scheduler, caches, result store, calibration store, per-tenant
+  /// latency histograms).
+  obs::MetricsSnapshot metrics() const;
+
+  /// The registry backing the service (the injected one, or the
+  /// service's private registry).
+  obs::MetricsRegistry& metrics_registry() const;
+
+  /// The tracer from ServiceOptions (null when tracing is off).
+  obs::Tracer* tracer() const { return options_.tracer; }
 
  private:
   ServiceOptions options_;

@@ -3,6 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -678,10 +681,17 @@ TEST(JobService, LockOrderHammerWaitCancelAbortRecalibrate) {
   cfg.levels_per_mode = 3;
   const Processor proc(cfg);
   const StateVectorBackend backend;
+  // Tracing rides along: the hammer doubles as the span-coverage and
+  // timestamp-monotonicity stress (assertions after shutdown).
+  obs::TracerOptions tracer_options;
+  tracer_options.shards = 4;
+  tracer_options.capacity_per_shard = 16384;
+  obs::Tracer tracer(tracer_options);
   ServiceOptions options;
   options.workers = 3;
   options.max_batch = 4;
   options.start_paused = true;  // build a backlog for abort to hit
+  options.tracer = &tracer;
   JobService service(backend, options);
 
   std::vector<JobHandle> handles;
@@ -701,7 +711,15 @@ TEST(JobService, LockOrderHammerWaitCancelAbortRecalibrate) {
       service.recalibrate(CalibrationSnapshot::nominal(proc));
   });
   std::thread poller([&] {
-    while (!stop.load()) (void)service.telemetry();
+    while (!stop.load()) {
+      // Mid-flight balance invariant: telemetry is ONE registry cut, so
+      // the lifecycle books must balance exactly in every poll, not
+      // just after quiescence (the historical torn-read regression).
+      const ServiceTelemetry t = service.telemetry();
+      EXPECT_EQ(t.completed + t.failed + t.cancelled + t.expired +
+                    t.queued + t.running,
+                t.submitted);
+    }
   });
   std::vector<std::thread> waiters;
   for (std::size_t t = 0; t < 4; ++t)
@@ -732,6 +750,66 @@ TEST(JobService, LockOrderHammerWaitCancelAbortRecalibrate) {
   EXPECT_EQ(t.recalibrations, 8u);
   // Submission raced no recalibration epochs backwards.
   EXPECT_EQ(t.calib_epoch, 8u);
+
+  // --- span coverage + ordering under the same hammer -------------------
+  EXPECT_EQ(tracer.dropped(), 0u);  // rings sized to retain everything
+  const std::vector<obs::Span> spans = tracer.spans();
+  // Timestamps are monotone within every span, and the deterministic
+  // sort is by start time: monotone across the merged list too.
+  std::uint64_t last_start = 0;
+  for (const obs::Span& s : spans) {
+    EXPECT_LE(s.start_ns, s.end_ns);
+    EXPECT_GE(s.start_ns, last_start);
+    last_start = s.start_ns;
+  }
+  // Index per job: which phases were recorded, and the kJob root span.
+  std::map<std::uint64_t, std::set<obs::Phase>> phases;
+  std::map<std::uint64_t, obs::Span> roots;
+  for (const obs::Span& s : spans) {
+    phases[s.job].insert(s.phase);
+    if (s.phase == obs::Phase::kJob) roots[s.job] = s;
+  }
+  std::size_t done_jobs = 0;
+  for (const JobHandle& h : handles) {
+    // Every submitted job carries a kSubmit span.
+    EXPECT_TRUE(phases[h.id()].count(obs::Phase::kSubmit)) << h.id();
+    if (h.status() != JobStatus::kDone) continue;
+    ++done_jobs;
+    // Completed jobs cover the full lifecycle: queue wait, execution,
+    // store insert, and the kJob root.
+    for (const obs::Phase p :
+         {obs::Phase::kQueue, obs::Phase::kExecute, obs::Phase::kStore,
+          obs::Phase::kJob})
+      EXPECT_TRUE(phases[h.id()].count(p))
+          << "job " << h.id() << " missing phase "
+          << obs::phase_name(p);
+    // Parent/child ordering: every job-phase span nests inside the
+    // job's kJob root interval.
+    ASSERT_TRUE(roots.count(h.id()));
+    const obs::Span& root = roots[h.id()];
+    for (const obs::Span& s : spans) {
+      if (s.job != h.id() || s.phase == obs::Phase::kJob ||
+          s.phase == obs::Phase::kSubmit)
+        continue;  // kSubmit starts before the root by design
+      EXPECT_GE(s.start_ns, root.start_ns) << obs::phase_name(s.phase);
+      EXPECT_LE(s.end_ns, root.end_ns) << obs::phase_name(s.phase);
+    }
+  }
+  EXPECT_GT(done_jobs, 0u);  // the hammer must have completed something
+  // Per-tenant latency percentiles are queryable, and every finished
+  // (done or failed) job was observed in exactly one tenant histogram.
+  const TenantLatency lat_a = service.tenant_latency("a");
+  const TenantLatency lat_b = service.tenant_latency("b");
+  EXPECT_EQ(lat_a.count + lat_b.count, t.completed + t.failed);
+  if (lat_a.count > 0) {
+    EXPECT_GT(lat_a.p50, 0.0);
+    EXPECT_LE(lat_a.p50, lat_a.p95);
+    EXPECT_LE(lat_a.p95, lat_a.p99);
+  }
+  // The Chrome export of the hammer's trace is well-formed JSON prose.
+  std::ostringstream json;
+  tracer.export_chrome_json(json);
+  EXPECT_NE(json.str().find("\"traceEvents\""), std::string::npos);
 }
 
 // ---------------------------------------------------------------------

@@ -13,14 +13,23 @@ a current file, or a baseline entry absent for a benchmark passes with a
 note instead of failing -- the first run on a branch (or a newly added
 benchmark) establishes the baseline rather than gating against nothing.
 
+Overhead budgets: OVERHEAD_PAIRS compares instrumented benchmark
+variants against their plain twins *within the current run alone* (no
+baseline needed, so machine-speed differences between CI runs cancel
+out). The serve tracing pair holds the <5% enabled-tracing budget from
+docs/ARCHITECTURE.md "Observability layer": if the traced burst falls
+more than 5% below the untraced burst, the gate fails.
+
 Usage:
   bench_diff.py [--threshold 0.15] BASELINE_DIR CURRENT_DIR
   bench_diff.py --self-test
 
 The self-test synthesizes a baseline/current pair with an injected 40%
 slowdown and asserts the gate fails on it (and passes on the unchanged
-pair and on a missing baseline), so CI demonstrates the gate's failure
-mode on every run instead of trusting it untested.
+pair and on a missing baseline), and likewise asserts the overhead gate
+trips on a 10% tracing slowdown but passes a 3% one -- so CI
+demonstrates both failure modes on every run instead of trusting them
+untested.
 """
 
 import argparse
@@ -30,6 +39,14 @@ import sys
 import tempfile
 
 PASS, FAIL = 0, 1
+
+# (plain benchmark, instrumented variant, allowed fractional slowdown).
+# Compared per matching argument suffix (".../64" vs ".../64") inside
+# one run's entries, so the check is immune to cross-run machine noise.
+OVERHEAD_PAIRS = [
+    ("BM_ServeSameCircuitBurst_Batched", "BM_ServeSameCircuitBurst_Traced",
+     0.05),
+]
 
 
 def load_entries(path):
@@ -76,20 +93,56 @@ def compare_entry(name, base, cur, threshold):
         f"{cur.get('time_unit', 'ns')} ({(ratio - 1.0) * 100.0:+.1f}%)")
 
 
+def check_overhead(entries, pairs=OVERHEAD_PAIRS):
+    """Intra-run instrumented-vs-plain budget check; returns failures."""
+    failures = 0
+    for plain_name, variant_name, budget in pairs:
+        for name, cur in sorted(entries.items()):
+            prefix, sep, arg = name.partition("/")
+            if prefix != variant_name:
+                continue
+            plain = entries.get(plain_name + sep + arg)
+            if plain is None:
+                print(f"skip: {name}: no '{plain_name}{sep}{arg}' "
+                      "in this run to compare against")
+                continue
+            plain_ips = plain.get("items_per_second")
+            cur_ips = cur.get("items_per_second")
+            if not plain_ips or not cur_ips:
+                print(f"skip: {name}: no items_per_second on both sides")
+                continue
+            ratio = cur_ips / plain_ips
+            ok = ratio >= 1.0 - budget
+            verdict = "ok" if ok else "OVERHEAD"
+            print(f"{verdict}: {name}: items_per_second {cur_ips:.4g} vs "
+                  f"{plain_name}{sep}{arg} {plain_ips:.4g} "
+                  f"({(ratio - 1.0) * 100.0:+.1f}%, budget "
+                  f"-{budget * 100.0:.0f}%)")
+            if not ok:
+                failures += 1
+    return failures
+
+
 def diff_dirs(baseline_dir, current_dir, threshold):
-    """Compares every BENCH_*.json under current against baseline."""
+    """Compares every BENCH_*.json under current against baseline, and
+    holds the intra-run OVERHEAD_PAIRS budgets regardless of whether a
+    baseline exists."""
     current_files = sorted(
         f for f in os.listdir(current_dir)
         if f.startswith("BENCH_") and f.endswith(".json"))
     if not current_files:
         print(f"bench_diff: no BENCH_*.json under {current_dir}")
         return FAIL
+
+    failures = 0
+    for fname in current_files:
+        failures += check_overhead(
+            load_entries(os.path.join(current_dir, fname)))
     if not os.path.isdir(baseline_dir):
         print(f"bench_diff: no baseline at {baseline_dir}; "
               "bootstrapping (this run becomes the baseline)")
-        return PASS
+        return FAIL if failures else PASS
 
-    failures = 0
     for fname in current_files:
         base_path = os.path.join(baseline_dir, fname)
         if not os.path.exists(base_path):
@@ -107,27 +160,29 @@ def diff_dirs(baseline_dir, current_dir, threshold):
             if not ok:
                 failures += 1
     if failures:
-        print(f"bench_diff: {failures} benchmark(s) regressed more than "
-              f"{threshold * 100.0:.0f}%")
+        print(f"bench_diff: {failures} benchmark(s) regressed beyond the "
+              f"{threshold * 100.0:.0f}% threshold or blew an overhead "
+              "budget")
         return FAIL
-    print("bench_diff: no regressions beyond threshold")
+    print("bench_diff: no regressions beyond threshold, "
+          "overhead budgets held")
     return PASS
 
 
-def synthetic(path, time_ns, items_per_second):
-    payload = {
-        "benchmarks": [{
-            "name": "BM_Synthetic/1000",
-            "run_name": "BM_Synthetic/1000",
-            "run_type": "iteration",
-            "real_time": time_ns,
-            "cpu_time": time_ns,
-            "time_unit": "ns",
-            "items_per_second": items_per_second,
-        }]
-    }
+def synthetic(path, time_ns, items_per_second, name="BM_Synthetic/1000",
+              extra=()):
+    benchmarks = [{
+        "name": bench_name,
+        "run_name": bench_name,
+        "run_type": "iteration",
+        "real_time": bench_time,
+        "cpu_time": bench_time,
+        "time_unit": "ns",
+        "items_per_second": bench_ips,
+    } for bench_name, bench_time, bench_ips in
+        [(name, time_ns, items_per_second)] + list(extra)]
     with open(path, "w") as f:
-        json.dump(payload, f)
+        json.dump({"benchmarks": benchmarks}, f)
 
 
 def self_test():
@@ -152,8 +207,23 @@ def self_test():
         synthetic(os.path.join(current, "BENCH_synth.json"), 140.0, 1e6 / 1.4)
         assert diff_dirs(baseline, current, 0.15) == FAIL, \
             "injected slowdown must fail the gate"
-    print("bench_diff: self-test passed "
-          "(gate demonstrated to fail on injected slowdown)")
+
+        # Tracing-overhead budget (intra-run, no baseline involvement):
+        # a 3% traced-vs-plain gap holds the 5% budget...
+        plain, traced = OVERHEAD_PAIRS[0][:2]
+        synthetic(os.path.join(current, "BENCH_synth.json"), 100.0, 1e6,
+                  name=plain + "/64",
+                  extra=[(traced + "/64", 103.0, 0.97e6)])
+        assert diff_dirs(os.path.join(tmp, "absent"), current, 0.15) == PASS, \
+            "3% tracing overhead must hold the 5% budget"
+        # ...and a 10% gap blows it, even with no baseline to diff.
+        synthetic(os.path.join(current, "BENCH_synth.json"), 100.0, 1e6,
+                  name=plain + "/64",
+                  extra=[(traced + "/64", 110.0, 0.90e6)])
+        assert diff_dirs(os.path.join(tmp, "absent"), current, 0.15) == FAIL, \
+            "10% tracing overhead must blow the 5% budget"
+    print("bench_diff: self-test passed (gate demonstrated to fail on "
+          "injected slowdown and on blown tracing-overhead budget)")
     return PASS
 
 

@@ -27,6 +27,13 @@ turns those into CI failures. Rules (see docs/ARCHITECTURE.md
                    use the annotated qs::Mutex family so clang's
                    -Wthread-safety analysis sees every acquisition.
 
+  clock            Bans std::chrono::steady_clock / high_resolution_clock
+                   in src/ outside obs/clock.h: time must flow through an
+                   injected obs::Clock (SteadyClock in production,
+                   ManualClock in tests) so deadlines, TTLs, and traces
+                   are drivable in virtual time and two traced runs can
+                   be bitwise identical.
+
   value-fingerprint  In cache-key code paths (CACHE_KEY_FILES), bans
                    value-sensitive fingerprint(<circuit>) -- cache keys
                    must use structural_fingerprint so a parametric sweep's
@@ -53,6 +60,7 @@ SRC = REPO_ROOT / "src"
 
 # Files whose whole job is to wrap the raw primitives.
 RAW_SYNC_HOME = "src/common/thread_annotations.h"
+CLOCK_HOME = "src/obs/clock.h"
 
 # Files holding order-sensitive digest/serialization code, in addition to
 # any file that *defines* a fingerprint() function (detected below).
@@ -83,8 +91,8 @@ NONDETERMINISM_PATTERNS = [
      "processor-clock reads are nondeterministic; use Stopwatch for "
      "telemetry, never in result paths"),
     (re.compile(r"\bsystem_clock\b"),
-     "std::chrono::system_clock is the wall clock; steady_clock is the "
-     "only clock allowed in src/"),
+     "std::chrono::system_clock is the wall clock; time must flow "
+     "through obs::Clock (src/obs/clock.h)"),
     # An mt19937 declared/constructed with no seed argument silently uses
     # the fixed default seed -- usually a copy-paste away from "every
     # worker draws the same stream". Engines must take an explicit seed.
@@ -94,6 +102,8 @@ NONDETERMINISM_PATTERNS = [
     (re.compile(r"\bmt19937(?:_64)?\s*(?:\(\s*\)|\{\s*\})"),
      "temporary mt19937 without an explicit seed"),
 ]
+
+RAW_CLOCK_RE = re.compile(r"\b(steady_clock|high_resolution_clock)\b")
 
 RAW_SYNC_RE = re.compile(
     r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
@@ -236,6 +246,22 @@ def lint_file(path: pathlib.Path, findings: list[Finding]) -> None:
                 report(lineno, "raw-sync",
                        f"unannotated std::{m.group(1)} in the wrapper "
                        "header itself")
+
+    # -- clock -------------------------------------------------------------
+    # Mirrors raw-sync: the wrapper home itself allowlists each raw
+    # clock mention per line.
+    for lineno, line in enumerate(clean_lines, 1):
+        m = RAW_CLOCK_RE.search(line)
+        if not m:
+            continue
+        if rel != CLOCK_HOME:
+            report(lineno, "clock",
+                   f"std::chrono::{m.group(1)} bypasses the injectable "
+                   "obs::Clock (src/obs/clock.h); take a Clock& or use "
+                   "obs::TimeBase/TimePoint aliases")
+        else:
+            report(lineno, "clock",
+                   f"raw {m.group(1)} in the clock wrapper itself")
 
 
 def main() -> int:
