@@ -1,5 +1,6 @@
 #include "exec/plan.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/fingerprint.h"
@@ -230,7 +231,7 @@ void CompiledCircuit::run_pure(StateVector& psi,
   cplx* amps = psi.amplitudes().data();
   for (const CompiledStep& step : steps_) {
     if (step.kind == CompiledStep::Kind::kDiagonal)
-      kernels::apply_diagonal(step.diag.data(), *step.plan, amps);
+      kernels::apply_diagonal(step.diag.data(), *step.plan, amps, scratch);
     else
       kernels::apply(step.op, *step.plan, amps, scratch);
   }
@@ -243,7 +244,7 @@ void CompiledCircuit::run_trajectory(StateVector& psi, Rng& rng,
   cplx* amps = psi.amplitudes().data();
   for (const CompiledStep& step : steps_) {
     if (step.kind == CompiledStep::Kind::kDiagonal)
-      kernels::apply_diagonal(step.diag.data(), *step.plan, amps);
+      kernels::apply_diagonal(step.diag.data(), *step.plan, amps, scratch);
     else
       kernels::apply(step.op, *step.plan, amps, scratch);
     for (const CompiledChannel& ch : step.channels) {
@@ -254,6 +255,49 @@ void CompiledCircuit::run_trajectory(StateVector& psi, Rng& rng,
       const std::size_t m = rng.discrete(scratch.weights);
       kernels::apply(ch.kraus[m], *ch.plan, amps, scratch);
       psi.normalize();
+    }
+  }
+}
+
+void CompiledCircuit::run_trajectory_batch(kernels::StateBatch& batch,
+                                           Rng* rngs, std::size_t active,
+                                           kernels::Scratch& scratch) const {
+  constexpr std::size_t kW = kernels::StateBatch::kLanes;
+  require(batch.dimension() == space_.dimension(),
+          "CompiledCircuit::run_trajectory_batch: dimension mismatch");
+  require(active >= 1 && active <= kW,
+          "CompiledCircuit::run_trajectory_batch: bad active lane count");
+  std::size_t chosen[kW] = {};
+  for (const CompiledStep& step : steps_) {
+    if (step.kind == CompiledStep::Kind::kDiagonal)
+      kernels::batch_apply_diagonal(step.diag.data(), *step.plan, batch,
+                                    scratch);
+    else
+      kernels::batch_apply(step.op, *step.plan, batch, scratch);
+    for (const CompiledChannel& ch : step.channels) {
+      const std::size_t outcomes = ch.kraus.size();
+      scratch.lane_probs.resize(outcomes * kW);
+      std::fill(scratch.lane_probs.data(),
+                scratch.lane_probs.data() + outcomes * kW, 0.0);
+      kernels::batch_accumulate_channel_probabilities(
+          ch.kraus, *ch.plan, batch, scratch, scratch.lane_probs.data());
+      // Each lane draws from its own stream against its own weights --
+      // the same single discrete() call per channel as run_trajectory.
+      scratch.weights.resize(outcomes);
+      bool uniform_choice = true;
+      for (std::size_t k = 0; k < active; ++k) {
+        for (std::size_t m = 0; m < outcomes; ++m)
+          scratch.weights[m] = scratch.lane_probs[m * kW + k];
+        chosen[k] = rngs[k].discrete(scratch.weights);
+        if (chosen[k] != chosen[0]) uniform_choice = false;
+      }
+      if (uniform_choice)
+        kernels::batch_apply(ch.kraus[chosen[0]], *ch.plan, batch, scratch);
+      else
+        for (std::size_t k = 0; k < active; ++k)
+          kernels::batch_apply_lane(ch.kraus[chosen[k]], *ch.plan, batch, k,
+                                    scratch);
+      kernels::batch_normalize(batch, active);
     }
   }
 }

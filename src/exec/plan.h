@@ -185,6 +185,19 @@ class CompiledCircuit {
   void run_trajectory(StateVector& psi, Rng& rng,
                       kernels::Scratch& scratch) const;
 
+  /// `active` quantum trajectories at once over a StateBatch: every plan
+  /// step is applied across the whole batch before advancing (operator
+  /// rows load once per batch), each lane consuming its own RNG stream
+  /// rngs[k] in the identical order to run_trajectory. Lane k of the batch
+  /// ends bitwise-identical to run_trajectory with rngs[k] from the same
+  /// initial state, for every `active` in [1, StateBatch::kLanes]. When
+  /// all lanes sample the same Kraus branch (overwhelmingly the common
+  /// case at realistic noise rates), the branch applies batch-wide;
+  /// divergent lanes fall back to per-lane application.
+  void run_trajectory_batch(kernels::StateBatch& batch, Rng* rngs,
+                            std::size_t active,
+                            kernels::Scratch& scratch) const;
+
   /// Exact mixed-state execution: unitary conjugation per step plus every
   /// channel applied in full.
   void run_density(DensityMatrix& rho, kernels::Scratch& scratch) const;

@@ -216,6 +216,11 @@ struct ExecutionResult {
   /// Epoch of the calibration snapshot whose confusion matrices produced
   /// `mitigated` (0 = no mitigation applied).
   std::uint64_t calib_epoch = 0;
+  /// Kernel invocations by SIMD dispatch tier (specialized / generic /
+  /// scalar, plus batched SoA applies) accumulated across the execution --
+  /// for the trajectory backend, reduced over worker blocks in block
+  /// order. Zero for backends that do not drive the kernel layer.
+  kernels::DispatchCounts kernel_dispatch;
 
   /// Expectation of the named observable; throws if it was not requested.
   double expectation(const std::string& name) const;

@@ -142,6 +142,7 @@ ExecutionResult ExecutionSession::submit(ExecutionRequest request) {
   apply_readout_mitigation(request, result);
   ++requests_executed_;
   total_backend_seconds_ += result.wall_seconds;
+  kernel_dispatch_ += result.kernel_dispatch;
   return result;
 }
 
@@ -174,6 +175,7 @@ std::vector<ExecutionResult> ExecutionSession::submit_batch(
   for (const ExecutionResult& result : results) {
     ++requests_executed_;
     total_backend_seconds_ += result.wall_seconds;
+    kernel_dispatch_ += result.kernel_dispatch;
   }
   return results;
 }

@@ -82,6 +82,12 @@ class ExecutionSession {
   /// batches run in parallel).
   double total_backend_seconds() const { return total_backend_seconds_; }
 
+  /// Kernel invocations by SIMD dispatch tier, summed over every result
+  /// the session produced (see ExecutionResult::kernel_dispatch).
+  const kernels::DispatchCounts& kernel_dispatch() const {
+    return kernel_dispatch_;
+  }
+
   /// The plan cache in use -- the session's own, or the shared one from
   /// SessionOptions::shared_plan_cache (telemetry: hits/misses/size).
   /// Batch submission resolves plans inside the worker fan-out (the
@@ -121,6 +127,7 @@ class ExecutionSession {
   std::uint64_t next_stream_ = 0;
   std::size_t requests_executed_ = 0;
   double total_backend_seconds_ = 0.0;
+  kernels::DispatchCounts kernel_dispatch_;
 };
 
 }  // namespace qs

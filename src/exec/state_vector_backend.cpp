@@ -40,6 +40,7 @@ ExecutionResult StateVectorBackend::execute(
   kernels::Scratch scratch;
   scratch.reserve_block(plan->max_block());
   plan->run_pure(psi, scratch);
+  result.kernel_dispatch = scratch.dispatch;
 
   result.trajectories = 1;
   result.probabilities.reserve(psi.dimension());

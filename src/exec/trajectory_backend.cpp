@@ -68,6 +68,7 @@ ExecutionResult TrajectoryBackend::execute(
     kernels::Scratch scratch;
     scratch.reserve_block(plan->max_block());
     plan->run_pure(psi, scratch);
+    result.kernel_dispatch = scratch.dispatch;
     result.trajectories = 1;
     result.probabilities.reserve(dim);
     for (const cplx& a : psi.amplitudes())
@@ -97,24 +98,45 @@ ExecutionResult TrajectoryBackend::execute(
       for (auto& c : block_counts) c.assign(dim, 0);
 
     // One immutable plan shared by every worker; each block owns its
-    // scratch arena and reuses one state buffer across its trajectories.
+    // scratch arena and one SoA batch reused across its trajectories.
+    // Trajectories run kLanes at a time: each plan step is applied across
+    // the whole sub-batch before advancing, with per-lane RNG streams
+    // (split_seed by absolute trajectory index) consumed exactly as the
+    // per-shot path would, so results are bitwise-independent of the
+    // batching.
     const CompiledCircuit& shared_plan = *plan;
+    const std::size_t initial_index =
+        request.initial_digits.empty()
+            ? 0
+            : circuit.space().index_of(request.initial_digits);
+    std::vector<kernels::DispatchCounts> block_dispatch(blocks);
     parallel_for(blocks, threads_, [&](std::size_t b) {
+      constexpr std::size_t kW = kernels::StateBatch::kLanes;
       const std::size_t begin = b * block;
       const std::size_t end = std::min(begin + block, total);
       kernels::Scratch scratch;
       scratch.reserve_block(shared_plan.max_block());
-      StateVector psi(circuit.space());
-      for (std::size_t t = begin; t < end; ++t) {
-        Rng rng(split_seed(result.seed, t));
-        psi.reset(request.initial_digits);
-        shared_plan.run_trajectory(psi, rng, scratch);
-        if (want_exact_probs)
-          for (std::size_t i = 0; i < dim; ++i)
-            block_probs[b][i] += std::norm(psi.amplitude(i));
-        if (request.shots > 0) ++block_counts[b][psi.sample_index(rng)];
+      kernels::StateBatch batch;
+      batch.configure(dim);
+      Rng rngs[kW];
+      for (std::size_t t = begin; t < end; t += kW) {
+        const std::size_t lanes = std::min(kW, end - t);
+        for (std::size_t k = 0; k < lanes; ++k)
+          rngs[k] = Rng(split_seed(result.seed, t + k));
+        batch.reset(initial_index);
+        shared_plan.run_trajectory_batch(batch, rngs, lanes, scratch);
+        for (std::size_t k = 0; k < lanes; ++k) {
+          if (want_exact_probs)
+            for (std::size_t i = 0; i < dim; ++i)
+              block_probs[b][i] += batch.lane_abs2(i, k);
+          if (request.shots > 0)
+            ++block_counts[b][batch.lane_sample_index(k, rngs[k].uniform())];
+        }
       }
+      block_dispatch[b] = scratch.dispatch;
     });
+    for (std::size_t b = 0; b < blocks; ++b)
+      result.kernel_dispatch += block_dispatch[b];
 
     // Block-ordered reduction: deterministic for any thread count.
     result.trajectories = total;

@@ -52,6 +52,17 @@ BlockPlan make_block_plan(const QuditSpace& space,
     plan.bases[i] = off;
   }
 
+  // Contiguous-run length of the bases sequence: the little-endian
+  // enumeration above emits runs of consecutive addresses exactly while
+  // the complement strides keep matching the running dimension product
+  // (i.e. the low complement sites form a dense prefix of the index).
+  std::size_t run = 1;
+  for (std::size_t j = 0; j < cdims.size(); ++j) {
+    if (cstrides[j] != run) break;
+    run *= cdims[j];
+  }
+  plan.contig_run = run;
+
   plan.block = block;
   plan.dimension = space.dimension();
   if (sites.size() == 1) {

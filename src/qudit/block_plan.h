@@ -33,6 +33,14 @@ struct BlockPlan {
   /// in that order, so kernels may iterate without touching the tables.
   bool single_site = false;
   std::size_t site_stride = 0;  ///< stride of the lone target site
+
+  /// Length of the contiguous runs the bases sequence decomposes into:
+  /// bases[q * contig_run + r] == bases[q * contig_run] + r for every run
+  /// q and 0 <= r < contig_run. The SIMD kernels batch the columns of one
+  /// run (consecutive amplitude addresses for each offset) into vector
+  /// lanes; contig_run == 1 means no two bases are adjacent and kernels
+  /// fall back to per-block processing.
+  std::size_t contig_run = 1;
 };
 
 /// Builds the plan; validates that sites are distinct and in range.

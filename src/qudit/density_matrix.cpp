@@ -55,6 +55,7 @@ void DensityMatrix::apply_left(Matrix& rho, const Matrix& op,
   // Row-space application: offsets scale by the row stride n.
   if (scratch.index.size() < block) scratch.index.resize(block);
   for (std::size_t a = 0; a < block; ++a)
+    // lint:allow(amplitude-loop): row-stride index table fed to dense_block
     scratch.index[a] = plan.offsets[a] * n;
   cplx* data = rho.data();
   for (std::size_t c = 0; c < n; ++c)
@@ -105,6 +106,7 @@ void DensityMatrix::apply_diagonal_unitary(const std::vector<cplx>& diag,
   // at O(n^2) instead of O(n^2 * block).
   for (std::size_t base : plan.bases)
     for (std::size_t a = 0; a < block; ++a) {
+      // lint:allow(amplitude-loop): density-matrix row scaling, not a state
       cplx* row = data + (base + plan.offsets[a]) * n;
       const cplx f = diag[a];
       for (std::size_t c = 0; c < n; ++c) row[c] *= f;
@@ -112,9 +114,11 @@ void DensityMatrix::apply_diagonal_unitary(const std::vector<cplx>& diag,
   for (std::size_t r = 0; r < n; ++r) {
     cplx* row = data + r * n;
     for (std::size_t base : plan.bases)
-      for (std::size_t b = 0; b < block; ++b)
-        row[base + plan.offsets[b]] =
-            std::conj(diag[b]) * row[base + plan.offsets[b]];
+      for (std::size_t b = 0; b < block; ++b) {
+        // lint:allow(amplitude-loop): density-matrix column scaling
+        cplx& v = row[base + plan.offsets[b]];
+        v = std::conj(diag[b]) * v;
+      }
   }
 }
 
@@ -179,6 +183,7 @@ std::vector<double> DensityMatrix::site_probabilities(int site) const {
   for (std::size_t outer = 0; outer < rho_.rows(); outer += span)
     for (std::size_t k = 0; k < d; ++k)
       for (std::size_t inner = 0; inner < stride; ++inner) {
+        // lint:allow(amplitude-loop): reads rho diagonal, not amplitudes
         const std::size_t i = outer + k * stride + inner;
         probs[k] += rho_(i, i).real();
       }
@@ -216,6 +221,7 @@ cplx DensityMatrix::expectation(const Matrix& op,
   for (std::size_t base : plan.bases)
     for (std::size_t a = 0; a < block; ++a)
       for (std::size_t b = 0; b < block; ++b)
+        // lint:allow(amplitude-loop): trace contraction over rho entries
         tr += rho_(base + plan.offsets[a], base + plan.offsets[b]) * op(b, a);
   return tr;
 }
@@ -233,6 +239,7 @@ DensityMatrix DensityMatrix::partial_trace(
   for (std::size_t base : plan.bases)
     for (std::size_t a = 0; a < block; ++a)
       for (std::size_t b = 0; b < block; ++b)
+        // lint:allow(amplitude-loop): partial-trace gather over rho entries
         out(a, b) += rho_(base + plan.offsets[a], base + plan.offsets[b]);
   return DensityMatrix(reduced, std::move(out));
 }

@@ -1,8 +1,79 @@
 #include "qudit/kernels.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/require.h"
+
+// The vector helpers below pass 256-bit vectors by value between inline
+// functions inside this one TU; without -mavx GCC warns that the ABI of
+// such calls would differ (psabi). No vector ever crosses a TU boundary,
+// so the warning does not apply here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wpsabi"
+#endif
+
 namespace qs::kernels {
+
+// --- SIMD primitives -----------------------------------------------------
+//
+// GCC/clang vector extensions: portable across x86-64 baseline (lowered to
+// SSE2) and -march=x86-64-v3 (AVX2). Arithmetic is elementwise IEEE with
+// the same rounding as scalar code; combined with the global
+// -ffp-contract=off this makes each vector lane evaluate bitwise the
+// scalar expression tree. Lanes always span independent output columns or
+// trajectory states, never the b-indexed reduction (see kernels.h).
+
+namespace {
+
+using v4d = double __attribute__((vector_size(32), aligned(8)));
+
+inline v4d vload(const double* p) {
+  v4d v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void vstore(double* p, v4d v) { __builtin_memcpy(p, &v, sizeof(v)); }
+
+inline v4d vbroadcast(double x) { return v4d{x, x, x, x}; }
+
+/// Swaps the two halves of each interleaved complex pair:
+/// [r0, i0, r1, i1] -> [i0, r0, i1, r1].
+inline v4d swap_pairs(v4d v) {
+#if defined(__clang__)
+  return __builtin_shufflevector(v, v, 1, 0, 3, 2);
+#else
+  using v4i = long long __attribute__((vector_size(32)));
+  return __builtin_shuffle(v, v4i{1, 0, 3, 2});
+#endif
+}
+
+/// Column pairs per tile: kTileColumns interleaved complex columns are
+/// kTileColumns / 2 v4d vectors wide.
+constexpr std::size_t kMaxPairs = kTileColumns / 2;
+constexpr std::size_t kTilePitch = 4 * kMaxPairs;  ///< doubles per tile row
+
+inline bool specialized_block(std::size_t block) {
+  switch (block) {
+    case 2:
+    case 3:
+    case 4:
+    case 5:
+    case 9:
+    case 16:
+    case 25:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+// --- scalar reference path ----------------------------------------------
+
+namespace scalar {
 
 void apply_dense(const cplx* op, const detail::BlockPlan& plan, cplx* amps,
                  Scratch& scratch) {
@@ -43,35 +114,355 @@ void apply_diagonal(const cplx* diag, const detail::BlockPlan& plan,
     for (std::size_t a = 0; a < block; ++a) amps[base + offsets[a]] *= diag[a];
 }
 
-void accumulate_channel_probabilities(const std::vector<Matrix>& kraus,
-                                      const detail::BlockPlan& plan,
-                                      const cplx* amps, Scratch& scratch,
-                                      double* probs) {
+namespace {
+
+/// Monomial block apply: out[a] = coef[a] * temp[col[a]].
+inline void monomial_block(const cplx* coef, const std::size_t* col,
+                           std::size_t block, cplx* amps,
+                           const std::size_t* offsets, cplx* temp) {
+  for (std::size_t a = 0; a < block; ++a) temp[a] = amps[offsets[a]];
+  for (std::size_t a = 0; a < block; ++a)
+    amps[offsets[a]] = coef[a] * temp[col[a]];
+}
+
+inline void monomial_block_strided(const cplx* coef, const std::size_t* col,
+                                   std::size_t block, std::size_t stride,
+                                   cplx* amps, cplx* temp) {
+  for (std::size_t a = 0; a < block; ++a) temp[a] = amps[a * stride];
+  for (std::size_t a = 0; a < block; ++a)
+    amps[a * stride] = coef[a] * temp[col[a]];
+}
+
+}  // namespace
+
+void apply(const OpKernel& op, const detail::BlockPlan& plan, cplx* amps,
+           Scratch& scratch) {
+  if (op.kind == OpKernel::Kind::kDense) {
+    scalar::apply_dense(op.dense.data(), plan, amps, scratch);
+    return;
+  }
   const std::size_t block = plan.block;
   scratch.reserve_block(block);
   cplx* temp = scratch.temp.data();
+  const cplx* coef = op.coef.data();
+  const std::size_t* col = op.col.data();
+  if (plan.single_site) {
+    const std::size_t stride = plan.site_stride;
+    const std::size_t span = stride * block;
+    for (std::size_t outer = 0; outer < plan.dimension; outer += span)
+      for (std::size_t inner = 0; inner < stride; ++inner)
+        monomial_block_strided(coef, col, block, stride, amps + outer + inner,
+                               temp);
+    return;
+  }
   const std::size_t* offsets = plan.offsets.data();
-  for (std::size_t base : plan.bases) {
-    const cplx* p = amps + base;
-    if (plan.single_site) {
-      const std::size_t stride = plan.site_stride;
-      for (std::size_t a = 0; a < block; ++a) temp[a] = p[a * stride];
-    } else {
-      for (std::size_t a = 0; a < block; ++a) temp[a] = p[offsets[a]];
-    }
-    for (std::size_t m = 0; m < kraus.size(); ++m) {
-      const cplx* k = kraus[m].data();
-      double part = 0.0;
-      for (std::size_t a = 0; a < block; ++a) {
-        const cplx* row = k + a * block;
-        cplx acc = 0.0;
-        for (std::size_t b = 0; b < block; ++b) acc += row[b] * temp[b];
-        part += std::norm(acc);
+  for (std::size_t base : plan.bases)
+    monomial_block(coef, col, block, amps + base, offsets, temp);
+}
+
+}  // namespace scalar
+
+// --- single-state SIMD column kernels ------------------------------------
+//
+// A "column group" is 2 * pairs adjacent amplitude columns viewed as
+// interleaved doubles: element a of column c sits at dp[pos2[a] + 2 * c],
+// where dp points at the group's first column and pos2 holds the doubled
+// element offsets (2 * offsets[a] or 2 * a * stride). Complex arithmetic
+// uses the pair-swap identity: for op entry (or, oi) and amplitude vector
+// v = [tr, ti, ...],
+//   [or,or,..] * v + [-oi,+oi,..] * swap_pairs(v)
+//     = [or*tr - oi*ti, or*ti + oi*tr, ...]
+// which is lane-for-lane the scalar complex product.
+
+namespace {
+
+/// Dense matvec over one column group. B == 0 selects the runtime-block
+/// generic tier; otherwise B is the compile-time block (specialized tier).
+template <int B>
+inline void simd_dense_group(const cplx* op, std::size_t block,
+                             const std::size_t* pos2, double* dp,
+                             std::size_t pairs, double* tile) {
+  const std::size_t n = B > 0 ? static_cast<std::size_t>(B) : block;
+  for (std::size_t b = 0; b < n; ++b) {
+    const double* src = dp + pos2[b];
+    double* row = tile + b * kTilePitch;
+    for (std::size_t p = 0; p < pairs; ++p)
+      vstore(row + 4 * p, vload(src + 4 * p));
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    const cplx* oprow = op + a * n;
+    v4d acc[kMaxPairs];
+    for (std::size_t p = 0; p < pairs; ++p) acc[p] = vbroadcast(0.0);
+    for (std::size_t b = 0; b < n; ++b) {
+      const double or_ = oprow[b].real();
+      const double oi = oprow[b].imag();
+      const v4d orv = vbroadcast(or_);
+      const v4d ois = {-oi, oi, -oi, oi};
+      const double* row = tile + b * kTilePitch;
+      for (std::size_t p = 0; p < pairs; ++p) {
+        const v4d v = vload(row + 4 * p);
+        acc[p] = acc[p] + (orv * v + ois * swap_pairs(v));
       }
-      probs[m] += part;
+    }
+    double* dst = dp + pos2[a];
+    for (std::size_t p = 0; p < pairs; ++p) vstore(dst + 4 * p, acc[p]);
+  }
+}
+
+/// Monomial apply over one column group: row a <- coef[a] * row col[a].
+template <int B>
+inline void simd_monomial_group(const cplx* coef, const std::size_t* col,
+                                std::size_t block, const std::size_t* pos2,
+                                double* dp, std::size_t pairs, double* tile) {
+  const std::size_t n = B > 0 ? static_cast<std::size_t>(B) : block;
+  for (std::size_t b = 0; b < n; ++b) {
+    const double* src = dp + pos2[b];
+    double* row = tile + b * kTilePitch;
+    for (std::size_t p = 0; p < pairs; ++p)
+      vstore(row + 4 * p, vload(src + 4 * p));
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    const double cr = coef[a].real();
+    const double ci = coef[a].imag();
+    const v4d crv = vbroadcast(cr);
+    const v4d cis = {-ci, ci, -ci, ci};
+    const double* row = tile + col[a] * kTilePitch;
+    double* dst = dp + pos2[a];
+    for (std::size_t p = 0; p < pairs; ++p) {
+      const v4d v = vload(row + 4 * p);
+      vstore(dst + 4 * p, crv * v + cis * swap_pairs(v));
     }
   }
 }
+
+/// Diagonal apply over one column group (in place, no gather).
+template <int B>
+inline void simd_diag_group(const cplx* diag, std::size_t block,
+                            const std::size_t* pos2, double* dp,
+                            std::size_t pairs) {
+  const std::size_t n = B > 0 ? static_cast<std::size_t>(B) : block;
+  for (std::size_t a = 0; a < n; ++a) {
+    const double dr = diag[a].real();
+    const double di = diag[a].imag();
+    const v4d drv = vbroadcast(dr);
+    const v4d dis = {-di, di, -di, di};
+    double* dst = dp + pos2[a];
+    for (std::size_t p = 0; p < pairs; ++p) {
+      const v4d v = vload(dst + 4 * p);
+      vstore(dst + 4 * p, drv * v + dis * swap_pairs(v));
+    }
+  }
+}
+
+/// Fills scratch.index with doubled element offsets for the SIMD groups.
+inline const std::size_t* make_pos2(const detail::BlockPlan& plan,
+                                    Scratch& scratch) {
+  const std::size_t block = plan.block;
+  if (scratch.index.size() < block) scratch.index.resize(block);
+  if (plan.single_site) {
+    for (std::size_t a = 0; a < block; ++a)
+      scratch.index[a] = 2 * a * plan.site_stride;
+  } else {
+    for (std::size_t a = 0; a < block; ++a)
+      scratch.index[a] = 2 * plan.offsets[a];
+  }
+  return scratch.index.data();
+}
+
+/// Drives a column-group kernel over the whole span: full tiles, then
+/// pairs, then a scalar-tail column via `tail` (same arithmetic per lane,
+/// so the tail is bitwise the vector lanes). `Group(dp_group, pairs)`
+/// applies one group; `Tail(first_column)` applies one leftover column.
+template <typename Group, typename Tail>
+inline void for_each_column_group(const detail::BlockPlan& plan, cplx* amps,
+                                  Group&& group, Tail&& tail) {
+  if (plan.single_site) {
+    const std::size_t stride = plan.site_stride;
+    const std::size_t span = stride * plan.block;
+    for (std::size_t outer = 0; outer < plan.dimension; outer += span) {
+      double* dp = reinterpret_cast<double*>(amps + outer);
+      std::size_t c = 0;
+      for (; c + 2 * kMaxPairs <= stride; c += 2 * kMaxPairs)
+        group(dp + 2 * c, kMaxPairs);
+      for (; c + 2 <= stride; c += 2) group(dp + 2 * c, std::size_t{1});
+      for (; c < stride; ++c) tail(amps + outer + c);
+    }
+    return;
+  }
+  const std::size_t run = plan.contig_run;
+  const std::size_t nruns = plan.bases.size() / run;
+  for (std::size_t q = 0; q < nruns; ++q) {
+    const std::size_t base = plan.bases[q * run];
+    double* dp = reinterpret_cast<double*>(amps + base);
+    std::size_t c = 0;
+    for (; c + 2 * kMaxPairs <= run; c += 2 * kMaxPairs)
+      group(dp + 2 * c, kMaxPairs);
+    for (; c + 2 <= run; c += 2) group(dp + 2 * c, std::size_t{1});
+    for (; c < run; ++c) tail(amps + base + c);
+  }
+}
+
+/// True when the plan exposes >= 2 adjacent columns for a SIMD-eligible
+/// block; otherwise the scalar tier handles the whole span.
+inline bool simd_eligible(const detail::BlockPlan& plan) {
+  if (plan.block < 2 || plan.block > kMaxSimdBlock) return false;
+  return plan.single_site ? plan.site_stride >= 2 : plan.contig_run >= 2;
+}
+
+/// Invokes `body` with the block size lifted to a compile-time constant
+/// for the hot set, or B == 0 (runtime block) for the generic tier.
+template <typename Body>
+inline void dispatch_block(std::size_t block, Body&& body) {
+  switch (block) {
+    case 2:
+      body(std::integral_constant<int, 2>{});
+      break;
+    case 3:
+      body(std::integral_constant<int, 3>{});
+      break;
+    case 4:
+      body(std::integral_constant<int, 4>{});
+      break;
+    case 5:
+      body(std::integral_constant<int, 5>{});
+      break;
+    case 9:
+      body(std::integral_constant<int, 9>{});
+      break;
+    case 16:
+      body(std::integral_constant<int, 16>{});
+      break;
+    case 25:
+      body(std::integral_constant<int, 25>{});
+      break;
+    default:
+      body(std::integral_constant<int, 0>{});
+      break;
+  }
+}
+
+}  // namespace
+
+// --- public single-state dispatchers -------------------------------------
+
+void apply_dense(const cplx* op, const detail::BlockPlan& plan, cplx* amps,
+                 Scratch& scratch) {
+  if (!simd_eligible(plan)) {
+    ++scratch.dispatch.scalar;
+    scalar::apply_dense(op, plan, amps, scratch);
+    return;
+  }
+  const std::size_t block = plan.block;
+  scratch.reserve_block(block);
+  scratch.tile.resize(block * kTilePitch);
+  const std::size_t* pos2 = make_pos2(plan, scratch);
+  double* tile = scratch.tile.data();
+  cplx* temp = scratch.temp.data();
+  cplx* out = scratch.out.data();
+  const std::size_t* offsets = plan.offsets.data();
+  const std::size_t stride = plan.site_stride;
+  dispatch_block(block, [&](auto b_const) {
+    constexpr int kB = decltype(b_const)::value;
+    for_each_column_group(
+        plan, amps,
+        [&](double* dp, std::size_t pairs) {
+          simd_dense_group<kB>(op, block, pos2, dp, pairs, tile);
+        },
+        [&](cplx* column) {
+          if (plan.single_site)
+            dense_block_strided(op, block, stride, column, temp, out);
+          else
+            dense_block(op, block, column, offsets, temp, out);
+        });
+  });
+  if (specialized_block(block))
+    ++scratch.dispatch.specialized;
+  else
+    ++scratch.dispatch.generic;
+}
+
+void apply_diagonal(const cplx* diag, const detail::BlockPlan& plan,
+                    cplx* amps, Scratch& scratch) {
+  if (!simd_eligible(plan)) {
+    ++scratch.dispatch.scalar;
+    scalar::apply_diagonal(diag, plan, amps);
+    return;
+  }
+  const std::size_t block = plan.block;
+  const std::size_t* pos2 = make_pos2(plan, scratch);
+  const std::size_t* offsets = plan.offsets.data();
+  const std::size_t stride = plan.site_stride;
+  dispatch_block(block, [&](auto b_const) {
+    constexpr int kB = decltype(b_const)::value;
+    for_each_column_group(
+        plan, amps,
+        [&](double* dp, std::size_t pairs) {
+          simd_diag_group<kB>(diag, block, pos2, dp, pairs);
+        },
+        [&](cplx* column) {
+          if (plan.single_site)
+            for (std::size_t a = 0; a < block; ++a)
+              column[a * stride] *= diag[a];
+          else
+            for (std::size_t a = 0; a < block; ++a)
+              column[offsets[a]] *= diag[a];
+        });
+  });
+  if (specialized_block(block))
+    ++scratch.dispatch.specialized;
+  else
+    ++scratch.dispatch.generic;
+}
+
+void apply_diagonal(const cplx* diag, const detail::BlockPlan& plan,
+                    cplx* amps) {
+  Scratch scratch;  // diagonal dispatch allocates only the tiny pos2 table
+  apply_diagonal(diag, plan, amps, scratch);
+}
+
+void apply(const OpKernel& op, const detail::BlockPlan& plan, cplx* amps,
+           Scratch& scratch) {
+  if (op.kind == OpKernel::Kind::kDense) {
+    apply_dense(op.dense.data(), plan, amps, scratch);
+    return;
+  }
+  if (!simd_eligible(plan)) {
+    ++scratch.dispatch.scalar;
+    scalar::apply(op, plan, amps, scratch);
+    return;
+  }
+  const std::size_t block = plan.block;
+  scratch.reserve_block(block);
+  scratch.tile.resize(block * kTilePitch);
+  const std::size_t* pos2 = make_pos2(plan, scratch);
+  double* tile = scratch.tile.data();
+  cplx* temp = scratch.temp.data();
+  const cplx* coef = op.coef.data();
+  const std::size_t* col = op.col.data();
+  const std::size_t* offsets = plan.offsets.data();
+  const std::size_t stride = plan.site_stride;
+  dispatch_block(block, [&](auto b_const) {
+    constexpr int kB = decltype(b_const)::value;
+    for_each_column_group(
+        plan, amps,
+        [&](double* dp, std::size_t pairs) {
+          simd_monomial_group<kB>(coef, col, block, pos2, dp, pairs, tile);
+        },
+        [&](cplx* column) {
+          if (plan.single_site)
+            scalar::monomial_block_strided(coef, col, block, stride, column,
+                                           temp);
+          else
+            scalar::monomial_block(coef, col, block, column, offsets, temp);
+        });
+  });
+  if (specialized_block(block))
+    ++scratch.dispatch.specialized;
+  else
+    ++scratch.dispatch.generic;
+}
+
+// --- OpKernel ------------------------------------------------------------
 
 OpKernel OpKernel::analyze(const Matrix& m) {
   OpKernel op;
@@ -102,50 +493,41 @@ OpKernel OpKernel::analyze(const Matrix& m) {
   return op;
 }
 
-namespace {
+// --- channel probabilities / expectation (scalar reductions) -------------
+//
+// The per-block probability reduction `part` accumulates in row order and
+// probs[m] accumulates in base order; both orders are the determinism
+// contract, so these stay scalar on the single-state path (the batched
+// variant vectorizes across trajectory lanes instead).
 
-/// Monomial block apply: out[a] = coef[a] * temp[col[a]].
-inline void monomial_block(const cplx* coef, const std::size_t* col,
-                           std::size_t block, cplx* amps,
-                           const std::size_t* offsets, cplx* temp) {
-  for (std::size_t a = 0; a < block; ++a) temp[a] = amps[offsets[a]];
-  for (std::size_t a = 0; a < block; ++a)
-    amps[offsets[a]] = coef[a] * temp[col[a]];
-}
-
-inline void monomial_block_strided(const cplx* coef, const std::size_t* col,
-                                   std::size_t block, std::size_t stride,
-                                   cplx* amps, cplx* temp) {
-  for (std::size_t a = 0; a < block; ++a) temp[a] = amps[a * stride];
-  for (std::size_t a = 0; a < block; ++a)
-    amps[a * stride] = coef[a] * temp[col[a]];
-}
-
-}  // namespace
-
-void apply(const OpKernel& op, const detail::BlockPlan& plan, cplx* amps,
-           Scratch& scratch) {
-  if (op.kind == OpKernel::Kind::kDense) {
-    apply_dense(op.dense.data(), plan, amps, scratch);
-    return;
-  }
+void accumulate_channel_probabilities(const std::vector<Matrix>& kraus,
+                                      const detail::BlockPlan& plan,
+                                      const cplx* amps, Scratch& scratch,
+                                      double* probs) {
   const std::size_t block = plan.block;
   scratch.reserve_block(block);
   cplx* temp = scratch.temp.data();
-  const cplx* coef = op.coef.data();
-  const std::size_t* col = op.col.data();
-  if (plan.single_site) {
-    const std::size_t stride = plan.site_stride;
-    const std::size_t span = stride * block;
-    for (std::size_t outer = 0; outer < plan.dimension; outer += span)
-      for (std::size_t inner = 0; inner < stride; ++inner)
-        monomial_block_strided(coef, col, block, stride, amps + outer + inner,
-                               temp);
-    return;
-  }
   const std::size_t* offsets = plan.offsets.data();
-  for (std::size_t base : plan.bases)
-    monomial_block(coef, col, block, amps + base, offsets, temp);
+  for (std::size_t base : plan.bases) {
+    const cplx* p = amps + base;
+    if (plan.single_site) {
+      const std::size_t stride = plan.site_stride;
+      for (std::size_t a = 0; a < block; ++a) temp[a] = p[a * stride];
+    } else {
+      for (std::size_t a = 0; a < block; ++a) temp[a] = p[offsets[a]];
+    }
+    for (std::size_t m = 0; m < kraus.size(); ++m) {
+      const cplx* k = kraus[m].data();
+      double part = 0.0;
+      for (std::size_t a = 0; a < block; ++a) {
+        const cplx* row = k + a * block;
+        cplx acc = 0.0;
+        for (std::size_t b = 0; b < block; ++b) acc += row[b] * temp[b];
+        part += std::norm(acc);
+      }
+      probs[m] += part;
+    }
+  }
 }
 
 void accumulate_channel_probabilities(const std::vector<OpKernel>& kraus,
@@ -209,6 +591,335 @@ cplx expectation_dense(const cplx* op, const detail::BlockPlan& plan,
     }
   }
   return total;
+}
+
+// --- batched trajectory states -------------------------------------------
+
+void StateBatch::configure(std::size_t dimension) {
+  dim_ = dimension;
+  re_.resize(dimension * kLanes);
+  im_.resize(dimension * kLanes);
+}
+
+void StateBatch::reset(std::size_t basis_index) {
+  std::fill(re_.data(), re_.data() + dim_ * kLanes, 0.0);
+  std::fill(im_.data(), im_.data() + dim_ * kLanes, 0.0);
+  for (std::size_t k = 0; k < kLanes; ++k) re_[basis_index * kLanes + k] = 1.0;
+}
+
+double StateBatch::lane_norm_squared(std::size_t k) const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i)
+    s += abs2(re_[i * kLanes + k], im_[i * kLanes + k]);
+  return s;
+}
+
+std::size_t StateBatch::lane_sample_index(std::size_t k, double u) const {
+  const double r = u * lane_norm_squared(k);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    acc += abs2(re_[i * kLanes + k], im_[i * kLanes + k]);
+    if (r < acc) return i;
+  }
+  return dim_ - 1;
+}
+
+namespace {
+
+constexpr std::size_t kW = StateBatch::kLanes;
+static_assert(kW == 8, "batch kernels unroll two v4d vectors per lane row");
+
+/// Iterates every (absolute) block start of the plan in table order,
+/// invoking body(element_index_of_row_0 .. via base) once per block. The
+/// offsets pointer (or stride arithmetic) resolves rows inside body.
+template <typename Body>
+inline void for_each_block(const detail::BlockPlan& plan, Body&& body) {
+  if (plan.single_site) {
+    const std::size_t stride = plan.site_stride;
+    const std::size_t span = stride * plan.block;
+    for (std::size_t outer = 0; outer < plan.dimension; outer += span)
+      for (std::size_t inner = 0; inner < stride; ++inner)
+        body(outer + inner);
+    return;
+  }
+  for (std::size_t base : plan.bases) body(base);
+}
+
+/// Row element index a of the block at `base`.
+inline std::size_t row_index(const detail::BlockPlan& plan, std::size_t base,
+                             std::size_t a) {
+  return plan.single_site ? base + a * plan.site_stride
+                          : base + plan.offsets[a];
+}
+
+/// Gathers one block of every lane into split tile planes:
+/// tile_re[a * kW + k], tile_im[a * kW + k].
+inline void gather_batch_tile(const detail::BlockPlan& plan,
+                              const double* re, const double* im,
+                              std::size_t base, std::size_t block,
+                              double* tile_re, double* tile_im) {
+  for (std::size_t a = 0; a < block; ++a) {
+    const std::size_t e = row_index(plan, base, a) * kW;
+    vstore(tile_re + a * kW, vload(re + e));
+    vstore(tile_re + a * kW + 4, vload(re + e + 4));
+    vstore(tile_im + a * kW, vload(im + e));
+    vstore(tile_im + a * kW + 4, vload(im + e + 4));
+  }
+}
+
+/// Dense matvec of one block across all lanes. Inputs come from the tile
+/// (gathered before any write), outputs store straight to the planes.
+inline void batch_dense_block(const cplx* op, std::size_t block,
+                              const detail::BlockPlan& plan, std::size_t base,
+                              double* re, double* im, const double* tile_re,
+                              const double* tile_im) {
+  for (std::size_t a = 0; a < block; ++a) {
+    const cplx* row = op + a * block;
+    v4d ar0 = vbroadcast(0.0), ar1 = vbroadcast(0.0);
+    v4d ai0 = vbroadcast(0.0), ai1 = vbroadcast(0.0);
+    for (std::size_t b = 0; b < block; ++b) {
+      const v4d orv = vbroadcast(row[b].real());
+      const v4d oiv = vbroadcast(row[b].imag());
+      const v4d noiv = -oiv;
+      const v4d tr0 = vload(tile_re + b * kW);
+      const v4d tr1 = vload(tile_re + b * kW + 4);
+      const v4d ti0 = vload(tile_im + b * kW);
+      const v4d ti1 = vload(tile_im + b * kW + 4);
+      ar0 = ar0 + (orv * tr0 + noiv * ti0);
+      ar1 = ar1 + (orv * tr1 + noiv * ti1);
+      ai0 = ai0 + (orv * ti0 + oiv * tr0);
+      ai1 = ai1 + (orv * ti1 + oiv * tr1);
+    }
+    const std::size_t e = row_index(plan, base, a) * kW;
+    vstore(re + e, ar0);
+    vstore(re + e + 4, ar1);
+    vstore(im + e, ai0);
+    vstore(im + e + 4, ai1);
+  }
+}
+
+/// Monomial apply of one block across all lanes.
+inline void batch_monomial_block(const cplx* coef, const std::size_t* col,
+                                 std::size_t block,
+                                 const detail::BlockPlan& plan,
+                                 std::size_t base, double* re, double* im,
+                                 const double* tile_re,
+                                 const double* tile_im) {
+  for (std::size_t a = 0; a < block; ++a) {
+    const v4d crv = vbroadcast(coef[a].real());
+    const v4d civ = vbroadcast(coef[a].imag());
+    const v4d nciv = -civ;
+    const std::size_t c = col[a];
+    const v4d tr0 = vload(tile_re + c * kW);
+    const v4d tr1 = vload(tile_re + c * kW + 4);
+    const v4d ti0 = vload(tile_im + c * kW);
+    const v4d ti1 = vload(tile_im + c * kW + 4);
+    const std::size_t e = row_index(plan, base, a) * kW;
+    vstore(re + e, crv * tr0 + nciv * ti0);
+    vstore(re + e + 4, crv * tr1 + nciv * ti1);
+    vstore(im + e, crv * ti0 + civ * tr0);
+    vstore(im + e + 4, crv * ti1 + civ * tr1);
+  }
+}
+
+}  // namespace
+
+void batch_apply(const OpKernel& op, const detail::BlockPlan& plan,
+                 StateBatch& batch, Scratch& scratch) {
+  const std::size_t block = plan.block;
+  scratch.tile.resize(2 * block * kW);
+  double* tile_re = scratch.tile.data();
+  double* tile_im = scratch.tile.data() + block * kW;
+  double* re = batch.re();
+  double* im = batch.im();
+  ++scratch.dispatch.batched;
+  if (specialized_block(block))
+    ++scratch.dispatch.specialized;
+  else if (block <= kMaxSimdBlock)
+    ++scratch.dispatch.generic;
+  else
+    ++scratch.dispatch.scalar;
+  if (op.kind == OpKernel::Kind::kMonomial) {
+    const cplx* coef = op.coef.data();
+    const std::size_t* col = op.col.data();
+    for_each_block(plan, [&](std::size_t base) {
+      gather_batch_tile(plan, re, im, base, block, tile_re, tile_im);
+      batch_monomial_block(coef, col, block, plan, base, re, im, tile_re,
+                           tile_im);
+    });
+    return;
+  }
+  const cplx* dense = op.dense.data();
+  for_each_block(plan, [&](std::size_t base) {
+    gather_batch_tile(plan, re, im, base, block, tile_re, tile_im);
+    batch_dense_block(dense, block, plan, base, re, im, tile_re, tile_im);
+  });
+}
+
+void batch_apply_lane(const OpKernel& op, const detail::BlockPlan& plan,
+                      StateBatch& batch, std::size_t lane, Scratch& scratch) {
+  const std::size_t block = plan.block;
+  scratch.reserve_block(block);
+  cplx* temp = scratch.temp.data();
+  double* re = batch.re();
+  double* im = batch.im();
+  ++scratch.dispatch.batched;
+  ++scratch.dispatch.scalar;
+  for_each_block(plan, [&](std::size_t base) {
+    for (std::size_t a = 0; a < block; ++a) {
+      const std::size_t e = row_index(plan, base, a) * kW + lane;
+      temp[a] = cplx{re[e], im[e]};
+    }
+    if (op.kind == OpKernel::Kind::kMonomial) {
+      for (std::size_t a = 0; a < block; ++a) {
+        const cplx v = op.coef[a] * temp[op.col[a]];
+        const std::size_t e = row_index(plan, base, a) * kW + lane;
+        re[e] = v.real();
+        im[e] = v.imag();
+      }
+    } else {
+      const cplx* dense = op.dense.data();
+      for (std::size_t a = 0; a < block; ++a) {
+        const cplx* row = dense + a * block;
+        cplx acc = 0.0;
+        for (std::size_t b = 0; b < block; ++b) acc += row[b] * temp[b];
+        const std::size_t e = row_index(plan, base, a) * kW + lane;
+        re[e] = acc.real();
+        im[e] = acc.imag();
+      }
+    }
+  });
+}
+
+void batch_apply_diagonal(const cplx* diag, const detail::BlockPlan& plan,
+                          StateBatch& batch, Scratch& scratch) {
+  const std::size_t block = plan.block;
+  double* re = batch.re();
+  double* im = batch.im();
+  ++scratch.dispatch.batched;
+  if (specialized_block(block))
+    ++scratch.dispatch.specialized;
+  else if (block <= kMaxSimdBlock)
+    ++scratch.dispatch.generic;
+  else
+    ++scratch.dispatch.scalar;
+  for_each_block(plan, [&](std::size_t base) {
+    for (std::size_t a = 0; a < block; ++a) {
+      const v4d drv = vbroadcast(diag[a].real());
+      const v4d div = vbroadcast(diag[a].imag());
+      const v4d ndiv = -div;
+      const std::size_t e = row_index(plan, base, a) * kW;
+      const v4d tr0 = vload(re + e);
+      const v4d tr1 = vload(re + e + 4);
+      const v4d ti0 = vload(im + e);
+      const v4d ti1 = vload(im + e + 4);
+      vstore(re + e, drv * tr0 + ndiv * ti0);
+      vstore(re + e + 4, drv * tr1 + ndiv * ti1);
+      vstore(im + e, drv * ti0 + div * tr0);
+      vstore(im + e + 4, drv * ti1 + div * tr1);
+    }
+  });
+}
+
+void batch_accumulate_channel_probabilities(
+    const std::vector<OpKernel>& kraus, const detail::BlockPlan& plan,
+    const StateBatch& batch, Scratch& scratch, double* probs) {
+  const std::size_t block = plan.block;
+  scratch.tile.resize(2 * block * kW);
+  double* tile_re = scratch.tile.data();
+  double* tile_im = scratch.tile.data() + block * kW;
+  const double* re = batch.re();
+  const double* im = batch.im();
+  ++scratch.dispatch.batched;
+  for_each_block(plan, [&](std::size_t base) {
+    gather_batch_tile(plan, re, im, base, block, tile_re, tile_im);
+    for (std::size_t m = 0; m < kraus.size(); ++m) {
+      const OpKernel& k = kraus[m];
+      v4d part0 = vbroadcast(0.0), part1 = vbroadcast(0.0);
+      if (k.kind == OpKernel::Kind::kMonomial) {
+        // part += |coef[a] * x[col[a]]|^2, lane-wise, row order.
+        for (std::size_t a = 0; a < block; ++a) {
+          const v4d crv = vbroadcast(k.coef[a].real());
+          const v4d civ = vbroadcast(k.coef[a].imag());
+          const v4d nciv = -civ;
+          const std::size_t c = k.col[a];
+          const v4d tr0 = vload(tile_re + c * kW);
+          const v4d tr1 = vload(tile_re + c * kW + 4);
+          const v4d ti0 = vload(tile_im + c * kW);
+          const v4d ti1 = vload(tile_im + c * kW + 4);
+          const v4d vr0 = crv * tr0 + nciv * ti0;
+          const v4d vr1 = crv * tr1 + nciv * ti1;
+          const v4d vi0 = crv * ti0 + civ * tr0;
+          const v4d vi1 = crv * ti1 + civ * tr1;
+          part0 = part0 + (vr0 * vr0 + vi0 * vi0);
+          part1 = part1 + (vr1 * vr1 + vi1 * vi1);
+        }
+      } else {
+        const cplx* dense = k.dense.data();
+        for (std::size_t a = 0; a < block; ++a) {
+          const cplx* row = dense + a * block;
+          v4d ar0 = vbroadcast(0.0), ar1 = vbroadcast(0.0);
+          v4d ai0 = vbroadcast(0.0), ai1 = vbroadcast(0.0);
+          for (std::size_t b = 0; b < block; ++b) {
+            const v4d orv = vbroadcast(row[b].real());
+            const v4d oiv = vbroadcast(row[b].imag());
+            const v4d noiv = -oiv;
+            const v4d tr0 = vload(tile_re + b * kW);
+            const v4d tr1 = vload(tile_re + b * kW + 4);
+            const v4d ti0 = vload(tile_im + b * kW);
+            const v4d ti1 = vload(tile_im + b * kW + 4);
+            ar0 = ar0 + (orv * tr0 + noiv * ti0);
+            ar1 = ar1 + (orv * tr1 + noiv * ti1);
+            ai0 = ai0 + (orv * ti0 + oiv * tr0);
+            ai1 = ai1 + (orv * ti1 + oiv * tr1);
+          }
+          part0 = part0 + (ar0 * ar0 + ai0 * ai0);
+          part1 = part1 + (ar1 * ar1 + ai1 * ai1);
+        }
+      }
+      double* row = probs + m * kW;
+      vstore(row, vload(row) + part0);
+      vstore(row + 4, vload(row + 4) + part1);
+    }
+  });
+}
+
+void batch_normalize(StateBatch& batch, std::size_t active) {
+  const std::size_t dim = batch.dimension();
+  double* re = batch.re();
+  double* im = batch.im();
+  v4d n0 = vbroadcast(0.0), n1 = vbroadcast(0.0);
+  for (std::size_t i = 0; i < dim; ++i) {
+    const v4d r0 = vload(re + i * kW);
+    const v4d r1 = vload(re + i * kW + 4);
+    const v4d m0 = vload(im + i * kW);
+    const v4d m1 = vload(im + i * kW + 4);
+    n0 = n0 + (r0 * r0 + m0 * m0);
+    n1 = n1 + (r1 * r1 + m1 * m1);
+  }
+  double n2[kW];
+  vstore(n2, n0);
+  vstore(n2 + 4, n1);
+  double inv[kW];
+  for (std::size_t k = 0; k < kW; ++k) {
+    if (k < active) {
+      require(n2[k] > 1e-300, "kernels::batch_normalize: zero state");
+      inv[k] = 1.0 / std::sqrt(n2[k]);
+    } else {
+      // Idle tail lanes of a partial batch may have been annihilated by a
+      // batch-wide Kraus branch; let them decay to zero instead of
+      // throwing -- they are never read.
+      inv[k] = n2[k] > 1e-300 ? 1.0 / std::sqrt(n2[k]) : 0.0;
+    }
+  }
+  const v4d iv0 = vload(inv);
+  const v4d iv1 = vload(inv + 4);
+  for (std::size_t i = 0; i < dim; ++i) {
+    vstore(re + i * kW, vload(re + i * kW) * iv0);
+    vstore(re + i * kW + 4, vload(re + i * kW + 4) * iv1);
+    vstore(im + i * kW, vload(im + i * kW) * iv0);
+    vstore(im + i * kW + 4, vload(im + i * kW + 4) * iv1);
+  }
 }
 
 }  // namespace qs::kernels

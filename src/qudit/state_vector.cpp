@@ -88,6 +88,7 @@ std::vector<double> StateVector::site_probabilities(int site) const {
   // full scan, so each probs[k] accumulates in the identical order.
   for (std::size_t outer = 0; outer < amps_.size(); outer += span)
     for (std::size_t k = 0; k < d; ++k) {
+      // lint:allow(amplitude-loop): legacy full-scan order pinned by tests
       const cplx* p = amps_.data() + outer + k * stride;
       for (std::size_t inner = 0; inner < stride; ++inner)
         probs[k] += std::norm(p[inner]);
@@ -105,6 +106,7 @@ int StateVector::measure_site(int site, Rng& rng) {
   for (std::size_t outer = 0; outer < amps_.size(); outer += span)
     for (std::size_t k = 0; k < d; ++k) {
       if (k == outcome) continue;
+      // lint:allow(amplitude-loop): projective zeroing, order-insensitive
       cplx* p = amps_.data() + outer + k * stride;
       for (std::size_t inner = 0; inner < stride; ++inner) p[inner] = 0.0;
     }

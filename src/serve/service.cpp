@@ -83,6 +83,11 @@ struct ServiceCore {
     expired_id = registry->counter("serve.jobs.expired");
     recalibrations_id = registry->counter("serve.recalibrations");
     stale_hits_id = registry->counter("serve.calib.stale_hits");
+    kernel_specialized_id =
+        registry->counter("exec.kernels.dispatch.specialized");
+    kernel_generic_id = registry->counter("exec.kernels.dispatch.generic");
+    kernel_scalar_id = registry->counter("exec.kernels.dispatch.scalar");
+    kernel_batched_id = registry->counter("exec.kernels.dispatch.batched");
     queued_id = registry->gauge("serve.jobs.queued");
     running_id = registry->gauge("serve.jobs.running");
     batch_hist_id = registry->histogram(
@@ -118,6 +123,10 @@ struct ServiceCore {
   // only in the ctor, read-only afterwards).
   obs::CounterId submitted_id, completed_id, failed_id, cancelled_id,
       expired_id, recalibrations_id, stale_hits_id;
+  /// Kernel-layer SIMD dispatch tier hits (exec.kernels.dispatch.*),
+  /// accumulated from every finished job's ExecutionResult.
+  obs::CounterId kernel_specialized_id, kernel_generic_id, kernel_scalar_id,
+      kernel_batched_id;
   obs::GaugeId queued_id, running_id;
   obs::HistogramId batch_hist_id, queue_wait_id, latency_id;
 
@@ -327,12 +336,14 @@ struct ServiceCore {
       }
     }
 
+    kernels::DispatchCounts dispatch;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (outcomes[i].status == JobStatus::kDone) {
         obs::SpanTimer span =
             batch[i]->request.trace.span(obs::Phase::kStore);
         store.put(batch[i]->id, outcomes[i].result);
         span.finish();
+        dispatch += outcomes[i].result.kernel_dispatch;
         ++done;
       } else {
         ++bad;
@@ -368,6 +379,10 @@ struct ServiceCore {
       obs::MetricsTxn txn(*registry);
       txn.add(completed_id, done);
       txn.add(failed_id, bad);
+      txn.add(kernel_specialized_id, dispatch.specialized);
+      txn.add(kernel_generic_id, dispatch.generic);
+      txn.add(kernel_scalar_id, dispatch.scalar);
+      txn.add(kernel_batched_id, dispatch.batched);
       txn.gauge_add(running_id, -static_cast<std::int64_t>(batch.size()));
       txn.commit();  // under the mutex: transitions commit in order
     }
@@ -716,6 +731,10 @@ ServiceTelemetry JobService::telemetry() const {
       static_cast<std::size_t>(snap.gauge("serve.result_store.size"));
   t.recalibrations = snap.counter("serve.recalibrations");
   t.stale_hits = snap.counter("serve.calib.stale_hits");
+  t.kernel_specialized = snap.counter("exec.kernels.dispatch.specialized");
+  t.kernel_generic = snap.counter("exec.kernels.dispatch.generic");
+  t.kernel_scalar = snap.counter("exec.kernels.dispatch.scalar");
+  t.kernel_batched = snap.counter("exec.kernels.dispatch.batched");
   t.calib_epoch = core_->calib_store->latest_epoch();
   return t;
 }

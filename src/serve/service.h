@@ -163,6 +163,14 @@ struct ServiceTelemetry {
   /// Jobs dispatched with a calibration older than the store's latest
   /// (recalibration landed while they were queued).
   std::size_t stale_hits = 0;
+  /// Kernel-layer SIMD dispatch tier hits accumulated from every finished
+  /// job (see kernels::DispatchCounts): compile-time-specialized applies,
+  /// runtime-block vector applies, scalar-fallback applies, and batched
+  /// (SoA trajectory) applies.
+  std::uint64_t kernel_specialized = 0;
+  std::uint64_t kernel_generic = 0;
+  std::uint64_t kernel_scalar = 0;
+  std::uint64_t kernel_batched = 0;
 
   /// Mean dispatched batch size (0 when nothing dispatched yet).
   double mean_batch_size() const {

@@ -42,8 +42,19 @@ turns those into CI failures. Rules (see docs/ARCHITECTURE.md
                    (recompiles per binding), undoing the bind fast path
                    without failing any correctness test.
 
-Suppression: append `// lint:allow(<rule>): <why>` to the offending line.
-The reason is mandatory; a bare allow is itself a finding.
+  amplitude-loop   In src/qudit/ and src/exec/ (outside the kernel layer
+                   homes: qudit/kernels.*, qudit/block_plan.*), flags raw
+                   amplitude-indexing loops -- BlockPlan offsets-table
+                   indexing and `base + a * stride` address arithmetic.
+                   Every matvec inner loop must live in kernels.h/.cpp so
+                   the SIMD dispatch tiers, the bitwise determinism
+                   contract, and the dispatch-count telemetry cover it; a
+                   raw loop elsewhere silently forks the arithmetic.
+
+Suppression: append `// lint:allow(<rule>): <why>` to the offending line,
+or put it on its own line directly above (for lines with no room under
+the 80-column format limit). The reason is mandatory; a bare allow is
+itself a finding.
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -76,6 +87,16 @@ CACHE_KEY_FILES = {
     "src/compiler/transpile_cache.cpp",
     "src/serve/service.cpp",
 }
+
+# The kernel layer itself: the only place amplitude-indexing loops belong.
+AMPLITUDE_LOOP_HOMES = {
+    "src/qudit/kernels.h",
+    "src/qudit/kernels.cpp",
+    "src/qudit/block_plan.h",
+    "src/qudit/block_plan.cpp",
+}
+# Directories the amplitude-loop rule polices.
+AMPLITUDE_LOOP_SCOPE = ("src/qudit/", "src/exec/")
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)(:\s*\S.*)?")
 
@@ -121,6 +142,15 @@ FINGERPRINT_DEF_RE = re.compile(
 VALUE_FP_RE = re.compile(
     r"(?<!structural_)\bfingerprint\s*\(\s*[\w.>&*-]*"
     r"(?:circuit|circ\b|logical|physical)")
+
+AMPLITUDE_LOOP_PATTERNS = [
+    (re.compile(r"\.offsets\s*\["),
+     "raw BlockPlan offsets-table indexing; route this loop through the "
+     "kernels:: apply/accumulate entry points (src/qudit/kernels.h)"),
+    (re.compile(r"\+\s*\w+\s*\*\s*(?:site_stride|stride)\b"),
+     "raw strided amplitude address arithmetic; route this loop through "
+     "the kernels:: entry points (src/qudit/kernels.h)"),
+]
 
 UNORDERED_DECL_RE = re.compile(
     r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;(){]*>\s+(\w+)\s*[;{=]")
@@ -169,8 +199,10 @@ class Finding:
 
 def collect_allows(raw_lines: list[str], findings: list[Finding],
                    path: pathlib.Path) -> dict[int, set[str]]:
-    """Maps line number -> rules suppressed there. Reason-less allows are
-    findings themselves (the narrow-suppression contract)."""
+    """Maps line number -> rules suppressed there. A standalone allow
+    comment (nothing but the comment on its line) suppresses the next
+    line instead of its own. Reason-less allows are findings themselves
+    (the narrow-suppression contract)."""
     allows: dict[int, set[str]] = {}
     for lineno, line in enumerate(raw_lines, 1):
         m = ALLOW_RE.search(line)
@@ -181,7 +213,8 @@ def collect_allows(raw_lines: list[str], findings: list[Finding],
                 path, lineno, "allow-without-reason",
                 "lint:allow needs a ': <why>' justification"))
             continue
-        allows.setdefault(lineno, set()).add(m.group(1))
+        target = lineno + 1 if line.lstrip().startswith("//") else lineno
+        allows.setdefault(target, set()).add(m.group(1))
     return allows
 
 
@@ -228,6 +261,14 @@ def lint_file(path: pathlib.Path, findings: list[Finding]) -> None:
                        "value-sensitive fingerprint() of a circuit in a "
                        "cache-key path; use structural_fingerprint so "
                        "parametric bindings share one cached artifact")
+
+    # -- amplitude-loop ----------------------------------------------------
+    if (rel.startswith(AMPLITUDE_LOOP_SCOPE)
+            and rel not in AMPLITUDE_LOOP_HOMES):
+        for lineno, line in enumerate(clean_lines, 1):
+            for pattern, msg in AMPLITUDE_LOOP_PATTERNS:
+                if pattern.search(line):
+                    report(lineno, "amplitude-loop", msg)
 
     # -- raw-sync ----------------------------------------------------------
     if rel != RAW_SYNC_HOME:
