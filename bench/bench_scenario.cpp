@@ -1,0 +1,95 @@
+// Scenario-engine benchmarks (google-benchmark): end-to-end virtual-time
+// replay throughput, and the flight recorder's overhead on a serve-layer
+// burst.
+//
+// BM_ScenarioEngine drives the full tick loop -- seeded arrivals, storm
+// publishes, pause windows, canonical journal export -- and reports
+// jobs/sec, so CI tracks how fast a 10^5-job scenario replays.
+//
+// BM_ScenarioBurst_{Plain,Journaled} are the overhead pair: the same
+// burst with and without a Journal attached. tools/bench_diff.py holds
+// the journaled variant within 5% of the plain one intra-run (see
+// OVERHEAD_PAIRS), the same budget the tracer pair carries: lifecycle
+// recording must stay cheap enough to leave on.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/state_vector_backend.h"
+#include "obs/journal.h"
+#include "serve/serve.h"
+#include "sim/scenario.h"
+#include "sim/workload.h"
+
+namespace {
+
+using namespace qs;
+
+sim::TenantSpec burst_tenant() {
+  sim::TenantSpec tenant;
+  tenant.name = "bench";
+  tenant.kind = sim::JobKind::kQrc;
+  tenant.shots = 16;
+  tenant.variants = 4;
+  return tenant;
+}
+
+/// Pushes `jobs` reservoir-probe jobs through a paused service, then
+/// releases and drains -- with or without the flight recorder attached.
+void run_burst(benchmark::State& state, bool journaled) {
+  const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+  const StateVectorBackend backend;
+  const sim::TenantSpec tenant = burst_tenant();
+  for (auto _ : state) {
+    obs::Journal journal;
+    ServiceOptions options;
+    options.workers = 4;
+    options.start_paused = true;
+    if (journaled) options.journal = &journal;
+    JobService service(backend, options);
+    std::vector<JobHandle> handles;
+    handles.reserve(jobs);
+    for (std::size_t i = 0; i < jobs; ++i)
+      handles.push_back(service.submit(sim::make_job(tenant, i % 4)));
+    service.resume();
+    for (const JobHandle& handle : handles) handle.wait();
+    service.shutdown(ShutdownMode::kDrain);
+    if (journaled) benchmark::DoNotOptimize(journal.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs) *
+                          state.iterations());
+}
+
+void BM_ScenarioBurst_Plain(benchmark::State& state) {
+  run_burst(state, /*journaled=*/false);
+}
+BENCHMARK(BM_ScenarioBurst_Plain)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioBurst_Journaled(benchmark::State& state) {
+  run_burst(state, /*journaled=*/true);
+}
+BENCHMARK(BM_ScenarioBurst_Journaled)->Arg(256)->Unit(benchmark::kMillisecond);
+
+/// Full scenario engine: standard 4-tenant mix scaled to range(0) jobs,
+/// including storms, the cancel flood, pause windows, and the canonical
+/// journal export that the replay contract diffs.
+void BM_ScenarioEngine(benchmark::State& state) {
+  sim::WorkloadSpec spec = sim::WorkloadSpec::standard(11, 40);
+  spec.scale_to_jobs(static_cast<std::uint64_t>(state.range(0)));
+  const StateVectorBackend backend;
+  sim::ScenarioOptions options;
+  options.workers = 4;
+  std::uint64_t submitted = 0;
+  for (auto _ : state) {
+    obs::Journal journal;
+    const sim::ScenarioReport report =
+        sim::run_scenario(backend, spec, journal, options);
+    submitted += report.submitted;
+    benchmark::DoNotOptimize(journal.str().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(submitted));
+}
+BENCHMARK(BM_ScenarioEngine)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -21,6 +21,7 @@
 #include "common/thread_annotations.h"
 #include "exec/request.h"
 #include "obs/clock.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 
 namespace qs {
@@ -207,6 +208,11 @@ struct JobRecord {
   /// staleness policy the owning worker rebinds both at dispatch.
   std::shared_ptr<const CalibrationSnapshot> calibration;
   std::optional<Processor> calibrated_proc;
+  /// Flight recorder sink (null = journaling off). Frozen at submission
+  /// before the record becomes visible to workers; the journal outlives
+  /// the service (ServiceOptions contract), so terminal transitions can
+  /// emit even after shutdown.
+  obs::Journal* journal = nullptr;
 
   // --- guarded by `mutex` ------------------------------------------------
   mutable Mutex mutex;
@@ -221,13 +227,56 @@ struct JobRecord {
     return status;
   }
 
-  /// Moves to a terminal state and wakes waiters. No-op when already
-  /// terminal (first terminal transition wins).
-  void finish(JobStatus terminal, ExecutionResult r, std::string err)
+  /// THE one sanctioned mutation point of `status`: moves the state
+  /// machine and emits the matching flight-recorder event stamped at
+  /// `at` (the service's injected clock). Every other write of `status`
+  /// in src/serve/ is banned by the `job-state` rule in
+  /// tools/lint_invariants.py, so no code path can skip the journal.
+  /// `digest` is the result digest for kDone transitions; `label` is a
+  /// short detail tag (error class, cancel reason).
+  void transition_locked(JobStatus to, obs::TimePoint at,
+                         const char* label = nullptr,
+                         std::uint64_t digest = 0) QS_REQUIRES(mutex) {
+    status = to;  // lint:allow(job-state): the transition helper itself
+    if (journal == nullptr) return;
+    obs::JournalEvent event;
+    event.time_ns = obs::nanos_since_epoch(at);
+    event.job = id;
+    event.tenant = tenant;
+    switch (to) {
+      case JobStatus::kQueued:  // construction state, never re-entered
+        return;
+      case JobStatus::kRunning:
+        event.type = obs::JournalEventType::kDispatched;
+        break;
+      case JobStatus::kDone:
+        event.type = obs::JournalEventType::kCompleted;
+        event.digest = digest;
+        break;
+      case JobStatus::kFailed:
+        event.type = obs::JournalEventType::kFailed;
+        break;
+      case JobStatus::kCancelled:
+        event.type = obs::JournalEventType::kCancelled;
+        break;
+      case JobStatus::kExpired:
+        event.type = obs::JournalEventType::kExpired;
+        break;
+    }
+    if (label != nullptr) event.detail = label;
+    journal->record(std::move(event));
+  }
+
+  /// Moves to a terminal state, stamped at `at`, and wakes waiters.
+  /// No-op when already terminal (first terminal transition wins).
+  /// `digest` journals the result payload digest on kDone.
+  void finish(JobStatus terminal, ExecutionResult r, std::string err,
+              obs::TimePoint at, std::uint64_t digest = 0)
       QS_EXCLUDES(mutex) {
     MutexLock lock(mutex);
     if (is_terminal(status)) return;
-    status = terminal;
+    transition_locked(terminal, at, err.empty() ? nullptr : err.c_str(),
+                      digest);
     result = std::move(r);
     error = std::move(err);
     cv.notify_all();

@@ -59,13 +59,14 @@ FairShareQueue::Record FairShareQueue::take_live(
     if (r->status != JobStatus::kQueued) continue;  // stale: cancelled or
                                                     // dispatched elsewhere
     if (r->has_deadline && now >= r->deadline) {
-      r->status = JobStatus::kExpired;
+      r->transition_locked(JobStatus::kExpired, now,
+                           "deadline-before-dispatch");
       r->error = "deadline passed before dispatch";
       r->cv.notify_all();
       expired.push_back(std::move(r));
       continue;
     }
-    r->status = JobStatus::kRunning;
+    r->transition_locked(JobStatus::kRunning, now);
     return r;
   }
   return nullptr;
@@ -157,14 +158,14 @@ std::size_t FairShareQueue::indexed_records() const {
   return keyed > laned ? keyed : laned;
 }
 
-std::size_t FairShareQueue::cancel_all() {
+std::size_t FairShareQueue::cancel_all(Clock::time_point now) {
   std::size_t cancelled = 0;
   for (auto& [key, lane] : by_key_) {
     (void)key;
     for (Record& r : lane) {
       MutexLock lock(r->mutex);
       if (r->status != JobStatus::kQueued) continue;
-      r->status = JobStatus::kCancelled;
+      r->transition_locked(JobStatus::kCancelled, now, "abort-shutdown");
       r->error = "service shut down (abort) before dispatch";
       r->cv.notify_all();
       ++cancelled;

@@ -76,9 +76,10 @@ class FairShareQueue {
   /// timestamp used for deadline checks.
   Pop pop_batch(std::size_t max_batch, Clock::time_point now);
 
-  /// Marks every still-queued job kCancelled (signalling each) and empties
-  /// the queue. Returns how many jobs were cancelled.
-  std::size_t cancel_all();
+  /// Marks every still-queued job kCancelled as of `now` (signalling
+  /// each, journalling each) and empties the queue. Returns how many
+  /// jobs were cancelled.
+  std::size_t cancel_all(Clock::time_point now);
 
  private:
   /// Pops the next live job from one tenant lane, diverting expired jobs.

@@ -43,6 +43,32 @@ std::uint64_t tenant_hash(const std::string& tenant) {
   return h;
 }
 
+/// Digest of an ExecutionResult's *deterministic* payload, journalled on
+/// every kCompleted event: the strongest replay-divergence detector (a
+/// single flipped probability bit changes the journal byte stream).
+/// Deliberately excludes wall_seconds and compile_summary -- both vary
+/// run to run without breaking the determinism contract.
+std::uint64_t result_digest(const ExecutionResult& r) {
+  std::uint64_t h = fnv::kOffset;
+  h = fnv::bytes(r.backend.data(), r.backend.size(), h);
+  h = fnv::u64(r.seed, h);
+  h = fnv::u64(r.shots, h);
+  h = fnv::u64(r.trajectories, h);
+  h = fnv::u64(r.counts.size(), h);
+  for (std::size_t c : r.counts) h = fnv::u64(c, h);
+  h = fnv::u64(r.probabilities.size(), h);
+  for (double p : r.probabilities) h = fnv::f64(p, h);
+  h = fnv::u64(r.expectations.size(), h);
+  for (const auto& [name, value] : r.expectations) {  // std::map: ordered
+    h = fnv::bytes(name.data(), name.size(), h);
+    h = fnv::f64(value, h);
+  }
+  h = fnv::u64(r.mitigated.size(), h);
+  for (double m : r.mitigated) h = fnv::f64(m, h);
+  h = fnv::u64(r.calib_epoch, h);
+  return h;
+}
+
 }  // namespace
 
 /// Shared state of one service. Kept alive by the JobService and by every
@@ -90,6 +116,7 @@ struct ServiceCore {
     kernel_batched_id = registry->counter("exec.kernels.dispatch.batched");
     queued_id = registry->gauge("serve.jobs.queued");
     running_id = registry->gauge("serve.jobs.running");
+    dropped_spans_id = registry->gauge("obs.trace.dropped_spans");
     batch_hist_id = registry->histogram(
         "serve.batch.jobs", obs::MetricsRegistry::pow2_bounds(1024.0));
     queue_wait_id =
@@ -128,6 +155,10 @@ struct ServiceCore {
   obs::CounterId kernel_specialized_id, kernel_generic_id, kernel_scalar_id,
       kernel_batched_id;
   obs::GaugeId queued_id, running_id;
+  /// Mirror of Tracer::dropped() (satellite of the flight-recorder PR):
+  /// synced into the registry on every telemetry()/metrics() call so
+  /// span loss is visible in the same snapshot as everything else.
+  obs::GaugeId dropped_spans_id;
   obs::HistogramId batch_hist_id, queue_wait_id, latency_id;
 
   /// Guards every member annotated with it (scheduler state + counters);
@@ -151,6 +182,22 @@ struct ServiceCore {
   std::size_t queued QS_GUARDED_BY(mutex) = 0;
   /// Per-tenant latency histograms, registered lazily at first submit.
   std::map<std::string, obs::HistogramId> tenant_hists QS_GUARDED_BY(mutex);
+  /// Last Tracer::dropped() value pushed into the dropped-spans gauge
+  /// (gauges are delta-updated, so the sync needs the previous value).
+  std::uint64_t last_dropped QS_GUARDED_BY(mutex) = 0;
+
+  /// Folds the tracer's current dropped-span count into the
+  /// `obs.trace.dropped_spans` gauge (no-op without a tracer). Called
+  /// before every registry snapshot the service hands out.
+  void sync_dropped_spans() QS_EXCLUDES(mutex) {
+    if (tracer == nullptr) return;
+    const std::uint64_t dropped = tracer->dropped();
+    MutexLock lock(mutex);
+    if (dropped == last_dropped) return;
+    registry->gauge_add(dropped_spans_id,
+                        static_cast<std::int64_t>(dropped - last_dropped));
+    last_dropped = dropped;
+  }
 
   /// Balance-invariant discipline: every lifecycle transition commits
   /// its counter/gauge group as ONE MetricsTxn while holding `mutex`,
@@ -166,13 +213,15 @@ struct ServiceCore {
   }
 
   bool cancel_job(const Record& record) QS_EXCLUDES(mutex) {
+    const obs::TimePoint cancel_time = time_source->now();
     {
       MutexLock lock(mutex);
       {
         // core -> record nesting: the one place both locks are held.
         MutexLock record_lock(record->mutex);
         if (record->status != JobStatus::kQueued) return false;
-        record->status = JobStatus::kCancelled;
+        record->transition_locked(JobStatus::kCancelled, cancel_time,
+                                  "client-cancel");
         record->error = "cancelled by client";
         record->cv.notify_all();
       }
@@ -386,9 +435,13 @@ struct ServiceCore {
       txn.gauge_add(running_id, -static_cast<std::int64_t>(batch.size()));
       txn.commit();  // under the mutex: transitions commit in order
     }
-    for (std::size_t i = 0; i < batch.size(); ++i)
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::uint64_t digest = outcomes[i].status == JobStatus::kDone
+                                       ? result_digest(outcomes[i].result)
+                                       : 0;
       batch[i]->finish(outcomes[i].status, std::move(outcomes[i].result),
-                       std::move(outcomes[i].error));
+                       std::move(outcomes[i].error), finished_at, digest);
+    }
   }
 
   void worker_loop() QS_EXCLUDES(mutex) {
@@ -618,6 +671,24 @@ JobHandle JobService::submit(JobSpec spec) {
       submit_span.set_epoch(record->calibration->epoch);
   }
 
+  // Flight recorder: freeze the journal pointer and emit kSubmitted
+  // before the record becomes visible to workers, so no later transition
+  // can be journalled ahead of its admission edge.
+  if (options_.journal != nullptr) {
+    record->journal = options_.journal;
+    obs::JournalEvent event;
+    event.time_ns = obs::nanos_since_epoch(now);
+    event.type = obs::JournalEventType::kSubmitted;
+    event.job = id;
+    event.tenant = record->tenant;
+    event.seed = record->request.seed;
+    if (record->has_deadline)
+      event.deadline_ns = obs::nanos_since_epoch(record->deadline);
+    if (record->calibration != nullptr)
+      event.epoch = record->calibration->epoch;
+    options_.journal->record(std::move(event));
+  }
+
   core_->queue.push(record);
   ++core_->queued;
   {
@@ -640,11 +711,19 @@ std::uint64_t JobService::recalibrate(CalibrationSnapshot snapshot) {
   // concurrent recalibrations serialize instead of racing the "strictly
   // increasing epoch" contract of the store. (A store shared with
   // external publishers can still conflict; the store then throws.)
+  const obs::TimePoint now = core_->time_source->now();
   MutexLock lock(core_->mutex);
   const std::uint64_t latest = core_->calib_store->latest_epoch();
   if (snapshot.epoch <= latest) snapshot.epoch = latest + 1;
   const auto stored = core_->calib_store->publish(std::move(snapshot));
   core_->registry->add(core_->recalibrations_id);
+  if (options_.journal != nullptr) {
+    obs::JournalEvent event;
+    event.time_ns = obs::nanos_since_epoch(now);
+    event.type = obs::JournalEventType::kRecalibrated;
+    event.epoch = stored->epoch;
+    options_.journal->record(std::move(event));
+  }
   return stored->epoch;
 }
 
@@ -653,27 +732,49 @@ const CalibrationStore& JobService::calibration_store() const {
 }
 
 void JobService::pause() {
+  const obs::TimePoint now = core_->time_source->now();
   MutexLock lock(core_->mutex);
   // No-op once shutdown started: re-pausing a draining service would
   // strand its workers (they must keep popping until the queue is empty).
   if (core_->draining) return;
+  if (options_.journal != nullptr && !core_->paused) {
+    obs::JournalEvent event;
+    event.time_ns = obs::nanos_since_epoch(now);
+    event.type = obs::JournalEventType::kPaused;
+    options_.journal->record(std::move(event));
+  }
   core_->paused = true;
 }
 
 void JobService::resume() {
+  const obs::TimePoint now = core_->time_source->now();
   MutexLock lock(core_->mutex);
+  if (options_.journal != nullptr && core_->paused) {
+    obs::JournalEvent event;
+    event.time_ns = obs::nanos_since_epoch(now);
+    event.type = obs::JournalEventType::kResumed;
+    options_.journal->record(std::move(event));
+  }
   core_->paused = false;
   core_->cv.notify_all();
 }
 
 void JobService::shutdown(ShutdownMode mode) {
+  const obs::TimePoint now = core_->time_source->now();
   {
     MutexLock lock(core_->mutex);
+    if (options_.journal != nullptr && core_->accepting) {
+      obs::JournalEvent event;
+      event.time_ns = obs::nanos_since_epoch(now);
+      event.type = obs::JournalEventType::kShutdown;
+      event.detail = mode == ShutdownMode::kDrain ? "drain" : "abort";
+      options_.journal->record(std::move(event));
+    }
     core_->accepting = false;
     core_->draining = true;
     core_->paused = false;  // a paused drain would never finish
     if (mode == ShutdownMode::kAbort) {
-      const std::size_t n = core_->queue.cancel_all();
+      const std::size_t n = core_->queue.cancel_all(now);
       core_->queued -= n;
       if (n > 0) {
         obs::MetricsTxn txn(*core_->registry);
@@ -695,6 +796,7 @@ ServiceTelemetry JobService::telemetry() const {
   // same registry snapshot (the registry holds all shard locks while
   // merging), fixing the historical torn read between the scheduler
   // counters and the cache/store gauges.
+  core_->sync_dropped_spans();
   const obs::MetricsSnapshot snap = core_->registry->snapshot();
   ServiceTelemetry t;
   t.submitted = snap.counter("serve.jobs.submitted");
@@ -736,6 +838,8 @@ ServiceTelemetry JobService::telemetry() const {
   t.kernel_scalar = snap.counter("exec.kernels.dispatch.scalar");
   t.kernel_batched = snap.counter("exec.kernels.dispatch.batched");
   t.calib_epoch = core_->calib_store->latest_epoch();
+  t.trace_dropped_spans =
+      static_cast<std::uint64_t>(snap.gauge("obs.trace.dropped_spans"));
   return t;
 }
 
@@ -754,6 +858,7 @@ TenantLatency JobService::tenant_latency(const std::string& tenant) const {
 }
 
 obs::MetricsSnapshot JobService::metrics() const {
+  core_->sync_dropped_spans();
   return core_->registry->snapshot();
 }
 

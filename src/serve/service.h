@@ -120,6 +120,15 @@ struct ServiceOptions {
   /// is given, else the real steady clock. Inject a ManualClock to
   /// drive deadlines and TTLs in virtual time.
   const obs::Clock* clock = nullptr;
+  /// Flight recorder: every job lifecycle transition (submit, dispatch,
+  /// complete/fail, cancel, expire) and every service-level event
+  /// (recalibrate, pause/resume, shutdown) is appended as a
+  /// JournalEvent stamped on the service clock. Null = journaling off.
+  /// Must outlive every JobHandle (terminal transitions after the
+  /// service is destroyed still emit). Under a ManualClock the exported
+  /// journal is bitwise identical for any worker count -- the replay
+  /// contract the scenario engine (src/sim/) is built on.
+  obs::Journal* journal = nullptr;
 };
 
 /// How shutdown treats queued jobs.
@@ -171,6 +180,10 @@ struct ServiceTelemetry {
   std::uint64_t kernel_generic = 0;
   std::uint64_t kernel_scalar = 0;
   std::uint64_t kernel_batched = 0;
+  /// Spans the tracer dropped because a ring filled (0 when tracing is
+  /// off). Nonzero means trace-derived latency views undercount; surface
+  /// it (serve_daemon warns on it).
+  std::uint64_t trace_dropped_spans = 0;
 
   /// Mean dispatched batch size (0 when nothing dispatched yet).
   double mean_batch_size() const {

@@ -1,0 +1,34 @@
+// Journal invariant checker: replays a flight-recorder journal's
+// canonical event stream and verifies (a) every job walked a legal
+// lifecycle, (b) per-job timestamps and deadlines are consistent, (c)
+// every kSnapshot cut's counters equal the event-derived counts and
+// satisfy the balance law
+//   submitted == completed + failed + cancelled + expired + queued +
+//   running
+// and (d) calibration epochs are strictly monotone. A journal that
+// passes was produced by a service whose telemetry never tore, whose
+// scheduler never double-dispatched or resurrected a terminal job, and
+// whose deadline machinery never dispatched past a deadline -- checked
+// from the outside, with no access to service internals.
+#ifndef QS_SIM_INVARIANTS_H
+#define QS_SIM_INVARIANTS_H
+
+#include <string>
+#include <vector>
+
+#include "obs/journal.h"
+
+namespace qs {
+namespace sim {
+
+/// Checks every invariant over a parsed journal and returns one
+/// human-readable line per violation (empty = clean). `complete` means
+/// the journal covers a finished run, so every submitted job must have
+/// reached a terminal state; pass false for mid-run excerpts.
+std::vector<std::string> check_journal(const obs::Journal::Parsed& journal,
+                                       bool complete = true);
+
+}  // namespace sim
+}  // namespace qs
+
+#endif  // QS_SIM_INVARIANTS_H

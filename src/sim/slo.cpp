@@ -1,0 +1,120 @@
+#include "sim/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace qs {
+namespace sim {
+namespace {
+
+using obs::JournalEvent;
+using obs::JournalEventType;
+
+struct Accumulator {
+  TenantSlo slo;
+  std::vector<double> latencies;  ///< finished jobs only
+};
+
+double quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+std::map<std::string, TenantSlo> compute_slo(
+    const obs::Journal::Parsed& journal) {
+  struct JobInfo {
+    std::string tenant;
+    std::uint64_t submitted_ns = 0;
+    bool has_deadline = false;
+  };
+  std::map<std::uint64_t, JobInfo> info;
+  std::map<std::string, Accumulator> acc;
+
+  const auto tally = [&](const JobInfo& job, const JournalEvent& e) {
+    // Every job counts twice: under its tenant and under "" (overall).
+    for (const std::string& key : {job.tenant, std::string()}) {
+      Accumulator& a = acc[key];
+      switch (e.type) {
+        case JournalEventType::kCompleted:
+          ++a.slo.completed;
+          break;
+        case JournalEventType::kFailed:
+          ++a.slo.failed;
+          break;
+        case JournalEventType::kCancelled:
+          ++a.slo.cancelled;
+          break;
+        case JournalEventType::kExpired:
+          ++a.slo.expired;
+          break;
+        default:
+          return;
+      }
+      if (e.type == JournalEventType::kCompleted ||
+          e.type == JournalEventType::kFailed)
+        a.latencies.push_back(
+            static_cast<double>(e.time_ns - job.submitted_ns) * 1e-9);
+      if (job.has_deadline) {
+        // A deadline job that ran was dispatched in time (the
+        // invariant checker proves dispatch < deadline); a cancelled
+        // one leaves the denominator; an expired one is the miss.
+        if (e.type == JournalEventType::kExpired) {
+          ++a.slo.with_deadline;
+        } else if (e.type != JournalEventType::kCancelled) {
+          ++a.slo.with_deadline;
+          ++a.slo.deadline_hits;
+        }
+      }
+    }
+  };
+
+  for (const JournalEvent& e : journal.events) {
+    if (e.type == JournalEventType::kSubmitted) {
+      info[e.job] = {e.tenant, e.time_ns, e.deadline_ns != 0};
+      ++acc[e.tenant].slo.submitted;
+      ++acc[std::string()].slo.submitted;
+      continue;
+    }
+    const auto it = info.find(e.job);
+    if (it != info.end()) tally(it->second, e);
+  }
+
+  std::map<std::string, TenantSlo> out;
+  for (auto& [tenant, a] : acc) {
+    std::sort(a.latencies.begin(), a.latencies.end());
+    a.slo.p50_seconds = quantile(a.latencies, 0.50);
+    a.slo.p95_seconds = quantile(a.latencies, 0.95);
+    a.slo.p99_seconds = quantile(a.latencies, 0.99);
+    out[tenant] = a.slo;
+  }
+  return out;
+}
+
+std::string format_slo(const std::map<std::string, TenantSlo>& slo) {
+  std::ostringstream os;
+  os << "tenant       submitted completed expired hit-rate   p50s   p95s"
+        "   p99s\n";
+  for (const auto& [tenant, t] : slo) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%-12s %9llu %9llu %7llu %8.3f %6.2f %6.2f %6.2f\n",
+                  tenant.empty() ? "(all)" : tenant.c_str(),
+                  static_cast<unsigned long long>(t.submitted),
+                  static_cast<unsigned long long>(t.completed),
+                  static_cast<unsigned long long>(t.expired), t.hit_rate(),
+                  t.p50_seconds, t.p95_seconds, t.p99_seconds);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace sim
+}  // namespace qs

@@ -1,0 +1,56 @@
+// SLO monitor over flight-recorder journals: per-tenant deadline
+// hit-rates and submit->finish latency percentiles, computed purely
+// from journal events -- the offline view of what the in-process
+// MetricsRegistry histograms report live, and byte-reproducible because
+// the journal is.
+#ifndef QS_SIM_SLO_H
+#define QS_SIM_SLO_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/journal.h"
+
+namespace qs {
+namespace sim {
+
+/// One tenant's service-level summary.
+struct TenantSlo {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t expired = 0;
+  /// Jobs submitted with a dispatch deadline, and how many of those
+  /// were dispatched in time (expired = the misses; cancelled
+  /// deadline jobs leave the denominator).
+  std::uint64_t with_deadline = 0;
+  std::uint64_t deadline_hits = 0;
+  /// Submit->terminal latency percentiles over finished (kCompleted or
+  /// kFailed) jobs, in virtual seconds. Zero when nothing finished.
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+
+  /// Deadline hit-rate in [0, 1]; 1 when the tenant never used
+  /// deadlines.
+  double hit_rate() const {
+    return with_deadline == 0
+               ? 1.0
+               : static_cast<double>(deadline_hits) /
+                     static_cast<double>(with_deadline);
+  }
+};
+
+/// Per-tenant SLO summaries ("" key = all tenants combined).
+std::map<std::string, TenantSlo> compute_slo(
+    const obs::Journal::Parsed& journal);
+
+/// Multi-line human-readable table of compute_slo's output.
+std::string format_slo(const std::map<std::string, TenantSlo>& slo);
+
+}  // namespace sim
+}  // namespace qs
+
+#endif  // QS_SIM_SLO_H

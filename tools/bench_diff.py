@@ -20,8 +20,17 @@ out). The serve tracing pair holds the <5% enabled-tracing budget from
 docs/ARCHITECTURE.md "Observability layer": if the traced burst falls
 more than 5% below the untraced burst, the gate fails.
 
+Trajectory: --trajectory-out writes a JSON record of every benchmark
+actually compared against a baseline (name, metric, both values, ratio,
+verdict). An empty `compared` list means the gate ran but diffed
+NOTHING -- the silent failure mode where the baseline artifact never
+arrives and every run "passes" by bootstrapping forever. CI archives
+the trajectory so that state is visible, and the self-test asserts the
+trajectory is non-empty after a green run with a baseline present.
+
 Usage:
-  bench_diff.py [--threshold 0.15] BASELINE_DIR CURRENT_DIR
+  bench_diff.py [--threshold 0.15] [--trajectory-out PATH]
+                BASELINE_DIR CURRENT_DIR
   bench_diff.py --self-test
 
 The self-test synthesizes a baseline/current pair with an injected 40%
@@ -46,6 +55,10 @@ PASS, FAIL = 0, 1
 OVERHEAD_PAIRS = [
     ("BM_ServeSameCircuitBurst_Batched", "BM_ServeSameCircuitBurst_Traced",
      0.05),
+    # Flight-recorder budget: a journaled burst must stay within 5% of
+    # the plain one (bench_scenario.cpp) -- lifecycle recording is
+    # designed to be left on.
+    ("BM_ScenarioBurst_Plain", "BM_ScenarioBurst_Journaled", 0.05),
 ]
 
 
@@ -71,26 +84,36 @@ def load_entries(path):
 
 
 def compare_entry(name, base, cur, threshold):
-    """Returns (ok, message) for one benchmark present in both runs."""
+    """Returns (ok, message, record) for one benchmark in both runs.
+
+    `record` is the trajectory entry (None when nothing comparable).
+    """
     base_ips = base.get("items_per_second")
     cur_ips = cur.get("items_per_second")
     if base_ips and cur_ips:
         ratio = cur_ips / base_ips
         ok = ratio >= 1.0 - threshold
         verdict = "ok" if ok else "REGRESSION"
+        record = {"name": name, "metric": "items_per_second",
+                  "baseline": base_ips, "current": cur_ips,
+                  "ratio": ratio, "verdict": verdict}
         return ok, (
             f"{verdict}: {name}: items_per_second {base_ips:.4g} -> "
-            f"{cur_ips:.4g} ({(ratio - 1.0) * 100.0:+.1f}%)")
+            f"{cur_ips:.4g} ({(ratio - 1.0) * 100.0:+.1f}%)"), record
     base_t = base.get("real_time")
     cur_t = cur.get("real_time")
     if not base_t or not cur_t:
-        return True, f"skip: {name}: no comparable metric"
+        return True, f"skip: {name}: no comparable metric", None
     ratio = cur_t / base_t
     ok = ratio <= 1.0 + threshold
     verdict = "ok" if ok else "REGRESSION"
+    record = {"name": name, "metric": "real_time",
+              "baseline": base_t, "current": cur_t,
+              "ratio": ratio, "verdict": verdict}
     return ok, (
         f"{verdict}: {name}: real_time {base_t:.4g} -> {cur_t:.4g} "
-        f"{cur.get('time_unit', 'ns')} ({(ratio - 1.0) * 100.0:+.1f}%)")
+        f"{cur.get('time_unit', 'ns')} ({(ratio - 1.0) * 100.0:+.1f}%)"), \
+        record
 
 
 def check_overhead(entries, pairs=OVERHEAD_PAIRS):
@@ -123,7 +146,20 @@ def check_overhead(entries, pairs=OVERHEAD_PAIRS):
     return failures
 
 
-def diff_dirs(baseline_dir, current_dir, threshold):
+def write_trajectory(path, compared, bootstrapped):
+    """Persists the diff's trajectory: what was actually compared. An
+    empty `compared` with bootstrapped=False would mean baselines exist
+    but matched nothing -- the state this record exists to expose."""
+    if path is None:
+        return
+    with open(path, "w") as f:
+        json.dump({"compared": compared, "bootstrapped": bootstrapped}, f,
+                  indent=2)
+    print(f"bench_diff: trajectory ({len(compared)} comparison(s), "
+          f"bootstrapped={bootstrapped}) -> {path}")
+
+
+def diff_dirs(baseline_dir, current_dir, threshold, trajectory_out=None):
     """Compares every BENCH_*.json under current against baseline, and
     holds the intra-run OVERHEAD_PAIRS budgets regardless of whether a
     baseline exists."""
@@ -138,11 +174,20 @@ def diff_dirs(baseline_dir, current_dir, threshold):
     for fname in current_files:
         failures += check_overhead(
             load_entries(os.path.join(current_dir, fname)))
-    if not os.path.isdir(baseline_dir):
-        print(f"bench_diff: no baseline at {baseline_dir}; "
+    baseline_files = (sorted(
+        f for f in os.listdir(baseline_dir)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+                      if os.path.isdir(baseline_dir) else [])
+    if not baseline_files:
+        # Missing OR empty baseline directory: CI mkdir -p's the
+        # download target, so "no artifact arrived" looks like an empty
+        # dir, not an absent one. Both bootstrap.
+        print(f"bench_diff: no baseline under {baseline_dir}; "
               "bootstrapping (this run becomes the baseline)")
+        write_trajectory(trajectory_out, [], bootstrapped=True)
         return FAIL if failures else PASS
 
+    compared = []
     for fname in current_files:
         base_path = os.path.join(baseline_dir, fname)
         if not os.path.exists(base_path):
@@ -155,10 +200,21 @@ def diff_dirs(baseline_dir, current_dir, threshold):
             if base is None:
                 print(f"bootstrap: {name}: not in baseline")
                 continue
-            ok, message = compare_entry(name, base, cur, threshold)
+            ok, message, record = compare_entry(name, base, cur, threshold)
             print(message)
+            if record is not None:
+                record["file"] = fname
+                compared.append(record)
             if not ok:
                 failures += 1
+    write_trajectory(trajectory_out, compared, bootstrapped=False)
+    if not compared:
+        # A baseline directory existed but nothing in it matched: the
+        # artifact plumbing is broken, not the code under test. Fail
+        # loudly instead of green-bootstrapping forever.
+        print("bench_diff: baseline present but ZERO benchmarks compared "
+              "-- empty trajectory, check the baseline artifact download")
+        return FAIL
     if failures:
         print(f"bench_diff: {failures} benchmark(s) regressed beyond the "
               f"{threshold * 100.0:.0f}% threshold or blew an overhead "
@@ -194,14 +250,39 @@ def self_test():
         os.makedirs(current)
         synthetic(os.path.join(baseline, "BENCH_synth.json"), 100.0, 1e6)
 
-        # Unchanged performance passes.
+        # Unchanged performance passes, and one green run with a
+        # baseline present leaves a NON-EMPTY trajectory -- the record
+        # that the gate diffed something real instead of silently
+        # bootstrapping forever.
         synthetic(os.path.join(current, "BENCH_synth.json"), 101.0, 0.99e6)
-        assert diff_dirs(baseline, current, 0.15) == PASS, \
+        trajectory_path = os.path.join(tmp, "trajectory.json")
+        assert diff_dirs(baseline, current, 0.15,
+                         trajectory_out=trajectory_path) == PASS, \
             "unchanged run must pass the gate"
+        with open(trajectory_path) as f:
+            trajectory = json.load(f)
+        assert trajectory["compared"], \
+            "green run with a baseline must record a non-empty trajectory"
+        assert not trajectory["bootstrapped"]
+        assert trajectory["compared"][0]["verdict"] == "ok"
 
-        # Missing baseline bootstraps instead of failing.
-        assert diff_dirs(os.path.join(tmp, "absent"), current, 0.15) == PASS, \
+        # Missing baseline bootstraps instead of failing -- and says so
+        # in the trajectory.
+        assert diff_dirs(os.path.join(tmp, "absent"), current, 0.15,
+                         trajectory_out=trajectory_path) == PASS, \
             "missing baseline must bootstrap-pass"
+        with open(trajectory_path) as f:
+            trajectory = json.load(f)
+        assert not trajectory["compared"] and trajectory["bootstrapped"]
+
+        # A baseline that matches NOTHING current (stale names: the
+        # broken-artifact-plumbing signature) must fail, not bootstrap.
+        stale = os.path.join(tmp, "stale")
+        os.makedirs(stale)
+        synthetic(os.path.join(stale, "BENCH_other.json"), 100.0, 1e6,
+                  name="BM_Gone/1")
+        assert diff_dirs(stale, current, 0.15) == FAIL, \
+            "baseline matching nothing must fail as empty trajectory"
 
         # An injected 40% slowdown must trip the gate.
         synthetic(os.path.join(current, "BENCH_synth.json"), 140.0, 1e6 / 1.4)
@@ -233,6 +314,8 @@ def main():
                         help="allowed fractional regression (default 0.15)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the gate trips on an injected slowdown")
+    parser.add_argument("--trajectory-out", metavar="PATH", default=None,
+                        help="write a JSON record of every comparison made")
     parser.add_argument("dirs", nargs="*",
                         metavar="BASELINE_DIR CURRENT_DIR")
     args = parser.parse_args()
@@ -240,7 +323,8 @@ def main():
         return self_test()
     if len(args.dirs) != 2:
         parser.error("expected BASELINE_DIR CURRENT_DIR (or --self-test)")
-    return diff_dirs(args.dirs[0], args.dirs[1], args.threshold)
+    return diff_dirs(args.dirs[0], args.dirs[1], args.threshold,
+                     trajectory_out=args.trajectory_out)
 
 
 if __name__ == "__main__":

@@ -51,6 +51,15 @@ turns those into CI failures. Rules (see docs/ARCHITECTURE.md
                    contract, and the dispatch-count telemetry cover it; a
                    raw loop elsewhere silently forks the arithmetic.
 
+  job-state        In src/serve/, bans direct writes to a JobRecord's
+                   `status` field outside JobRecord::transition_locked
+                   (src/serve/job.h). The transition helper is the one
+                   place the job state machine moves AND the flight
+                   recorder (obs/journal.h) observes the edge; a direct
+                   write elsewhere would mutate state invisibly to the
+                   journal, silently breaking the replay contract
+                   (bitwise-identical journals for any worker count).
+
 Suppression: append `// lint:allow(<rule>): <why>` to the offending line,
 or put it on its own line directly above (for lines with no room under
 the 80-column format limit). The reason is mandatory; a bare allow is
@@ -151,6 +160,16 @@ AMPLITUDE_LOOP_PATTERNS = [
      "raw strided amplitude address arithmetic; route this loop through "
      "the kernels:: entry points (src/qudit/kernels.h)"),
 ]
+
+# Directory whose job-state machine the journal must observe completely.
+JOB_STATE_SCOPE = "src/serve/"
+
+# A write to a job record's `status` member: member access (r->status =,
+# record.status =) or the bare field inside JobRecord's own methods
+# (status = to). Comparisons (==, !=, <=, >=) do not match; neither do
+# declarations like `JobStatus status = ...` (the field name there is
+# preceded by its type, not by `.`/`->`/line start).
+JOB_STATE_RE = re.compile(r"(?:\.|->|^\s*)status\s*=(?![=])")
 
 UNORDERED_DECL_RE = re.compile(
     r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;(){]*>\s+(\w+)\s*[;{=]")
@@ -269,6 +288,16 @@ def lint_file(path: pathlib.Path, findings: list[Finding]) -> None:
             for pattern, msg in AMPLITUDE_LOOP_PATTERNS:
                 if pattern.search(line):
                     report(lineno, "amplitude-loop", msg)
+
+    # -- job-state ---------------------------------------------------------
+    if rel.startswith(JOB_STATE_SCOPE):
+        for lineno, line in enumerate(clean_lines, 1):
+            if JOB_STATE_RE.search(line):
+                report(lineno, "job-state",
+                       "direct JobStatus write; every transition must go "
+                       "through JobRecord::transition_locked so the "
+                       "flight-recorder journal observes the edge "
+                       "(src/serve/job.h)")
 
     # -- raw-sync ----------------------------------------------------------
     if rel != RAW_SYNC_HOME:
